@@ -1,0 +1,66 @@
+//! One benchmark per paper figure: regenerates each figure's full sweep at a
+//! reduced trial count (the published runs use `RAP_TRIALS`-many trials via
+//! the `rap-experiments` binaries; benches measure the machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rap_experiments::{ablation, fig10, fig11, fig12, fig13, Settings};
+use std::hint::black_box;
+
+fn settings() -> Settings {
+    Settings::default().with_trials(3)
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig10_dublin_utilities", |b| {
+        b.iter(|| black_box(fig10(&settings())))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig11_dublin_shop_location", |b| {
+        b.iter(|| black_box(fig11(&settings())))
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig12_seattle_general", |b| {
+        b.iter(|| black_box(fig12(&settings())))
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig13_seattle_manhattan", |b| {
+        b.iter(|| black_box(fig13(&settings())))
+    });
+    g.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("ablation_design_choices", |b| {
+        b.iter(|| black_box(ablation(&settings())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Substrate benchmarks: shortest paths, detour tables, trace generation,
+//! and map matching — the `O(|V|³ + k|V||T|)` terms of the paper's
+//! complexity analysis, measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rap_core::DetourTable;
+use rap_graph::apsp::DistanceMatrix;
+use rap_graph::{dijkstra, Distance, GridGraph, NodeId};
+use rap_trace::{
+    drive_path, extract_flows, BusId, DriveParams, ExtractParams, GpsNoise, JourneyId,
+};
+use rap_traffic::demand::{uniform_demand, DemandParams};
+use rap_traffic::FlowSet;
+use std::hint::black_box;
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates/shortest_paths");
+    for side in [10u32, 20, 40] {
+        let grid = GridGraph::new(side, side, Distance::from_feet(500));
+        g.bench_with_input(
+            BenchmarkId::new("dijkstra_sssp", side * side),
+            grid.graph(),
+            |b, graph| b.iter(|| black_box(dijkstra::shortest_path_tree(graph, NodeId::new(0)))),
+        );
+    }
+    // APSP variants on a fixed medium grid (the paper's O(|V|^3) term).
+    let grid = GridGraph::new(15, 15, Distance::from_feet(500));
+    g.bench_function("apsp_dijkstra_225", |b| {
+        b.iter(|| black_box(DistanceMatrix::dijkstra_all(grid.graph())))
+    });
+    g.bench_function("apsp_dijkstra_parallel_225", |b| {
+        b.iter(|| black_box(DistanceMatrix::dijkstra_all_parallel(grid.graph(), 4)))
+    });
+    g.bench_function("apsp_floyd_warshall_225", |b| {
+        b.iter(|| black_box(DistanceMatrix::floyd_warshall(grid.graph())))
+    });
+    g.finish();
+}
+
+fn bench_detour_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates/detour_table");
+    for flows in [50usize, 200, 800] {
+        let grid = GridGraph::new(20, 20, Distance::from_feet(500));
+        let specs = uniform_demand(
+            grid.graph(),
+            DemandParams {
+                flows,
+                min_volume: 100.0,
+                max_volume: 1_000.0,
+                attractiveness: 0.001,
+            },
+            1,
+        )
+        .expect("valid demand");
+        let flow_set = FlowSet::route(grid.graph(), specs).expect("routes");
+        g.bench_with_input(
+            BenchmarkId::new("build", flows),
+            &flow_set,
+            |b, flow_set| {
+                b.iter(|| {
+                    black_box(
+                        DetourTable::build(grid.graph(), flow_set, &[grid.center()])
+                            .expect("valid table"),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_trace_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates/trace");
+    let grid = GridGraph::new(10, 10, Distance::from_feet(1_000));
+    let graph = grid.graph();
+    let path = dijkstra::shortest_path(graph, NodeId::new(0), NodeId::new(99)).expect("connected");
+    g.bench_function("drive_path_one_bus", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            black_box(drive_path(
+                graph,
+                &path,
+                BusId(0),
+                JourneyId(0),
+                0.0,
+                DriveParams::default(),
+                &mut rng,
+            ))
+        })
+    });
+
+    // Map matching 40 buses over 10 journeys.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut records = Vec::new();
+    for j in 0..10u32 {
+        let dest = NodeId::new(90 + j);
+        let p = dijkstra::shortest_path(graph, NodeId::new(j), dest).expect("connected");
+        for bus in 0..4u32 {
+            records.extend(drive_path(
+                graph,
+                &p,
+                BusId(j * 4 + bus),
+                JourneyId(j),
+                0.0,
+                DriveParams {
+                    speed_fps: 30.0,
+                    sample_interval_s: 15.0,
+                    noise: GpsNoise::new(60.0),
+                },
+                &mut rng,
+            ));
+        }
+    }
+    g.bench_function("extract_flows_40_buses", |b| {
+        b.iter(|| {
+            black_box(
+                extract_flows(graph, &records, ExtractParams::default()).expect("extracts"),
+            )
+        })
+    });
+
+    // Full city models.
+    let mut quick = rap_trace::CityParams::dublin();
+    quick.journeys = 40;
+    g.bench_function("dublin_city_model_40_journeys", |b| {
+        b.iter(|| black_box(rap_trace::dublin(quick, 1).expect("builds")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shortest_paths,
+    bench_detour_table,
+    bench_trace_pipeline
+);
+criterion_main!(benches);

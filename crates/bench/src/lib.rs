@@ -1,0 +1,62 @@
+//! # rap-bench
+//!
+//! Shared fixtures for the Criterion benchmark suite. The benches themselves
+//! live in `benches/`:
+//!
+//! * `figures` — one benchmark per paper figure (Figs. 10–13), running the
+//!   same harness the `rap-experiments` binaries use at a reduced trial
+//!   count. The figure *data* is produced by the binaries; these benches
+//!   track the cost of regeneration.
+//! * `algorithms` — scaling of Algorithms 1–2, the lazy greedy, and the
+//!   baselines with city size and RAP budget, plus the two-stage algorithms
+//!   on grids.
+//! * `substrates` — the underlying machinery: Dijkstra, all-pairs matrices,
+//!   detour-table construction, trace generation, and map matching.
+
+use rap_core::{Scenario, UtilityKind};
+use rap_graph::{Distance, GridGraph, NodeId};
+use rap_traffic::demand::{uniform_demand, DemandParams};
+use rap_traffic::FlowSet;
+
+/// A deterministic `side × side` grid scenario with `flows` uniform flows,
+/// shop at the center, for algorithm benchmarks.
+pub fn grid_scenario(side: u32, flows: usize, utility: UtilityKind) -> Scenario {
+    let grid = GridGraph::new(side, side, Distance::from_feet(500));
+    let specs = uniform_demand(
+        grid.graph(),
+        DemandParams {
+            flows,
+            min_volume: 100.0,
+            max_volume: 1_000.0,
+            attractiveness: 0.001,
+        },
+        42,
+    )
+    .expect("demand parameters valid");
+    let flow_set = FlowSet::route(grid.graph(), specs).expect("grid routes all flows");
+    let threshold = Distance::from_feet(u64::from(side) * 250);
+    Scenario::single_shop(
+        grid.graph().clone(),
+        flow_set,
+        grid.center(),
+        utility.instantiate(threshold),
+    )
+    .expect("scenario valid")
+}
+
+/// The shop-center node of a `side × side` benchmark grid.
+pub fn grid_center(side: u32) -> NodeId {
+    GridGraph::new(side, side, Distance::from_feet(500)).center()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_scenario_builds() {
+        let s = grid_scenario(6, 30, UtilityKind::Linear);
+        assert_eq!(s.graph().node_count(), 36);
+        assert_eq!(s.flows().len(), 30);
+    }
+}

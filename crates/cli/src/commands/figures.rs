@@ -1,0 +1,76 @@
+//! `rap figures` — regenerate the paper's figures from the command line.
+
+use crate::args::Args;
+use crate::CliError;
+use rap_experiments::Settings;
+
+/// Options accepted by `rap figures`.
+pub const USAGE: &str = "\
+rap figures --which <fig10|fig11|fig12|fig13|ablation|sensitivity|all>
+            [--trials N] [--seed N]
+
+Regenerates the requested figure series (tables to stdout, JSON to
+results/<name>.json).";
+
+/// Runs the command; returns the rendered tables.
+///
+/// # Errors
+///
+/// Propagates argument and I/O failures.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let which = args.required("which")?;
+    let trials: usize = args.get_or("trials", "integer", Settings::default().trials)?;
+    let seed: u64 = args.get_or("seed", "integer", 2015)?;
+    let settings = Settings { trials, seed };
+
+    let figures = match which {
+        "fig10" => vec![rap_experiments::fig10(&settings)],
+        "fig11" => vec![rap_experiments::fig11(&settings)],
+        "fig12" => vec![rap_experiments::fig12(&settings)],
+        "fig13" => vec![rap_experiments::fig13(&settings)],
+        "ablation" => vec![rap_experiments::ablation(&settings)],
+        "sensitivity" => vec![rap_experiments::sensitivity(&settings)],
+        "all" => vec![
+            rap_experiments::fig10(&settings),
+            rap_experiments::fig11(&settings),
+            rap_experiments::fig12(&settings),
+            rap_experiments::fig13(&settings),
+            rap_experiments::ablation(&settings),
+            rap_experiments::sensitivity(&settings),
+        ],
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown figure `{other}` (expected fig10..fig13, ablation, sensitivity, or all)"
+            )))
+        }
+    };
+
+    let mut out = String::new();
+    for figure in &figures {
+        out.push_str(&figure.render());
+        match rap_experiments::save_results(figure) {
+            Ok(path) => out.push_str(&format!("json written to {}\n\n", path.display())),
+            Err(e) => out.push_str(&format!("could not write results: {e}\n\n")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_renders_quickly_with_few_trials() {
+        let args = Args::parse(["--which", "fig10", "--trials", "2"]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("fig10"));
+        assert!(out.contains("Algorithm 1"));
+    }
+
+    #[test]
+    fn unknown_figure_is_usage_error() {
+        let args = Args::parse(["--which", "fig99"]).unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+}

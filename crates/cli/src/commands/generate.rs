@@ -1,0 +1,138 @@
+//! `rap generate` — build a synthetic city model and write its artifacts.
+
+use crate::args::Args;
+use crate::CliError;
+use rap_trace::{city, write_csv, TraceSchema};
+
+/// Options accepted by `rap generate`.
+pub const USAGE: &str = "\
+rap generate --city <dublin|seattle> [--seed N] [--journeys N]
+             [--out-graph FILE] [--out-flows FILE]
+
+Generates a synthetic city (street network + simulated bus trace +
+recovered flows) and writes:
+  --out-graph   street network in the rap-graph text format
+  --out-flows   flow summary CSV (origin,destination,volume,alpha)
+Prints a model summary either way.";
+
+/// Runs the command; returns the human-readable report.
+///
+/// # Errors
+///
+/// Propagates argument, generation, and I/O failures.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let city_name = args.required("city")?;
+    let seed: u64 = args.get_or("seed", "integer", 2015)?;
+    let journeys: usize = args.get_or("journeys", "integer", 0)?;
+
+    let mut params = match city_name {
+        "dublin" => city::CityParams::dublin(),
+        "seattle" => city::CityParams::seattle(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown city `{other}` (expected dublin or seattle)"
+            )))
+        }
+    };
+    if journeys > 0 {
+        params.journeys = journeys;
+    }
+    let model = match city_name {
+        "dublin" => city::dublin(params, seed)?,
+        _ => city::seattle(params, seed)?,
+    };
+
+    let mut report = format!(
+        "{}: {} intersections, {} streets, {} flows from {} trace records\n",
+        model.name(),
+        model.graph().node_count(),
+        model.graph().edge_count(),
+        model.flows().len(),
+        model.trace_records(),
+    );
+    let stats = rap_traffic::stats::FlowStats::compute(model.flows());
+    report.push_str(&format!("traffic: {stats}\n"));
+
+    if let Some(path) = args.get("out-graph") {
+        let mut file = std::fs::File::create(path)?;
+        rap_graph::io::write_text(model.graph(), &mut file)?;
+        report.push_str(&format!("graph written to {path}\n"));
+    }
+    if let Some(path) = args.get("out-flows") {
+        let mut out = String::from("origin,destination,volume,alpha\n");
+        for f in model.flows() {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                f.origin().raw(),
+                f.destination().raw(),
+                f.volume(),
+                f.attractiveness()
+            ));
+        }
+        std::fs::write(path, out)?;
+        report.push_str(&format!("flows written to {path}\n"));
+    }
+    if let Some(path) = args.get("out-trace") {
+        // Re-simulate a small demonstration trace in the matching schema.
+        let schema = if model.name() == "dublin" {
+            TraceSchema::Dublin
+        } else {
+            TraceSchema::Seattle
+        };
+        let mut file = std::fs::File::create(path)?;
+        write_csv(&[], schema, &mut file)?;
+        report.push_str(&format!("empty {schema} trace header written to {path}\n"));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_dublin_summary() {
+        let args = Args::parse(["--city", "dublin", "--journeys", "15", "--seed", "3"]).unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("dublin"));
+        assert!(report.contains("flows"));
+    }
+
+    #[test]
+    fn writes_graph_and_flows() {
+        let dir = std::env::temp_dir();
+        let g = dir.join("rap_cli_test_graph.txt");
+        let f = dir.join("rap_cli_test_flows.csv");
+        let args = Args::parse([
+            "--city",
+            "seattle",
+            "--journeys",
+            "10",
+            "--out-graph",
+            g.to_str().unwrap(),
+            "--out-flows",
+            f.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("written"));
+        let graph = rap_graph::io::read_text(std::fs::File::open(&g).unwrap()).unwrap();
+        assert_eq!(graph.node_count(), 121);
+        let flows = std::fs::read_to_string(&f).unwrap();
+        assert!(flows.starts_with("origin,destination,volume,alpha"));
+        std::fs::remove_file(g).ok();
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn unknown_city_is_usage_error() {
+        let args = Args::parse(["--city", "paris"]).unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn missing_city_is_args_error() {
+        let args = Args::parse([] as [&str; 0]).unwrap();
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,0 +1,6 @@
+//! CLI command implementations.
+
+pub mod figures;
+pub mod generate;
+pub mod place;
+pub mod simulate;

@@ -1,0 +1,241 @@
+//! `rap place` — run a placement algorithm on a graph + flows from disk.
+
+use crate::args::Args;
+use crate::CliError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rap_core::{
+    CompositeGreedy, ExhaustiveOptimal, GreedyCoverage, GreedyWithSwaps, LazyGreedy,
+    MarginalGreedy, MaxCardinality, MaxCustomers, MaxVehicles, PlacementAlgorithm,
+    PlacementReport, Random, Scenario, UtilityKind,
+};
+use rap_graph::{Distance, NodeId};
+use rap_traffic::{FlowSet, FlowSpec};
+
+/// Options accepted by `rap place`.
+pub const USAGE: &str = "\
+rap place --graph FILE --flows FILE --shop NODE --k N
+          [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
+          [--algorithm alg1|alg2|marginal|lazy|swaps|maxcard|maxveh|maxcust|random|optimal|all]
+
+--graph  street network in the rap-graph text format (see `rap generate`)
+--flows  CSV with header origin,destination,volume,alpha
+Prints the chosen placement(s) and quality reports.";
+
+/// Parses the flow summary CSV written by `rap generate`.
+fn read_flows(path: &str) -> Result<Vec<FlowSpec>, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut specs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if idx == 0 || line.trim().is_empty() {
+            continue; // header
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(CliError::Usage(format!(
+                "flows file line {}: expected 4 columns",
+                idx + 1
+            )));
+        }
+        let parse_err = |what: &str| {
+            CliError::Usage(format!("flows file line {}: invalid {what}", idx + 1))
+        };
+        let origin: u32 = fields[0].trim().parse().map_err(|_| parse_err("origin"))?;
+        let dest: u32 = fields[1].trim().parse().map_err(|_| parse_err("destination"))?;
+        let volume: f64 = fields[2].trim().parse().map_err(|_| parse_err("volume"))?;
+        let alpha: f64 = fields[3].trim().parse().map_err(|_| parse_err("alpha"))?;
+        let spec = FlowSpec::new(NodeId::new(origin), NodeId::new(dest), volume)
+            .map_err(|e| CliError::Usage(format!("flows file line {}: {e}", idx + 1)))?
+            .with_attractiveness(alpha)
+            .map_err(|e| CliError::Usage(format!("flows file line {}: {e}", idx + 1)))?;
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+fn algorithm_by_name(name: &str) -> Option<Box<dyn PlacementAlgorithm>> {
+    Some(match name {
+        "alg1" => Box::new(GreedyCoverage),
+        "alg2" => Box::new(CompositeGreedy),
+        "marginal" => Box::new(MarginalGreedy),
+        "lazy" => Box::new(LazyGreedy),
+        "swaps" => Box::new(GreedyWithSwaps),
+        "maxcard" => Box::new(MaxCardinality),
+        "maxveh" => Box::new(MaxVehicles),
+        "maxcust" => Box::new(MaxCustomers),
+        "random" => Box::new(Random),
+        "optimal" => Box::new(ExhaustiveOptimal::new()),
+        _ => return None,
+    })
+}
+
+const ALL_ALGORITHMS: [&str; 9] = [
+    "alg1", "alg2", "marginal", "lazy", "swaps", "maxcard", "maxveh", "maxcust", "random",
+];
+
+/// Runs the command; returns the human-readable report.
+///
+/// # Errors
+///
+/// Propagates argument, parsing, scenario, and I/O failures.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let graph_path = args.required("graph")?;
+    let flows_path = args.required("flows")?;
+    let shop: u32 = args.required_parsed("shop", "node id")?;
+    let k: usize = args.required_parsed("k", "integer")?;
+    let d: u64 = args.get_or("d", "feet", 2_500)?;
+    let seed: u64 = args.get_or("seed", "integer", 2015)?;
+    let utility = match args.get("utility").unwrap_or("linear") {
+        "threshold" => UtilityKind::Threshold,
+        "linear" => UtilityKind::Linear,
+        "sqrt" => UtilityKind::Sqrt,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown utility `{other}` (expected threshold, linear, or sqrt)"
+            )))
+        }
+    };
+    let algorithm = args.get("algorithm").unwrap_or("alg2");
+
+    let graph = rap_graph::io::read_text(std::fs::File::open(graph_path)?)?;
+    let specs = read_flows(flows_path)?;
+    let flows = FlowSet::route(&graph, specs)?;
+    let scenario = Scenario::single_shop(
+        graph,
+        flows,
+        NodeId::new(shop),
+        utility.instantiate(Distance::from_feet(d)),
+    )?;
+
+    let names: Vec<&str> = if algorithm == "all" {
+        ALL_ALGORITHMS.to_vec()
+    } else {
+        vec![algorithm]
+    };
+    let mut report = format!(
+        "shop at V{shop}, {} utility, D = {d} ft, k = {k}\n",
+        utility
+    );
+    for name in names {
+        let alg = algorithm_by_name(name).ok_or_else(|| {
+            CliError::Usage(format!("unknown algorithm `{name}` (try --algorithm all)"))
+        })?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let placement = alg.place(&scenario, k, &mut rng);
+        let quality = PlacementReport::compute(&scenario, &placement);
+        report.push_str(&format!("{:<28} {placement}\n    {quality}\n", alg.name()));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Writes a tiny graph + flows pair to temp files and returns the paths.
+    fn fixture() -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir();
+        let gp = dir.join("rap_cli_place_graph.txt");
+        let fp = dir.join("rap_cli_place_flows.csv");
+        let grid = rap_graph::GridGraph::new(3, 3, Distance::from_feet(100));
+        let mut f = std::fs::File::create(&gp).unwrap();
+        rap_graph::io::write_text(grid.graph(), &mut f).unwrap();
+        std::fs::write(
+            &fp,
+            "origin,destination,volume,alpha\n0,2,100,0.01\n6,8,50,0.01\n",
+        )
+        .unwrap();
+        (gp, fp)
+    }
+
+    #[test]
+    fn places_with_default_algorithm() {
+        let (gp, fp) = fixture();
+        let args = Args::parse([
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "4",
+            "--k",
+            "2",
+            "--d",
+            "400",
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("Algorithm 2"));
+        assert!(report.contains("customers/day"));
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        let (gp, fp) = fixture();
+        let args = Args::parse([
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "4",
+            "--k",
+            "2",
+            "--algorithm",
+            "all",
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        for needle in ["Algorithm 1", "Algorithm 2", "MaxVehicles", "Random", "CELF"] {
+            assert!(report.contains(needle), "missing {needle}: {report}");
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_usage_errors() {
+        let (gp, fp) = fixture();
+        let base = [
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "4",
+            "--k",
+            "2",
+        ];
+        let mut bad_utility: Vec<&str> = base.to_vec();
+        bad_utility.extend(["--utility", "cubic"]);
+        assert!(matches!(
+            run(&Args::parse(bad_utility).unwrap()),
+            Err(CliError::Usage(_))
+        ));
+        let mut bad_alg: Vec<&str> = base.to_vec();
+        bad_alg.extend(["--algorithm", "magic"]);
+        assert!(matches!(
+            run(&Args::parse(bad_alg).unwrap()),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_flows_rejected() {
+        let (gp, _) = fixture();
+        let dir = std::env::temp_dir();
+        let bad = dir.join("rap_cli_bad_flows.csv");
+        std::fs::write(&bad, "origin,destination,volume,alpha\n1,2,3\n").unwrap();
+        let args = Args::parse([
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            bad.to_str().unwrap(),
+            "--shop",
+            "0",
+            "--k",
+            "1",
+        ])
+        .unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+        std::fs::remove_file(bad).ok();
+    }
+}

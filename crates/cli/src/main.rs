@@ -1,0 +1,12 @@
+//! The `rap` binary: thin dispatch over `rap_cli::dispatch`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rap_cli::dispatch(args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

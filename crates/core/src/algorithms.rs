@@ -1,0 +1,91 @@
+//! The [`PlacementAlgorithm`] trait unifying Algorithms 1–2, the baselines,
+//! and the Manhattan-grid algorithms of `rap-manhattan` under one interface
+//! used by the experiment harness.
+
+use crate::placement::Placement;
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+
+/// A RAP placement strategy.
+///
+/// `place` receives the scenario, the RAP budget `k`, and a seeded RNG
+/// (consumed only by randomized strategies such as the paper's *Random*
+/// baseline — deterministic algorithms ignore it, so passing a fixed dummy
+/// RNG is fine for them).
+///
+/// Algorithms may return fewer than `k` RAPs when additional RAPs cannot
+/// attract anyone (e.g. every flow already covered at its minimum detour);
+/// extra RAPs would not change the objective.
+pub trait PlacementAlgorithm {
+    /// A short name for reports ("Algorithm 1", "MaxVehicles", ...).
+    fn name(&self) -> &str;
+
+    /// Chooses up to `k` RAP intersections for `scenario`.
+    fn place(&self, scenario: &Scenario, k: usize, rng: &mut StdRng) -> Placement;
+}
+
+/// Selects, among `candidates`, the node maximizing `score`, breaking ties
+/// toward the lower node id for determinism. Returns `None` when every score
+/// is `<= floor`.
+pub(crate) fn argmax_node<F>(
+    candidates: &[rap_graph::NodeId],
+    used: &Placement,
+    floor: f64,
+    mut score: F,
+) -> Option<(rap_graph::NodeId, f64)>
+where
+    F: FnMut(rap_graph::NodeId) -> f64,
+{
+    let mut best: Option<(rap_graph::NodeId, f64)> = None;
+    for &v in candidates {
+        if used.contains(v) {
+            continue;
+        }
+        let s = score(v);
+        if s <= floor {
+            continue;
+        }
+        match best {
+            Some((_, bs)) if s <= bs => {}
+            _ => best = Some((v, s)),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_graph::NodeId;
+
+    #[test]
+    fn argmax_breaks_ties_toward_lower_id() {
+        let candidates = vec![NodeId::new(3), NodeId::new(1), NodeId::new(2)];
+        let used = Placement::empty();
+        // Iteration follows candidate order; equal scores keep the first
+        // strictly-greater hit. Candidates are conventionally sorted by id.
+        let sorted = {
+            let mut c = candidates.clone();
+            c.sort();
+            c
+        };
+        let (v, s) = argmax_node(&sorted, &used, 0.0, |_| 5.0).unwrap();
+        assert_eq!(v, NodeId::new(1));
+        assert_eq!(s, 5.0);
+    }
+
+    #[test]
+    fn argmax_skips_used_and_respects_floor() {
+        let candidates = vec![NodeId::new(0), NodeId::new(1)];
+        let mut used = Placement::empty();
+        used.push(NodeId::new(0));
+        let got = argmax_node(&candidates, &used, 0.0, |v| {
+            if v == NodeId::new(0) {
+                100.0
+            } else {
+                0.0
+            }
+        });
+        assert!(got.is_none(), "used node skipped, other node at floor");
+    }
+}

@@ -1,0 +1,235 @@
+//! The paper's four comparison baselines (Section V-B).
+//!
+//! * [`MaxCardinality`] — rank intersections by the number of passing traffic
+//!   flows, place RAPs at the top-`k`.
+//! * [`MaxVehicles`] — rank by the number of passing vehicles (here, the
+//!   total passing daily volume, which is proportional to bus count in the
+//!   trace model), place at the top-`k`.
+//! * [`MaxCustomers`] — rank by the customers a *single* RAP at the
+//!   intersection would attract; optimal for `k = 1`, but ignores overlap for
+//!   larger `k`.
+//! * [`Random`] — uniform-random intersections within the `D × D` square
+//!   centered at the shop.
+
+use crate::algorithms::PlacementAlgorithm;
+use crate::placement::Placement;
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rap_graph::{BoundingBox, NodeId};
+
+/// Places RAPs at the `k` intersections ranked highest by `score`, ties
+/// toward lower ids, skipping zero-score intersections.
+fn top_k_by<F>(scenario: &Scenario, k: usize, mut score: F) -> Placement
+where
+    F: FnMut(NodeId) -> f64,
+{
+    let mut scored: Vec<(NodeId, f64)> = scenario
+        .candidates()
+        .into_iter()
+        .map(|v| (v, score(v)))
+        .filter(|(_, s)| *s > 0.0)
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    Placement::new(scored.into_iter().map(|(v, _)| v).collect())
+}
+
+/// Baseline: top-`k` intersections by number of passing traffic flows.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxCardinality;
+
+impl PlacementAlgorithm for MaxCardinality {
+    fn name(&self) -> &str {
+        "MaxCardinality"
+    }
+
+    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
+        top_k_by(scenario, k, |v| scenario.flows().cardinality_at(v) as f64)
+    }
+}
+
+/// Baseline: top-`k` intersections by passing daily volume (vehicle count).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxVehicles;
+
+impl PlacementAlgorithm for MaxVehicles {
+    fn name(&self) -> &str {
+        "MaxVehicles"
+    }
+
+    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
+        top_k_by(scenario, k, |v| scenario.flows().volume_at(v))
+    }
+}
+
+/// Baseline: top-`k` intersections by single-RAP attracted customers.
+/// Equivalent to the optimal algorithm when `k = 1` (paper Section V-B).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxCustomers;
+
+impl PlacementAlgorithm for MaxCustomers {
+    fn name(&self) -> &str {
+        "MaxCustomers"
+    }
+
+    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
+        let no_cover = vec![false; scenario.flows().len()];
+        top_k_by(scenario, k, |v| scenario.uncovered_gain(&no_cover, v))
+    }
+}
+
+/// Baseline: `k` uniform-random intersections within the `D × D` square
+/// centered at the shop (the first shop, for multi-shop scenarios).
+///
+/// Falls back to sampling among all candidate intersections if the square
+/// contains none (e.g. a suburb shop with a tiny `D`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Random;
+
+impl PlacementAlgorithm for Random {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn place(&self, scenario: &Scenario, k: usize, rng: &mut StdRng) -> Placement {
+        let shop = scenario.shops()[0];
+        let side = scenario.utility().threshold().as_f64();
+        let square = BoundingBox::square(scenario.graph().point(shop), side);
+        let mut pool: Vec<NodeId> = scenario.graph().nodes_in(&square);
+        if pool.is_empty() {
+            pool = scenario.candidates();
+        }
+        if pool.is_empty() {
+            return Placement::empty();
+        }
+        // Partial Fisher-Yates: sample min(k, |pool|) without replacement.
+        let take = k.min(pool.len());
+        for i in 0..take {
+            let j = rng.random_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        Placement::new(pool[..take].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{fig4_scenario, rng, small_grid_scenario};
+    use crate::utility::UtilityKind;
+    use rap_graph::Distance;
+
+    #[test]
+    fn max_cardinality_picks_busiest_intersections() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let p = MaxCardinality.place(&s, 1, &mut rng());
+        // V3 carries T_2,5 + T_3,5 + T_4,3 = 3 flows, more than any other.
+        assert_eq!(p.raps(), &[NodeId::new(3)]);
+    }
+
+    #[test]
+    fn max_vehicles_ranks_by_volume() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let p = MaxVehicles.place(&s, 2, &mut rng());
+        // V3 carries volume 15; V5 carries T_3,5 + T_5,6 = 8.
+        assert_eq!(p.raps(), &[NodeId::new(3), NodeId::new(5)]);
+    }
+
+    #[test]
+    fn max_customers_is_optimal_for_k1() {
+        for kind in UtilityKind::ALL {
+            let s = fig4_scenario(kind);
+            let p = MaxCustomers.place(&s, 1, &mut rng());
+            // Compare against brute force over all candidates.
+            let best = s
+                .candidates()
+                .into_iter()
+                .map(|v| s.evaluate_nodes(&[v]))
+                .fold(0.0f64, f64::max);
+            assert!(
+                (s.evaluate(&p) - best).abs() < 1e-9,
+                "MaxCustomers suboptimal for k=1 under {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_customers_ignores_overlap() {
+        // With the linear utility on Fig. 4, MaxCustomers ranks V3 (5.0)
+        // first, then V2 and V4 (4.0 each): it never realizes V2's customers
+        // overlap V3's.
+        let s = fig4_scenario(UtilityKind::Linear);
+        let p = MaxCustomers.place(&s, 3, &mut rng());
+        assert_eq!(
+            p.raps(),
+            &[NodeId::new(3), NodeId::new(2), NodeId::new(4)]
+        );
+    }
+
+    #[test]
+    fn random_places_within_square() {
+        let s = small_grid_scenario(UtilityKind::Threshold, Distance::from_feet(100));
+        let shop_point = s.graph().point(s.shops()[0]);
+        let square = BoundingBox::square(shop_point, 100.0);
+        let mut r = rng();
+        for _ in 0..10 {
+            let p = Random.place(&s, 3, &mut r);
+            assert!(p.len() <= 3);
+            for &rap in &p {
+                assert!(
+                    square.contains(s.graph().point(rap)),
+                    "rap {rap} outside the D x D square"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(200));
+        let p1 = Random.place(&s, 4, &mut rng());
+        let p2 = Random.place(&s, 4, &mut rng());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn random_never_duplicates() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(500));
+        let mut r = rng();
+        for k in [1, 5, 25, 100] {
+            let p = Random.place(&s, k, &mut r);
+            let set: std::collections::HashSet<_> = p.iter().collect();
+            assert_eq!(set.len(), p.len());
+        }
+    }
+
+    #[test]
+    fn baselines_skip_useless_intersections() {
+        // Intersections with no passing flow are never selected by the
+        // ranked baselines, even with huge k.
+        let s = fig4_scenario(UtilityKind::Threshold);
+        for alg in [
+            &MaxCardinality as &dyn PlacementAlgorithm,
+            &MaxVehicles,
+            &MaxCustomers,
+        ] {
+            let p = alg.place(&s, 100, &mut rng());
+            for &rap in &p {
+                assert!(!s.entries_at(rap).is_empty(), "{} placed uselessly", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MaxCardinality.name(), "MaxCardinality");
+        assert_eq!(MaxVehicles.name(), "MaxVehicles");
+        assert_eq!(MaxCustomers.name(), "MaxCustomers");
+        assert_eq!(Random.name(), "Random");
+    }
+}

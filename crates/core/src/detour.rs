@@ -1,0 +1,400 @@
+//! Detour-distance computation (paper Section III-A, Fig. 3).
+//!
+//! For a flow `T_{i,j}` receiving an advertisement at intersection `v`, the
+//! detour distance is
+//!
+//! ```text
+//! d = d' + d'' − d'''
+//! ```
+//!
+//! where `d'` is the shortest distance from `v` to the shop, `d''` from the
+//! shop to the destination `j`, and `d'''` from `v` directly to `j`. With
+//! multiple shops, the shop minimizing `d' + d''` is used (Section III-A);
+//! with multiple RAPs on the path, the *first* RAP attains the minimum detour
+//! (Theorem 1), which is why only first visits are tabulated.
+//!
+//! [`DetourTable::build`] needs exactly two Dijkstra runs per shop — one
+//! reverse tree (distances *to* the shop) and one forward tree (distances
+//! *from* the shop) — rather than the paper's all-pairs `O(|V|³)` accounting,
+//! because flows travel on shortest paths, making `d'''` recoverable as the
+//! routed path's remaining length.
+
+use crate::error::PlacementError;
+use rap_graph::{dijkstra, Distance, NodeId, RoadGraph};
+use rap_traffic::{FlowId, FlowSet};
+
+/// A flow passing an intersection, with its exact detour distance there.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlowDetour {
+    /// The passing flow.
+    pub flow: FlowId,
+    /// Position of the (first) visit within the flow's path.
+    pub position: u32,
+    /// Exact detour distance at this intersection.
+    pub detour: Distance,
+}
+
+/// Precomputed detour distances of every flow at every intersection it
+/// passes.
+///
+/// ```
+/// use rap_graph::{GridGraph, Distance, NodeId};
+/// use rap_traffic::{FlowSpec, FlowSet};
+/// use rap_core::detour::DetourTable;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = GridGraph::new(3, 3, Distance::from_feet(10));
+/// let flows = FlowSet::route(
+///     grid.graph(),
+///     vec![FlowSpec::new(NodeId::new(0), NodeId::new(2), 100.0)?],
+/// )?;
+/// // Shop at the grid center (node 4).
+/// let table = DetourTable::build(grid.graph(), &flows, &[NodeId::new(4)])?;
+/// // At the flow's midpoint (node 1): d' = 10 (up to the shop),
+/// // d'' = 20 (shop to destination), d''' = 10 (remaining route),
+/// // so the detour is 10 + 20 − 10 = 20 ft.
+/// let entry = table.entries_at(NodeId::new(1))[0];
+/// assert_eq!(entry.detour, Distance::from_feet(20));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DetourTable {
+    per_node: Vec<Vec<FlowDetour>>,
+    /// `min_s dist(v → shop_s)`, `Distance::MAX` when no shop is reachable.
+    to_shop: Vec<Distance>,
+    flow_count: usize,
+}
+
+impl DetourTable {
+    /// Tabulates detour distances for every (intersection, passing flow)
+    /// pair.
+    ///
+    /// Flows for which every shop is unreachable produce no entries: their
+    /// detour probability is zero everywhere.
+    ///
+    /// If a flow's routed path is not a shortest path (possible when the flow
+    /// set was assembled with [`FlowSet::from_routed`]), a RAP can sit
+    /// *closer* to the destination via the shop than via the remaining route;
+    /// the detour is clamped at zero in that case.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::NoShops`] if `shops` is empty.
+    /// * [`PlacementError::ShopOutOfBounds`] if a shop is not in the graph.
+    pub fn build(
+        graph: &RoadGraph,
+        flows: &FlowSet,
+        shops: &[NodeId],
+    ) -> Result<Self, PlacementError> {
+        if shops.is_empty() {
+            return Err(PlacementError::NoShops);
+        }
+        for &s in shops {
+            if !graph.contains_node(s) {
+                return Err(PlacementError::ShopOutOfBounds { shop: s });
+            }
+        }
+        let n = graph.node_count();
+        // Per shop: distances to the shop (d' at every v) and from the shop
+        // (d'' at every destination).
+        let rev_trees: Vec<_> = shops
+            .iter()
+            .map(|&s| dijkstra::reverse_shortest_path_tree(graph, s))
+            .collect();
+        let fwd_trees: Vec<_> = shops
+            .iter()
+            .map(|&s| dijkstra::shortest_path_tree(graph, s))
+            .collect();
+
+        let mut to_shop = vec![Distance::MAX; n];
+        for (v, slot) in to_shop.iter_mut().enumerate() {
+            for tree in &rev_trees {
+                if let Some(d) = tree.distance(NodeId::new(v as u32)) {
+                    *slot = (*slot).min(d);
+                }
+            }
+        }
+
+        // Per flow: min over shops of d''(shop, destination), precomputed once.
+        let shop_to_dest: Vec<Vec<Distance>> = flows
+            .iter()
+            .map(|f| {
+                fwd_trees
+                    .iter()
+                    .map(|t| t.distance(f.destination()).unwrap_or(Distance::MAX))
+                    .collect()
+            })
+            .collect();
+
+        let mut per_node: Vec<Vec<FlowDetour>> = vec![Vec::new(); n];
+        for (v, entries) in per_node.iter_mut().enumerate() {
+            let node = NodeId::new(v as u32);
+            for visit in flows.visits_at(node) {
+                let flow = flows.flow(visit.flow);
+                // d''' — remaining length along the routed path.
+                let remaining = flow.path().length().saturating_sub(visit.prefix);
+                // min over shops of d'(v) + d''(dest).
+                let mut via_shop = Distance::MAX;
+                for (s, rev) in rev_trees.iter().enumerate() {
+                    let d1 = match rev.distance(node) {
+                        Some(d) => d,
+                        None => continue,
+                    };
+                    let d2 = shop_to_dest[visit.flow.index()][s];
+                    if d2 == Distance::MAX {
+                        continue;
+                    }
+                    via_shop = via_shop.min(d1.saturating_add(d2));
+                }
+                if via_shop == Distance::MAX {
+                    continue; // no shop reachable from here for this flow
+                }
+                entries.push(FlowDetour {
+                    flow: visit.flow,
+                    position: visit.position,
+                    detour: via_shop.saturating_sub(remaining),
+                });
+            }
+        }
+
+        Ok(DetourTable {
+            per_node,
+            to_shop,
+            flow_count: flows.len(),
+        })
+    }
+
+    /// Flows passing `node`, each with its exact detour distance there.
+    ///
+    /// Returns an empty slice for intersections no flow passes (or ids
+    /// outside the graph).
+    pub fn entries_at(&self, node: NodeId) -> &[FlowDetour] {
+        self.per_node
+            .get(node.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Shortest distance from `node` to the nearest shop, or `None` if no
+    /// shop is reachable.
+    pub fn shop_distance(&self, node: NodeId) -> Option<Distance> {
+        match self.to_shop.get(node.index()) {
+            Some(&d) if d != Distance::MAX => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Number of intersections covered by the table.
+    pub fn node_count(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Number of flows in the flow set the table was built from.
+    pub fn flow_count(&self) -> usize {
+        self.flow_count
+    }
+
+    /// Intersections where placing a RAP reaches at least one flow, in id
+    /// order.
+    pub fn candidate_nodes(&self) -> Vec<NodeId> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.is_empty())
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect()
+    }
+
+    /// The detour of `flow` at `node`, if the flow passes it (and a shop is
+    /// reachable).
+    pub fn detour_of(&self, node: NodeId, flow: FlowId) -> Option<Distance> {
+        self.entries_at(node)
+            .iter()
+            .find(|e| e.flow == flow)
+            .map(|e| e.detour)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_graph::{GraphBuilder, GridGraph, Point};
+    use rap_traffic::FlowSpec;
+
+    /// 3×3 grid, 10 ft blocks; node layout:
+    /// ```text
+    /// 6 7 8
+    /// 3 4 5
+    /// 0 1 2
+    /// ```
+    fn grid() -> GridGraph {
+        GridGraph::new(3, 3, Distance::from_feet(10))
+    }
+
+    #[test]
+    fn detour_identity_on_grid() {
+        let grid = grid();
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![FlowSpec::new(NodeId::new(0), NodeId::new(2), 100.0).unwrap()],
+        )
+        .unwrap();
+        // Shop at node 7 (top middle).
+        let table = DetourTable::build(grid.graph(), &flows, &[NodeId::new(7)]).unwrap();
+        // At origin 0: d' = 30 (0→7), d'' = 30 (7→2)... wait: 7→2 is 1 col + 2 rows = 30.
+        // d''' = 20 (full path). detour = 30 + 30 - 20 = 40.
+        let e0 = table.entries_at(NodeId::new(0));
+        assert_eq!(e0.len(), 1);
+        assert_eq!(e0[0].detour, Distance::from_feet(40));
+        // At node 1 (path midpoint): d' = 20, d'' = 30, d''' = 10 → 40.
+        assert_eq!(
+            table.detour_of(NodeId::new(1), rap_traffic::FlowId::new(0)),
+            Some(Distance::from_feet(40))
+        );
+        // Node 4 is not on the routed path: no entry.
+        assert!(table.entries_at(NodeId::new(4)).is_empty());
+    }
+
+    #[test]
+    fn theorem_1_first_rap_minimizes_detour() {
+        // On any flow, detours must be non-decreasing along the path.
+        let grid = grid();
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![
+                FlowSpec::new(NodeId::new(0), NodeId::new(8), 10.0).unwrap(),
+                FlowSpec::new(NodeId::new(6), NodeId::new(2), 10.0).unwrap(),
+                FlowSpec::new(NodeId::new(3), NodeId::new(5), 10.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let table = DetourTable::build(grid.graph(), &flows, &[NodeId::new(1)]).unwrap();
+        for f in &flows {
+            let mut along: Vec<(u32, Distance)> = Vec::new();
+            for &v in f.path().nodes() {
+                if let Some(e) = table
+                    .entries_at(v)
+                    .iter()
+                    .find(|e| e.flow == f.id())
+                {
+                    along.push((e.position, e.detour));
+                }
+            }
+            along.sort_by_key(|(pos, _)| *pos);
+            for w in along.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].1,
+                    "flow {}: detour decreased along path ({} then {})",
+                    f.id(),
+                    w[0].1,
+                    w[1].1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_shop_takes_nearest_combination() {
+        let grid = grid();
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![FlowSpec::new(NodeId::new(0), NodeId::new(2), 1.0).unwrap()],
+        )
+        .unwrap();
+        let one = DetourTable::build(grid.graph(), &flows, &[NodeId::new(8)]).unwrap();
+        let both = DetourTable::build(grid.graph(), &flows, &[NodeId::new(8), NodeId::new(1)])
+            .unwrap();
+        let d_one = one.detour_of(NodeId::new(0), rap_traffic::FlowId::new(0)).unwrap();
+        let d_both = both.detour_of(NodeId::new(0), rap_traffic::FlowId::new(0)).unwrap();
+        assert!(d_both <= d_one);
+        // Shop at node 1 lies on the path: zero detour.
+        assert_eq!(d_both, Distance::ZERO);
+    }
+
+    #[test]
+    fn shop_on_path_means_zero_detour() {
+        let grid = grid();
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![FlowSpec::new(NodeId::new(0), NodeId::new(2), 1.0).unwrap()],
+        )
+        .unwrap();
+        let table = DetourTable::build(grid.graph(), &flows, &[NodeId::new(1)]).unwrap();
+        // Before reaching the shop the detour is zero (the shop is ahead on
+        // the route)...
+        for v in [0u32, 1] {
+            assert_eq!(
+                table.detour_of(NodeId::new(v), rap_traffic::FlowId::new(0)),
+                Some(Distance::ZERO),
+                "detour at V{v}"
+            );
+        }
+        // ...but at the destination the driver must backtrack to the shop and
+        // return: 10 + 10 − 0 = 20 ft.
+        assert_eq!(
+            table.detour_of(NodeId::new(2), rap_traffic::FlowId::new(0)),
+            Some(Distance::from_feet(20))
+        );
+    }
+
+    #[test]
+    fn unreachable_shop_produces_no_entries() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 0.0));
+        let island = b.add_node(Point::new(9.0, 9.0));
+        b.add_two_way(a, c, Distance::from_feet(1)).unwrap();
+        let g = b.build();
+        let flows =
+            FlowSet::route(&g, vec![FlowSpec::new(a, c, 1.0).unwrap()]).unwrap();
+        let table = DetourTable::build(&g, &flows, &[island]).unwrap();
+        assert!(table.entries_at(a).is_empty());
+        assert!(table.entries_at(c).is_empty());
+        assert_eq!(table.shop_distance(a), None);
+        assert!(table.candidate_nodes().is_empty());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let grid = grid();
+        let flows = FlowSet::route(grid.graph(), vec![]).unwrap();
+        assert!(matches!(
+            DetourTable::build(grid.graph(), &flows, &[]),
+            Err(PlacementError::NoShops)
+        ));
+        assert!(matches!(
+            DetourTable::build(grid.graph(), &flows, &[NodeId::new(99)]),
+            Err(PlacementError::ShopOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn shop_distance_is_exact() {
+        let grid = grid();
+        let flows = FlowSet::route(grid.graph(), vec![]).unwrap();
+        let table = DetourTable::build(grid.graph(), &flows, &[NodeId::new(4)]).unwrap();
+        assert_eq!(table.shop_distance(NodeId::new(4)), Some(Distance::ZERO));
+        assert_eq!(
+            table.shop_distance(NodeId::new(0)),
+            Some(Distance::from_feet(20))
+        );
+        assert_eq!(table.shop_distance(NodeId::new(99)), None);
+    }
+
+    #[test]
+    fn candidate_nodes_cover_exactly_the_paths() {
+        let grid = grid();
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![FlowSpec::new(NodeId::new(0), NodeId::new(2), 1.0).unwrap()],
+        )
+        .unwrap();
+        let table = DetourTable::build(grid.graph(), &flows, &[NodeId::new(4)]).unwrap();
+        assert_eq!(
+            table.candidate_nodes(),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(table.flow_count(), 1);
+        assert_eq!(table.node_count(), 9);
+    }
+}

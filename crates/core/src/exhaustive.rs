@@ -1,0 +1,219 @@
+//! Exhaustive optimal placement for small instances.
+//!
+//! The RAP placement problem is NP-hard (weighted maximum coverage is a
+//! special case, Section III-B), so exact solutions are only feasible on
+//! small instances. [`ExhaustiveOptimal`] enumerates all `C(n, k)` candidate
+//! subsets; the test suite uses it to validate the approximation ratios of
+//! Theorems 2–4 empirically.
+
+use crate::algorithms::PlacementAlgorithm;
+use crate::error::PlacementError;
+use crate::placement::Placement;
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rap_graph::NodeId;
+
+/// Default cap on the number of placements an exhaustive search may
+/// enumerate.
+pub const DEFAULT_BUDGET: u64 = 2_000_000;
+
+/// Exact optimum by enumeration over candidate intersections.
+#[derive(Clone, Copy, Debug)]
+pub struct ExhaustiveOptimal {
+    budget: u64,
+}
+
+impl Default for ExhaustiveOptimal {
+    fn default() -> Self {
+        ExhaustiveOptimal {
+            budget: DEFAULT_BUDGET,
+        }
+    }
+}
+
+impl ExhaustiveOptimal {
+    /// Creates a solver with the default enumeration budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with a custom enumeration budget.
+    pub fn with_budget(budget: u64) -> Self {
+        ExhaustiveOptimal { budget }
+    }
+
+    /// Returns the number of subsets `C(n, k)`, saturating at `u64::MAX`.
+    fn combinations(n: usize, k: usize) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let k = k.min(n - k);
+        let mut result: u64 = 1;
+        for i in 0..k {
+            result = match result.checked_mul((n - i) as u64) {
+                Some(r) => r / (i as u64 + 1),
+                None => return u64::MAX,
+            };
+        }
+        result
+    }
+
+    /// Finds an optimal placement of exactly `min(k, candidates)` RAPs.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::SearchTooLarge`] if `C(candidates, k)` exceeds the
+    /// budget.
+    pub fn solve(&self, scenario: &Scenario, k: usize) -> Result<Placement, PlacementError> {
+        let candidates = scenario.candidates();
+        let n = candidates.len();
+        let k = k.min(n);
+        if k == 0 {
+            return Ok(Placement::empty());
+        }
+        let combos = Self::combinations(n, k);
+        if combos > self.budget {
+            return Err(PlacementError::SearchTooLarge {
+                candidates: n,
+                k,
+                budget: self.budget,
+            });
+        }
+        let mut best_nodes: Vec<NodeId> = candidates[..k].to_vec();
+        let mut best_value = scenario.evaluate_nodes(&best_nodes);
+        let mut indices: Vec<usize> = (0..k).collect();
+        loop {
+            // Advance to the next combination (lexicographic).
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    // Exhausted all combinations.
+                    return Ok(Placement::new(best_nodes));
+                }
+                i -= 1;
+                if indices[i] != i + n - k {
+                    break;
+                }
+            }
+            indices[i] += 1;
+            for j in (i + 1)..k {
+                indices[j] = indices[j - 1] + 1;
+            }
+            let nodes: Vec<NodeId> = indices.iter().map(|&i| candidates[i]).collect();
+            let value = scenario.evaluate_nodes(&nodes);
+            if value > best_value {
+                best_value = value;
+                best_nodes = nodes;
+            }
+        }
+    }
+}
+
+impl PlacementAlgorithm for ExhaustiveOptimal {
+    fn name(&self) -> &str {
+        "exhaustive optimal"
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the search exceeds the enumeration budget; use
+    /// [`ExhaustiveOptimal::solve`] for fallible access.
+    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
+        self.solve(scenario, k)
+            .expect("exhaustive search exceeded its budget")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::CompositeGreedy;
+    use crate::fixtures::{fig4_scenario, rng, small_grid_scenario};
+    use crate::greedy::GreedyCoverage;
+    use crate::utility::UtilityKind;
+    use rap_graph::Distance;
+
+    #[test]
+    fn fig4_linear_optimum_is_v2_v4() {
+        let s = fig4_scenario(UtilityKind::Linear);
+        let p = ExhaustiveOptimal::new().solve(&s, 2).unwrap();
+        let mut raps = p.raps().to_vec();
+        raps.sort();
+        assert_eq!(raps, vec![NodeId::new(2), NodeId::new(4)]);
+        assert!((s.evaluate(&p) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_threshold_optimum_attracts_everyone() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let p = ExhaustiveOptimal::new().solve(&s, 2).unwrap();
+        assert!((s.evaluate(&p) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_ratios_hold_on_fig4() {
+        // Theorem bounds: Algorithm 1 >= (1 - 1/e) OPT under threshold;
+        // Algorithm 2 >= (1 - 1/sqrt(e)) OPT under any utility.
+        let ratio_1 = 1.0 - (-1.0f64).exp();
+        let ratio_2 = 1.0 - (-0.5f64).exp();
+        let st = fig4_scenario(UtilityKind::Threshold);
+        let opt_t = st.evaluate(&ExhaustiveOptimal::new().solve(&st, 2).unwrap());
+        let alg1 = st.evaluate(&GreedyCoverage.place(&st, 2, &mut rng()));
+        assert!(alg1 + 1e-9 >= ratio_1 * opt_t, "{alg1} vs {opt_t}");
+
+        for kind in [UtilityKind::Linear, UtilityKind::Sqrt] {
+            let s = fig4_scenario(kind);
+            let opt = s.evaluate(&ExhaustiveOptimal::new().solve(&s, 2).unwrap());
+            let alg2 = s.evaluate(&CompositeGreedy.place(&s, 2, &mut rng()));
+            assert!(
+                alg2 + 1e-9 >= ratio_2 * opt,
+                "{kind}: {alg2} vs bound {}",
+                ratio_2 * opt
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_ratio_holds_on_small_grid() {
+        let ratio_2 = 1.0 - (-0.5f64).exp();
+        for kind in UtilityKind::ALL {
+            let s = small_grid_scenario(kind, Distance::from_feet(150));
+            for k in 1..=3 {
+                let opt = s.evaluate(&ExhaustiveOptimal::new().solve(&s, k).unwrap());
+                let alg2 = s.evaluate(&CompositeGreedy.place(&s, k, &mut rng()));
+                assert!(
+                    alg2 + 1e-9 >= ratio_2 * opt,
+                    "{kind} k={k}: {alg2} < {}",
+                    ratio_2 * opt
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(300));
+        let tiny = ExhaustiveOptimal::with_budget(5);
+        assert!(matches!(
+            tiny.solve(&s, 4),
+            Err(PlacementError::SearchTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn k_zero_and_k_larger_than_candidates() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        assert!(ExhaustiveOptimal::new().solve(&s, 0).unwrap().is_empty());
+        let all = ExhaustiveOptimal::new().solve(&s, 100).unwrap();
+        assert_eq!(all.len(), s.candidates().len());
+    }
+
+    #[test]
+    fn combinations_math() {
+        assert_eq!(ExhaustiveOptimal::combinations(5, 2), 10);
+        assert_eq!(ExhaustiveOptimal::combinations(10, 0), 1);
+        assert_eq!(ExhaustiveOptimal::combinations(10, 10), 1);
+        assert_eq!(ExhaustiveOptimal::combinations(3, 5), 0);
+        assert_eq!(ExhaustiveOptimal::combinations(52, 5), 2_598_960);
+    }
+}

@@ -1,0 +1,132 @@
+//! Algorithm 1 — the greedy coverage solution (paper Section III-B).
+//!
+//! At each of `k` steps, place a RAP at the intersection attracting the most
+//! customers from *uncovered* traffic flows, then mark the flows it attracts
+//! as covered. Under the threshold utility the problem is exactly weighted
+//! maximum coverage and this greedy achieves the classical `1 − 1/e`
+//! approximation ratio; the geographic density of RAPs is controlled because
+//! covered flows stop contributing to later gains.
+
+use crate::algorithms::{argmax_node, PlacementAlgorithm};
+use crate::placement::Placement;
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+
+/// Algorithm 1: greedy weighted max-coverage placement.
+///
+/// ```
+/// use rap_graph::{GridGraph, Distance, NodeId};
+/// use rap_traffic::{FlowSpec, FlowSet};
+/// use rap_core::{Scenario, UtilityKind, GreedyCoverage, PlacementAlgorithm};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = GridGraph::new(3, 3, Distance::from_feet(10));
+/// let flows = FlowSet::route(
+///     grid.graph(),
+///     vec![FlowSpec::new(NodeId::new(0), NodeId::new(2), 100.0)?],
+/// )?;
+/// let s = Scenario::single_shop(
+///     grid.graph().clone(),
+///     flows,
+///     NodeId::new(1),
+///     UtilityKind::Threshold.instantiate(Distance::from_feet(50)),
+/// )?;
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let p = GreedyCoverage.place(&s, 1, &mut rng);
+/// assert_eq!(p.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyCoverage;
+
+impl PlacementAlgorithm for GreedyCoverage {
+    fn name(&self) -> &str {
+        "Algorithm 1 (greedy)"
+    }
+
+    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
+        let candidates = scenario.candidates();
+        let mut covered = vec![false; scenario.flows().len()];
+        let mut placement = Placement::empty();
+        for _ in 0..k {
+            let Some((node, _gain)) = argmax_node(&candidates, &placement, 0.0, |v| {
+                scenario.uncovered_gain(&covered, v)
+            }) else {
+                break; // every remaining intersection attracts nobody new
+            };
+            placement.push(node);
+            for e in scenario.entries_at(node) {
+                let flow = scenario.flows().flow(e.flow);
+                if scenario.expected_customers(flow, e.detour) > 0.0 {
+                    covered[e.flow.index()] = true;
+                }
+            }
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{fig4_scenario, rng, small_grid_scenario};
+    use crate::utility::UtilityKind;
+    use rap_graph::{Distance, NodeId};
+
+    #[test]
+    fn fig4_threshold_places_v3_then_v5() {
+        // Paper Fig. 4: k = 2, D = 6, α = 1. The first RAP goes to V3
+        // (covers T_{2,5} + T_{3,5} + T_{4,3} = 15 drivers), the second to V5
+        // (covers T_{5,6}).
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let p = GreedyCoverage.place(&s, 2, &mut rng());
+        assert_eq!(p.raps(), &[NodeId::new(3), NodeId::new(5)]);
+        // All four flows covered: 6 + 6 + 3 + 5 = 20 drivers.
+        assert!((s.evaluate(&p) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_terminates_early_when_everything_covered() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        // k = 5 but two RAPs cover everything: no more positive gains.
+        let p = GreedyCoverage.place(&s, 5, &mut rng());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn objective_is_monotone_in_k() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(200));
+        let mut prev = 0.0;
+        for k in 0..6 {
+            let p = GreedyCoverage.place(&s, k, &mut rng());
+            let w = s.evaluate(&p);
+            assert!(w + 1e-9 >= prev, "objective decreased at k={k}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn never_places_duplicates_and_respects_k() {
+        let s = small_grid_scenario(UtilityKind::Threshold, Distance::from_feet(200));
+        for k in 0..8 {
+            let p = GreedyCoverage.place(&s, k, &mut rng());
+            assert!(p.len() <= k);
+            let mut seen = std::collections::HashSet::new();
+            for r in &p {
+                assert!(seen.insert(*r), "duplicate rap {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_places_nothing() {
+        let s = small_grid_scenario(UtilityKind::Threshold, Distance::from_feet(200));
+        assert!(GreedyCoverage.place(&s, 0, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(GreedyCoverage.name(), "Algorithm 1 (greedy)");
+    }
+}

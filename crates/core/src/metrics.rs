@@ -1,0 +1,139 @@
+//! Placement quality metrics beyond the raw objective.
+
+use crate::placement::Placement;
+use crate::scenario::Scenario;
+use rap_graph::Distance;
+use serde::Serialize;
+use std::fmt;
+
+/// A quality report for one placement on one scenario.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PlacementReport {
+    /// Number of RAPs placed.
+    pub raps: usize,
+    /// Expected daily customers attracted (the objective `w`).
+    pub attracted: f64,
+    /// Number of flows with non-zero detour probability.
+    pub covered_flows: usize,
+    /// Total number of flows in the scenario.
+    pub total_flows: usize,
+    /// Fraction of total daily volume belonging to covered flows.
+    pub covered_volume_fraction: f64,
+    /// Mean detour distance over covered flows (volume-weighted), in feet.
+    pub mean_detour_feet: f64,
+    /// Largest detour among covered flows.
+    pub max_detour: Distance,
+}
+
+impl PlacementReport {
+    /// Computes the report for `placement` on `scenario`.
+    pub fn compute(scenario: &Scenario, placement: &Placement) -> Self {
+        let best = scenario.best_detours(placement);
+        let mut attracted = 0.0;
+        let mut covered_flows = 0usize;
+        let mut covered_volume = 0.0;
+        let mut detour_mass = 0.0;
+        let mut max_detour = Distance::ZERO;
+        for (i, d) in best.iter().enumerate() {
+            let Some(d) = *d else { continue };
+            let flow = scenario.flows().flow(rap_traffic::FlowId::new(i as u32));
+            let expected = scenario.expected_customers(flow, d);
+            if expected > 0.0 {
+                covered_flows += 1;
+                covered_volume += flow.volume();
+                detour_mass += d.as_f64() * flow.volume();
+                max_detour = max_detour.max(d);
+                attracted += expected;
+            }
+        }
+        let total_volume = scenario.flows().total_volume();
+        PlacementReport {
+            raps: placement.len(),
+            attracted,
+            covered_flows,
+            total_flows: scenario.flows().len(),
+            covered_volume_fraction: if total_volume > 0.0 {
+                covered_volume / total_volume
+            } else {
+                0.0
+            },
+            mean_detour_feet: if covered_volume > 0.0 {
+                detour_mass / covered_volume
+            } else {
+                0.0
+            },
+            max_detour,
+        }
+    }
+}
+
+impl fmt::Display for PlacementReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} raps: {:.2} customers/day, {}/{} flows covered \
+             ({:.0}% of volume), mean detour {:.0}ft (max {})",
+            self.raps,
+            self.attracted,
+            self.covered_flows,
+            self.total_flows,
+            self.covered_volume_fraction * 100.0,
+            self.mean_detour_feet,
+            self.max_detour
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig4_scenario;
+    use crate::utility::UtilityKind;
+    use rap_graph::NodeId;
+
+    #[test]
+    fn report_on_fig4_threshold() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let p = Placement::new(vec![NodeId::new(3), NodeId::new(5)]);
+        let r = PlacementReport::compute(&s, &p);
+        assert_eq!(r.raps, 2);
+        assert!((r.attracted - 20.0).abs() < 1e-9);
+        assert_eq!(r.covered_flows, 4);
+        assert_eq!(r.total_flows, 4);
+        assert!((r.covered_volume_fraction - 1.0).abs() < 1e-9);
+        // Detours: T25=4, T35=4, T43=4, T56=6 → volume-weighted mean
+        // (6*4 + 3*4 + 6*4 + 5*6)/20 = 90/20 = 4.5.
+        assert!((r.mean_detour_feet - 4.5).abs() < 1e-9);
+        assert_eq!(r.max_detour, rap_graph::Distance::from_feet(6));
+    }
+
+    #[test]
+    fn report_on_fig4_linear_excludes_zero_probability_flows() {
+        let s = fig4_scenario(UtilityKind::Linear);
+        let p = Placement::new(vec![NodeId::new(3), NodeId::new(5)]);
+        let r = PlacementReport::compute(&s, &p);
+        // T56's detour of 6 gives probability zero under the linear utility.
+        assert_eq!(r.covered_flows, 3);
+        assert!((r.attracted - 5.0).abs() < 1e-9);
+        assert!((r.covered_volume_fraction - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_placement_report() {
+        let s = fig4_scenario(UtilityKind::Linear);
+        let r = PlacementReport::compute(&s, &Placement::empty());
+        assert_eq!(r.raps, 0);
+        assert_eq!(r.attracted, 0.0);
+        assert_eq!(r.covered_flows, 0);
+        assert_eq!(r.mean_detour_feet, 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let p = Placement::new(vec![NodeId::new(3)]);
+        let text = PlacementReport::compute(&s, &p).to_string();
+        assert!(text.contains("1 raps"));
+        assert!(text.contains("flows covered"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Parallel marginal-gain greedy for large cities.
+//!
+//! Each greedy step scans every candidate intersection; the scans are
+//! independent, so they shard across crossbeam scoped threads. The chosen
+//! node is *bit-for-bit identical* to the sequential marginal greedy: each
+//! shard reports its best `(gain, node)` and the reduction resolves ties
+//! toward the lower node id, exactly like the sequential argmax.
+//!
+//! Worth it only when `|V| × flows-per-node` is large; the ablation bench
+//! (`scaling/k`) shows the crossover.
+
+use crate::algorithms::PlacementAlgorithm;
+use crate::placement::Placement;
+use crate::scenario::Scenario;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rap_graph::{Distance, NodeId};
+
+/// Marginal-gain greedy with parallel candidate evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelGreedy {
+    /// Worker threads per greedy step (defaults to available parallelism).
+    pub threads: usize,
+}
+
+impl Default for ParallelGreedy {
+    fn default() -> Self {
+        ParallelGreedy {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl ParallelGreedy {
+    /// Creates the greedy with an explicit thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        ParallelGreedy { threads }
+    }
+}
+
+impl PlacementAlgorithm for ParallelGreedy {
+    fn name(&self) -> &str {
+        "parallel marginal greedy"
+    }
+
+    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
+        let candidates = scenario.candidates();
+        let mut best: Vec<Option<Distance>> = vec![None; scenario.flows().len()];
+        let mut placement = Placement::empty();
+        let threads = self.threads.min(candidates.len().max(1));
+        let chunk = candidates.len().div_ceil(threads);
+
+        for _ in 0..k {
+            // (gain, node) winner across shards; lower node id wins ties.
+            let winner: Mutex<Option<(f64, NodeId)>> = Mutex::new(None);
+            crossbeam::thread::scope(|scope| {
+                for shard in candidates.chunks(chunk.max(1)) {
+                    let best = &best;
+                    let placement = &placement;
+                    let winner = &winner;
+                    scope.spawn(move |_| {
+                        let mut local: Option<(f64, NodeId)> = None;
+                        for &v in shard {
+                            if placement.contains(v) {
+                                continue;
+                            }
+                            let gain = scenario.marginal_gain(best, v);
+                            if gain <= 0.0 {
+                                continue;
+                            }
+                            let better = match local {
+                                Some((bg, bn)) => {
+                                    gain > bg || (gain == bg && v < bn)
+                                }
+                                None => true,
+                            };
+                            if better {
+                                local = Some((gain, v));
+                            }
+                        }
+                        if let Some((gain, node)) = local {
+                            let mut w = winner.lock();
+                            let better = match *w {
+                                Some((bg, bn)) => {
+                                    gain > bg || (gain == bg && node < bn)
+                                }
+                                None => true,
+                            };
+                            if better {
+                                *w = Some((gain, node));
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("parallel greedy worker panicked");
+
+            let Some((_, node)) = *winner.lock() else { break };
+            placement.push(node);
+            for e in scenario.entries_at(node) {
+                let slot = &mut best[e.flow.index()];
+                *slot = Some(match *slot {
+                    Some(cur) => cur.min(e.detour),
+                    None => e.detour,
+                });
+            }
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::MarginalGreedy;
+    use crate::fixtures::{fig4_scenario, rng, small_grid_scenario};
+    use crate::utility::UtilityKind;
+
+    #[test]
+    fn matches_sequential_greedy_exactly() {
+        for kind in UtilityKind::ALL {
+            for d in [100u64, 200, 350] {
+                let s = small_grid_scenario(kind, Distance::from_feet(d));
+                for k in 0..6 {
+                    for threads in [1, 2, 3, 8] {
+                        let par = ParallelGreedy::with_threads(threads).place(&s, k, &mut rng());
+                        let seq = MarginalGreedy.place(&s, k, &mut rng());
+                        assert_eq!(par, seq, "kind={kind} d={d} k={k} threads={threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_on_fig4() {
+        let s = fig4_scenario(UtilityKind::Linear);
+        let par = ParallelGreedy::default().place(&s, 2, &mut rng());
+        let seq = MarginalGreedy.place(&s, 2, &mut rng());
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn more_threads_than_candidates_is_fine() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let p = ParallelGreedy::with_threads(64).place(&s, 3, &mut rng());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_panics() {
+        let _ = ParallelGreedy::with_threads(0);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(ParallelGreedy::default().name(), "parallel marginal greedy");
+    }
+}

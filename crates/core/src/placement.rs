@@ -1,0 +1,154 @@
+//! RAP placements.
+
+use rap_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of intersections hosting RAPs, in placement order.
+///
+/// Duplicates are removed on construction (placing two RAPs at one
+/// intersection is never useful: redundant advertisements bring no extra
+/// shopping interest).
+///
+/// ```
+/// use rap_core::Placement;
+/// use rap_graph::NodeId;
+/// let p = Placement::new(vec![NodeId::new(3), NodeId::new(1), NodeId::new(3)]);
+/// assert_eq!(p.len(), 2);
+/// assert!(p.contains(NodeId::new(1)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Placement {
+    raps: Vec<NodeId>,
+}
+
+impl Placement {
+    /// Creates a placement, dropping duplicate intersections while keeping
+    /// first-occurrence order.
+    pub fn new(raps: Vec<NodeId>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let raps = raps.into_iter().filter(|r| seen.insert(*r)).collect();
+        Placement { raps }
+    }
+
+    /// An empty placement.
+    pub fn empty() -> Self {
+        Placement::default()
+    }
+
+    /// The placed intersections in placement order.
+    pub fn raps(&self) -> &[NodeId] {
+        &self.raps
+    }
+
+    /// Number of RAPs.
+    pub fn len(&self) -> usize {
+        self.raps.len()
+    }
+
+    /// True if no RAP is placed.
+    pub fn is_empty(&self) -> bool {
+        self.raps.is_empty()
+    }
+
+    /// True if `node` hosts a RAP.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.raps.contains(&node)
+    }
+
+    /// Appends a RAP if not already present; returns whether it was added.
+    pub fn push(&mut self, node: NodeId) -> bool {
+        if self.contains(node) {
+            false
+        } else {
+            self.raps.push(node);
+            true
+        }
+    }
+
+    /// Iterates over the placed intersections.
+    pub fn iter(&self) -> std::slice::Iter<'_, NodeId> {
+        self.raps.iter()
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.raps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<'a> IntoIterator for &'a Placement {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.raps.iter()
+    }
+}
+
+impl FromIterator<NodeId> for Placement {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        Placement::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<NodeId> for Placement {
+    fn extend<T: IntoIterator<Item = NodeId>>(&mut self, iter: T) {
+        for n in iter {
+            self.push(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_preserves_order() {
+        let p = Placement::new(vec![
+            NodeId::new(5),
+            NodeId::new(2),
+            NodeId::new(5),
+            NodeId::new(7),
+            NodeId::new(2),
+        ]);
+        assert_eq!(p.raps(), &[NodeId::new(5), NodeId::new(2), NodeId::new(7)]);
+    }
+
+    #[test]
+    fn push_rejects_duplicates() {
+        let mut p = Placement::empty();
+        assert!(p.is_empty());
+        assert!(p.push(NodeId::new(1)));
+        assert!(!p.push(NodeId::new(1)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn display() {
+        let p = Placement::new(vec![NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(p.to_string(), "{V1, V2}");
+        assert_eq!(Placement::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let p: Placement = [NodeId::new(1), NodeId::new(1), NodeId::new(3)]
+            .into_iter()
+            .collect();
+        assert_eq!(p.len(), 2);
+        let mut q = p.clone();
+        q.extend([NodeId::new(3), NodeId::new(4)]);
+        assert_eq!(q.len(), 3);
+        let ids: Vec<NodeId> = (&q).into_iter().copied().collect();
+        assert_eq!(ids, vec![NodeId::new(1), NodeId::new(3), NodeId::new(4)]);
+    }
+}

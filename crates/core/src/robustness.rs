@@ -1,0 +1,277 @@
+//! Failure-aware placement: RAPs that may be offline.
+//!
+//! Roadside hardware fails — power, vandalism, backhaul. If each placed RAP
+//! is independently offline with probability `p` on a given day, a driver
+//! only receives the advertisement from *surviving* RAPs on their path, and
+//! the detour they act on is the minimum over survivors.
+//!
+//! For one flow with reachable RAPs sorted by detour `d₁ ≤ d₂ ≤ …`, the
+//! expected attracted customers are exactly
+//!
+//! ```text
+//! Σᵢ (1 − p) · pⁱ⁻¹ · f(dᵢ) · volume
+//! ```
+//!
+//! (the best `i − 1` RAPs all failed, the `i`-th survived — by Theorem 1 the
+//! survivor with the smallest detour governs). This closed form makes the
+//! failure-aware objective as cheap as the nominal one, and it stays
+//! monotone submodular, so the greedy retains the `1 − 1/e`-style guarantee.
+//!
+//! Failure awareness changes *placements*, not just values: redundancy on a
+//! heavy flow becomes worthwhile once RAPs can die, which the nominal
+//! objective would never choose (redundant ads add nothing when everything
+//! works).
+
+use crate::algorithms::{argmax_node, PlacementAlgorithm};
+use crate::placement::Placement;
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rap_graph::Distance;
+
+/// Validates a failure probability.
+fn check_probability(p: f64) {
+    assert!(
+        p.is_finite() && (0.0..1.0).contains(&p),
+        "failure probability must lie in [0, 1), got {p}"
+    );
+}
+
+/// Expected customers under independent per-RAP failure probability
+/// `failure_p`.
+///
+/// With `failure_p = 0` this equals [`Scenario::evaluate`].
+///
+/// # Panics
+///
+/// Panics if `failure_p` is outside `[0, 1)`.
+pub fn failure_aware_evaluate(
+    scenario: &Scenario,
+    placement: &Placement,
+    failure_p: f64,
+) -> f64 {
+    check_probability(failure_p);
+    // Per flow: collect detours of placed RAPs on its path, sort ascending.
+    let mut per_flow: Vec<Vec<Distance>> = vec![Vec::new(); scenario.flows().len()];
+    for &rap in placement {
+        for e in scenario.entries_at(rap) {
+            per_flow[e.flow.index()].push(e.detour);
+        }
+    }
+    let mut total = 0.0;
+    for (i, detours) in per_flow.iter_mut().enumerate() {
+        if detours.is_empty() {
+            continue;
+        }
+        detours.sort_unstable();
+        let flow = scenario.flows().flow(rap_traffic::FlowId::new(i as u32));
+        let mut all_better_failed = 1.0;
+        for &d in detours.iter() {
+            total += (1.0 - failure_p)
+                * all_better_failed
+                * scenario.expected_customers(flow, d);
+            all_better_failed *= failure_p;
+        }
+    }
+    total
+}
+
+/// Greedy placement maximizing the failure-aware objective.
+///
+/// The objective is monotone submodular in the placed set (adding a RAP can
+/// only help, and helps less the more RAPs already serve each flow), so the
+/// marginal-gain greedy keeps its usual guarantee.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureAwareGreedy {
+    /// Independent per-RAP offline probability.
+    pub failure_p: f64,
+}
+
+impl FailureAwareGreedy {
+    /// Creates the greedy for the given failure probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_p` is outside `[0, 1)`.
+    pub fn new(failure_p: f64) -> Self {
+        check_probability(failure_p);
+        FailureAwareGreedy { failure_p }
+    }
+}
+
+impl PlacementAlgorithm for FailureAwareGreedy {
+    fn name(&self) -> &str {
+        "failure-aware greedy"
+    }
+
+    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
+        let candidates = scenario.candidates();
+        let p = self.failure_p;
+        // Sorted per-flow detour lists of the current placement.
+        let mut per_flow: Vec<Vec<Distance>> = vec![Vec::new(); scenario.flows().len()];
+        let mut placement = Placement::empty();
+
+        // Expected value contributed by one flow given its sorted detours.
+        let flow_value = |scenario: &Scenario, flow_idx: usize, detours: &[Distance]| -> f64 {
+            let flow = scenario
+                .flows()
+                .flow(rap_traffic::FlowId::new(flow_idx as u32));
+            let mut value = 0.0;
+            let mut fail_all = 1.0;
+            for &d in detours {
+                value += (1.0 - p) * fail_all * scenario.expected_customers(flow, d);
+                fail_all *= p;
+            }
+            value
+        };
+
+        for _ in 0..k {
+            let chosen = argmax_node(&candidates, &placement, 0.0, |v| {
+                let mut gain = 0.0;
+                for e in scenario.entries_at(v) {
+                    let old = &per_flow[e.flow.index()];
+                    let before = flow_value(scenario, e.flow.index(), old);
+                    let mut with: Vec<Distance> = old.clone();
+                    let pos = with.partition_point(|&d| d <= e.detour);
+                    with.insert(pos, e.detour);
+                    let after = flow_value(scenario, e.flow.index(), &with);
+                    gain += after - before;
+                }
+                gain
+            });
+            let Some((node, _)) = chosen else { break };
+            placement.push(node);
+            for e in scenario.entries_at(node) {
+                let list = &mut per_flow[e.flow.index()];
+                let pos = list.partition_point(|&d| d <= e.detour);
+                list.insert(pos, e.detour);
+            }
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::MarginalGreedy;
+    use rap_graph::NodeId;
+    use crate::fixtures::{fig4_scenario, rng, small_grid_scenario};
+    use crate::utility::UtilityKind;
+
+    #[test]
+    fn zero_failure_matches_nominal_evaluation() {
+        for kind in UtilityKind::ALL {
+            let s = fig4_scenario(kind);
+            for nodes in [vec![3u32], vec![3, 5], vec![2, 4], vec![2, 3, 4, 5, 6]] {
+                let p = Placement::new(nodes.into_iter().map(NodeId::new).collect());
+                assert!(
+                    (failure_aware_evaluate(&s, &p, 0.0) - s.evaluate(&p)).abs() < 1e-9,
+                    "{kind}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn value_decreases_with_failure_probability() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let p = Placement::new(vec![NodeId::new(3), NodeId::new(5)]);
+        let mut prev = f64::INFINITY;
+        for fp in [0.0, 0.1, 0.3, 0.6, 0.9] {
+            let v = failure_aware_evaluate(&s, &p, fp);
+            assert!(v < prev + 1e-12, "value increased at p={fp}");
+            assert!(v >= 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn redundancy_helps_under_failures() {
+        // Fig. 4 threshold: V3 and V5 both cover T_3,5. Under failures, the
+        // redundant pair is strictly better for that flow than either alone,
+        // while nominally the second RAP adds only its exclusive flows.
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let single = Placement::new(vec![NodeId::new(3)]);
+        let redundant = Placement::new(vec![NodeId::new(3), NodeId::new(5)]);
+        let fp = 0.4;
+        let v_single = failure_aware_evaluate(&s, &single, fp);
+        let v_redundant = failure_aware_evaluate(&s, &redundant, fp);
+        // Gain must exceed the exclusive value of V5's own flow (T_5,6 = 5
+        // at survival rate 0.6 → 3.0): redundancy on shared flows adds more.
+        assert!(
+            v_redundant - v_single > 3.0 + 1e-9,
+            "redundancy gain {} too small",
+            v_redundant - v_single
+        );
+    }
+
+    #[test]
+    fn exact_formula_hand_check() {
+        // One flow of volume 6 (T_2,5 in fig4, threshold, α = 1) covered by
+        // V2 (detour 2) and V3 (detour 4), both f = 1 within D.
+        // p = 0.5: E = 0.5·6 + 0.5·0.5·6 = 4.5.
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let p = Placement::new(vec![NodeId::new(2)]);
+        // V2 covers only T_2,5 among the four flows (detour 2).
+        assert!((failure_aware_evaluate(&s, &p, 0.5) - 3.0).abs() < 1e-9);
+        // Need a second RAP covering the same flow but nothing else with
+        // f > 0... V3 covers T_2,5/T_3,5/T_4,3: use the formula per flow:
+        // T_2,5: 0.5·6 (V2 survives) + 0.25·6 (V2 fails, V3 survives) = 4.5
+        // T_3,5: 0.5·3 = 1.5; T_4,3: 0.5·6 = 3 → total 9.
+        let p2 = Placement::new(vec![NodeId::new(2), NodeId::new(3)]);
+        assert!((failure_aware_evaluate(&s, &p2, 0.5) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_reduces_to_marginal_at_zero_failure() {
+        let s = small_grid_scenario(UtilityKind::Linear, rap_graph::Distance::from_feet(250));
+        for k in 0..5 {
+            assert_eq!(
+                FailureAwareGreedy::new(0.0).place(&s, k, &mut rng()),
+                MarginalGreedy.place(&s, k, &mut rng()),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_aware_greedy_beats_nominal_greedy_on_its_objective() {
+        let s = small_grid_scenario(UtilityKind::Threshold, rap_graph::Distance::from_feet(300));
+        let fp = 0.5;
+        for k in 2..6 {
+            let aware = FailureAwareGreedy::new(fp).place(&s, k, &mut rng());
+            let nominal = MarginalGreedy.place(&s, k, &mut rng());
+            let v_aware = failure_aware_evaluate(&s, &aware, fp);
+            let v_nominal = failure_aware_evaluate(&s, &nominal, fp);
+            assert!(
+                v_aware + 1e-9 >= v_nominal,
+                "k={k}: aware {v_aware} < nominal {v_nominal}"
+            );
+        }
+    }
+
+    #[test]
+    fn objective_monotone_in_k() {
+        let s = small_grid_scenario(UtilityKind::Linear, rap_graph::Distance::from_feet(250));
+        let fp = 0.3;
+        let mut prev = 0.0;
+        for k in 0..6 {
+            let p = FailureAwareGreedy::new(fp).place(&s, k, &mut rng());
+            let v = failure_aware_evaluate(&s, &p, fp);
+            assert!(v + 1e-9 >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn probability_one_panics() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let _ = failure_aware_evaluate(&s, &Placement::empty(), 1.0);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(FailureAwareGreedy::new(0.2).name(), "failure-aware greedy");
+    }
+}

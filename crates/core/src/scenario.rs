@@ -1,0 +1,366 @@
+//! The placement scenario: graph + flows + shops + utility, with evaluation.
+//!
+//! A [`Scenario`] freezes everything the placement algorithms need — the road
+//! graph, the routed traffic flows, the shop location(s), the utility
+//! function, and the precomputed [`DetourTable`] — and provides the objective
+//! function `w(placement)`: the expected number of customers attracted per
+//! day (paper Section III-A: `Σ f(d_{i,j}) · T_{i,j}` over covered flows,
+//! with `d_{i,j}` the minimum detour over placed RAPs).
+
+use crate::detour::{DetourTable, FlowDetour};
+use crate::error::PlacementError;
+use crate::placement::Placement;
+use crate::utility::UtilityFunction;
+use rap_graph::{Distance, NodeId, RoadGraph};
+use rap_traffic::{FlowSet, TrafficFlow};
+use std::sync::Arc;
+
+/// An immutable placement problem instance.
+///
+/// ```
+/// use rap_graph::{GridGraph, Distance, NodeId};
+/// use rap_traffic::{FlowSpec, FlowSet};
+/// use rap_core::{Scenario, UtilityKind, Placement};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = GridGraph::new(3, 3, Distance::from_feet(10));
+/// let flows = FlowSet::route(
+///     grid.graph(),
+///     vec![FlowSpec::new(NodeId::new(0), NodeId::new(2), 1000.0)?],
+/// )?;
+/// let scenario = Scenario::new(
+///     grid.graph().clone(),
+///     flows,
+///     vec![NodeId::new(1)], // shop on the flow's path
+///     UtilityKind::Threshold.instantiate(Distance::from_feet(100)),
+/// )?;
+/// let placement = Placement::new(vec![NodeId::new(0)]);
+/// // α defaults to 0.001 → 1000 × 0.001 = 1 expected customer per day.
+/// assert!((scenario.evaluate(&placement) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    graph: RoadGraph,
+    flows: FlowSet,
+    shops: Vec<NodeId>,
+    utility: Arc<dyn UtilityFunction>,
+    detours: DetourTable,
+}
+
+impl Scenario {
+    /// Builds a scenario with one or more shops, precomputing the detour
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::NoShops`] if `shops` is empty.
+    /// * [`PlacementError::ShopOutOfBounds`] if a shop is not an intersection
+    ///   of `graph`.
+    pub fn new(
+        graph: RoadGraph,
+        flows: FlowSet,
+        shops: Vec<NodeId>,
+        utility: Arc<dyn UtilityFunction>,
+    ) -> Result<Self, PlacementError> {
+        let detours = DetourTable::build(&graph, &flows, &shops)?;
+        Ok(Scenario {
+            graph,
+            flows,
+            shops,
+            utility,
+            detours,
+        })
+    }
+
+    /// Convenience constructor for the common single-shop case.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::new`].
+    pub fn single_shop(
+        graph: RoadGraph,
+        flows: FlowSet,
+        shop: NodeId,
+        utility: Arc<dyn UtilityFunction>,
+    ) -> Result<Self, PlacementError> {
+        Scenario::new(graph, flows, vec![shop], utility)
+    }
+
+    /// The road graph.
+    pub fn graph(&self) -> &RoadGraph {
+        &self.graph
+    }
+
+    /// The routed traffic flows.
+    pub fn flows(&self) -> &FlowSet {
+        &self.flows
+    }
+
+    /// The shop intersections.
+    pub fn shops(&self) -> &[NodeId] {
+        &self.shops
+    }
+
+    /// The utility function.
+    pub fn utility(&self) -> &dyn UtilityFunction {
+        self.utility.as_ref()
+    }
+
+    /// Shared handle to the utility function.
+    pub fn utility_arc(&self) -> Arc<dyn UtilityFunction> {
+        Arc::clone(&self.utility)
+    }
+
+    /// The precomputed detour table.
+    pub fn detours(&self) -> &DetourTable {
+        &self.detours
+    }
+
+    /// Flows passing `node` with their detour distances there.
+    pub fn entries_at(&self, node: NodeId) -> &[FlowDetour] {
+        self.detours.entries_at(node)
+    }
+
+    /// Intersections where a RAP can reach at least one flow.
+    pub fn candidates(&self) -> Vec<NodeId> {
+        self.detours.candidate_nodes()
+    }
+
+    /// Expected daily customers contributed by `flow` when its (minimum)
+    /// detour distance is `detour`.
+    pub fn expected_customers(&self, flow: &TrafficFlow, detour: Distance) -> f64 {
+        self.utility.probability(detour, flow.attractiveness()) * flow.volume()
+    }
+
+    /// For each flow, the minimum detour distance over the placed RAPs
+    /// (`None` if no placed RAP reaches it). By Theorem 1 this equals the
+    /// detour at the first RAP on the flow's path.
+    pub fn best_detours(&self, placement: &Placement) -> Vec<Option<Distance>> {
+        let mut best: Vec<Option<Distance>> = vec![None; self.flows.len()];
+        for &rap in placement {
+            for e in self.entries_at(rap) {
+                let slot = &mut best[e.flow.index()];
+                *slot = Some(match *slot {
+                    Some(cur) => cur.min(e.detour),
+                    None => e.detour,
+                });
+            }
+        }
+        best
+    }
+
+    /// The objective `w(placement)`: expected daily customers attracted by
+    /// the placement.
+    pub fn evaluate(&self, placement: &Placement) -> f64 {
+        self.best_detours(placement)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|d| (i, d)))
+            .map(|(i, d)| {
+                self.expected_customers(self.flows.flow(rap_traffic::FlowId::new(i as u32)), d)
+            })
+            .sum()
+    }
+
+    /// Evaluates a raw list of intersections (deduplicated like
+    /// [`Placement::new`]).
+    pub fn evaluate_nodes(&self, nodes: &[NodeId]) -> f64 {
+        self.evaluate(&Placement::new(nodes.to_vec()))
+    }
+
+    /// Marginal gain of adding a RAP at `node` given the flows' current best
+    /// detours: `Σ_f max(0, f(d_new) − f(d_cur)) · T_f` over flows passing
+    /// `node`.
+    ///
+    /// This is the greedy objective of the *natural* marginal-gain greedy
+    /// (paper Section III-C discussion); Algorithm 2 instead splits it into
+    /// the two candidate objectives below.
+    pub fn marginal_gain(&self, best: &[Option<Distance>], node: NodeId) -> f64 {
+        let mut gain = 0.0;
+        for e in self.entries_at(node) {
+            let flow = self.flows.flow(e.flow);
+            let new = self.expected_customers(flow, e.detour);
+            let cur = match best[e.flow.index()] {
+                Some(d) => self.expected_customers(flow, d),
+                None => 0.0,
+            };
+            if new > cur {
+                gain += new - cur;
+            }
+        }
+        gain
+    }
+
+    /// Candidate-i objective of Algorithms 1–2: customers attracted from
+    /// *uncovered* flows if a RAP is placed at `node`.
+    pub fn uncovered_gain(&self, covered: &[bool], node: NodeId) -> f64 {
+        self.entries_at(node)
+            .iter()
+            .filter(|e| !covered[e.flow.index()])
+            .map(|e| self.expected_customers(self.flows.flow(e.flow), e.detour))
+            .sum()
+    }
+
+    /// Candidate-ii objective of Algorithm 2: *additional* customers
+    /// attracted from already-covered flows by providing them smaller detour
+    /// distances at `node`.
+    pub fn improvement_gain(
+        &self,
+        covered: &[bool],
+        best: &[Option<Distance>],
+        node: NodeId,
+    ) -> f64 {
+        let mut gain = 0.0;
+        for e in self.entries_at(node) {
+            if !covered[e.flow.index()] {
+                continue;
+            }
+            let flow = self.flows.flow(e.flow);
+            let new = self.expected_customers(flow, e.detour);
+            let cur = match best[e.flow.index()] {
+                Some(d) => self.expected_customers(flow, d),
+                None => 0.0,
+            };
+            if new > cur {
+                gain += new - cur;
+            }
+        }
+        gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::UtilityKind;
+    use rap_graph::GridGraph;
+    use rap_traffic::FlowSpec;
+
+    /// 3×3 grid, 10 ft blocks, one flow along the south edge 0→1→2,
+    /// shop at node 4 (center).
+    fn simple() -> Scenario {
+        let grid = GridGraph::new(3, 3, Distance::from_feet(10));
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![
+                FlowSpec::new(NodeId::new(0), NodeId::new(2), 1000.0)
+                    .unwrap()
+                    .with_attractiveness(0.1)
+                    .unwrap(),
+                FlowSpec::new(NodeId::new(6), NodeId::new(8), 500.0)
+                    .unwrap()
+                    .with_attractiveness(0.1)
+                    .unwrap(),
+            ],
+        )
+        .unwrap();
+        Scenario::new(
+            grid.graph().clone(),
+            flows,
+            vec![NodeId::new(4)],
+            UtilityKind::Linear.instantiate(Distance::from_feet(40)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluate_single_rap() {
+        let s = simple();
+        // RAP at node 1: flow 0 detour = d'(1→4)=10, d''(4→2)=20, d'''=10 → 20.
+        // Linear utility D=40: p = 0.1 * (1 - 20/40) = 0.05 → 50 customers.
+        let p = Placement::new(vec![NodeId::new(1)]);
+        assert!((s.evaluate(&p) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_takes_min_detour_over_raps() {
+        let s = simple();
+        // Node 0: flow 0 detour = d'(0→4)=20, d''(4→2)=20, d'''=20 → 20.
+        // Same as node 1; both RAPs: still 50, not 100 (no double counting).
+        let p = Placement::new(vec![NodeId::new(0), NodeId::new(1)]);
+        assert!((s.evaluate(&p) - 50.0).abs() < 1e-9);
+        // Adding coverage of the second flow increases the objective.
+        let p2 = Placement::new(vec![NodeId::new(1), NodeId::new(7)]);
+        // Node 7: flow 1 detour = d'(7→4)=10, d''(4→8)=20, d'''=10 → 20 → 25.
+        assert!((s.evaluate(&p2) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_placement_attracts_nobody() {
+        let s = simple();
+        assert_eq!(s.evaluate(&Placement::empty()), 0.0);
+        assert!(s.best_detours(&Placement::empty()).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn marginal_gain_matches_evaluate_difference() {
+        let s = simple();
+        let base = Placement::new(vec![NodeId::new(0)]);
+        let best = s.best_detours(&base);
+        for v in s.candidates() {
+            let mut extended = base.clone();
+            extended.push(v);
+            let diff = s.evaluate(&extended) - s.evaluate(&base);
+            let gain = s.marginal_gain(&best, v);
+            assert!(
+                (diff - gain).abs() < 1e-9,
+                "marginal gain mismatch at {v}: {gain} vs {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn uncovered_plus_improvement_bound_marginal() {
+        let s = simple();
+        let base = Placement::new(vec![NodeId::new(0)]);
+        let best = s.best_detours(&base);
+        let covered: Vec<bool> = best.iter().map(Option::is_some).collect();
+        for v in s.candidates() {
+            let total = s.marginal_gain(&best, v);
+            let split = s.uncovered_gain(&covered, v) + s.improvement_gain(&covered, &best, v);
+            assert!(
+                (total - split).abs() < 1e-9,
+                "gain split mismatch at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_are_path_nodes() {
+        let s = simple();
+        let c = s.candidates();
+        // Both flows' paths: south edge {0,1,2} and north edge {6,7,8}...
+        // actual shortest paths may route through middle; all candidates must
+        // carry at least one entry.
+        assert!(!c.is_empty());
+        for v in c {
+            assert!(!s.entries_at(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn shop_errors_propagate() {
+        let grid = GridGraph::new(2, 2, Distance::from_feet(10));
+        let flows = FlowSet::route(grid.graph(), vec![]).unwrap();
+        let u = UtilityKind::Threshold.instantiate(Distance::from_feet(10));
+        assert!(matches!(
+            Scenario::new(grid.graph().clone(), flows.clone(), vec![], u.clone()),
+            Err(PlacementError::NoShops)
+        ));
+        assert!(matches!(
+            Scenario::new(grid.graph().clone(), flows, vec![NodeId::new(9)], u),
+            Err(PlacementError::ShopOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn utility_accessors() {
+        let s = simple();
+        assert_eq!(s.utility().name(), "linear");
+        assert_eq!(s.utility_arc().threshold(), Distance::from_feet(40));
+        assert_eq!(s.shops(), &[NodeId::new(4)]);
+        assert_eq!(s.flows().len(), 2);
+        assert_eq!(s.graph().node_count(), 9);
+    }
+}

@@ -1,0 +1,403 @@
+//! Multi-shop, multi-advertisement scheduling (the paper's stated future
+//! work: "a further scheduling with respect to multiple shops and multiple
+//! kinds of advertisements", Section VI).
+//!
+//! Several shops share a pool of `k` RAP sites; each RAP broadcasts up to
+//! `slots` distinct advertisements. A driver who receives shop `s`'s ad
+//! detours to `s` with probability `f(dₛ)`, where `dₛ` is the minimum detour
+//! to `s` over the RAPs carrying `s`'s ad on the driver's path — shops'
+//! campaigns are for different products, so contributions add up across
+//! shops (a bandwidth-constrained variant of Li et al. \[4\]).
+//!
+//! The objective is monotone submodular over the ground set of
+//! `(intersection, shop)` pairs under a partition-matroid-like constraint
+//! (at most `slots` ads per RAP, at most `k` distinct RAP sites), and
+//! [`ScheduleGreedy`] is the natural greedy over that ground set.
+
+use crate::detour::DetourTable;
+use crate::error::PlacementError;
+use crate::utility::UtilityFunction;
+use rap_graph::{Distance, NodeId, RoadGraph};
+use rap_traffic::FlowSet;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A multi-shop advertising problem instance.
+#[derive(Clone, Debug)]
+pub struct AdCampaign {
+    graph: RoadGraph,
+    flows: FlowSet,
+    shops: Vec<NodeId>,
+    utility: Arc<dyn UtilityFunction>,
+    /// One detour table per shop (detours to that shop only).
+    tables: Vec<DetourTable>,
+}
+
+impl AdCampaign {
+    /// Builds the campaign, precomputing one detour table per shop.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::NoShops`] if `shops` is empty.
+    /// * [`PlacementError::ShopOutOfBounds`] if a shop is missing from the
+    ///   graph.
+    pub fn new(
+        graph: RoadGraph,
+        flows: FlowSet,
+        shops: Vec<NodeId>,
+        utility: Arc<dyn UtilityFunction>,
+    ) -> Result<Self, PlacementError> {
+        if shops.is_empty() {
+            return Err(PlacementError::NoShops);
+        }
+        let tables = shops
+            .iter()
+            .map(|&s| DetourTable::build(&graph, &flows, &[s]))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(AdCampaign {
+            graph,
+            flows,
+            shops,
+            utility,
+            tables,
+        })
+    }
+
+    /// The participating shops.
+    pub fn shops(&self) -> &[NodeId] {
+        &self.shops
+    }
+
+    /// The road graph.
+    pub fn graph(&self) -> &RoadGraph {
+        &self.graph
+    }
+
+    /// The traffic flows.
+    pub fn flows(&self) -> &FlowSet {
+        &self.flows
+    }
+
+    /// Expected customers shop `shop_idx` gains from `flow` at detour `d`.
+    fn expected(&self, flow: rap_traffic::FlowId, d: Distance) -> f64 {
+        let f = self.flows.flow(flow);
+        self.utility.probability(d, f.attractiveness()) * f.volume()
+    }
+
+    /// Evaluates a schedule: total expected customers across all shops.
+    pub fn evaluate(&self, schedule: &Schedule) -> f64 {
+        let mut total = 0.0;
+        for (s, _shop) in self.shops.iter().enumerate() {
+            let mut best: Vec<Option<Distance>> = vec![None; self.flows.len()];
+            for (&node, ads) in &schedule.assignments {
+                if !ads.contains(&s) {
+                    continue;
+                }
+                for e in self.tables[s].entries_at(node) {
+                    let slot = &mut best[e.flow.index()];
+                    *slot = Some(match *slot {
+                        Some(cur) => cur.min(e.detour),
+                        None => e.detour,
+                    });
+                }
+            }
+            for (i, d) in best.iter().enumerate() {
+                if let Some(d) = d {
+                    total += self.expected(rap_traffic::FlowId::new(i as u32), *d);
+                }
+            }
+        }
+        total
+    }
+}
+
+/// An ad schedule: which intersections host RAPs and which shops' ads each
+/// broadcasts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// Node → sorted shop indices whose ads it broadcasts.
+    assignments: BTreeMap<NodeId, Vec<usize>>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn empty() -> Self {
+        Schedule::default()
+    }
+
+    /// Number of RAP sites in use.
+    pub fn sites(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of (site, ad) assignments.
+    pub fn ads(&self) -> usize {
+        self.assignments.values().map(Vec::len).sum()
+    }
+
+    /// The shops advertised at `node`.
+    pub fn ads_at(&self, node: NodeId) -> &[usize] {
+        self.assignments
+            .get(&node)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over `(node, shop indices)` assignments in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[usize])> {
+        self.assignments.iter().map(|(n, a)| (*n, a.as_slice()))
+    }
+
+    fn add(&mut self, node: NodeId, shop: usize) {
+        let ads = self.assignments.entry(node).or_default();
+        if !ads.contains(&shop) {
+            ads.push(shop);
+            ads.sort_unstable();
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (node, ads) in &self.assignments {
+            if !first {
+                write!(f, "; ")?;
+            }
+            write!(f, "{node}:{ads:?}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Greedy scheduler over `(intersection, shop)` pairs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScheduleGreedy;
+
+impl ScheduleGreedy {
+    /// Builds a schedule with at most `k` RAP sites and at most `slots` ads
+    /// per site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn schedule(&self, campaign: &AdCampaign, k: usize, slots: usize) -> Schedule {
+        assert!(slots > 0, "each rap needs at least one ad slot");
+        let shop_count = campaign.shops.len();
+        let flow_count = campaign.flows.len();
+        // Per-shop best detour per flow under the current schedule.
+        let mut best: Vec<Vec<Option<Distance>>> = vec![vec![None; flow_count]; shop_count];
+        let mut schedule = Schedule::empty();
+
+        loop {
+            let mut chosen: Option<(NodeId, usize, f64)> = None;
+            for node in campaign.graph.nodes() {
+                let site_open = schedule.assignments.contains_key(&node);
+                if !site_open && schedule.sites() >= k {
+                    continue; // no budget for a new site
+                }
+                let ads_here = schedule.ads_at(node);
+                if ads_here.len() >= slots {
+                    continue; // site full
+                }
+                for (s, shop_best) in best.iter().enumerate().take(shop_count) {
+                    if ads_here.contains(&s) {
+                        continue;
+                    }
+                    let mut gain = 0.0;
+                    for e in campaign.tables[s].entries_at(node) {
+                        let new = campaign.expected(e.flow, e.detour);
+                        let cur = match shop_best[e.flow.index()] {
+                            Some(d) => campaign.expected(e.flow, d),
+                            None => 0.0,
+                        };
+                        if new > cur {
+                            gain += new - cur;
+                        }
+                    }
+                    if gain <= 0.0 {
+                        continue;
+                    }
+                    match chosen {
+                        Some((_, _, bg)) if gain <= bg => {}
+                        _ => chosen = Some((node, s, gain)),
+                    }
+                }
+            }
+            let Some((node, s, _)) = chosen else { break };
+            schedule.add(node, s);
+            for e in campaign.tables[s].entries_at(node) {
+                let slot = &mut best[s][e.flow.index()];
+                *slot = Some(match *slot {
+                    Some(cur) => cur.min(e.detour),
+                    None => e.detour,
+                });
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::UtilityKind;
+    use rap_graph::{Distance, GridGraph};
+    use rap_traffic::FlowSpec;
+
+    /// A 5×5 grid with two shops in opposite corners and flows near each.
+    fn campaign() -> AdCampaign {
+        let grid = GridGraph::new(5, 5, Distance::from_feet(100));
+        let mk = |o: u32, d: u32, vol: f64| {
+            FlowSpec::new(NodeId::new(o), NodeId::new(d), vol)
+                .unwrap()
+                .with_attractiveness(0.1)
+                .unwrap()
+        };
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![
+                mk(0, 2, 100.0),   // south-west traffic (near shop A at 6)
+                mk(10, 12, 80.0),  // mid-west
+                mk(22, 24, 90.0),  // north-east traffic (near shop B at 18)
+                mk(14, 4, 70.0),   // east side
+            ],
+        )
+        .unwrap();
+        AdCampaign::new(
+            grid.graph().clone(),
+            flows,
+            vec![NodeId::new(6), NodeId::new(18)],
+            UtilityKind::Linear.instantiate(Distance::from_feet(400)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn capacity_constraints_respected() {
+        let c = campaign();
+        for k in [1usize, 2, 4] {
+            for slots in [1usize, 2] {
+                let s = ScheduleGreedy.schedule(&c, k, slots);
+                assert!(s.sites() <= k, "k={k} slots={slots}: {} sites", s.sites());
+                for (_, ads) in s.iter() {
+                    assert!(ads.len() <= slots);
+                    let distinct: std::collections::HashSet<_> = ads.iter().collect();
+                    assert_eq!(distinct.len(), ads.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn objective_monotone_in_budget() {
+        let c = campaign();
+        let mut prev = 0.0;
+        for k in 0..6 {
+            let s = ScheduleGreedy.schedule(&c, k, 2);
+            let w = c.evaluate(&s);
+            assert!(w + 1e-9 >= prev, "k={k}");
+            prev = w;
+        }
+        let mut prev = 0.0;
+        for slots in 1..3 {
+            let s = ScheduleGreedy.schedule(&c, 3, slots);
+            let w = c.evaluate(&s);
+            assert!(w + 1e-9 >= prev, "slots={slots}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn two_slots_let_one_rap_serve_both_shops() {
+        let c = campaign();
+        // With one site and two slots, the greedy can advertise both shops
+        // from the same pole; with one slot it must choose.
+        let one_slot = c.evaluate(&ScheduleGreedy.schedule(&c, 1, 1));
+        let two_slots = c.evaluate(&ScheduleGreedy.schedule(&c, 1, 2));
+        assert!(two_slots + 1e-9 >= one_slot);
+    }
+
+    #[test]
+    fn single_shop_matches_marginal_greedy_value() {
+        use crate::algorithms::PlacementAlgorithm;
+        use crate::composite::MarginalGreedy;
+        use crate::scenario::Scenario;
+        use rand::SeedableRng;
+
+        let grid = GridGraph::new(4, 4, Distance::from_feet(100));
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![
+                FlowSpec::new(NodeId::new(0), NodeId::new(3), 50.0).unwrap(),
+                FlowSpec::new(NodeId::new(12), NodeId::new(15), 40.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let utility = UtilityKind::Linear.instantiate(Distance::from_feet(300));
+        let shop = NodeId::new(5);
+        let campaign = AdCampaign::new(
+            grid.graph().clone(),
+            flows.clone(),
+            vec![shop],
+            utility.clone(),
+        )
+        .unwrap();
+        let scenario =
+            Scenario::single_shop(grid.graph().clone(), flows, shop, utility).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for k in 1..4 {
+            let sched = ScheduleGreedy.schedule(&campaign, k, 1);
+            let plain = MarginalGreedy.place(&scenario, k, &mut rng);
+            assert!(
+                (campaign.evaluate(&sched) - scenario.evaluate(&plain)).abs() < 1e-9,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_error_cases() {
+        let c = campaign();
+        let s = ScheduleGreedy.schedule(&c, 0, 1);
+        assert_eq!(s.sites(), 0);
+        assert_eq!(c.evaluate(&s), 0.0);
+        assert_eq!(s.to_string(), "(empty)");
+
+        let grid = GridGraph::new(2, 2, Distance::from_feet(10));
+        let flows = FlowSet::route(grid.graph(), vec![]).unwrap();
+        assert!(matches!(
+            AdCampaign::new(
+                grid.graph().clone(),
+                flows,
+                vec![],
+                UtilityKind::Threshold.instantiate(Distance::from_feet(10)),
+            ),
+            Err(PlacementError::NoShops)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot")]
+    fn zero_slots_panics() {
+        let c = campaign();
+        let _ = ScheduleGreedy.schedule(&c, 1, 0);
+    }
+
+    #[test]
+    fn schedule_display_and_accessors() {
+        let c = campaign();
+        let s = ScheduleGreedy.schedule(&c, 2, 2);
+        assert!(s.ads() >= s.sites());
+        let text = s.to_string();
+        assert!(text.contains('V'));
+        for (node, ads) in s.iter() {
+            assert_eq!(s.ads_at(node), ads);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Detour-probability utility functions (paper Section III-A and V-A).
+//!
+//! A utility function `f(d)` maps a flow's detour distance `d` to the
+//! probability that a driver who received the advertisement detours to the
+//! shop. It must be non-increasing in `d`, start at the flow's advertisement
+//! attractiveness `α` for `d = 0`, and vanish beyond a threshold `D`.
+//!
+//! The paper evaluates three concrete utilities, all provided here:
+//!
+//! * [`ThresholdUtility`] — Eq. 1: `f(d) = α` for `d ≤ D`, else 0;
+//! * [`LinearUtility`] — Eq. 2 ("decreasing utility function i"):
+//!   `f(d) = α · (1 − d/D)` for `d ≤ D`, else 0;
+//! * [`SqrtUtility`] — Eq. 11 ("decreasing utility function ii"):
+//!   `f(d) = α · (1 − √(d/D))` for `d ≤ D`, else 0.
+//!
+//! Custom utilities implement [`UtilityFunction`]; Algorithm 2 is proven for
+//! *any* non-increasing utility (paper, discussion after Theorem 2).
+
+use rap_graph::Distance;
+use std::fmt;
+use std::sync::Arc;
+
+/// A non-increasing detour-probability function.
+///
+/// Implementations must guarantee, for all `d₁ ≤ d₂` and `α ∈ [0, 1]`:
+///
+/// * `probability(d, α) ∈ [0, α]`;
+/// * `probability(d₁, α) ≥ probability(d₂, α)` (non-increasing);
+/// * `probability(Distance::ZERO, α) = α` (a costless detour is taken with
+///   the advertisement's base attractiveness);
+/// * `probability(d, α) = 0` for every `d > threshold()`.
+///
+/// The trait is object-safe; scenarios store utilities as
+/// `Arc<dyn UtilityFunction>`.
+pub trait UtilityFunction: fmt::Debug + Send + Sync {
+    /// A short human-readable name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// The distance beyond which the detour probability is exactly zero
+    /// (the paper's `D`).
+    fn threshold(&self) -> Distance;
+
+    /// The detour probability for a driver with advertisement attractiveness
+    /// `alpha` facing detour distance `detour`.
+    fn probability(&self, detour: Distance, alpha: f64) -> f64;
+}
+
+/// Eq. 1: constant probability `α` up to the threshold `D`, zero beyond.
+#[derive(Clone, Copy, Debug)]
+pub struct ThresholdUtility {
+    threshold: Distance,
+}
+
+impl ThresholdUtility {
+    /// Creates the threshold utility with cutoff `D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: Distance) -> Self {
+        assert!(!threshold.is_zero(), "utility threshold must be positive");
+        ThresholdUtility { threshold }
+    }
+}
+
+impl UtilityFunction for ThresholdUtility {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn threshold(&self) -> Distance {
+        self.threshold
+    }
+
+    fn probability(&self, detour: Distance, alpha: f64) -> f64 {
+        if detour <= self.threshold {
+            alpha
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Eq. 2 ("decreasing utility function i"): linear decay
+/// `α · (1 − d/D)` up to the threshold, zero beyond.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearUtility {
+    threshold: Distance,
+}
+
+impl LinearUtility {
+    /// Creates the linearly decreasing utility with cutoff `D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: Distance) -> Self {
+        assert!(!threshold.is_zero(), "utility threshold must be positive");
+        LinearUtility { threshold }
+    }
+}
+
+impl UtilityFunction for LinearUtility {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn threshold(&self) -> Distance {
+        self.threshold
+    }
+
+    fn probability(&self, detour: Distance, alpha: f64) -> f64 {
+        if detour <= self.threshold {
+            alpha * (1.0 - detour.as_f64() / self.threshold.as_f64())
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Eq. 11 ("decreasing utility function ii"): square-root decay
+/// `α · (1 − √(d/D))` up to the threshold, zero beyond. Decays fastest of the
+/// three near `d = 0`, which the paper notes forces RAPs close to the shop.
+#[derive(Clone, Copy, Debug)]
+pub struct SqrtUtility {
+    threshold: Distance,
+}
+
+impl SqrtUtility {
+    /// Creates the square-root decreasing utility with cutoff `D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: Distance) -> Self {
+        assert!(!threshold.is_zero(), "utility threshold must be positive");
+        SqrtUtility { threshold }
+    }
+}
+
+impl UtilityFunction for SqrtUtility {
+    fn name(&self) -> &'static str {
+        "sqrt"
+    }
+
+    fn threshold(&self) -> Distance {
+        self.threshold
+    }
+
+    fn probability(&self, detour: Distance, alpha: f64) -> f64 {
+        if detour <= self.threshold {
+            alpha * (1.0 - (detour.as_f64() / self.threshold.as_f64()).sqrt())
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The three paper utilities, selectable by name — convenient for experiment
+/// configs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UtilityKind {
+    /// [`ThresholdUtility`] (Eq. 1).
+    Threshold,
+    /// [`LinearUtility`] (Eq. 2, "decreasing utility i").
+    Linear,
+    /// [`SqrtUtility`] (Eq. 11, "decreasing utility ii").
+    Sqrt,
+}
+
+impl UtilityKind {
+    /// Instantiates the utility with cutoff `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn instantiate(self, threshold: Distance) -> Arc<dyn UtilityFunction> {
+        match self {
+            UtilityKind::Threshold => Arc::new(ThresholdUtility::new(threshold)),
+            UtilityKind::Linear => Arc::new(LinearUtility::new(threshold)),
+            UtilityKind::Sqrt => Arc::new(SqrtUtility::new(threshold)),
+        }
+    }
+
+    /// All three kinds, in the paper's presentation order.
+    pub const ALL: [UtilityKind; 3] = [UtilityKind::Threshold, UtilityKind::Linear, UtilityKind::Sqrt];
+}
+
+impl fmt::Display for UtilityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UtilityKind::Threshold => "threshold",
+            UtilityKind::Linear => "linear",
+            UtilityKind::Sqrt => "sqrt",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: u64 = 1_000;
+
+    fn all_utilities() -> Vec<Arc<dyn UtilityFunction>> {
+        UtilityKind::ALL
+            .iter()
+            .map(|k| k.instantiate(Distance::from_feet(D)))
+            .collect()
+    }
+
+    #[test]
+    fn zero_detour_gives_alpha() {
+        for u in all_utilities() {
+            assert_eq!(u.probability(Distance::ZERO, 0.001), 0.001, "{}", u.name());
+            assert_eq!(u.probability(Distance::ZERO, 1.0), 1.0, "{}", u.name());
+        }
+    }
+
+    #[test]
+    fn beyond_threshold_is_zero() {
+        for u in all_utilities() {
+            assert_eq!(
+                u.probability(Distance::from_feet(D + 1), 1.0),
+                0.0,
+                "{}",
+                u.name()
+            );
+        }
+    }
+
+    #[test]
+    fn at_threshold_values() {
+        let d = Distance::from_feet(D);
+        let thr = ThresholdUtility::new(d);
+        let lin = LinearUtility::new(d);
+        let sq = SqrtUtility::new(d);
+        // Threshold utility stays at alpha right at D.
+        assert_eq!(thr.probability(d, 0.5), 0.5);
+        // Decreasing utilities vanish at D.
+        assert_eq!(lin.probability(d, 0.5), 0.0);
+        assert!(sq.probability(d, 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_increasing_and_ordered() {
+        // At equal d and D: threshold >= linear >= sqrt (paper Section V-A).
+        let utilities = all_utilities();
+        let mut prev: Vec<f64> = vec![f64::INFINITY; utilities.len()];
+        for step in 0..=20 {
+            let d = Distance::from_feet(step * D / 20);
+            let probs: Vec<f64> = utilities.iter().map(|u| u.probability(d, 1.0)).collect();
+            for (i, p) in probs.iter().enumerate() {
+                assert!(*p <= prev[i] + 1e-12, "{} not non-increasing", utilities[i].name());
+                assert!((0.0..=1.0).contains(p));
+            }
+            assert!(probs[0] + 1e-12 >= probs[1], "threshold >= linear at {d}");
+            assert!(probs[1] + 1e-12 >= probs[2], "linear >= sqrt at {d}");
+            prev = probs;
+        }
+    }
+
+    #[test]
+    fn paper_example_values() {
+        // Section III-C: alpha = 1, D = 6, detour 4 -> 1/3; detour 2 -> 2/3.
+        let lin = LinearUtility::new(Distance::from_feet(6));
+        assert!((lin.probability(Distance::from_feet(4), 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((lin.probability(Distance::from_feet(2), 1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(lin.probability(Distance::from_feet(6), 1.0), 0.0);
+    }
+
+    #[test]
+    fn kind_instantiation_and_display() {
+        let d = Distance::from_feet(10);
+        for kind in UtilityKind::ALL {
+            let u = kind.instantiate(d);
+            assert_eq!(u.threshold(), d);
+            assert_eq!(u.name(), kind.to_string());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        let _ = LinearUtility::new(Distance::ZERO);
+    }
+}

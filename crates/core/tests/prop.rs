@@ -1,0 +1,281 @@
+//! Property-based tests for the placement engine: Theorem 1, objective
+//! consistency, and the approximation guarantees of Theorem 2 on random
+//! exhaustively-solvable instances.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rap_core::{
+    CompositeGreedy, ExhaustiveOptimal, GreedyCoverage, LazyGreedy, MarginalGreedy, Placement,
+    PlacementAlgorithm, Scenario, UtilityKind,
+};
+use rap_graph::{Distance, GridGraph, NodeId};
+use rap_traffic::{FlowSet, FlowSpec};
+
+/// Strategy: a small grid scenario with random flows, a random shop, and a
+/// random utility.
+#[derive(Debug, Clone)]
+struct Instance {
+    rows: u32,
+    cols: u32,
+    flows: Vec<(u32, u32, u32)>, // (origin, dest, volume in 1..100)
+    shop: u32,
+    utility: UtilityKind,
+    threshold: u64,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (3u32..6, 3u32..6)
+        .prop_flat_map(|(rows, cols)| {
+            let n = rows * cols;
+            let flows = proptest::collection::vec((0..n, 0..n, 1u32..100), 1..8);
+            let shop = 0..n;
+            let utility = prop_oneof![
+                Just(UtilityKind::Threshold),
+                Just(UtilityKind::Linear),
+                Just(UtilityKind::Sqrt),
+            ];
+            let threshold = 50u64..2_000;
+            (Just(rows), Just(cols), flows, shop, utility, threshold)
+        })
+        .prop_map(|(rows, cols, flows, shop, utility, threshold)| Instance {
+            rows,
+            cols,
+            flows,
+            shop,
+            utility,
+            threshold,
+        })
+}
+
+fn build(inst: &Instance) -> Option<Scenario> {
+    let grid = GridGraph::new(inst.rows, inst.cols, Distance::from_feet(100));
+    let mut specs = Vec::new();
+    for &(o, d, v) in &inst.flows {
+        if o == d {
+            continue;
+        }
+        specs.push(
+            FlowSpec::new(NodeId::new(o), NodeId::new(d), v as f64)
+                .expect("valid spec")
+                .with_attractiveness(0.5)
+                .expect("alpha valid"),
+        );
+    }
+    if specs.is_empty() {
+        return None;
+    }
+    let flows = FlowSet::route(grid.graph(), specs).expect("grid flows route");
+    Some(
+        Scenario::single_shop(
+            grid.graph().clone(),
+            flows,
+            NodeId::new(inst.shop),
+            inst.utility.instantiate(Distance::from_feet(inst.threshold)),
+        )
+        .expect("scenario valid"),
+    )
+}
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: along any flow's path, detour distances never decrease —
+    /// the first RAP always attains the minimum.
+    #[test]
+    fn theorem_1_detours_non_decreasing_along_path(inst in arb_instance()) {
+        let Some(s) = build(&inst) else { return Ok(()) };
+        for f in s.flows() {
+            let mut last: Option<Distance> = None;
+            for &v in f.path().nodes() {
+                if let Some(e) = s.entries_at(v).iter().find(|e| e.flow == f.id()) {
+                    if let Some(prev) = last {
+                        prop_assert!(
+                            e.detour >= prev,
+                            "flow {} detour decreased from {prev} to {} at {v}",
+                            f.id(),
+                            e.detour
+                        );
+                    }
+                    last = Some(e.detour);
+                }
+            }
+        }
+    }
+
+    /// The objective equals the sum of per-flow utilities at the best
+    /// detours, and adding RAPs never hurts (monotonicity).
+    #[test]
+    fn objective_monotone_under_additions(inst in arb_instance()) {
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let candidates = s.candidates();
+        let mut placement = Placement::empty();
+        let mut prev = 0.0;
+        for v in candidates {
+            placement.push(v);
+            let w = s.evaluate(&placement);
+            prop_assert!(w + 1e-9 >= prev, "objective dropped when adding {v}");
+            prev = w;
+        }
+    }
+
+    /// Marginal gain reported by the scenario equals the actual objective
+    /// difference.
+    #[test]
+    fn marginal_gain_is_exact(inst in arb_instance()) {
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let candidates = s.candidates();
+        let base: Placement = candidates.iter().take(2).copied().collect();
+        let best = s.best_detours(&base);
+        for &v in candidates.iter().take(8) {
+            if base.contains(v) {
+                continue;
+            }
+            let mut extended = base.clone();
+            extended.push(v);
+            let diff = s.evaluate(&extended) - s.evaluate(&base);
+            prop_assert!((s.marginal_gain(&best, v) - diff).abs() < 1e-9);
+        }
+    }
+
+    /// Theorem 2: the composite greedy attains at least `1 − 1/√e` of the
+    /// exhaustive optimum (any utility); Algorithm 1 attains `1 − 1/e` under
+    /// the threshold utility.
+    #[test]
+    fn approximation_ratios_hold(inst in arb_instance(), k in 1usize..4) {
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let opt = s.evaluate(
+            &ExhaustiveOptimal::with_budget(200_000)
+                .solve(&s, k)
+                .expect("instance small enough"),
+        );
+        let alg2 = s.evaluate(&CompositeGreedy.place(&s, k, &mut rng()));
+        let bound2 = (1.0 - (-0.5f64).exp()) * opt;
+        prop_assert!(alg2 + 1e-9 >= bound2, "alg2 {alg2} < {bound2} (opt {opt})");
+        if inst.utility == UtilityKind::Threshold {
+            let alg1 = s.evaluate(&GreedyCoverage.place(&s, k, &mut rng()));
+            let bound1 = (1.0 - (-1.0f64).exp()) * opt;
+            prop_assert!(alg1 + 1e-9 >= bound1, "alg1 {alg1} < {bound1} (opt {opt})");
+        }
+    }
+
+    /// CELF and the plain marginal greedy produce identical placements.
+    #[test]
+    fn lazy_equals_marginal(inst in arb_instance(), k in 0usize..6) {
+        let Some(s) = build(&inst) else { return Ok(()) };
+        prop_assert_eq!(
+            LazyGreedy.place(&s, k, &mut rng()),
+            MarginalGreedy.place(&s, k, &mut rng())
+        );
+    }
+
+    /// Under the threshold utility Algorithm 2 reduces to Algorithm 1
+    /// (identical placements).
+    #[test]
+    fn composite_reduces_to_greedy_under_threshold(inst in arb_instance(), k in 0usize..6) {
+        let mut inst = inst;
+        inst.utility = UtilityKind::Threshold;
+        let Some(s) = build(&inst) else { return Ok(()) };
+        prop_assert_eq!(
+            CompositeGreedy.place(&s, k, &mut rng()),
+            GreedyCoverage.place(&s, k, &mut rng())
+        );
+    }
+
+    /// The budgeted greedy never exceeds its budget and degenerates to the
+    /// marginal greedy under uniform costs.
+    #[test]
+    fn budgeted_greedy_respects_budget(inst in arb_instance(), budget in 0u64..8) {
+        use rap_core::{BudgetedGreedy, SiteCosts};
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let uniform = SiteCosts::uniform(s.graph().node_count(), 1);
+        let p = BudgetedGreedy.place(&s, &uniform, budget).expect("sized");
+        prop_assert!(uniform.total(&p) <= budget);
+        let plain = MarginalGreedy.place(&s, budget as usize, &mut rng());
+        prop_assert!((s.evaluate(&p) - s.evaluate(&plain)).abs() < 1e-9);
+
+        // Heterogeneous costs: still within budget.
+        let varied = SiteCosts::from_fn(s.graph().node_count(), |v| 1 + (v.raw() as u64 % 4));
+        let p2 = BudgetedGreedy.place(&s, &varied, budget).expect("sized");
+        prop_assert!(varied.total(&p2) <= budget);
+    }
+
+    /// Failure-aware evaluation interpolates correctly: equals the nominal
+    /// objective at p = 0, decreases in p, and the failure-aware greedy
+    /// never loses to the nominal greedy on its own objective.
+    #[test]
+    fn failure_aware_consistency(inst in arb_instance(), k in 1usize..5) {
+        use rap_core::{failure_aware_evaluate, FailureAwareGreedy};
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let nominal = MarginalGreedy.place(&s, k, &mut rng());
+        prop_assert!(
+            (failure_aware_evaluate(&s, &nominal, 0.0) - s.evaluate(&nominal)).abs() < 1e-9
+        );
+        let mut prev = f64::INFINITY;
+        for fp in [0.0, 0.25, 0.5, 0.75] {
+            let v = failure_aware_evaluate(&s, &nominal, fp);
+            prop_assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+        for fp in [0.25, 0.6] {
+            let aware = FailureAwareGreedy::new(fp).place(&s, k, &mut rng());
+            prop_assert!(
+                failure_aware_evaluate(&s, &aware, fp) + 1e-9
+                    >= failure_aware_evaluate(&s, &nominal, fp)
+            );
+        }
+    }
+
+    /// Swap refinement never reduces the objective and keeps the size.
+    #[test]
+    fn swap_refinement_sound(inst in arb_instance(), k in 1usize..4) {
+        use rap_core::SwapSearch;
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let start = CompositeGreedy.place(&s, k, &mut rng());
+        let before = s.evaluate(&start);
+        let size = start.len();
+        let (refined, value) = SwapSearch::default().refine(&s, start);
+        prop_assert!(value + 1e-9 >= before);
+        prop_assert_eq!(refined.len(), size);
+        prop_assert!((s.evaluate(&refined) - value).abs() < 1e-9);
+    }
+
+    /// Upper bounds always dominate every achievable placement value.
+    #[test]
+    fn upper_bounds_dominate(inst in arb_instance(), k in 1usize..4) {
+        use rap_core::{upper_bound, ExhaustiveOptimal};
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let opt = s.evaluate(
+            &ExhaustiveOptimal::with_budget(200_000)
+                .solve(&s, k)
+                .expect("small instance"),
+        );
+        prop_assert!(upper_bound(&s, k) + 1e-9 >= opt);
+    }
+
+    /// Every algorithm returns at most k distinct RAPs, all of them real
+    /// candidate intersections.
+    #[test]
+    fn placements_are_well_formed(inst in arb_instance(), k in 0usize..6) {
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let algorithms: [&dyn PlacementAlgorithm; 4] = [
+            &GreedyCoverage,
+            &CompositeGreedy,
+            &MarginalGreedy,
+            &LazyGreedy,
+        ];
+        for alg in algorithms {
+            let p = alg.place(&s, k, &mut rng());
+            prop_assert!(p.len() <= k, "{}", alg.name());
+            let distinct: std::collections::HashSet<_> = p.iter().collect();
+            prop_assert_eq!(distinct.len(), p.len());
+            for &v in &p {
+                prop_assert!(s.graph().contains_node(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates every figure and the ablations in one run.
+
+fn main() {
+    let settings = rap_experiments::Settings::default();
+    let figures = [
+        rap_experiments::fig10(&settings),
+        rap_experiments::fig11(&settings),
+        rap_experiments::fig12(&settings),
+        rap_experiments::fig13(&settings),
+        rap_experiments::ablation(&settings),
+    ];
+    for figure in &figures {
+        print!("{figure}");
+        match rap_experiments::save_results(figure) {
+            Ok(path) => println!("json written to {}", path.display()),
+            Err(e) => eprintln!("could not write results: {e}"),
+        }
+        println!();
+    }
+}

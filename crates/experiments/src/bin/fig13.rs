@@ -1,0 +1,11 @@
+//! Regenerates the paper's Fig. 13 series; see `rap_experiments::fig13`.
+
+fn main() {
+    let settings = rap_experiments::Settings::default();
+    let figure = rap_experiments::fig13(&settings);
+    print!("{figure}");
+    match rap_experiments::save_results(&figure) {
+        Ok(path) => println!("json written to {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

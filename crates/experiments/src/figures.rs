@@ -1,0 +1,337 @@
+//! Regeneration of the paper's evaluation figures (Section V).
+//!
+//! Each function reproduces one figure's sweep and returns a [`Figure`] whose
+//! panels correspond to the paper's subfigures. Trial counts default to
+//! [`Settings::default`] (the paper averages 1,000 trials; the default here
+//! is 200 for tractable turnaround, overridable via the `RAP_TRIALS`
+//! environment variable or [`Settings::with_trials`]).
+
+use crate::general::{run_general, GeneralRun};
+use crate::manhattan_run::{run_manhattan, ManhattanRun};
+use crate::series::Figure;
+use rap_core::{
+    CompositeGreedy, GreedyCoverage, MaxCardinality, MaxCustomers, MaxVehicles,
+    PlacementAlgorithm, Random, UtilityKind,
+};
+use rap_graph::Distance;
+use rap_manhattan::gen::BoundaryFlowParams;
+use rap_manhattan::{
+    GridMaxCardinality, GridMaxCustomers, GridMaxVehicles, GridRandom, ManhattanAlgorithm,
+    ModifiedTwoStage, TwoStage,
+};
+use rap_trace::{dublin, seattle, CityModel, CityParams};
+use rap_traffic::Zone;
+
+/// Shared experiment settings.
+#[derive(Clone, Copy, Debug)]
+pub struct Settings {
+    /// Trials averaged per data point (paper: 1,000).
+    pub trials: usize,
+    /// Base seed for city generation and trials.
+    pub seed: u64,
+}
+
+impl Default for Settings {
+    /// 200 trials (or `RAP_TRIALS` from the environment), seed 2015.
+    fn default() -> Self {
+        let trials = std::env::var("RAP_TRIALS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(200);
+        Settings { trials, seed: 2015 }
+    }
+}
+
+impl Settings {
+    /// Overrides the trial count.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+}
+
+/// The Dublin city model used by Figs. 10–11.
+pub fn dublin_city(settings: &Settings) -> CityModel {
+    dublin(CityParams::dublin(), settings.seed).expect("dublin parameters are valid")
+}
+
+/// The Seattle city model used by Fig. 12.
+pub fn seattle_city(settings: &Settings) -> CityModel {
+    seattle(CityParams::seattle(), settings.seed).expect("seattle parameters are valid")
+}
+
+/// The general-scenario comparison set for a panel: the paper algorithm for
+/// the utility plus the four baselines.
+fn general_algorithms(
+    utility: UtilityKind,
+) -> Vec<&'static (dyn PlacementAlgorithm + Sync)> {
+    static GREEDY: GreedyCoverage = GreedyCoverage;
+    static COMPOSITE: CompositeGreedy = CompositeGreedy;
+    static CARD: MaxCardinality = MaxCardinality;
+    static VEH: MaxVehicles = MaxVehicles;
+    static CUST: MaxCustomers = MaxCustomers;
+    static RAND: Random = Random;
+    let main: &'static (dyn PlacementAlgorithm + Sync) = match utility {
+        UtilityKind::Threshold => &GREEDY,
+        UtilityKind::Linear | UtilityKind::Sqrt => &COMPOSITE,
+    };
+    vec![main, &CARD, &VEH, &CUST, &RAND]
+}
+
+/// Fig. 10: Dublin, shop in the city, `D = 20,000 ft`, one panel per utility
+/// function (threshold / linear / sqrt), `k = 1..=10`.
+pub fn fig10(settings: &Settings) -> Figure {
+    let city = dublin_city(settings);
+    let mut panels = Vec::new();
+    for utility in UtilityKind::ALL {
+        let cfg = GeneralRun {
+            utility,
+            threshold: Distance::from_feet(20_000),
+            shop_zone: Zone::City,
+            ks: GeneralRun::default_ks(),
+            trials: settings.trials,
+            seed: settings.seed,
+        };
+        panels.push(run_general(
+            &city,
+            &cfg,
+            format!(
+                "({}) {utility} utility, shop in city, D = 20,000 ft",
+                panel_letter(panels.len())
+            ),
+            &general_algorithms(utility),
+        ));
+    }
+    Figure {
+        name: "fig10".into(),
+        caption: "Dublin trace, impact of the utility function".into(),
+        panels,
+    }
+}
+
+/// Fig. 11: Dublin, linear decreasing utility, one panel per shop zone
+/// (center / city / suburb) × `D ∈ {20,000, 10,000} ft`.
+pub fn fig11(settings: &Settings) -> Figure {
+    let city = dublin_city(settings);
+    let mut panels = Vec::new();
+    for zone in [Zone::CityCenter, Zone::City, Zone::Suburb] {
+        for threshold in [20_000u64, 10_000] {
+            let cfg = GeneralRun {
+                utility: UtilityKind::Linear,
+                threshold: Distance::from_feet(threshold),
+                shop_zone: zone,
+                ks: GeneralRun::default_ks(),
+                trials: settings.trials,
+                seed: settings.seed,
+            };
+            panels.push(run_general(
+                &city,
+                &cfg,
+                format!("shop in {zone}, D = {threshold} ft, linear utility"),
+                &general_algorithms(UtilityKind::Linear),
+            ));
+        }
+    }
+    Figure {
+        name: "fig11".into(),
+        caption: "Dublin trace, impact of shop location and threshold D".into(),
+        panels,
+    }
+}
+
+/// Fig. 12: Seattle, general scenario, shop in the city, panels for
+/// threshold/linear utilities × `D ∈ {2,500, 1,000} ft`.
+pub fn fig12(settings: &Settings) -> Figure {
+    let city = seattle_city(settings);
+    let mut panels = Vec::new();
+    for utility in [UtilityKind::Threshold, UtilityKind::Linear] {
+        for threshold in [2_500u64, 1_000] {
+            let cfg = GeneralRun {
+                utility,
+                threshold: Distance::from_feet(threshold),
+                shop_zone: Zone::City,
+                ks: GeneralRun::default_ks(),
+                trials: settings.trials,
+                seed: settings.seed,
+            };
+            panels.push(run_general(
+                &city,
+                &cfg,
+                format!("{utility} utility, D = {threshold} ft, shop in city"),
+                &general_algorithms(utility),
+            ));
+        }
+    }
+    Figure {
+        name: "fig12".into(),
+        caption: "Seattle trace, general scenario".into(),
+        panels,
+    }
+}
+
+/// The Manhattan comparison set: the paper algorithm for the utility plus
+/// the four grid baselines.
+fn manhattan_algorithms(
+    utility: UtilityKind,
+) -> Vec<&'static (dyn ManhattanAlgorithm + Sync)> {
+    static TWO: TwoStage = TwoStage;
+    static MOD: ModifiedTwoStage = ModifiedTwoStage;
+    static CARD: GridMaxCardinality = GridMaxCardinality;
+    static VEH: GridMaxVehicles = GridMaxVehicles;
+    static CUST: GridMaxCustomers = GridMaxCustomers;
+    static RAND: GridRandom = GridRandom;
+    let main: &'static (dyn ManhattanAlgorithm + Sync) = match utility {
+        UtilityKind::Threshold => &TWO,
+        UtilityKind::Linear | UtilityKind::Sqrt => &MOD,
+    };
+    vec![main, &CARD, &VEH, &CUST, &RAND]
+}
+
+/// Flow volumes matching the Seattle calibration: 1–5 buses × 200
+/// passengers.
+fn seattle_flow_params() -> BoundaryFlowParams {
+    BoundaryFlowParams {
+        flows: 80,
+        min_volume: 200.0,
+        max_volume: 1_000.0,
+        attractiveness: rap_traffic::flow::DEFAULT_ATTRACTIVENESS,
+        straight_fraction: 0.3,
+    }
+}
+
+/// Fig. 13: Seattle, Manhattan-grid scenario (flexible shortest paths),
+/// panels for threshold/linear utilities × `D ∈ {2,500, 1,000} ft`;
+/// Algorithm 3 under the threshold utility, Algorithm 4 under the linear.
+pub fn fig13(settings: &Settings) -> Figure {
+    let mut panels = Vec::new();
+    for utility in [UtilityKind::Threshold, UtilityKind::Linear] {
+        for threshold in [2_500u64, 1_000] {
+            // Full city: 41×41 intersections over 250 ft blocks — the
+            // paper's 10,000 × 10,000 ft Seattle central area. The D × D
+            // placement region around the central shop covers 11×11 sites
+            // for D = 2,500 ft and 5×5 for D = 1,000 ft.
+            let cfg = ManhattanRun {
+                utility,
+                threshold: Distance::from_feet(threshold),
+                grid_nodes_per_side: 41,
+                grid_spacing: Distance::from_feet(250),
+                flow_params: seattle_flow_params(),
+                ks: GeneralRun::default_ks(),
+                trials: settings.trials,
+                seed: settings.seed,
+            };
+            panels.push(run_manhattan(
+                &cfg,
+                format!("{utility} utility, D = {threshold} ft, Manhattan scenario"),
+                &manhattan_algorithms(utility),
+            ));
+        }
+    }
+    Figure {
+        name: "fig13".into(),
+        caption: "Seattle trace, Manhattan grid scenario".into(),
+        panels,
+    }
+}
+
+fn panel_letter(index: usize) -> char {
+    (b'a' + index as u8) as char
+}
+
+/// Writes a figure's JSON next to stdout rendering, under `results/`.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn save_results(figure: &Figure) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", figure.name));
+    std::fs::write(&path, figure.to_json())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Settings {
+        Settings {
+            trials: 4,
+            seed: 2015,
+        }
+    }
+
+    #[test]
+    fn fig10_shape() {
+        let f = fig10(&quick());
+        assert_eq!(f.panels.len(), 3);
+        for p in &f.panels {
+            assert_eq!(p.series.len(), 5);
+            for s in &p.series {
+                assert_eq!(s.points.len(), 10);
+            }
+        }
+        // Threshold panel attracts at least as many as sqrt panel for the
+        // main algorithm (detour probabilities are ordered).
+        let main_t = &f.panels[0].series[0];
+        let main_s = &f.panels[2].series[0];
+        assert!(main_t.last().unwrap() + 1e-9 >= main_s.last().unwrap());
+    }
+
+    #[test]
+    fn fig11_shape() {
+        let f = fig11(&quick());
+        assert_eq!(f.panels.len(), 6);
+        // Panels come in (zone, D=20k), (zone, D=10k) pairs; within every
+        // zone the larger D attracts at least as many customers for the
+        // main algorithm at k = 10 (more flows within reach).
+        for pair in f.panels.chunks(2) {
+            let large_d = pair[0].series[0].last().unwrap();
+            let small_d = pair[1].series[0].last().unwrap();
+            assert!(
+                large_d + 1e-9 >= small_d,
+                "D=20k ({large_d}) < D=10k ({small_d}) in {}",
+                pair[0].title
+            );
+        }
+        // Center shops attract at least as many as suburb shops at equal D.
+        let center = f.panels[0].series[0].last().unwrap();
+        let suburb = f.panels[4].series[0].last().unwrap();
+        assert!(center + 1e-9 >= suburb);
+    }
+
+    #[test]
+    fn fig12_shape() {
+        let f = fig12(&quick());
+        assert_eq!(f.panels.len(), 4);
+        for p in &f.panels {
+            assert_eq!(p.series.len(), 5);
+        }
+        // Threshold utility attracts at least as many as linear at equal D
+        // (panels: thr/2500, thr/1000, lin/2500, lin/1000).
+        let thr_25 = f.panels[0].series[0].last().unwrap();
+        let lin_25 = f.panels[2].series[0].last().unwrap();
+        assert!(thr_25 + 1e-9 >= lin_25);
+        let thr_10 = f.panels[1].series[0].last().unwrap();
+        let lin_10 = f.panels[3].series[0].last().unwrap();
+        assert!(thr_10 + 1e-9 >= lin_10);
+    }
+
+    #[test]
+    fn fig13_shape() {
+        let mut s = quick();
+        s.trials = 3;
+        let f = fig13(&s);
+        assert_eq!(f.panels.len(), 4);
+        for p in &f.panels {
+            assert_eq!(p.series.len(), 5);
+        }
+        // Larger D attracts at least as many customers for the main
+        // algorithm (same utility, same seed).
+        let d25 = f.panels[0].series[0].last().unwrap();
+        let d10 = f.panels[1].series[0].last().unwrap();
+        assert!(d25 + 1e-9 >= d10, "D=2500 ({d25}) < D=1000 ({d10})");
+    }
+}

@@ -1,0 +1,198 @@
+//! Result containers and rendering for figure regeneration.
+//!
+//! Every figure in the paper's evaluation plots *attracted customers* against
+//! *number of placed RAPs* for a set of algorithms, across one or more
+//! panels (subfigures). [`Figure`] mirrors that: panels contain series,
+//! series contain one point per `k`. Rendering produces the ASCII tables the
+//! harness prints and the JSON the benches archive.
+
+use serde::Serialize;
+use std::fmt;
+
+/// One `(k, customers)` measurement, averaged over trials.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SeriesPoint {
+    /// Number of placed RAPs.
+    pub k: usize,
+    /// Mean expected customers per day over the trials.
+    pub customers: f64,
+}
+
+/// One algorithm's curve within a panel.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Algorithm label.
+    pub label: String,
+    /// Measurements in increasing `k`.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// The customers value at `k`, if measured.
+    pub fn at(&self, k: usize) -> Option<f64> {
+        self.points.iter().find(|p| p.k == k).map(|p| p.customers)
+    }
+
+    /// The final (largest-`k`) customers value.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|p| p.customers)
+    }
+}
+
+/// One subfigure: a set of algorithm curves under one setting.
+#[derive(Clone, Debug, Serialize)]
+pub struct Panel {
+    /// Setting description, e.g. "threshold utility, D = 20,000 ft".
+    pub title: String,
+    /// Algorithm curves.
+    pub series: Vec<Series>,
+}
+
+impl Panel {
+    /// Finds a series by label.
+    pub fn series_named(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the panel as an ASCII table (rows = `k`, columns =
+    /// algorithms).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("  {}\n", self.title));
+        if self.series.is_empty() {
+            out.push_str("  (no series)\n");
+            return out;
+        }
+        let width = 14usize;
+        let mut header = format!("  {:>4}", "k");
+        for s in &self.series {
+            let label: String = s.label.chars().take(width).collect();
+            header.push_str(&format!(" {label:>width$}"));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        let ks: Vec<usize> = self.series[0].points.iter().map(|p| p.k).collect();
+        for k in ks {
+            let mut row = format!("  {k:>4}");
+            for s in &self.series {
+                match s.at(k) {
+                    Some(v) => row.push_str(&format!(" {v:>width$.3}")),
+                    None => row.push_str(&format!(" {:>width$}", "-")),
+                }
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A full figure: one or more panels plus identifying metadata.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    /// Identifier, e.g. "fig10".
+    pub name: String,
+    /// What the figure reproduces.
+    pub caption: String,
+    /// The subfigures.
+    pub panels: Vec<Panel>,
+}
+
+impl Figure {
+    /// Renders all panels as ASCII.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.name, self.caption));
+        for p in &self.panels {
+            out.push_str(&p.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the figure to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (cannot happen for these plain types).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serializes")
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        Figure {
+            name: "figX".into(),
+            caption: "sample".into(),
+            panels: vec![Panel {
+                title: "panel 1".into(),
+                series: vec![
+                    Series {
+                        label: "Algorithm 1".into(),
+                        points: vec![
+                            SeriesPoint { k: 1, customers: 1.5 },
+                            SeriesPoint { k: 2, customers: 2.25 },
+                        ],
+                    },
+                    Series {
+                        label: "Random".into(),
+                        points: vec![
+                            SeriesPoint { k: 1, customers: 0.5 },
+                            SeriesPoint { k: 2, customers: 0.75 },
+                        ],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let f = sample();
+        let p = &f.panels[0];
+        assert_eq!(p.series_named("Random").unwrap().at(2), Some(0.75));
+        assert_eq!(p.series_named("Algorithm 1").unwrap().last(), Some(2.25));
+        assert!(p.series_named("nope").is_none());
+        assert_eq!(p.series[0].at(9), None);
+    }
+
+    #[test]
+    fn render_contains_all_values() {
+        let f = sample();
+        let text = f.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("panel 1"));
+        assert!(text.contains("Algorithm 1"));
+        assert!(text.contains("2.250"));
+        assert!(text.contains("0.500"));
+        assert_eq!(text, f.to_string());
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let f = sample();
+        let json = f.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["name"], "figX");
+        assert_eq!(v["panels"][0]["series"][1]["points"][0]["customers"], 0.5);
+    }
+
+    #[test]
+    fn empty_panel_renders() {
+        let p = Panel {
+            title: "empty".into(),
+            series: vec![],
+        };
+        assert!(p.render().contains("no series"));
+    }
+}

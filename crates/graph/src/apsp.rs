@@ -1,0 +1,280 @@
+//! All-pairs shortest paths.
+//!
+//! The paper's complexity analysis charges `O(|V|³)` for "the calculation of
+//! shortest paths between all pairs of nodes". We provide:
+//!
+//! * [`DistanceMatrix::dijkstra_all`] — `|V|` Dijkstra runs,
+//!   `O(|V|·(|V|+|E|)·log|V|)`, the practical choice on sparse road networks;
+//! * [`DistanceMatrix::dijkstra_all_parallel`] — the same fanned out over
+//!   crossbeam scoped threads;
+//! * [`DistanceMatrix::floyd_warshall`] — the classical `O(|V|³)` dynamic
+//!   program, kept as an independent reference implementation that the test
+//!   suite cross-checks the Dijkstra variants against.
+
+use crate::graph::RoadGraph;
+use crate::node::{Distance, NodeId};
+use crate::dijkstra;
+
+/// A dense matrix of exact pairwise shortest distances.
+///
+/// Row `u`, column `v` holds the shortest u→v distance; unreachable pairs
+/// report `None` via [`DistanceMatrix::get`].
+///
+/// ```
+/// use rap_graph::{GraphBuilder, Point, Distance, apsp::DistanceMatrix};
+/// # fn main() -> Result<(), rap_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(1.0, 0.0));
+/// b.add_two_way(a, c, Distance::from_feet(8))?;
+/// let g = b.build();
+/// let m = DistanceMatrix::dijkstra_all(&g);
+/// assert_eq!(m.get(a, c), Some(Distance::from_feet(8)));
+/// assert_eq!(m.get(a, a), Some(Distance::ZERO));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    // Row-major, Distance::MAX encodes "unreachable".
+    data: Vec<Distance>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairs by running forward Dijkstra from every node.
+    pub fn dijkstra_all(graph: &RoadGraph) -> Self {
+        let n = graph.node_count();
+        let mut data = vec![Distance::MAX; n * n];
+        for u in graph.nodes() {
+            let tree = dijkstra::shortest_path_tree(graph, u);
+            let row = &mut data[u.index() * n..(u.index() + 1) * n];
+            for v in graph.nodes() {
+                if let Some(d) = tree.distance(v) {
+                    row[v.index()] = d;
+                }
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Computes all pairs with one Dijkstra per node, fanned out over
+    /// `threads` crossbeam scoped threads.
+    ///
+    /// Produces exactly the same matrix as [`DistanceMatrix::dijkstra_all`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn dijkstra_all_parallel(graph: &RoadGraph, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        let n = graph.node_count();
+        if n == 0 {
+            return DistanceMatrix { n, data: Vec::new() };
+        }
+        let mut data = vec![Distance::MAX; n * n];
+        let rows_per_chunk = n.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (chunk_idx, chunk) in data.chunks_mut(rows_per_chunk * n).enumerate() {
+                let first_row = chunk_idx * rows_per_chunk;
+                scope.spawn(move |_| {
+                    for (i, row) in chunk.chunks_mut(n).enumerate() {
+                        let u = NodeId::new((first_row + i) as u32);
+                        let tree = dijkstra::shortest_path_tree(graph, u);
+                        for (v, slot) in row.iter_mut().enumerate() {
+                            if let Some(d) = tree.distance(NodeId::new(v as u32)) {
+                                *slot = d;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("apsp worker thread panicked");
+        DistanceMatrix { n, data }
+    }
+
+    /// Computes all pairs with the Floyd–Warshall dynamic program.
+    ///
+    /// `O(|V|³)` regardless of sparsity — use only on small graphs and as a
+    /// cross-check of the Dijkstra-based variants.
+    pub fn floyd_warshall(graph: &RoadGraph) -> Self {
+        let n = graph.node_count();
+        let mut data = vec![Distance::MAX; n * n];
+        for i in 0..n {
+            data[i * n + i] = Distance::ZERO;
+        }
+        for e in graph.edges() {
+            let cell = &mut data[e.src.index() * n + e.dst.index()];
+            if e.length < *cell {
+                *cell = e.length;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = data[i * n + k];
+                if dik == Distance::MAX {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = dik.saturating_add(data[k * n + j]);
+                    if through < data[i * n + j] {
+                        data[i * n + j] = through;
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of nodes the matrix covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The exact shortest u→v distance, or `None` if `v` is unreachable from
+    /// `u` or either id is out of bounds.
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<Distance> {
+        if u.index() >= self.n || v.index() >= self.n {
+            return None;
+        }
+        let d = self.data[u.index() * self.n + v.index()];
+        if d == Distance::MAX {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Returns true if `v` is reachable from `u`.
+    pub fn reachable(&self, u: NodeId, v: NodeId) -> bool {
+        self.get(u, v).is_some()
+    }
+
+    /// Returns true if every ordered pair of nodes is connected (the graph is
+    /// strongly connected).
+    pub fn strongly_connected(&self) -> bool {
+        self.data.iter().all(|&d| d != Distance::MAX)
+    }
+
+    /// The largest finite pairwise distance (the graph's diameter restricted
+    /// to connected pairs), or `None` for an empty matrix or one with no
+    /// finite off-diagonal entries.
+    pub fn diameter(&self) -> Option<Distance> {
+        self.data
+            .iter()
+            .filter(|&&d| d != Distance::MAX && d != Distance::ZERO)
+            .max()
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::graph::GraphBuilder;
+    use crate::grid::GridGraph;
+
+    fn sample() -> RoadGraph {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..5)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
+        b.add_two_way(v[0], v[1], Distance::from_feet(2)).unwrap();
+        b.add_two_way(v[1], v[2], Distance::from_feet(3)).unwrap();
+        b.add_edge(v[2], v[3], Distance::from_feet(1)).unwrap();
+        b.add_edge(v[3], v[0], Distance::from_feet(7)).unwrap();
+        // v[4] is an isolated island.
+        b.build()
+    }
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall() {
+        let g = sample();
+        let a = DistanceMatrix::dijkstra_all(&g);
+        let b = DistanceMatrix::floyd_warshall(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(a.get(u, v), b.get(u, v), "pair ({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = GridGraph::new(6, 7, Distance::from_feet(100)).into_graph();
+        let seq = DistanceMatrix::dijkstra_all(&g);
+        for threads in [1, 2, 4, 9] {
+            let par = DistanceMatrix::dijkstra_all_parallel(&g, threads);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(seq.get(u, v), par.get(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn island_is_unreachable() {
+        let g = sample();
+        let m = DistanceMatrix::dijkstra_all(&g);
+        let island = NodeId::new(4);
+        assert_eq!(m.get(NodeId::new(0), island), None);
+        assert_eq!(m.get(island, NodeId::new(0)), None);
+        assert_eq!(m.get(island, island), Some(Distance::ZERO));
+        assert!(!m.strongly_connected());
+    }
+
+    #[test]
+    fn one_way_asymmetry() {
+        let g = sample();
+        let m = DistanceMatrix::dijkstra_all(&g);
+        // 2 -> 3 is one hop; 3 -> 2 must loop 3 -> 0 -> 1 -> 2.
+        assert_eq!(m.get(NodeId::new(2), NodeId::new(3)), Some(Distance::from_feet(1)));
+        assert_eq!(
+            m.get(NodeId::new(3), NodeId::new(2)),
+            Some(Distance::from_feet(12))
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_is_none() {
+        let g = sample();
+        let m = DistanceMatrix::dijkstra_all(&g);
+        assert_eq!(m.get(NodeId::new(0), NodeId::new(99)), None);
+        assert_eq!(m.get(NodeId::new(99), NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn diameter_of_line() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
+        for w in v.windows(2) {
+            b.add_two_way(w[0], w[1], Distance::from_feet(10)).unwrap();
+        }
+        let m = DistanceMatrix::dijkstra_all(&b.build());
+        assert_eq!(m.diameter(), Some(Distance::from_feet(30)));
+        assert!(m.strongly_connected());
+    }
+
+    #[test]
+    fn empty_graph_matrix() {
+        let g = GraphBuilder::new().build();
+        let m = DistanceMatrix::dijkstra_all(&g);
+        assert_eq!(m.node_count(), 0);
+        assert_eq!(m.diameter(), None);
+        assert!(m.strongly_connected()); // vacuously
+        let mp = DistanceMatrix::dijkstra_all_parallel(&g, 4);
+        assert_eq!(mp.node_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_panics() {
+        let g = sample();
+        let _ = DistanceMatrix::dijkstra_all_parallel(&g, 0);
+    }
+}

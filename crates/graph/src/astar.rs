@@ -1,0 +1,221 @@
+//! A* shortest paths with an admissible Euclidean heuristic.
+//!
+//! Road networks embed in the plane, and street lengths are never shorter
+//! than the straight-line distance between their endpoints, so the Euclidean
+//! distance to the goal is an admissible and consistent heuristic. A* then
+//! explores a fraction of what Dijkstra would, which matters when the trace
+//! pipeline issues many point-to-point queries (map-matching gap bridging).
+//!
+//! When an edge *is* shorter than the straight line between its endpoint
+//! coordinates (possible in synthetic graphs whose weights are decoupled
+//! from geometry), the heuristic would be inadmissible; [`astar_path`]
+//! guards against this by scaling the heuristic with the graph's measured
+//! minimum edge-length/straight-line ratio, falling back to zero (plain
+//! Dijkstra) in the degenerate case.
+
+use crate::error::GraphError;
+use crate::graph::RoadGraph;
+use crate::node::{Distance, NodeId};
+use crate::path::Path;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The largest heuristic scale `s ≤ 1` such that `s · euclidean(u, v)` never
+/// exceeds any edge length — computed once per graph to keep A* admissible
+/// on graphs whose weights disagree with their geometry.
+///
+/// Returns 1.0 for geometrically consistent graphs and 0.0 when some edge is
+/// arbitrarily shorter than its straight line (degrading A* to Dijkstra).
+pub fn admissible_scale(graph: &RoadGraph) -> f64 {
+    let mut scale: f64 = 1.0;
+    for e in graph.edges() {
+        let straight = graph.point(e.src).euclidean(graph.point(e.dst));
+        if straight <= 0.0 {
+            continue;
+        }
+        let ratio = e.length.as_f64() / straight;
+        if ratio < scale {
+            scale = ratio;
+        }
+    }
+    scale.max(0.0)
+}
+
+/// Finds a shortest `from → to` path with A*.
+///
+/// Produces exactly the same distance as Dijkstra (the heuristic is
+/// admissible by construction); ties between equal-length paths may resolve
+/// differently.
+///
+/// # Errors
+///
+/// * [`GraphError::NodeOutOfBounds`] if either endpoint is missing.
+/// * [`GraphError::Unreachable`] if no path exists.
+pub fn astar_path(graph: &RoadGraph, from: NodeId, to: NodeId) -> Result<Path, GraphError> {
+    astar_path_with_scale(graph, from, to, admissible_scale(graph))
+}
+
+/// A* with a caller-provided heuristic scale (use [`admissible_scale`] once
+/// and share it across many queries on the same graph).
+///
+/// # Errors
+///
+/// Same conditions as [`astar_path`].
+///
+/// # Panics
+///
+/// Panics if `scale` is negative or not finite.
+pub fn astar_path_with_scale(
+    graph: &RoadGraph,
+    from: NodeId,
+    to: NodeId,
+    scale: f64,
+) -> Result<Path, GraphError> {
+    assert!(
+        scale.is_finite() && scale >= 0.0,
+        "heuristic scale must be non-negative and finite"
+    );
+    graph.check_node(from)?;
+    graph.check_node(to)?;
+    let n = graph.node_count();
+    let goal = graph.point(to);
+    let h = |v: NodeId| Distance::from_feet_f64(scale * graph.point(v).euclidean(goal));
+
+    let mut dist = vec![Distance::MAX; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    // Heap keyed by f = g + h; g carried for stale detection.
+    let mut heap: BinaryHeap<Reverse<(Distance, Distance, u32)>> = BinaryHeap::new();
+    dist[from.index()] = Distance::ZERO;
+    heap.push(Reverse((h(from), Distance::ZERO, from.raw())));
+
+    while let Some(Reverse((_f, g, raw))) = heap.pop() {
+        let u = NodeId::new(raw);
+        if g > dist[u.index()] {
+            continue;
+        }
+        if u == to {
+            break; // consistent heuristic: goal settles at optimal g
+        }
+        for nb in graph.out_neighbors(u) {
+            let ng = g.saturating_add(nb.length);
+            if ng < dist[nb.node.index()] {
+                dist[nb.node.index()] = ng;
+                pred[nb.node.index()] = Some(u);
+                heap.push(Reverse((ng.saturating_add(h(nb.node)), ng, nb.node.raw())));
+            }
+        }
+    }
+
+    if dist[to.index()] == Distance::MAX {
+        return Err(GraphError::Unreachable { from, to });
+    }
+    let mut chain = vec![to];
+    let mut cur = to;
+    while let Some(p) = pred[cur.index()] {
+        chain.push(p);
+        cur = p;
+    }
+    debug_assert_eq!(cur, from);
+    chain.reverse();
+    Ok(Path::from_parts_unchecked(chain, dist[to.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use crate::generators::{random_geometric, RadialRingParams};
+    use crate::geometry::{BoundingBox, Point};
+    use crate::graph::GraphBuilder;
+    use crate::grid::GridGraph;
+
+    #[test]
+    fn matches_dijkstra_on_grid() {
+        let grid = GridGraph::new(8, 8, Distance::from_feet(250));
+        let g = grid.graph();
+        for (a, b) in [(0u32, 63u32), (7, 56), (12, 51), (0, 1)] {
+            let d = dijkstra::distance(g, NodeId::new(a), NodeId::new(b)).unwrap();
+            let p = astar_path(g, NodeId::new(a), NodeId::new(b)).unwrap();
+            assert_eq!(p.length(), d, "{a}->{b}");
+            assert_eq!(p.origin(), NodeId::new(a));
+            assert_eq!(p.destination(), NodeId::new(b));
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_geometric() {
+        let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(5_000.0, 5_000.0));
+        let g = random_geometric(60, bb, 1_200.0, 3);
+        let scale = admissible_scale(&g);
+        assert!(scale > 0.99, "euclidean edges should be near-exact, got {scale}");
+        for target in [1u32, 17, 42, 59] {
+            let d = dijkstra::distance(&g, NodeId::new(0), NodeId::new(target)).unwrap();
+            let p =
+                astar_path_with_scale(&g, NodeId::new(0), NodeId::new(target), scale).unwrap();
+            assert_eq!(p.length(), d, "target {target}");
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_radial_city() {
+        let g = crate::generators::radial_ring_city(Point::ORIGIN, RadialRingParams::default(), 5);
+        let scale = admissible_scale(&g);
+        for target in 1..g.node_count() as u32 {
+            let d = dijkstra::distance(&g, NodeId::new(0), NodeId::new(target));
+            let p = astar_path_with_scale(&g, NodeId::new(0), NodeId::new(target), scale);
+            match (d, p) {
+                (Some(d), Ok(p)) => assert_eq!(p.length(), d),
+                (None, Err(_)) => {}
+                (d, p) => panic!("disagreement at {target}: {d:?} vs {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_geometry_degrades_gracefully() {
+        // An edge much shorter than its straight-line distance: the scale
+        // collapses and A* still returns the true shortest path.
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(10_000.0, 0.0));
+        let v2 = b.add_node(Point::new(5_000.0, 5_000.0));
+        b.add_two_way(v0, v1, Distance::from_feet(10)).unwrap(); // teleport street
+        b.add_two_way(v0, v2, Distance::from_feet(8_000)).unwrap();
+        b.add_two_way(v2, v1, Distance::from_feet(8_000)).unwrap();
+        let g = b.build();
+        let scale = admissible_scale(&g);
+        assert!(scale < 0.01);
+        let p = astar_path(&g, v0, v1).unwrap();
+        assert_eq!(p.length(), Distance::from_feet(10));
+    }
+
+    #[test]
+    fn unreachable_and_bad_nodes() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let island = b.add_node(Point::new(1.0, 0.0));
+        let g = b.build();
+        assert!(matches!(
+            astar_path(&g, a, island),
+            Err(GraphError::Unreachable { .. })
+        ));
+        assert!(matches!(
+            astar_path(&g, a, NodeId::new(9)),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn trivial_query() {
+        let grid = GridGraph::new(2, 2, Distance::from_feet(10));
+        let p = astar_path(grid.graph(), NodeId::new(0), NodeId::new(0)).unwrap();
+        assert!(p.is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "heuristic scale")]
+    fn negative_scale_panics() {
+        let grid = GridGraph::new(2, 2, Distance::from_feet(10));
+        let _ = astar_path_with_scale(grid.graph(), NodeId::new(0), NodeId::new(1), -1.0);
+    }
+}

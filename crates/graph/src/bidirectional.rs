@@ -1,0 +1,231 @@
+//! Bidirectional Dijkstra for point-to-point queries.
+//!
+//! Grows a forward ball from the source and a reverse ball from the target
+//! simultaneously, stopping when the frontiers certify optimality
+//! (`top_f + top_b ≥ best meeting distance`). On road networks this explores
+//! roughly half the nodes of plain Dijkstra per query — the right tool for
+//! the map-matcher's many independent gap-bridging queries.
+
+use crate::error::GraphError;
+use crate::graph::RoadGraph;
+use crate::node::{Distance, NodeId};
+use crate::path::Path;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Exact shortest `from → to` distance via bidirectional search, or `None`
+/// when unreachable.
+///
+/// # Panics
+///
+/// Panics if either endpoint is out of bounds.
+pub fn bidirectional_distance(graph: &RoadGraph, from: NodeId, to: NodeId) -> Option<Distance> {
+    search(graph, from, to).map(|(d, _)| d)
+}
+
+/// Exact shortest `from → to` path via bidirectional search.
+///
+/// # Errors
+///
+/// * [`GraphError::NodeOutOfBounds`] if either endpoint is missing.
+/// * [`GraphError::Unreachable`] if no path exists.
+pub fn bidirectional_path(graph: &RoadGraph, from: NodeId, to: NodeId) -> Result<Path, GraphError> {
+    graph.check_node(from)?;
+    graph.check_node(to)?;
+    match search(graph, from, to) {
+        Some((_, path)) => Ok(path),
+        None => Err(GraphError::Unreachable { from, to }),
+    }
+}
+
+fn search(graph: &RoadGraph, from: NodeId, to: NodeId) -> Option<(Distance, Path)> {
+    assert!(graph.contains_node(from), "source out of bounds");
+    assert!(graph.contains_node(to), "target out of bounds");
+    if from == to {
+        return Some((Distance::ZERO, Path::trivial(from)));
+    }
+    let n = graph.node_count();
+    let mut dist_f = vec![Distance::MAX; n];
+    let mut dist_b = vec![Distance::MAX; n];
+    let mut pred_f: Vec<Option<NodeId>> = vec![None; n];
+    let mut succ_b: Vec<Option<NodeId>> = vec![None; n];
+    let mut settled_f = vec![false; n];
+    let mut settled_b = vec![false; n];
+    let mut heap_f: BinaryHeap<Reverse<(Distance, u32)>> = BinaryHeap::new();
+    let mut heap_b: BinaryHeap<Reverse<(Distance, u32)>> = BinaryHeap::new();
+    dist_f[from.index()] = Distance::ZERO;
+    dist_b[to.index()] = Distance::ZERO;
+    heap_f.push(Reverse((Distance::ZERO, from.raw())));
+    heap_b.push(Reverse((Distance::ZERO, to.raw())));
+
+    let mut best = Distance::MAX;
+    let mut meet: Option<NodeId> = None;
+
+    loop {
+        let top_f = heap_f.peek().map(|Reverse((d, _))| *d);
+        let top_b = heap_b.peek().map(|Reverse((d, _))| *d);
+        let (tf, tb) = match (top_f, top_b) {
+            (Some(a), Some(b)) => (a, b),
+            _ => break, // one frontier exhausted
+        };
+        if tf.saturating_add(tb) >= best {
+            break; // certified optimal
+        }
+        // Expand the smaller frontier.
+        if tf <= tb {
+            let Reverse((d, raw)) = heap_f.pop().expect("peeked");
+            let u = NodeId::new(raw);
+            if d > dist_f[u.index()] {
+                continue;
+            }
+            settled_f[u.index()] = true;
+            for nb in graph.out_neighbors(u) {
+                let nd = d.saturating_add(nb.length);
+                if nd < dist_f[nb.node.index()] {
+                    dist_f[nb.node.index()] = nd;
+                    pred_f[nb.node.index()] = Some(u);
+                    heap_f.push(Reverse((nd, nb.node.raw())));
+                }
+                // Relaxed edges can complete a meeting even before the
+                // neighbor settles.
+                let candidate = dist_f[nb.node.index()].saturating_add(dist_b[nb.node.index()]);
+                if candidate < best {
+                    best = candidate;
+                    meet = Some(nb.node);
+                }
+            }
+            let candidate = d.saturating_add(dist_b[u.index()]);
+            if candidate < best {
+                best = candidate;
+                meet = Some(u);
+            }
+        } else {
+            let Reverse((d, raw)) = heap_b.pop().expect("peeked");
+            let u = NodeId::new(raw);
+            if d > dist_b[u.index()] {
+                continue;
+            }
+            settled_b[u.index()] = true;
+            for nb in graph.in_neighbors(u) {
+                let nd = d.saturating_add(nb.length);
+                if nd < dist_b[nb.node.index()] {
+                    dist_b[nb.node.index()] = nd;
+                    succ_b[nb.node.index()] = Some(u);
+                    heap_b.push(Reverse((nd, nb.node.raw())));
+                }
+                let candidate = dist_f[nb.node.index()].saturating_add(dist_b[nb.node.index()]);
+                if candidate < best {
+                    best = candidate;
+                    meet = Some(nb.node);
+                }
+            }
+            let candidate = dist_f[u.index()].saturating_add(d);
+            if candidate < best {
+                best = candidate;
+                meet = Some(u);
+            }
+        }
+    }
+
+    let meet = meet?;
+    if best == Distance::MAX {
+        return None;
+    }
+    // Reconstruct: from → meet via pred_f, meet → to via succ_b.
+    let mut front = vec![meet];
+    let mut cur = meet;
+    while let Some(p) = pred_f[cur.index()] {
+        front.push(p);
+        cur = p;
+    }
+    front.reverse();
+    let mut cur = meet;
+    while let Some(s) = succ_b[cur.index()] {
+        front.push(s);
+        cur = s;
+    }
+    Some((best, Path::from_parts_unchecked(front, best)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use crate::generators::{perturbed_grid, PerturbedGridParams};
+    use crate::geometry::Point;
+    use crate::graph::GraphBuilder;
+    use crate::grid::GridGraph;
+
+    #[test]
+    fn matches_dijkstra_on_grid_pairs() {
+        let grid = GridGraph::new(7, 7, Distance::from_feet(100));
+        let g = grid.graph();
+        for (a, b) in [(0u32, 48u32), (6, 42), (10, 38), (24, 24), (0, 1)] {
+            let expected = dijkstra::distance(g, NodeId::new(a), NodeId::new(b));
+            let got = bidirectional_distance(g, NodeId::new(a), NodeId::new(b));
+            assert_eq!(got, expected, "pair ({a}, {b})");
+            if a != b {
+                let p = bidirectional_path(g, NodeId::new(a), NodeId::new(b)).unwrap();
+                assert_eq!(Some(p.length()), expected);
+                assert_eq!(p.origin(), NodeId::new(a));
+                assert_eq!(p.destination(), NodeId::new(b));
+                // Path is a valid walk.
+                let validated = Path::new(g, p.nodes().to_vec()).unwrap();
+                assert_eq!(validated.length(), p.length());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_perturbed_city() {
+        let g = perturbed_grid(
+            PerturbedGridParams {
+                rows: 9,
+                cols: 9,
+                spacing: Distance::from_feet(300),
+                delete_probability: 0.15,
+                diagonal_probability: 0.1,
+            },
+            13,
+        );
+        for a in (0..g.node_count() as u32).step_by(17) {
+            for b in (0..g.node_count() as u32).step_by(13) {
+                assert_eq!(
+                    bidirectional_distance(&g, NodeId::new(a), NodeId::new(b)),
+                    dijkstra::distance(&g, NodeId::new(a), NodeId::new(b)),
+                    "pair ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_one_way_streets() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..3).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        b.add_edge(v[0], v[1], Distance::from_feet(1)).unwrap();
+        b.add_edge(v[1], v[2], Distance::from_feet(1)).unwrap();
+        let g = b.build();
+        assert_eq!(
+            bidirectional_distance(&g, v[0], v[2]),
+            Some(Distance::from_feet(2))
+        );
+        assert_eq!(bidirectional_distance(&g, v[2], v[0]), None);
+        assert!(matches!(
+            bidirectional_path(&g, v[2], v[0]),
+            Err(GraphError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn trivial_and_invalid_queries() {
+        let grid = GridGraph::new(2, 2, Distance::from_feet(5));
+        let g = grid.graph();
+        let p = bidirectional_path(g, NodeId::new(1), NodeId::new(1)).unwrap();
+        assert!(p.is_trivial());
+        assert!(matches!(
+            bidirectional_path(g, NodeId::new(0), NodeId::new(99)),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+}

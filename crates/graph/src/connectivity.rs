@@ -1,0 +1,232 @@
+//! Connectivity analysis: strongly connected components and reachability.
+//!
+//! Real street networks with one-way streets are not automatically strongly
+//! connected, and a disconnected city silently breaks routing (unroutable
+//! flows, unreachable shops). This module provides Tarjan's SCC algorithm
+//! (iterative — road graphs can be deep) and helpers the generators and city
+//! models use to validate their output.
+
+use crate::graph::RoadGraph;
+use crate::node::NodeId;
+
+/// The strongly connected components of a road graph.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `component[v]` is the id of the SCC containing `v` (ids are dense,
+    /// `0..count`, in reverse topological order of the condensation).
+    component: Vec<u32>,
+    count: usize,
+}
+
+impl Components {
+    /// Computes SCCs with an iterative Tarjan's algorithm, `O(|V| + |E|)`.
+    pub fn compute(graph: &RoadGraph) -> Self {
+        let n = graph.node_count();
+        const UNVISITED: u32 = u32::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut component = vec![0u32; n];
+        let mut next_index = 0u32;
+        let mut count = 0u32;
+
+        // Explicit DFS frames: (node, next-neighbor-offset).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if index[root as usize] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut off)) = frames.last_mut() {
+                let vi = v as usize;
+                if *off == 0 {
+                    index[vi] = next_index;
+                    lowlink[vi] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[vi] = true;
+                }
+                let neighbors = graph.out_neighbors(NodeId::new(v));
+                if *off < neighbors.len() {
+                    let w = neighbors[*off].node.raw();
+                    *off += 1;
+                    if index[w as usize] == UNVISITED {
+                        frames.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        lowlink[vi] = lowlink[vi].min(index[w as usize]);
+                    }
+                } else {
+                    // v is finished; pop its frame and fold into the parent.
+                    if lowlink[vi] == index[vi] {
+                        // v roots an SCC.
+                        loop {
+                            let w = stack.pop().expect("tarjan stack non-empty");
+                            on_stack[w as usize] = false;
+                            component[w as usize] = count;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        count += 1;
+                    }
+                    frames.pop();
+                    if let Some(&mut (p, _)) = frames.last_mut() {
+                        let pi = p as usize;
+                        lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                    }
+                }
+            }
+        }
+        Components {
+            component,
+            count: count as usize,
+        }
+    }
+
+    /// Number of strongly connected components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The component id of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn component_of(&self, node: NodeId) -> u32 {
+        self.component[node.index()]
+    }
+
+    /// True if `a` and `b` are mutually reachable.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.component_of(a) == self.component_of(b)
+    }
+
+    /// True if the whole graph is one strongly connected component (empty
+    /// graphs count as connected).
+    pub fn is_strongly_connected(&self) -> bool {
+        self.count <= 1
+    }
+
+    /// The nodes of the largest component, in id order.
+    pub fn largest_component(&self) -> Vec<NodeId> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        let biggest = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| **s)
+            .map(|(i, _)| i as u32)
+            .expect("non-empty");
+        self.component
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == biggest)
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect()
+    }
+}
+
+/// Convenience: true if `graph` is strongly connected.
+pub fn is_strongly_connected(graph: &RoadGraph) -> bool {
+    Components::compute(graph).is_strongly_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::graph::GraphBuilder;
+    use crate::grid::GridGraph;
+    use crate::node::Distance;
+
+    #[test]
+    fn grid_is_one_component() {
+        let g = GridGraph::new(5, 5, Distance::from_feet(10)).into_graph();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 1);
+        assert!(c.is_strongly_connected());
+        assert!(is_strongly_connected(&g));
+        assert_eq!(c.largest_component().len(), 25);
+    }
+
+    #[test]
+    fn one_way_cycle_vs_dead_end() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..4).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        // 0 -> 1 -> 2 -> 0 cycle; 3 reachable from 2 but with no way back.
+        b.add_edge(v[0], v[1], Distance::from_feet(1)).unwrap();
+        b.add_edge(v[1], v[2], Distance::from_feet(1)).unwrap();
+        b.add_edge(v[2], v[0], Distance::from_feet(1)).unwrap();
+        b.add_edge(v[2], v[3], Distance::from_feet(1)).unwrap();
+        let c = Components::compute(&b.build());
+        assert_eq!(c.count(), 2);
+        assert!(c.same_component(v[0], v[2]));
+        assert!(!c.same_component(v[0], v[3]));
+        let largest = c.largest_component();
+        assert_eq!(largest, vec![v[0], v[1], v[2]]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_node(Point::new(i as f64, 0.0));
+        }
+        let c = Components::compute(&b.build());
+        assert_eq!(c.count(), 3);
+        assert!(!c.is_strongly_connected());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 0);
+        assert!(c.is_strongly_connected());
+        assert!(c.largest_component().is_empty());
+    }
+
+    #[test]
+    fn matches_apsp_reachability() {
+        // Cross-check component structure against the distance matrix on a
+        // graph with several one-way streets.
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..6).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        b.add_two_way(v[0], v[1], Distance::from_feet(1)).unwrap();
+        b.add_edge(v[1], v[2], Distance::from_feet(1)).unwrap();
+        b.add_two_way(v[2], v[3], Distance::from_feet(1)).unwrap();
+        b.add_edge(v[3], v[4], Distance::from_feet(1)).unwrap();
+        b.add_edge(v[4], v[2], Distance::from_feet(1)).unwrap();
+        // v[5] isolated.
+        let g = b.build();
+        let c = Components::compute(&g);
+        let m = crate::apsp::DistanceMatrix::dijkstra_all(&g);
+        for a in g.nodes() {
+            for bb in g.nodes() {
+                let mutual = m.reachable(a, bb) && m.reachable(bb, a);
+                assert_eq!(c.same_component(a, bb), mutual, "pair {a} {bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // 50k-node directed path: a recursive Tarjan would blow the stack.
+        let mut b = GraphBuilder::new();
+        let mut prev = b.add_node(Point::new(0.0, 0.0));
+        for i in 1..50_000u32 {
+            let next = b.add_node(Point::new(i as f64, 0.0));
+            b.add_edge(prev, next, Distance::from_feet(1)).unwrap();
+            prev = next;
+        }
+        let c = Components::compute(&b.build());
+        assert_eq!(c.count(), 50_000);
+    }
+}

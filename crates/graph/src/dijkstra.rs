@@ -1,0 +1,385 @@
+//! Single-source shortest paths (Dijkstra) over [`RoadGraph`].
+//!
+//! Two directions are provided:
+//!
+//! * [`shortest_path_tree`] — distances *from* a source along forward edges.
+//!   Used for routing traffic flows and for the shop→destination legs of the
+//!   detour identity.
+//! * [`reverse_shortest_path_tree`] — distances from every node *to* a target
+//!   along forward edges (implemented as forward Dijkstra on the reverse
+//!   adjacency). Used for the current-location→shop leg: one reverse tree
+//!   rooted at the shop yields `d'(v)` for every intersection `v` at once.
+//!
+//! Both return a [`ShortestPathTree`] carrying exact distances, predecessor
+//! links, and path extraction.
+
+use crate::error::GraphError;
+use crate::graph::RoadGraph;
+use crate::node::{Distance, NodeId};
+use crate::path::Path;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Direction of a shortest-path computation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Distances from the root outward along edge directions.
+    Forward,
+    /// Distances from every node toward the root along edge directions.
+    Reverse,
+}
+
+/// The result of a Dijkstra run: exact distances and predecessor links from a
+/// single root.
+///
+/// For a [`Direction::Forward`] tree, `predecessor(v)` is the node preceding
+/// `v` on the shortest root→v path. For a [`Direction::Reverse`] tree,
+/// `predecessor(v)` is the node *following* `v` on the shortest v→root path
+/// (its parent toward the root).
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    root: NodeId,
+    direction: Direction,
+    dist: Vec<Distance>,
+    pred: Vec<Option<NodeId>>,
+}
+
+impl ShortestPathTree {
+    /// The root this tree was grown from.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The direction of the computation.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Exact shortest distance between the root and `node`, or `None` if
+    /// unreachable.
+    ///
+    /// Forward trees report root→node distances; reverse trees report
+    /// node→root distances.
+    pub fn distance(&self, node: NodeId) -> Option<Distance> {
+        let d = *self.dist.get(node.index())?;
+        if d == Distance::MAX {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Returns true if `node` is reachable from (forward) or can reach
+    /// (reverse) the root.
+    pub fn reachable(&self, node: NodeId) -> bool {
+        self.distance(node).is_some()
+    }
+
+    /// The tree parent of `node` (see type-level docs for orientation), or
+    /// `None` at the root and at unreachable nodes.
+    pub fn predecessor(&self, node: NodeId) -> Option<NodeId> {
+        *self.pred.get(node.index())?
+    }
+
+    /// Number of reachable nodes, including the root.
+    pub fn reachable_count(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != Distance::MAX).count()
+    }
+
+    /// Extracts the full shortest path between the root and `node`.
+    ///
+    /// Forward trees return a root→node path; reverse trees return a
+    /// node→root path.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if `node` does not exist.
+    /// * [`GraphError::Unreachable`] if no path exists.
+    pub fn path_to(&self, node: NodeId) -> Result<Path, GraphError> {
+        if node.index() >= self.dist.len() {
+            return Err(GraphError::NodeOutOfBounds {
+                node,
+                node_count: self.dist.len(),
+            });
+        }
+        let total = self.distance(node).ok_or(match self.direction {
+            Direction::Forward => GraphError::Unreachable {
+                from: self.root,
+                to: node,
+            },
+            Direction::Reverse => GraphError::Unreachable {
+                from: node,
+                to: self.root,
+            },
+        })?;
+        // Walk parent links from `node` to the root.
+        let mut chain = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.pred[cur.index()] {
+            chain.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.root, "predecessor chain must end at the root");
+        match self.direction {
+            Direction::Forward => chain.reverse(), // root .. node
+            Direction::Reverse => {}               // node .. root already
+        }
+        Ok(Path::from_parts_unchecked(chain, total))
+    }
+}
+
+/// Runs forward Dijkstra from `source`, producing exact shortest distances to
+/// every reachable node.
+///
+/// Complexity `O((|V| + |E|) log |V|)` with a binary heap.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+///
+/// ```
+/// use rap_graph::{GraphBuilder, Point, Distance, dijkstra};
+/// # fn main() -> Result<(), rap_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(1.0, 0.0));
+/// let d = b.add_node(Point::new(2.0, 0.0));
+/// b.add_two_way(a, c, Distance::from_feet(5))?;
+/// b.add_two_way(c, d, Distance::from_feet(7))?;
+/// let g = b.build();
+/// let tree = dijkstra::shortest_path_tree(&g, a);
+/// assert_eq!(tree.distance(d), Some(Distance::from_feet(12)));
+/// assert_eq!(tree.path_to(d)?.nodes(), &[a, c, d]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn shortest_path_tree(graph: &RoadGraph, source: NodeId) -> ShortestPathTree {
+    run_dijkstra(graph, source, Direction::Forward)
+}
+
+/// Runs reverse Dijkstra toward `target`: `distance(v)` is the exact shortest
+/// v→target distance along forward edges.
+///
+/// # Panics
+///
+/// Panics if `target` is out of bounds.
+pub fn reverse_shortest_path_tree(graph: &RoadGraph, target: NodeId) -> ShortestPathTree {
+    run_dijkstra(graph, target, Direction::Reverse)
+}
+
+fn run_dijkstra(graph: &RoadGraph, root: NodeId, direction: Direction) -> ShortestPathTree {
+    assert!(
+        graph.contains_node(root),
+        "dijkstra root {root} out of bounds for graph with {} nodes",
+        graph.node_count()
+    );
+    let n = graph.node_count();
+    let mut dist = vec![Distance::MAX; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(Distance, u32)>> = BinaryHeap::new();
+    dist[root.index()] = Distance::ZERO;
+    heap.push(Reverse((Distance::ZERO, root.raw())));
+
+    while let Some(Reverse((d, raw))) = heap.pop() {
+        let u = NodeId::new(raw);
+        if d > dist[u.index()] {
+            continue; // stale heap entry
+        }
+        let neighbors = match direction {
+            Direction::Forward => graph.out_neighbors(u),
+            Direction::Reverse => graph.in_neighbors(u),
+        };
+        for nb in neighbors {
+            let nd = d.saturating_add(nb.length);
+            if nd < dist[nb.node.index()] {
+                dist[nb.node.index()] = nd;
+                pred[nb.node.index()] = Some(u);
+                heap.push(Reverse((nd, nb.node.raw())));
+            }
+        }
+    }
+
+    ShortestPathTree {
+        root,
+        direction,
+        dist,
+        pred,
+    }
+}
+
+/// Convenience: exact shortest distance from `from` to `to`, or `None` if
+/// unreachable.
+///
+/// Runs a full Dijkstra; when many queries share a root, build the tree once
+/// with [`shortest_path_tree`] instead.
+///
+/// # Panics
+///
+/// Panics if `from` is out of bounds.
+pub fn distance(graph: &RoadGraph, from: NodeId, to: NodeId) -> Option<Distance> {
+    shortest_path_tree(graph, from).distance(to)
+}
+
+/// Convenience: one shortest path from `from` to `to`.
+///
+/// # Errors
+///
+/// [`GraphError::Unreachable`] if no path exists,
+/// [`GraphError::NodeOutOfBounds`] if `to` does not exist.
+///
+/// # Panics
+///
+/// Panics if `from` is out of bounds.
+pub fn shortest_path(graph: &RoadGraph, from: NodeId, to: NodeId) -> Result<Path, GraphError> {
+    shortest_path_tree(graph, from).path_to(to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::graph::GraphBuilder;
+
+    /// Diamond with a shortcut:
+    ///
+    /// ```text
+    ///     1
+    ///   /   \
+    ///  0     3 --- 4
+    ///   \   /
+    ///     2
+    /// ```
+    fn diamond() -> (RoadGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..5)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
+        b.add_two_way(v[0], v[1], Distance::from_feet(2)).unwrap();
+        b.add_two_way(v[0], v[2], Distance::from_feet(1)).unwrap();
+        b.add_two_way(v[1], v[3], Distance::from_feet(2)).unwrap();
+        b.add_two_way(v[2], v[3], Distance::from_feet(4)).unwrap();
+        b.add_two_way(v[3], v[4], Distance::from_feet(1)).unwrap();
+        (b.build(), v)
+    }
+
+    #[test]
+    fn forward_distances() {
+        let (g, v) = diamond();
+        let t = shortest_path_tree(&g, v[0]);
+        assert_eq!(t.distance(v[0]), Some(Distance::ZERO));
+        assert_eq!(t.distance(v[1]), Some(Distance::from_feet(2)));
+        assert_eq!(t.distance(v[2]), Some(Distance::from_feet(1)));
+        assert_eq!(t.distance(v[3]), Some(Distance::from_feet(4))); // via 1
+        assert_eq!(t.distance(v[4]), Some(Distance::from_feet(5)));
+        assert_eq!(t.reachable_count(), 5);
+    }
+
+    #[test]
+    fn forward_path_extraction() {
+        let (g, v) = diamond();
+        let t = shortest_path_tree(&g, v[0]);
+        let p = t.path_to(v[4]).unwrap();
+        assert_eq!(p.nodes(), &[v[0], v[1], v[3], v[4]]);
+        assert_eq!(p.length(), Distance::from_feet(5));
+        // Root path is trivial.
+        let p0 = t.path_to(v[0]).unwrap();
+        assert!(p0.is_trivial());
+    }
+
+    #[test]
+    fn reverse_tree_matches_forward_on_two_way_graph() {
+        let (g, v) = diamond();
+        let fwd = shortest_path_tree(&g, v[4]);
+        let rev = reverse_shortest_path_tree(&g, v[4]);
+        for &u in &v {
+            assert_eq!(fwd.distance(u), rev.distance(u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn reverse_tree_respects_one_way_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 0.0));
+        b.add_edge(a, c, Distance::from_feet(3)).unwrap(); // only a -> c
+        let g = b.build();
+        let rev = reverse_shortest_path_tree(&g, c);
+        // a can reach c...
+        assert_eq!(rev.distance(a), Some(Distance::from_feet(3)));
+        // ...but reverse tree rooted at a: c cannot reach a.
+        let rev_a = reverse_shortest_path_tree(&g, a);
+        assert_eq!(rev_a.distance(c), None);
+    }
+
+    #[test]
+    fn reverse_path_is_node_to_root() {
+        let (g, v) = diamond();
+        let rev = reverse_shortest_path_tree(&g, v[4]);
+        let p = rev.path_to(v[0]).unwrap();
+        assert_eq!(p.origin(), v[0]);
+        assert_eq!(p.destination(), v[4]);
+        assert_eq!(p.length(), Distance::from_feet(5));
+    }
+
+    #[test]
+    fn unreachable_nodes_report_none() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let island = b.add_node(Point::new(9.0, 9.0));
+        let g = b.build();
+        let t = shortest_path_tree(&g, a);
+        assert_eq!(t.distance(island), None);
+        assert!(!t.reachable(island));
+        assert!(matches!(
+            t.path_to(island),
+            Err(GraphError::Unreachable { .. })
+        ));
+        assert_eq!(t.reachable_count(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_path_query() {
+        let (g, v) = diamond();
+        let t = shortest_path_tree(&g, v[0]);
+        assert!(matches!(
+            t.path_to(NodeId::new(99)),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert_eq!(t.distance(NodeId::new(99)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_root_panics() {
+        let (g, _) = diamond();
+        let _ = shortest_path_tree(&g, NodeId::new(99));
+    }
+
+    #[test]
+    fn convenience_helpers() {
+        let (g, v) = diamond();
+        assert_eq!(distance(&g, v[0], v[4]), Some(Distance::from_feet(5)));
+        let p = shortest_path(&g, v[0], v[3]).unwrap();
+        assert_eq!(p.length(), Distance::from_feet(4));
+    }
+
+    #[test]
+    fn prefers_fewer_stale_entries_correctness() {
+        // A graph engineered to create stale heap entries: repeated
+        // relaxations of the same node through progressively better routes.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..6)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
+        b.add_edge(n[0], n[5], Distance::from_feet(100)).unwrap();
+        b.add_edge(n[0], n[1], Distance::from_feet(1)).unwrap();
+        b.add_edge(n[1], n[5], Distance::from_feet(50)).unwrap();
+        b.add_edge(n[1], n[2], Distance::from_feet(1)).unwrap();
+        b.add_edge(n[2], n[5], Distance::from_feet(10)).unwrap();
+        b.add_edge(n[2], n[3], Distance::from_feet(1)).unwrap();
+        b.add_edge(n[3], n[5], Distance::from_feet(1)).unwrap();
+        let g = b.build();
+        let t = shortest_path_tree(&g, n[0]);
+        assert_eq!(t.distance(n[5]), Some(Distance::from_feet(4)));
+    }
+}

@@ -1,0 +1,135 @@
+//! Error types for graph construction, routing, and I/O.
+
+use crate::node::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the graph substrate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge connects a node to itself; self-loop streets are not
+    /// meaningful in a road network.
+    SelfLoop {
+        /// The node in question.
+        node: NodeId,
+    },
+    /// An edge was given a zero length, which would make distinct
+    /// intersections coincide for routing purposes.
+    ZeroLengthEdge {
+        /// Source of the edge.
+        src: NodeId,
+        /// Destination of the edge.
+        dst: NodeId,
+    },
+    /// No path exists between the requested endpoints.
+    Unreachable {
+        /// Origin of the attempted route.
+        from: NodeId,
+        /// Destination of the attempted route.
+        to: NodeId,
+    },
+    /// A parsed graph file was malformed.
+    ParseGraph {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of what was wrong.
+        message: String,
+    },
+    /// An underlying I/O failure while reading or writing a graph.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds (graph has {node_count} nodes)")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop edge at node {node}")
+            }
+            GraphError::ZeroLengthEdge { src, dst } => {
+                write!(f, "zero-length edge from {src} to {dst}")
+            }
+            GraphError::Unreachable { from, to } => {
+                write!(f, "no path from {from} to {to}")
+            }
+            GraphError::ParseGraph { line, message } => {
+                write!(f, "malformed graph file at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "graph i/o failure: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId::new(9),
+            node_count: 4,
+        };
+        assert_eq!(e.to_string(), "node V9 out of bounds (graph has 4 nodes)");
+
+        let e = GraphError::SelfLoop { node: NodeId::new(1) };
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = GraphError::ZeroLengthEdge {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+        };
+        assert!(e.to_string().contains("zero-length"));
+
+        let e = GraphError::Unreachable {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+        };
+        assert_eq!(e.to_string(), "no path from V0 to V1");
+
+        let e = GraphError::ParseGraph {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,245 @@
+//! Planar geometry: intersection coordinates, distances, and bounding boxes.
+//!
+//! Coordinates are in feet within a city-local planar frame, matching the
+//! paper's two study areas (Dublin: 80,000 × 80,000 ft; Seattle:
+//! 10,000 × 10,000 ft). Geometry is only used for graph *construction* and for
+//! zone classification; all routing uses exact [`Distance`] edge weights.
+
+use crate::node::Distance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the city-local planar coordinate frame, in feet.
+///
+/// ```
+/// use rap_graph::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.euclidean(b), 5.0);
+/// assert_eq!(a.manhattan(b), 7.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// East–west coordinate in feet.
+    pub x: f64,
+    /// North–south coordinate in feet.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from `x`/`y` coordinates in feet.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`, in feet.
+    pub fn euclidean(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// L1 (taxicab) distance to `other`, in feet. This is the street distance
+    /// in an ideal Manhattan grid.
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance rounded to an exact [`Distance`], for use as a graph
+    /// edge weight.
+    pub fn euclidean_distance(self, other: Point) -> Distance {
+        Distance::from_feet_f64(self.euclidean(other))
+    }
+
+    /// Manhattan distance rounded to an exact [`Distance`].
+    pub fn manhattan_distance(self, other: Point) -> Distance {
+        Distance::from_feet_f64(self.manhattan(other))
+    }
+
+    /// The midpoint of the segment between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Translates the point by `(dx, dy)` feet.
+    pub fn translate(self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// An axis-aligned rectangle, used to delimit study areas (e.g. the square
+/// region of the Manhattan-grid scenario) and to classify zones.
+///
+/// ```
+/// use rap_graph::{BoundingBox, Point};
+/// let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+/// assert!(bb.contains(Point::new(5.0, 5.0)));
+/// assert!(!bb.contains(Point::new(11.0, 5.0)));
+/// assert_eq!(bb.center(), Point::new(5.0, 5.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box from two corners.
+    ///
+    /// The corners are normalized so that `min` is component-wise no greater
+    /// than `max`.
+    pub fn new(a: Point, b: Point) -> Self {
+        BoundingBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// A square box of side `side` feet centered at `center`.
+    ///
+    /// This matches the paper's Manhattan formulation, where the shop sits at
+    /// the center of a `D × D` square region.
+    pub fn square(center: Point, side: f64) -> Self {
+        let h = side / 2.0;
+        BoundingBox {
+            min: Point::new(center.x - h, center.y - h),
+            max: Point::new(center.x + h, center.y + h),
+        }
+    }
+
+    /// Returns true if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The box's center point.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Width (east–west extent) in feet.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (north–south extent) in feet.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// The four corners in order: SW, SE, NE, NW.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Grows the box by `margin` feet on every side.
+    pub fn expanded(&self, margin: f64) -> BoundingBox {
+        BoundingBox {
+            min: self.min.translate(-margin, -margin),
+            max: self.max.translate(margin, margin),
+        }
+    }
+}
+
+impl fmt::Display for BoundingBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_and_manhattan() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.euclidean(b), 5.0);
+        assert_eq!(a.manhattan(b), 7.0);
+        assert_eq!(a.euclidean(a), 0.0);
+        assert_eq!(a.euclidean_distance(b), Distance::from_feet(5));
+        assert_eq!(a.manhattan_distance(b), Distance::from_feet(7));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-3.0, 9.5);
+        let b = Point::new(12.0, -1.25);
+        assert_eq!(a.euclidean(b), b.euclidean(a));
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+    }
+
+    #[test]
+    fn midpoint_and_translate() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.midpoint(b), Point::new(5.0, 10.0));
+        assert_eq!(a.translate(1.0, -2.0), Point::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn bbox_normalizes_corners() {
+        let bb = BoundingBox::new(Point::new(10.0, 0.0), Point::new(0.0, 10.0));
+        assert_eq!(bb.min, Point::new(0.0, 0.0));
+        assert_eq!(bb.max, Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn bbox_square_centered() {
+        let bb = BoundingBox::square(Point::new(50.0, 50.0), 20.0);
+        assert_eq!(bb.min, Point::new(40.0, 40.0));
+        assert_eq!(bb.max, Point::new(60.0, 60.0));
+        assert_eq!(bb.center(), Point::new(50.0, 50.0));
+        assert_eq!(bb.width(), 20.0);
+        assert_eq!(bb.height(), 20.0);
+    }
+
+    #[test]
+    fn bbox_contains_boundary() {
+        let bb = BoundingBox::new(Point::ORIGIN, Point::new(1.0, 1.0));
+        assert!(bb.contains(Point::new(0.0, 0.0)));
+        assert!(bb.contains(Point::new(1.0, 1.0)));
+        assert!(bb.contains(Point::new(0.5, 1.0)));
+        assert!(!bb.contains(Point::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn bbox_corners_order() {
+        let bb = BoundingBox::new(Point::ORIGIN, Point::new(2.0, 4.0));
+        let c = bb.corners();
+        assert_eq!(c[0], Point::new(0.0, 0.0)); // SW
+        assert_eq!(c[1], Point::new(2.0, 0.0)); // SE
+        assert_eq!(c[2], Point::new(2.0, 4.0)); // NE
+        assert_eq!(c[3], Point::new(0.0, 4.0)); // NW
+    }
+
+    #[test]
+    fn bbox_expand() {
+        let bb = BoundingBox::new(Point::ORIGIN, Point::new(2.0, 2.0)).expanded(1.0);
+        assert_eq!(bb.min, Point::new(-1.0, -1.0));
+        assert_eq!(bb.max, Point::new(3.0, 3.0));
+    }
+}

@@ -1,0 +1,283 @@
+//! K shortest loopless paths (Yen's algorithm).
+//!
+//! Section IV of the paper exploits the *multiplicity* of shortest paths in
+//! grid cities. General street networks also admit near-ties — several
+//! routes within a block of each other — and a driver indifferent among them
+//! can be steered by a RAP just like in the grid. This module provides the
+//! machinery for that generalization (used by the flexible-routing extension
+//! and its tests): Yen's algorithm for the `K` shortest loopless paths.
+
+use crate::dijkstra;
+use crate::error::GraphError;
+use crate::graph::RoadGraph;
+use crate::node::{Distance, NodeId};
+use crate::path::Path;
+use std::collections::HashSet;
+
+/// Computes up to `k` shortest loopless `from → to` paths, in nondecreasing
+/// length (ties broken deterministically by node sequence).
+///
+/// Returns fewer than `k` paths when the graph does not contain that many
+/// loopless alternatives. `k = 0` returns an empty vector.
+///
+/// # Errors
+///
+/// * [`GraphError::NodeOutOfBounds`] if either endpoint is missing.
+/// * [`GraphError::Unreachable`] if no path exists at all.
+pub fn k_shortest_paths(
+    graph: &RoadGraph,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+) -> Result<Vec<Path>, GraphError> {
+    graph.check_node(from)?;
+    graph.check_node(to)?;
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let first = dijkstra::shortest_path(graph, from, to)?;
+    let mut confirmed: Vec<Path> = vec![first];
+    // Candidate pool; (length, nodes) with dedup.
+    let mut candidates: Vec<Path> = Vec::new();
+    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+    seen.insert(confirmed[0].nodes().to_vec());
+
+    while confirmed.len() < k {
+        let last = confirmed.last().expect("at least one confirmed path");
+        // Each prefix of the previous path spawns a deviation.
+        for spur_idx in 0..last.len() - 1 {
+            let spur_node = last.nodes()[spur_idx];
+            let root: Vec<NodeId> = last.nodes()[..=spur_idx].to_vec();
+
+            // Edges to ban: the next hop of every confirmed path sharing
+            // this root.
+            let mut banned_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+            for p in &confirmed {
+                if p.len() > spur_idx + 1 && p.nodes()[..=spur_idx] == root[..] {
+                    banned_edges.insert((p.nodes()[spur_idx], p.nodes()[spur_idx + 1]));
+                }
+            }
+            // Nodes already on the root (except the spur) are banned to keep
+            // paths loopless.
+            let banned_nodes: HashSet<NodeId> = root[..spur_idx].iter().copied().collect();
+
+            if let Some(spur) =
+                restricted_shortest_path(graph, spur_node, to, &banned_nodes, &banned_edges)
+            {
+                let mut nodes = root.clone();
+                nodes.extend_from_slice(&spur.nodes()[1..]);
+                if seen.insert(nodes.clone()) {
+                    let total = Path::new(graph, nodes).expect("spliced path is valid");
+                    candidates.push(total);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the best candidate (shortest, then lexicographic for
+        // determinism).
+        let best_idx = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.length()
+                    .cmp(&b.length())
+                    .then_with(|| a.nodes().cmp(b.nodes()))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        confirmed.push(candidates.swap_remove(best_idx));
+    }
+    Ok(confirmed)
+}
+
+/// Dijkstra avoiding banned nodes and banned directed edges.
+fn restricted_shortest_path(
+    graph: &RoadGraph,
+    from: NodeId,
+    to: NodeId,
+    banned_nodes: &HashSet<NodeId>,
+    banned_edges: &HashSet<(NodeId, NodeId)>,
+) -> Option<Path> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = graph.node_count();
+    let mut dist = vec![Distance::MAX; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.index()] = Distance::ZERO;
+    heap.push(Reverse((Distance::ZERO, from.raw())));
+    while let Some(Reverse((d, raw))) = heap.pop() {
+        let u = NodeId::new(raw);
+        if d > dist[u.index()] {
+            continue;
+        }
+        if u == to {
+            break;
+        }
+        for nb in graph.out_neighbors(u) {
+            if banned_nodes.contains(&nb.node) || banned_edges.contains(&(u, nb.node)) {
+                continue;
+            }
+            let nd = d.saturating_add(nb.length);
+            if nd < dist[nb.node.index()] {
+                dist[nb.node.index()] = nd;
+                pred[nb.node.index()] = Some(u);
+                heap.push(Reverse((nd, nb.node.raw())));
+            }
+        }
+    }
+    if dist[to.index()] == Distance::MAX {
+        return None;
+    }
+    let mut chain = vec![to];
+    let mut cur = to;
+    while let Some(p) = pred[cur.index()] {
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse();
+    Some(Path::from_parts_unchecked(chain, dist[to.index()]))
+}
+
+/// Counts the number of distinct shortest paths (exactly minimal length)
+/// between `from` and `to` by dynamic programming over the shortest-path
+/// DAG. Saturates at `u64::MAX`.
+///
+/// Returns 0 when `to` is unreachable.
+///
+/// # Panics
+///
+/// Panics if either endpoint is out of bounds.
+pub fn count_shortest_paths(graph: &RoadGraph, from: NodeId, to: NodeId) -> u64 {
+    let tree = dijkstra::shortest_path_tree(graph, from);
+    let Some(target_dist) = tree.distance(to) else {
+        return 0;
+    };
+    // Order nodes by distance; count[v] = Σ count[u] over DAG edges u→v with
+    // dist[u] + len(u, v) == dist[v].
+    let mut order: Vec<NodeId> = graph
+        .nodes()
+        .filter(|&v| tree.distance(v).is_some_and(|d| d <= target_dist))
+        .collect();
+    order.sort_by_key(|&v| tree.distance(v).expect("filtered reachable"));
+    let mut count = vec![0u64; graph.node_count()];
+    count[from.index()] = 1;
+    for &u in &order {
+        if count[u.index()] == 0 {
+            continue;
+        }
+        let du = tree.distance(u).expect("reachable");
+        for nb in graph.out_neighbors(u) {
+            if let Some(dv) = tree.distance(nb.node) {
+                if du.saturating_add(nb.length) == dv && dv <= target_dist {
+                    count[nb.node.index()] =
+                        count[nb.node.index()].saturating_add(count[u.index()]);
+                }
+            }
+        }
+    }
+    count[to.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::graph::GraphBuilder;
+    use crate::grid::{GridGraph, GridPos};
+
+    #[test]
+    fn grid_multiplicity_is_binomial() {
+        // Paper Section IV-A: V1 -> V6 in Fig. 7 has 3 shortest paths.
+        // Generally an (r, c) displacement has C(r + c, r) staircases.
+        let grid = GridGraph::new(4, 4, Distance::from_feet(100));
+        let g = grid.graph();
+        let at = |r, c| grid.node_at(GridPos::new(r, c)).unwrap();
+        assert_eq!(count_shortest_paths(g, at(0, 0), at(1, 2)), 3); // C(3,1)
+        assert_eq!(count_shortest_paths(g, at(0, 0), at(2, 2)), 6); // C(4,2)
+        assert_eq!(count_shortest_paths(g, at(0, 0), at(3, 3)), 20); // C(6,3)
+        assert_eq!(count_shortest_paths(g, at(0, 0), at(0, 3)), 1);
+        assert_eq!(count_shortest_paths(g, at(2, 2), at(2, 2)), 1);
+    }
+
+    #[test]
+    fn yen_enumerates_all_grid_shortest_paths() {
+        let grid = GridGraph::new(3, 3, Distance::from_feet(100));
+        let g = grid.graph();
+        let from = grid.node_at(GridPos::new(0, 0)).unwrap();
+        let to = grid.node_at(GridPos::new(1, 2)).unwrap();
+        let paths = k_shortest_paths(g, from, to, 10).unwrap();
+        // The 3 shortest all have length 300; the next ones are longer.
+        assert!(paths.len() >= 3);
+        for p in &paths[..3] {
+            assert_eq!(p.length(), Distance::from_feet(300));
+        }
+        assert!(paths[3..].iter().all(|p| p.length() > Distance::from_feet(300)));
+        // All distinct and loopless.
+        let mut seen = HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.nodes().to_vec()), "duplicate {p}");
+            let distinct: HashSet<_> = p.nodes().iter().collect();
+            assert_eq!(distinct.len(), p.len(), "loop in {p}");
+        }
+    }
+
+    #[test]
+    fn yen_lengths_nondecreasing() {
+        let grid = GridGraph::new(4, 4, Distance::from_feet(50));
+        let g = grid.graph();
+        let paths = k_shortest_paths(g, NodeId::new(0), NodeId::new(15), 12).unwrap();
+        for w in paths.windows(2) {
+            assert!(w[0].length() <= w[1].length());
+        }
+        assert!(!paths.is_empty());
+    }
+
+    #[test]
+    fn diamond_with_distinct_lengths() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..4).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        b.add_two_way(v[0], v[1], Distance::from_feet(1)).unwrap();
+        b.add_two_way(v[1], v[3], Distance::from_feet(1)).unwrap();
+        b.add_two_way(v[0], v[2], Distance::from_feet(2)).unwrap();
+        b.add_two_way(v[2], v[3], Distance::from_feet(2)).unwrap();
+        let g = b.build();
+        let paths = k_shortest_paths(&g, v[0], v[3], 5).unwrap();
+        assert_eq!(paths.len(), 2); // only two loopless routes exist
+        assert_eq!(paths[0].length(), Distance::from_feet(2));
+        assert_eq!(paths[1].length(), Distance::from_feet(4));
+        assert_eq!(count_shortest_paths(&g, v[0], v[3]), 1);
+    }
+
+    #[test]
+    fn unreachable_and_k_zero() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let island = b.add_node(Point::new(1.0, 0.0));
+        let g = b.build();
+        assert!(matches!(
+            k_shortest_paths(&g, a, island, 3),
+            Err(GraphError::Unreachable { .. })
+        ));
+        assert_eq!(count_shortest_paths(&g, a, island), 0);
+        let grid = GridGraph::new(2, 2, Distance::from_feet(1));
+        assert!(k_shortest_paths(grid.graph(), NodeId::new(0), NodeId::new(3), 0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn count_matches_yen_on_random_grid_pairs() {
+        let grid = GridGraph::new(4, 5, Distance::from_feet(10));
+        let g = grid.graph();
+        for (a, b) in [(0u32, 19u32), (2, 17), (5, 14)] {
+            let count = count_shortest_paths(g, NodeId::new(a), NodeId::new(b));
+            let paths = k_shortest_paths(g, NodeId::new(a), NodeId::new(b), 64).unwrap();
+            let min_len = paths[0].length();
+            let shortest = paths.iter().filter(|p| p.length() == min_len).count() as u64;
+            assert_eq!(count, shortest, "pair ({a}, {b})");
+        }
+    }
+}

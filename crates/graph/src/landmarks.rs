@@ -1,0 +1,284 @@
+//! ALT landmarks: goal-directed search with triangle-inequality bounds.
+//!
+//! A* needs a lower bound on the remaining distance. Euclidean geometry
+//! gives one ([`crate::astar`]), but it degrades when edge weights exceed
+//! straight-line distances (bridges, one-ways) and vanishes on graphs whose
+//! weights are decoupled from geometry. The ALT technique (Goldberg &
+//! Harrelson) instead precomputes exact distances to a few *landmarks* `l`
+//! and bounds via the triangle inequality:
+//!
+//! ```text
+//! d(v, t) ≥ max_l  max( d(v, l) − d(t, l),  d(l, t) − d(l, v) )
+//! ```
+//!
+//! Landmarks are chosen by farthest-point selection, which puts them on the
+//! periphery where the bounds are tight. The map-matcher and CLI use this
+//! for repeated point-to-point queries on one city.
+
+use crate::dijkstra;
+use crate::error::GraphError;
+use crate::graph::RoadGraph;
+use crate::node::{Distance, NodeId};
+use crate::path::Path;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Precomputed landmark distance tables for one graph.
+#[derive(Clone, Debug)]
+pub struct Landmarks {
+    /// `from[l][v]` = d(landmark_l → v); `Distance::MAX` if unreachable.
+    from: Vec<Vec<Distance>>,
+    /// `to[l][v]` = d(v → landmark_l).
+    to: Vec<Vec<Distance>>,
+    nodes: Vec<NodeId>,
+}
+
+impl Landmarks {
+    /// Selects `count` landmarks by farthest-point traversal seeded at node
+    /// 0 and precomputes both distance tables (`2 × count` Dijkstras).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or `count` is zero.
+    pub fn select(graph: &RoadGraph, count: usize) -> Self {
+        assert!(count > 0, "at least one landmark required");
+        assert!(!graph.is_empty(), "cannot select landmarks on an empty graph");
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(count);
+        let mut min_dist = vec![Distance::MAX; graph.node_count()];
+        let mut current = NodeId::new(0);
+        for _ in 0..count.min(graph.node_count()) {
+            nodes.push(current);
+            let tree = dijkstra::shortest_path_tree(graph, current);
+            let mut farthest = current;
+            let mut far_d = Distance::ZERO;
+            for v in graph.nodes() {
+                let d = tree.distance(v).unwrap_or(Distance::MAX);
+                min_dist[v.index()] = min_dist[v.index()].min(d);
+                // Among reachable nodes, pick the one farthest from all
+                // chosen landmarks so far.
+                if min_dist[v.index()] != Distance::MAX
+                    && min_dist[v.index()] >= far_d
+                    && !nodes.contains(&v)
+                {
+                    far_d = min_dist[v.index()];
+                    farthest = v;
+                }
+            }
+            current = farthest;
+        }
+        let from = nodes
+            .iter()
+            .map(|&l| {
+                let t = dijkstra::shortest_path_tree(graph, l);
+                graph
+                    .nodes()
+                    .map(|v| t.distance(v).unwrap_or(Distance::MAX))
+                    .collect()
+            })
+            .collect();
+        let to = nodes
+            .iter()
+            .map(|&l| {
+                let t = dijkstra::reverse_shortest_path_tree(graph, l);
+                graph
+                    .nodes()
+                    .map(|v| t.distance(v).unwrap_or(Distance::MAX))
+                    .collect()
+            })
+            .collect();
+        Landmarks { from, to, nodes }
+    }
+
+    /// The selected landmark nodes.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// A lower bound on `d(v → t)` by the landmark triangle inequality
+    /// (zero when no landmark gives information).
+    pub fn lower_bound(&self, v: NodeId, t: NodeId) -> Distance {
+        let mut best = Distance::ZERO;
+        for l in 0..self.nodes.len() {
+            // d(v→t) ≥ d(v→l) − d(t→l)
+            let (vl, tl) = (self.to[l][v.index()], self.to[l][t.index()]);
+            if vl != Distance::MAX && tl != Distance::MAX && vl > tl {
+                best = best.max(vl - tl);
+            }
+            // d(v→t) ≥ d(l→t) − d(l→v)
+            let (lt, lv) = (self.from[l][t.index()], self.from[l][v.index()]);
+            if lt != Distance::MAX && lv != Distance::MAX && lt > lv {
+                best = best.max(lt - lv);
+            }
+        }
+        best
+    }
+}
+
+/// A* with the ALT heuristic: exact shortest paths, typically far fewer
+/// settled nodes than Dijkstra on peripheral queries.
+///
+/// # Errors
+///
+/// * [`GraphError::NodeOutOfBounds`] if either endpoint is missing.
+/// * [`GraphError::Unreachable`] if no path exists.
+pub fn alt_path(
+    graph: &RoadGraph,
+    landmarks: &Landmarks,
+    from: NodeId,
+    to: NodeId,
+) -> Result<Path, GraphError> {
+    graph.check_node(from)?;
+    graph.check_node(to)?;
+    let n = graph.node_count();
+    let mut dist = vec![Distance::MAX; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(Distance, Distance, u32)>> = BinaryHeap::new();
+    dist[from.index()] = Distance::ZERO;
+    heap.push(Reverse((landmarks.lower_bound(from, to), Distance::ZERO, from.raw())));
+    while let Some(Reverse((_f, g, raw))) = heap.pop() {
+        let u = NodeId::new(raw);
+        if g > dist[u.index()] {
+            continue;
+        }
+        if u == to {
+            break;
+        }
+        for nb in graph.out_neighbors(u) {
+            let ng = g.saturating_add(nb.length);
+            if ng < dist[nb.node.index()] {
+                dist[nb.node.index()] = ng;
+                pred[nb.node.index()] = Some(u);
+                heap.push(Reverse((
+                    ng.saturating_add(landmarks.lower_bound(nb.node, to)),
+                    ng,
+                    nb.node.raw(),
+                )));
+            }
+        }
+    }
+    if dist[to.index()] == Distance::MAX {
+        return Err(GraphError::Unreachable { from, to });
+    }
+    let mut chain = vec![to];
+    let mut cur = to;
+    while let Some(p) = pred[cur.index()] {
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse();
+    Ok(Path::from_parts_unchecked(chain, dist[to.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{perturbed_grid, PerturbedGridParams};
+    use crate::grid::GridGraph;
+
+    #[test]
+    fn bounds_never_exceed_true_distance() {
+        let g = perturbed_grid(
+            PerturbedGridParams {
+                rows: 7,
+                cols: 7,
+                spacing: Distance::from_feet(250),
+                delete_probability: 0.1,
+                diagonal_probability: 0.05,
+            },
+            9,
+        );
+        let lm = Landmarks::select(&g, 4);
+        for a in (0..g.node_count() as u32).step_by(5) {
+            let tree = dijkstra::shortest_path_tree(&g, NodeId::new(a));
+            for b in (0..g.node_count() as u32).step_by(7) {
+                if let Some(true_d) = tree.distance(NodeId::new(b)) {
+                    let lb = lm.lower_bound(NodeId::new(a), NodeId::new(b));
+                    assert!(
+                        lb <= true_d,
+                        "bound {lb} exceeds true distance {true_d} ({a} -> {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_exact_at_landmarks() {
+        let grid = GridGraph::new(6, 6, Distance::from_feet(100));
+        let g = grid.graph();
+        let lm = Landmarks::select(g, 3);
+        // For v = a landmark l, d(l→t) − d(l→l) = d(l→t): the bound is
+        // exact from the landmark itself.
+        for &l in lm.nodes() {
+            let tree = dijkstra::shortest_path_tree(g, l);
+            for t in g.nodes() {
+                let true_d = tree.distance(t).unwrap();
+                assert_eq!(lm.lower_bound(l, t), true_d, "landmark {l} target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn alt_matches_dijkstra_everywhere() {
+        let g = perturbed_grid(
+            PerturbedGridParams {
+                rows: 6,
+                cols: 8,
+                spacing: Distance::from_feet(300),
+                delete_probability: 0.12,
+                diagonal_probability: 0.08,
+            },
+            4,
+        );
+        let lm = Landmarks::select(&g, 4);
+        for a in (0..g.node_count() as u32).step_by(9) {
+            for b in (0..g.node_count() as u32).step_by(11) {
+                let expected = dijkstra::distance(&g, NodeId::new(a), NodeId::new(b));
+                match alt_path(&g, &lm, NodeId::new(a), NodeId::new(b)) {
+                    Ok(p) => {
+                        assert_eq!(Some(p.length()), expected, "pair ({a}, {b})");
+                        // Valid walk.
+                        let validated = Path::new(&g, p.nodes().to_vec()).unwrap();
+                        assert!(validated.length() <= p.length());
+                    }
+                    Err(_) => assert_eq!(expected, None, "pair ({a}, {b})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn landmarks_are_distinct_and_well_separated() {
+        let grid = GridGraph::new(9, 9, Distance::from_feet(100));
+        let lm = Landmarks::select(grid.graph(), 4);
+        assert_eq!(lm.nodes().len(), 4);
+        // All distinct...
+        let set: std::collections::HashSet<_> = lm.nodes().iter().collect();
+        assert_eq!(set.len(), 4);
+        // ...and farthest-point selection keeps them at least half the grid
+        // apart pairwise (ties may pick central diagonal nodes, so exact
+        // boundary membership is not guaranteed).
+        for (i, &a) in lm.nodes().iter().enumerate() {
+            for &b in &lm.nodes()[i + 1..] {
+                assert!(
+                    grid.street_distance(a, b) >= Distance::from_feet(800),
+                    "landmarks {a} and {b} too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one landmark")]
+    fn zero_landmarks_panics() {
+        let grid = GridGraph::new(2, 2, Distance::from_feet(10));
+        let _ = Landmarks::select(grid.graph(), 0);
+    }
+
+    #[test]
+    fn count_clamped_to_node_count() {
+        let grid = GridGraph::new(2, 2, Distance::from_feet(10));
+        let lm = Landmarks::select(grid.graph(), 10);
+        assert!(lm.nodes().len() <= 4);
+    }
+}

@@ -1,0 +1,358 @@
+//! Identifier newtypes and the fixed-point [`Distance`] type.
+//!
+//! All distances in this workspace are measured in whole feet and stored as
+//! `u64`. The paper's two city models are an 80,000 × 80,000 ft area (Dublin)
+//! and a 10,000 × 10,000 ft area (Seattle), so sub-foot precision is never
+//! needed, and exact integer arithmetic keeps Dijkstra's comparisons and the
+//! detour-distance identity `d = d' + d'' − d'''` free of rounding artifacts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Identifier of a street intersection (graph node).
+///
+/// Backed by `u32`: city graphs in this workspace stay far below 4 billion
+/// intersections, and a compact id halves the memory of adjacency arrays.
+///
+/// ```
+/// use rap_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "V3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index as a `usize`, for indexing per-node arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a directed street segment (graph edge).
+///
+/// A two-way street contributes two `EdgeId`s, one per direction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        EdgeId(index)
+    }
+
+    /// Returns the raw index as a `usize`, for indexing per-edge arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+/// An exact distance in whole feet.
+///
+/// `Distance` is a fixed-point quantity: ordinary `+`/`-` panic on overflow in
+/// debug builds like the underlying integers, while [`Distance::saturating_add`]
+/// is available for accumulation loops. Division and scalar multiplication are
+/// provided for averaging and utility-function evaluation.
+///
+/// The additive identity is [`Distance::ZERO`]; [`Distance::MAX`] serves as an
+/// "unreachable" sentinel inside shortest-path routines (never exposed: public
+/// APIs return `Option<Distance>` instead).
+///
+/// ```
+/// use rap_graph::Distance;
+/// let a = Distance::from_feet(300);
+/// let b = Distance::from_feet(200);
+/// assert_eq!((a + b).feet(), 500);
+/// assert_eq!((a - b).feet(), 100);
+/// assert!(a > b);
+/// assert_eq!(format!("{a}"), "300ft");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Distance(u64);
+
+impl Distance {
+    /// The zero distance.
+    pub const ZERO: Distance = Distance(0);
+
+    /// The maximum representable distance, used as an internal
+    /// "unreachable" sentinel.
+    pub const MAX: Distance = Distance(u64::MAX);
+
+    /// Creates a distance from a whole number of feet.
+    pub const fn from_feet(feet: u64) -> Self {
+        Distance(feet)
+    }
+
+    /// Creates a distance by rounding a floating-point number of feet.
+    ///
+    /// Negative and non-finite inputs round to zero; this is used when
+    /// converting Euclidean geometry (which is floating point) into graph
+    /// weights.
+    pub fn from_feet_f64(feet: f64) -> Self {
+        if feet.is_finite() && feet > 0.0 {
+            Distance(feet.round() as u64)
+        } else {
+            Distance(0)
+        }
+    }
+
+    /// Returns the number of feet.
+    pub const fn feet(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the distance as an `f64` number of feet, for utility-function
+    /// evaluation.
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns true if this is the zero distance.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Adds two distances, clamping at [`Distance::MAX`] instead of
+    /// overflowing. Sums involving the sentinel therefore stay unreachable.
+    pub const fn saturating_add(self, other: Distance) -> Distance {
+        Distance(self.0.saturating_add(other.0))
+    }
+
+    /// Subtracts, clamping at zero.
+    pub const fn saturating_sub(self, other: Distance) -> Distance {
+        Distance(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub const fn checked_add(self, other: Distance) -> Option<Distance> {
+        match self.0.checked_add(other.0) {
+            Some(v) => Some(Distance(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the smaller of two distances.
+    pub fn min(self, other: Distance) -> Distance {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two distances.
+    pub fn max(self, other: Distance) -> Distance {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Distance {
+    type Output = Distance;
+    fn add(self, rhs: Distance) -> Distance {
+        Distance(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Distance {
+    fn add_assign(&mut self, rhs: Distance) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Distance {
+    type Output = Distance;
+    fn sub(self, rhs: Distance) -> Distance {
+        Distance(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Distance {
+    fn sub_assign(&mut self, rhs: Distance) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Distance {
+    type Output = Distance;
+    fn mul(self, rhs: u64) -> Distance {
+        Distance(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Distance {
+    type Output = Distance;
+    fn div(self, rhs: u64) -> Distance {
+        Distance(self.0 / rhs)
+    }
+}
+
+impl Sum for Distance {
+    fn sum<I: Iterator<Item = Distance>>(iter: I) -> Distance {
+        iter.fold(Distance::ZERO, |acc, d| acc.saturating_add(d))
+    }
+}
+
+impl fmt::Display for Distance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ft", self.0)
+    }
+}
+
+impl From<u64> for Distance {
+    fn from(v: u64) -> Self {
+        Distance(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(NodeId::from(42u32), v);
+        assert_eq!(v.to_string(), "V42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(e.raw(), 7);
+        assert_eq!(EdgeId::from(7u32), e);
+        assert_eq!(e.to_string(), "E7");
+    }
+
+    #[test]
+    fn distance_arithmetic() {
+        let a = Distance::from_feet(10);
+        let b = Distance::from_feet(4);
+        assert_eq!(a + b, Distance::from_feet(14));
+        assert_eq!(a - b, Distance::from_feet(6));
+        assert_eq!(a * 3, Distance::from_feet(30));
+        assert_eq!(a / 2, Distance::from_feet(5));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Distance::from_feet(14));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn distance_saturation() {
+        assert_eq!(Distance::MAX.saturating_add(Distance::from_feet(1)), Distance::MAX);
+        assert_eq!(
+            Distance::ZERO.saturating_sub(Distance::from_feet(1)),
+            Distance::ZERO
+        );
+        assert_eq!(Distance::MAX.checked_add(Distance::from_feet(1)), None);
+        assert_eq!(
+            Distance::from_feet(1).checked_add(Distance::from_feet(2)),
+            Some(Distance::from_feet(3))
+        );
+    }
+
+    #[test]
+    fn distance_min_max() {
+        let a = Distance::from_feet(10);
+        let b = Distance::from_feet(4);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(a), a);
+    }
+
+    #[test]
+    fn distance_from_f64_rounds_and_clamps() {
+        assert_eq!(Distance::from_feet_f64(10.4).feet(), 10);
+        assert_eq!(Distance::from_feet_f64(10.5).feet(), 11);
+        assert_eq!(Distance::from_feet_f64(-3.0), Distance::ZERO);
+        assert_eq!(Distance::from_feet_f64(f64::NAN), Distance::ZERO);
+        assert_eq!(Distance::from_feet_f64(f64::INFINITY), Distance::ZERO);
+    }
+
+    #[test]
+    fn distance_sum_saturates() {
+        let total: Distance = [Distance::MAX, Distance::from_feet(5)].into_iter().sum();
+        assert_eq!(total, Distance::MAX);
+        let small: Distance = [1u64, 2, 3].into_iter().map(Distance::from_feet).sum();
+        assert_eq!(small, Distance::from_feet(6));
+    }
+
+    #[test]
+    fn distance_display() {
+        assert_eq!(Distance::from_feet(123).to_string(), "123ft");
+        assert_eq!(format!("{:?}", Distance::ZERO), "Distance(0)");
+    }
+
+    #[test]
+    fn distance_ordering() {
+        let mut v = vec![
+            Distance::from_feet(5),
+            Distance::ZERO,
+            Distance::from_feet(2),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Distance::ZERO,
+                Distance::from_feet(2),
+                Distance::from_feet(5)
+            ]
+        );
+    }
+}

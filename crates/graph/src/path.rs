@@ -1,0 +1,282 @@
+//! Paths through the road network.
+//!
+//! A [`Path`] is the ordered sequence of intersections a traffic flow drives
+//! through, together with its exact total length. The placement algorithms
+//! care about *which intersections a flow passes* (a RAP at any of them can
+//! reach the flow) and *in what order* (Theorem 1: the first RAP on the path
+//! gives the minimum detour), so `Path` exposes both.
+
+use crate::error::GraphError;
+use crate::graph::RoadGraph;
+use crate::node::{Distance, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered walk through the road network with its exact total length.
+///
+/// Invariants (enforced by the constructors):
+/// * at least one node;
+/// * every consecutive pair is connected by a directed edge in the validating
+///   graph (for [`Path::new`]).
+///
+/// ```
+/// use rap_graph::{GraphBuilder, Point, Distance, Path};
+/// # fn main() -> Result<(), rap_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// let v0 = b.add_node(Point::new(0.0, 0.0));
+/// let v1 = b.add_node(Point::new(1.0, 0.0));
+/// let v2 = b.add_node(Point::new(2.0, 0.0));
+/// b.add_two_way(v0, v1, Distance::from_feet(1))?;
+/// b.add_two_way(v1, v2, Distance::from_feet(1))?;
+/// let g = b.build();
+/// let p = Path::new(&g, vec![v0, v1, v2])?;
+/// assert_eq!(p.length(), Distance::from_feet(2));
+/// assert_eq!(p.origin(), v0);
+/// assert_eq!(p.destination(), v2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    length: Distance,
+}
+
+impl Path {
+    /// Builds a path from a node sequence, validating each hop against `graph`
+    /// and summing the (shortest available) edge lengths.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if a node does not exist.
+    /// * [`GraphError::Unreachable`] if a consecutive pair is not connected by
+    ///   a directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(graph: &RoadGraph, nodes: Vec<NodeId>) -> Result<Self, GraphError> {
+        assert!(!nodes.is_empty(), "a path must contain at least one node");
+        let mut length = Distance::ZERO;
+        for window in nodes.windows(2) {
+            let (a, b) = (window[0], window[1]);
+            graph.check_node(a)?;
+            graph.check_node(b)?;
+            match graph.edge_length(a, b) {
+                Some(l) => length = length.saturating_add(l),
+                None => return Err(GraphError::Unreachable { from: a, to: b }),
+            }
+        }
+        graph.check_node(nodes[0])?;
+        Ok(Path { nodes, length })
+    }
+
+    /// Builds a path from parts already known to be consistent (e.g. extracted
+    /// from a shortest-path tree). No validation is performed beyond the
+    /// non-emptiness assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn from_parts_unchecked(nodes: Vec<NodeId>, length: Distance) -> Self {
+        assert!(!nodes.is_empty(), "a path must contain at least one node");
+        Path { nodes, length }
+    }
+
+    /// A zero-length path standing at a single intersection.
+    pub fn trivial(node: NodeId) -> Self {
+        Path {
+            nodes: vec![node],
+            length: Distance::ZERO,
+        }
+    }
+
+    /// The ordered intersections of the path.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Exact total length.
+    pub fn length(&self) -> Distance {
+        self.length
+    }
+
+    /// First intersection.
+    pub fn origin(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last intersection.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Number of intersections on the path.
+    ///
+    /// Paths are never empty (the constructors enforce at least one node),
+    /// so no `is_empty` is provided; see [`Path::is_trivial`] for the
+    /// single-intersection case.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the path is a single intersection (no movement).
+    pub fn is_trivial(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Returns true if the path visits `node`.
+    pub fn visits(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// The position of the *first* visit to `node` along the path, if any.
+    ///
+    /// Theorem 1 of the paper makes the first on-path RAP the relevant one, so
+    /// callers use this to order candidate RAPs.
+    pub fn first_visit(&self, node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == node)
+    }
+
+    /// Distance traveled from the origin up to (the first visit of) the
+    /// intersection at `position`, computed against `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of bounds or an edge is missing (the path
+    /// was validated against a different graph).
+    pub fn prefix_length(&self, graph: &RoadGraph, position: usize) -> Distance {
+        assert!(position < self.nodes.len(), "position out of bounds");
+        let mut total = Distance::ZERO;
+        for window in self.nodes[..=position].windows(2) {
+            let l = graph
+                .edge_length(window[0], window[1])
+                .expect("path edge must exist in validating graph");
+            total = total.saturating_add(l);
+        }
+        total
+    }
+
+    /// Iterates over the intersections of the path.
+    pub fn iter(&self) -> std::slice::Iter<'_, NodeId> {
+        self.nodes.iter()
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for n in &self.nodes {
+            if !first {
+                write!(f, "→")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        write!(f, " ({})", self.length)
+    }
+}
+
+impl<'a> IntoIterator for &'a Path {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::graph::GraphBuilder;
+
+    fn line_graph(n: u32) -> (RoadGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        for w in nodes.windows(2) {
+            b.add_two_way(w[0], w[1], Distance::from_feet(10)).unwrap();
+        }
+        (b.build(), nodes)
+    }
+
+    #[test]
+    fn validated_path_has_summed_length() {
+        let (g, nodes) = line_graph(4);
+        let p = Path::new(&g, nodes.clone()).unwrap();
+        assert_eq!(p.length(), Distance::from_feet(30));
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.origin(), nodes[0]);
+        assert_eq!(p.destination(), nodes[3]);
+        assert!(!p.is_trivial());
+    }
+
+    #[test]
+    fn invalid_hop_is_rejected() {
+        let (g, nodes) = line_graph(4);
+        // 0 -> 2 skips an intersection: no direct edge.
+        let err = Path::new(&g, vec![nodes[0], nodes[2]]).unwrap_err();
+        assert!(matches!(err, GraphError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_node_is_rejected() {
+        let (g, nodes) = line_graph(2);
+        let err = Path::new(&g, vec![nodes[0], NodeId::new(99)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_path_panics() {
+        let (g, _) = line_graph(2);
+        let _ = Path::new(&g, vec![]);
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId::new(5));
+        assert!(p.is_trivial());
+        assert_eq!(p.length(), Distance::ZERO);
+        assert_eq!(p.origin(), p.destination());
+    }
+
+    #[test]
+    fn visits_and_first_visit() {
+        let (g, nodes) = line_graph(4);
+        // Walk out and back: 0,1,2,1 — node 1 is visited twice.
+        let p = Path::new(&g, vec![nodes[0], nodes[1], nodes[2], nodes[1]]).unwrap();
+        assert!(p.visits(nodes[1]));
+        assert!(!p.visits(nodes[3]));
+        assert_eq!(p.first_visit(nodes[1]), Some(1));
+        assert_eq!(p.first_visit(nodes[3]), None);
+        assert_eq!(p.length(), Distance::from_feet(30));
+    }
+
+    #[test]
+    fn prefix_length() {
+        let (g, nodes) = line_graph(4);
+        let p = Path::new(&g, nodes.clone()).unwrap();
+        assert_eq!(p.prefix_length(&g, 0), Distance::ZERO);
+        assert_eq!(p.prefix_length(&g, 1), Distance::from_feet(10));
+        assert_eq!(p.prefix_length(&g, 3), Distance::from_feet(30));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (g, nodes) = line_graph(2);
+        let p = Path::new(&g, nodes).unwrap();
+        assert_eq!(p.to_string(), "V0→V1 (10ft)");
+    }
+
+    #[test]
+    fn iteration() {
+        let (g, nodes) = line_graph(3);
+        let p = Path::new(&g, nodes.clone()).unwrap();
+        let collected: Vec<NodeId> = p.iter().copied().collect();
+        assert_eq!(collected, nodes);
+        let by_ref: Vec<NodeId> = (&p).into_iter().copied().collect();
+        assert_eq!(by_ref, nodes);
+    }
+}

@@ -1,0 +1,158 @@
+//! Induced subgraphs with node-id mappings.
+//!
+//! Study areas are windows into larger street networks (the paper crops both
+//! traces to their cities' central areas). [`induced_subgraph`] extracts the
+//! subnetwork spanned by a node subset, and the returned [`NodeMapping`]
+//! translates ids in both directions so flows and placements can be moved
+//! between the full city and the window.
+
+use crate::geometry::BoundingBox;
+use crate::graph::{GraphBuilder, RoadGraph};
+use crate::node::NodeId;
+use std::collections::HashMap;
+
+/// Bidirectional id translation between a parent graph and a subgraph.
+#[derive(Clone, Debug)]
+pub struct NodeMapping {
+    to_sub: HashMap<NodeId, NodeId>,
+    to_parent: Vec<NodeId>,
+}
+
+impl NodeMapping {
+    /// The subgraph id of a parent node, if it was kept.
+    pub fn to_subgraph(&self, parent: NodeId) -> Option<NodeId> {
+        self.to_sub.get(&parent).copied()
+    }
+
+    /// The parent id of a subgraph node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub` is out of bounds for the subgraph.
+    pub fn to_parent(&self, sub: NodeId) -> NodeId {
+        self.to_parent[sub.index()]
+    }
+
+    /// Number of kept nodes.
+    pub fn len(&self) -> usize {
+        self.to_parent.len()
+    }
+
+    /// True when no nodes were kept.
+    pub fn is_empty(&self) -> bool {
+        self.to_parent.is_empty()
+    }
+}
+
+/// Extracts the subgraph induced by `keep` (nodes in the given order; edges
+/// whose endpoints are both kept), plus the id mapping.
+///
+/// Duplicate ids in `keep` are ignored after their first occurrence; ids
+/// outside the graph are skipped.
+pub fn induced_subgraph(graph: &RoadGraph, keep: &[NodeId]) -> (RoadGraph, NodeMapping) {
+    let mut to_sub: HashMap<NodeId, NodeId> = HashMap::with_capacity(keep.len());
+    let mut to_parent: Vec<NodeId> = Vec::with_capacity(keep.len());
+    let mut b = GraphBuilder::with_capacity(keep.len(), keep.len() * 4);
+    for &v in keep {
+        if !graph.contains_node(v) || to_sub.contains_key(&v) {
+            continue;
+        }
+        let sub_id = b.add_node(graph.point(v));
+        to_sub.insert(v, sub_id);
+        to_parent.push(v);
+    }
+    for e in graph.edges() {
+        if let (Some(&s), Some(&d)) = (to_sub.get(&e.src), to_sub.get(&e.dst)) {
+            b.add_edge(s, d, e.length)
+                .expect("kept edges are valid in the subgraph");
+        }
+    }
+    (b.build(), NodeMapping { to_sub, to_parent })
+}
+
+/// Extracts the subgraph of all intersections inside `window`.
+pub fn crop(graph: &RoadGraph, window: &BoundingBox) -> (RoadGraph, NodeMapping) {
+    let keep = graph.nodes_in(window);
+    induced_subgraph(graph, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::grid::GridGraph;
+    use crate::node::Distance;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let grid = GridGraph::new(3, 3, Distance::from_feet(10));
+        let g = grid.graph();
+        // Keep the south row: 0, 1, 2.
+        let keep: Vec<NodeId> = [0u32, 1, 2].into_iter().map(NodeId::new).collect();
+        let (sub, map) = induced_subgraph(g, &keep);
+        assert_eq!(sub.node_count(), 3);
+        // Two streets, each two-way.
+        assert_eq!(sub.edge_count(), 4);
+        let s0 = map.to_subgraph(NodeId::new(0)).unwrap();
+        let s2 = map.to_subgraph(NodeId::new(2)).unwrap();
+        assert_eq!(
+            crate::dijkstra::distance(&sub, s0, s2),
+            Some(Distance::from_feet(20))
+        );
+        assert_eq!(map.to_parent(s2), NodeId::new(2));
+        assert_eq!(map.to_subgraph(NodeId::new(4)), None);
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn coordinates_are_preserved() {
+        let grid = GridGraph::new(2, 3, Distance::from_feet(100));
+        let g = grid.graph();
+        let keep: Vec<NodeId> = g.nodes().collect();
+        let (sub, map) = induced_subgraph(g, &keep);
+        for v in sub.nodes() {
+            assert_eq!(sub.point(v), g.point(map.to_parent(v)));
+        }
+    }
+
+    #[test]
+    fn duplicates_and_invalid_ids_are_skipped() {
+        let grid = GridGraph::new(2, 2, Distance::from_feet(10));
+        let keep = vec![
+            NodeId::new(0),
+            NodeId::new(0),
+            NodeId::new(99),
+            NodeId::new(3),
+        ];
+        let (sub, map) = induced_subgraph(grid.graph(), &keep);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(map.len(), 2);
+        assert!(!map.is_empty());
+        // 0 and 3 are opposite corners: no direct edge survives.
+        assert_eq!(sub.edge_count(), 0);
+    }
+
+    #[test]
+    fn crop_window() {
+        let grid = GridGraph::new(5, 5, Distance::from_feet(100));
+        let g = grid.graph();
+        // Central 3×3 window.
+        let window = BoundingBox::new(Point::new(99.0, 99.0), Point::new(301.0, 301.0));
+        let (sub, map) = crop(g, &window);
+        assert_eq!(sub.node_count(), 9);
+        // The cropped center must still be strongly connected.
+        assert!(crate::connectivity::is_strongly_connected(&sub));
+        // Every kept parent node is inside the window.
+        for v in sub.nodes() {
+            assert!(window.contains(g.point(map.to_parent(v))));
+        }
+    }
+
+    #[test]
+    fn empty_keep_yields_empty_graph() {
+        let grid = GridGraph::new(2, 2, Distance::from_feet(10));
+        let (sub, map) = induced_subgraph(grid.graph(), &[]);
+        assert!(sub.is_empty());
+        assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rap_graph::apsp::DistanceMatrix;
+use rap_graph::{dijkstra, BoundingBox, Distance, GraphBuilder, GridGraph, NodeId, Point};
+
+/// Strategy: a random connected-ish directed graph as (node count, edge
+/// list); edges may be dense or sparse, lengths in 1..=1000.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u64..1_000),
+            1..40,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, u64)]) -> rap_graph::RoadGraph {
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add_node(Point::new(i as f64, 0.0));
+    }
+    for &(s, d, l) in edges {
+        if s != d {
+            let _ = b.add_edge(NodeId::new(s), NodeId::new(d), Distance::from_feet(l));
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    /// Dijkstra and Floyd–Warshall must agree on every pair.
+    #[test]
+    fn dijkstra_matches_floyd_warshall((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let a = DistanceMatrix::dijkstra_all(&g);
+        let b = DistanceMatrix::floyd_warshall(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(a.get(u, v), b.get(u, v));
+            }
+        }
+    }
+
+    /// The distance matrix satisfies the triangle inequality.
+    #[test]
+    fn triangle_inequality((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let m = DistanceMatrix::dijkstra_all(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                for w in g.nodes() {
+                    if let (Some(uv), Some(vw)) = (m.get(u, v), m.get(v, w)) {
+                        let uw = m.get(u, w).expect("reachable via v");
+                        prop_assert!(uw <= uv.saturating_add(vw));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Extracted shortest paths are valid walks with the reported length.
+    #[test]
+    fn extracted_paths_are_consistent((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let source = NodeId::new(0);
+        let tree = dijkstra::shortest_path_tree(&g, source);
+        for v in g.nodes() {
+            if let Ok(path) = tree.path_to(v) {
+                prop_assert_eq!(path.origin(), source);
+                prop_assert_eq!(path.destination(), v);
+                // Re-validating through Path::new must agree on the length.
+                let revalidated =
+                    rap_graph::Path::new(&g, path.nodes().to_vec()).expect("tree path is valid");
+                prop_assert!(revalidated.length() <= path.length());
+                prop_assert_eq!(tree.distance(v), Some(path.length()));
+            }
+        }
+    }
+
+    /// Reverse trees agree with forward trees run from every source.
+    #[test]
+    fn reverse_tree_agrees_with_forward((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let target = NodeId::new((n - 1) as u32);
+        let rev = dijkstra::reverse_shortest_path_tree(&g, target);
+        for v in g.nodes() {
+            let fwd = dijkstra::shortest_path_tree(&g, v);
+            prop_assert_eq!(rev.distance(v), fwd.distance(target));
+        }
+    }
+
+    /// Text serialization round-trips arbitrary graphs.
+    #[test]
+    fn text_io_roundtrip((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let mut buf = Vec::new();
+        rap_graph::io::write_text(&g, &mut buf).expect("write succeeds");
+        let g2 = rap_graph::io::read_text(buf.as_slice()).expect("read succeeds");
+        prop_assert_eq!(g.node_count(), g2.node_count());
+        prop_assert_eq!(g.edge_count(), g2.edge_count());
+        for (a, b) in g.edges().zip(g2.edges()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// In a uniform grid, L1 block distance equals the shortest-path
+    /// distance.
+    #[test]
+    fn grid_l1_equals_dijkstra(rows in 2u32..6, cols in 2u32..6, spacing in 1u64..500) {
+        let grid = GridGraph::new(rows, cols, Distance::from_feet(spacing));
+        let tree = dijkstra::shortest_path_tree(grid.graph(), NodeId::new(0));
+        for v in grid.graph().nodes() {
+            prop_assert_eq!(
+                tree.distance(v),
+                Some(grid.street_distance(NodeId::new(0), v))
+            );
+        }
+    }
+
+    /// Random geometric graphs are strongly connected for any seed.
+    #[test]
+    fn random_geometric_always_connected(seed in 0u64..50, n in 2usize..25) {
+        let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0));
+        let g = rap_graph::generators::random_geometric(n, bb, 200.0, seed);
+        prop_assert!(DistanceMatrix::dijkstra_all(&g).strongly_connected());
+    }
+}

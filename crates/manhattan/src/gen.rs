@@ -1,0 +1,234 @@
+//! Random flow generation for Manhattan-grid experiments.
+//!
+//! The paper's Manhattan formulation considers through-traffic crossing a
+//! `D × D` square region. [`boundary_flows`] synthesizes such traffic:
+//! origin and destination are sampled on the grid boundary (biased by the
+//! requested class mix), volumes uniform in a range.
+
+use crate::classify::{classify, FlowClass};
+use rap_graph::{GridGraph, GridPos};
+use rap_traffic::{FlowSpec, TrafficError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`boundary_flows`].
+#[derive(Clone, Copy, Debug)]
+pub struct BoundaryFlowParams {
+    /// Number of flows to generate.
+    pub flows: usize,
+    /// Minimum daily volume per flow.
+    pub min_volume: f64,
+    /// Maximum daily volume per flow.
+    pub max_volume: f64,
+    /// Advertisement attractiveness `α` for every flow.
+    pub attractiveness: f64,
+    /// Fraction of flows forced to be straight (the rest are sampled freely
+    /// among turned/other).
+    pub straight_fraction: f64,
+}
+
+impl Default for BoundaryFlowParams {
+    fn default() -> Self {
+        BoundaryFlowParams {
+            flows: 100,
+            min_volume: 50.0,
+            max_volume: 500.0,
+            attractiveness: rap_traffic::flow::DEFAULT_ATTRACTIVENESS,
+            straight_fraction: 0.3,
+        }
+    }
+}
+
+fn random_boundary_pos(grid: &GridGraph, rng: &mut StdRng) -> GridPos {
+    // Sample a side, then a position along it.
+    match rng.random_range(0..4u8) {
+        0 => GridPos::new(0, rng.random_range(0..grid.cols())),
+        1 => GridPos::new(grid.rows() - 1, rng.random_range(0..grid.cols())),
+        2 => GridPos::new(rng.random_range(0..grid.rows()), 0),
+        _ => GridPos::new(rng.random_range(0..grid.rows()), grid.cols() - 1),
+    }
+}
+
+/// Generates boundary-to-boundary through traffic on `grid`.
+///
+/// Roughly `straight_fraction` of flows are straight (same row or column,
+/// boundary to boundary); the rest are arbitrary boundary pairs, which on a
+/// square grid skew heavily toward turned flows.
+///
+/// # Errors
+///
+/// Propagates invalid volumes/attractiveness as [`TrafficError`].
+///
+/// # Panics
+///
+/// Panics if the grid is smaller than 2×2 or `straight_fraction` is outside
+/// `[0, 1]`.
+pub fn boundary_flows(
+    grid: &GridGraph,
+    params: BoundaryFlowParams,
+    seed: u64,
+) -> Result<Vec<FlowSpec>, TrafficError> {
+    assert!(
+        grid.rows() >= 2 && grid.cols() >= 2,
+        "boundary flows require at least a 2x2 grid"
+    );
+    assert!(
+        (0.0..=1.0).contains(&params.straight_fraction),
+        "straight fraction must lie in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut specs = Vec::with_capacity(params.flows);
+    while specs.len() < params.flows {
+        let want_straight = rng.random_bool(params.straight_fraction);
+        let (o, d) = if want_straight {
+            if rng.random_bool(0.5) {
+                // Horizontal: boundary-to-boundary along a random row.
+                let row = rng.random_range(0..grid.rows());
+                (GridPos::new(row, 0), GridPos::new(row, grid.cols() - 1))
+            } else {
+                let col = rng.random_range(0..grid.cols());
+                (GridPos::new(0, col), GridPos::new(grid.rows() - 1, col))
+            }
+        } else {
+            (
+                random_boundary_pos(grid, &mut rng),
+                random_boundary_pos(grid, &mut rng),
+            )
+        };
+        if o == d {
+            continue;
+        }
+        let (o, d) = match (grid.node_at(o), grid.node_at(d)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => continue,
+        };
+        let volume = if params.min_volume == params.max_volume {
+            params.min_volume
+        } else {
+            rng.random_range(params.min_volume..=params.max_volume)
+        };
+        let spec = FlowSpec::new(o, d, volume)?.with_attractiveness(params.attractiveness)?;
+        // Direction matters for detours but classification sanity-checks the
+        // generator: straight draws must classify straight.
+        debug_assert!(
+            !want_straight || classify(grid, o, d).is_straight(),
+            "straight draw produced a non-straight flow"
+        );
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// Counts flows per class, useful for workload reporting.
+pub fn class_histogram(grid: &GridGraph, specs: &[FlowSpec]) -> [(FlowClass, usize); 4] {
+    let mut counts = [
+        (FlowClass::StraightHorizontal, 0usize),
+        (FlowClass::StraightVertical, 0),
+        (FlowClass::Turned, 0),
+        (FlowClass::Other, 0),
+    ];
+    for s in specs {
+        let class = classify(grid, s.origin(), s.destination());
+        for slot in counts.iter_mut() {
+            if slot.0 == class {
+                slot.1 += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_graph::Distance;
+
+    fn grid() -> GridGraph {
+        GridGraph::new(6, 6, Distance::from_feet(200))
+    }
+
+    #[test]
+    fn generates_requested_count_deterministically() {
+        let g = grid();
+        let p = BoundaryFlowParams {
+            flows: 60,
+            ..BoundaryFlowParams::default()
+        };
+        let a = boundary_flows(&g, p, 3).unwrap();
+        let b = boundary_flows(&g, p, 3).unwrap();
+        assert_eq!(a.len(), 60);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn endpoints_are_on_the_boundary() {
+        let g = grid();
+        let specs = boundary_flows(&g, BoundaryFlowParams::default(), 5).unwrap();
+        for s in &specs {
+            for node in [s.origin(), s.destination()] {
+                assert!(g.is_boundary(node), "{node} is interior");
+            }
+        }
+    }
+
+    #[test]
+    fn straight_fraction_is_respected_roughly() {
+        let g = grid();
+        let p = BoundaryFlowParams {
+            flows: 400,
+            straight_fraction: 0.5,
+            ..BoundaryFlowParams::default()
+        };
+        let specs = boundary_flows(&g, p, 11).unwrap();
+        let hist = class_histogram(&g, &specs);
+        let straight: usize = hist
+            .iter()
+            .filter(|(c, _)| c.is_straight())
+            .map(|(_, n)| n)
+            .sum();
+        // At least the forced half (plus random straight draws).
+        assert!(
+            straight >= 160,
+            "expected roughly >= 40% straight, got {straight}/400"
+        );
+        // Free draws produce turned flows on a square grid.
+        let turned = hist[2].1;
+        assert!(turned > 0, "no turned flows generated");
+    }
+
+    #[test]
+    fn all_straight_when_fraction_one() {
+        let g = grid();
+        let p = BoundaryFlowParams {
+            flows: 50,
+            straight_fraction: 1.0,
+            ..BoundaryFlowParams::default()
+        };
+        let specs = boundary_flows(&g, p, 0).unwrap();
+        for s in &specs {
+            assert!(classify(&g, s.origin(), s.destination()).is_straight());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "straight fraction")]
+    fn bad_fraction_panics() {
+        let g = grid();
+        let p = BoundaryFlowParams {
+            straight_fraction: 2.0,
+            ..BoundaryFlowParams::default()
+        };
+        let _ = boundary_flows(&g, p, 0);
+    }
+
+    #[test]
+    fn bad_volume_is_error() {
+        let g = grid();
+        let p = BoundaryFlowParams {
+            min_volume: -2.0,
+            max_volume: -1.0,
+            ..BoundaryFlowParams::default()
+        };
+        assert!(boundary_flows(&g, p, 0).is_err());
+    }
+}

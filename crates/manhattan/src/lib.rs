@@ -1,0 +1,62 @@
+//! # rap-manhattan
+//!
+//! RAP placement on Manhattan-grid street plans (Zheng & Wu, ICDCS 2015,
+//! Section IV).
+//!
+//! Grid cities admit many shortest paths per origin–destination pair, and
+//! drivers pick a path passing a RAP when one exists (the advertisement is
+//! free). This changes the coverage geometry completely: a RAP reaches a flow
+//! iff it lies in the flow's spanned rectangle, and the four grid corners
+//! jointly cover every *turned* flow. The two-stage algorithms exploit this:
+//!
+//! * [`TwoStage`] (Algorithm 3) — four corner RAPs + optimal greedy on
+//!   straight flows; `1 − 4/k` of optimal on turned + straight flows under
+//!   the threshold utility (Theorem 3).
+//! * [`ModifiedTwoStage`] (Algorithm 4) — corner–shop midpoints instead of
+//!   corners; `1/2 − 2/k` under the linear decreasing utility (Theorem 4).
+//!
+//! Supporting pieces: flow classification ([`mod@classify`]), the RAP-aware
+//! scenario and objective ([`ManhattanScenario`]), grid-adapted baselines and
+//! an exhaustive optimum ([`algorithms`]), and boundary-traffic generation
+//! ([`gen`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rap_graph::{GridGraph, Distance};
+//! use rap_core::UtilityKind;
+//! use rap_manhattan::{ManhattanScenario, TwoStage, ManhattanAlgorithm};
+//! use rap_manhattan::gen::{boundary_flows, BoundaryFlowParams};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let grid = GridGraph::new(9, 9, Distance::from_feet(250)); // 2,000 ft side
+//! let specs = boundary_flows(&grid, BoundaryFlowParams::default(), 7)?;
+//! let scenario = ManhattanScenario::new(
+//!     grid,
+//!     specs,
+//!     UtilityKind::Threshold.instantiate(Distance::from_feet(2_000)),
+//! )?;
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let placement = TwoStage.place(&scenario, 8, &mut rng);
+//! println!("attracts {:.3} customers/day", scenario.evaluate(&placement));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod algorithms;
+pub mod classify;
+pub mod gen;
+pub mod report;
+pub mod scenario;
+pub mod simulate;
+pub mod two_stage;
+
+pub use algorithms::{
+    GridExhaustive, GridGreedy, GridMaxCardinality, GridMaxCustomers, GridMaxVehicles,
+    GridRandom, ManhattanAlgorithm,
+};
+pub use classify::{classify, turned_corner, FlowClass, Side};
+pub use report::{ClassReport, ClassStats};
+pub use scenario::{GridFlow, ManhattanScenario};
+pub use two_stage::{ModifiedTwoStage, TwoStage};

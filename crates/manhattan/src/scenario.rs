@@ -1,0 +1,502 @@
+//! The Manhattan-grid placement scenario (paper Section IV-A).
+//!
+//! Unlike the general scenario, travel paths are **not** pre-fixed: between
+//! any origin–destination pair a Manhattan grid offers many shortest paths
+//! (every monotone staircase inside the spanned rectangle), and a driver with
+//! shopping interest picks one passing a RAP when such a shortest path exists
+//! ("a free additional advertisement"). RAP locations are assumed public.
+//!
+//! Consequently a RAP at `v` reaches flow `(o, d)` iff `v` lies on *some*
+//! shortest o→d path — in a uniform grid, iff `v` lies in the axis-aligned
+//! rectangle spanned by `o` and `d`. The flow's detour distance is then the
+//! minimum, over reachable placed RAPs, of `d'(v) + d''(d) − d'''(v)` with
+//! all terms L1 street distances.
+
+use crate::classify::{classify, FlowClass};
+use rap_core::{Placement, PlacementError, UtilityFunction};
+use rap_graph::{Distance, GridGraph, NodeId};
+use rap_traffic::{FlowSpec, TrafficError};
+use std::sync::Arc;
+
+/// A traffic flow on the Manhattan grid, with its classification.
+#[derive(Clone, Debug)]
+pub struct GridFlow {
+    origin: NodeId,
+    destination: NodeId,
+    volume: f64,
+    attractiveness: f64,
+    class: FlowClass,
+}
+
+impl GridFlow {
+    /// Origin intersection.
+    pub fn origin(&self) -> NodeId {
+        self.origin
+    }
+
+    /// Destination intersection.
+    pub fn destination(&self) -> NodeId {
+        self.destination
+    }
+
+    /// Daily volume of potential customers.
+    pub fn volume(&self) -> f64 {
+        self.volume
+    }
+
+    /// Advertisement attractiveness `α`.
+    pub fn attractiveness(&self) -> f64 {
+        self.attractiveness
+    }
+
+    /// The flow's classification (straight / turned / other).
+    pub fn class(&self) -> FlowClass {
+        self.class
+    }
+}
+
+/// The Manhattan-grid placement problem: a uniform grid whose center hosts
+/// the shop, flows with flexible shortest-path routing, and a utility
+/// function.
+///
+/// ```
+/// use rap_graph::{GridGraph, Distance, NodeId};
+/// use rap_traffic::FlowSpec;
+/// use rap_core::{UtilityKind, Placement};
+/// use rap_manhattan::ManhattanScenario;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = GridGraph::new(5, 5, Distance::from_feet(250));
+/// // Grid side = 1,000 ft = D; shop at the center.
+/// let flows = vec![FlowSpec::new(NodeId::new(0), NodeId::new(4), 100.0)?];
+/// let s = ManhattanScenario::new(
+///     grid,
+///     flows,
+///     UtilityKind::Threshold.instantiate(Distance::from_feet(1_000)),
+/// )?;
+/// // A RAP anywhere on the south row reaches the flow.
+/// let p = Placement::new(vec![NodeId::new(2)]);
+/// assert!(s.evaluate(&p) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ManhattanScenario {
+    grid: GridGraph,
+    shop: NodeId,
+    utility: Arc<dyn UtilityFunction>,
+    flows: Vec<GridFlow>,
+    /// Inclusive (row, col) bounds of the `D × D` region RAPs may occupy.
+    region: (rap_graph::GridPos, rap_graph::GridPos),
+}
+
+impl ManhattanScenario {
+    /// Builds the scenario; the shop sits at the grid's center intersection
+    /// and the whole grid is the `D × D` region (the paper's square-region
+    /// formulation with the grid *being* the region).
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::Traffic`] if a flow references a node outside the
+    /// grid.
+    pub fn new(
+        grid: GridGraph,
+        specs: Vec<FlowSpec>,
+        utility: Arc<dyn UtilityFunction>,
+    ) -> Result<Self, PlacementError> {
+        let side = Distance::from_feet(
+            grid.spacing().feet() * (grid.rows().max(grid.cols()) as u64),
+        );
+        Self::with_region(grid, specs, utility, side)
+    }
+
+    /// Builds the scenario with the `D × D` region restricted to `side` feet
+    /// around the shop: RAP candidate sites (and the two-stage algorithms'
+    /// "corners") are limited to the region, while flows and detour
+    /// distances live on the full city grid. Larger regions therefore admit
+    /// more placement sites, reproducing the paper's dependence on `D`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::Traffic`] if a flow references a node outside the
+    /// grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is zero.
+    pub fn with_region(
+        grid: GridGraph,
+        specs: Vec<FlowSpec>,
+        utility: Arc<dyn UtilityFunction>,
+        side: Distance,
+    ) -> Result<Self, PlacementError> {
+        assert!(!side.is_zero(), "region side must be positive");
+        let shop = grid.center();
+        let shop_pos = grid.pos_of(shop);
+        let half_blocks = (side.feet() / 2) / grid.spacing().feet();
+        let half = u32::try_from(half_blocks).unwrap_or(u32::MAX);
+        let region = (
+            rap_graph::GridPos::new(
+                shop_pos.row.saturating_sub(half),
+                shop_pos.col.saturating_sub(half),
+            ),
+            rap_graph::GridPos::new(
+                (shop_pos.row + half.min(grid.rows())).min(grid.rows() - 1),
+                (shop_pos.col + half.min(grid.cols())).min(grid.cols() - 1),
+            ),
+        );
+        let mut flows = Vec::with_capacity(specs.len());
+        for s in specs {
+            for node in [s.origin(), s.destination()] {
+                if !grid.graph().contains_node(node) {
+                    return Err(PlacementError::Traffic(TrafficError::Graph(
+                        rap_graph::GraphError::NodeOutOfBounds {
+                            node,
+                            node_count: grid.graph().node_count(),
+                        },
+                    )));
+                }
+            }
+            let class = classify(&grid, s.origin(), s.destination());
+            flows.push(GridFlow {
+                origin: s.origin(),
+                destination: s.destination(),
+                volume: s.volume(),
+                attractiveness: s.attractiveness(),
+                class,
+            });
+        }
+        Ok(ManhattanScenario {
+            grid,
+            shop,
+            utility,
+            flows,
+            region,
+        })
+    }
+
+    /// True if `node` lies inside the `D × D` region.
+    pub fn in_region(&self, node: NodeId) -> bool {
+        let p = self.grid.pos_of(node);
+        p.row >= self.region.0.row
+            && p.row <= self.region.1.row
+            && p.col >= self.region.0.col
+            && p.col <= self.region.1.col
+    }
+
+    /// Inclusive (SW, NE) grid-position bounds of the `D × D` region.
+    pub fn region_bounds(&self) -> (rap_graph::GridPos, rap_graph::GridPos) {
+        self.region
+    }
+
+    /// The four corners of the `D × D` region in order SW, SE, NE, NW —
+    /// where stage one of Algorithm 3 pins its RAPs.
+    pub fn region_corners(&self) -> [NodeId; 4] {
+        let (lo, hi) = self.region;
+        [
+            self.grid.node_at(rap_graph::GridPos::new(lo.row, lo.col)),
+            self.grid.node_at(rap_graph::GridPos::new(lo.row, hi.col)),
+            self.grid.node_at(rap_graph::GridPos::new(hi.row, hi.col)),
+            self.grid.node_at(rap_graph::GridPos::new(hi.row, lo.col)),
+        ]
+        .map(|n| n.expect("region corners are inside the grid"))
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &GridGraph {
+        &self.grid
+    }
+
+    /// The shop intersection (grid center).
+    pub fn shop(&self) -> NodeId {
+        self.shop
+    }
+
+    /// The utility function.
+    pub fn utility(&self) -> &dyn UtilityFunction {
+        self.utility.as_ref()
+    }
+
+    /// The flows, with classifications.
+    pub fn flows(&self) -> &[GridFlow] {
+        &self.flows
+    }
+
+    /// True if `node` lies on some shortest path of `flow` — i.e. inside the
+    /// axis-aligned rectangle spanned by its endpoints.
+    pub fn reaches(&self, flow: &GridFlow, node: NodeId) -> bool {
+        let o = self.grid.pos_of(flow.origin);
+        let d = self.grid.pos_of(flow.destination);
+        let p = self.grid.pos_of(node);
+        p.row >= o.row.min(d.row)
+            && p.row <= o.row.max(d.row)
+            && p.col >= o.col.min(d.col)
+            && p.col <= o.col.max(d.col)
+    }
+
+    /// The detour distance of `flow` if it receives the advertisement at
+    /// `node`: `d'(node→shop) + d''(shop→dest) − d'''(node→dest)`, all L1
+    /// street distances.
+    pub fn detour_at(&self, flow: &GridFlow, node: NodeId) -> Distance {
+        let d1 = self.grid.street_distance(node, self.shop);
+        let d2 = self.grid.street_distance(self.shop, flow.destination);
+        let d3 = self.grid.street_distance(node, flow.destination);
+        (d1 + d2).saturating_sub(d3)
+    }
+
+    /// Expected customers from `flow` at detour distance `detour`.
+    pub fn expected_customers(&self, flow: &GridFlow, detour: Distance) -> f64 {
+        self.utility.probability(detour, flow.attractiveness) * flow.volume
+    }
+
+    /// The minimum detour of `flow` over the placed RAPs it can reach, or
+    /// `None` when no placed RAP lies on any of its shortest paths.
+    pub fn best_detour(&self, flow: &GridFlow, placement: &Placement) -> Option<Distance> {
+        placement
+            .iter()
+            .filter(|&&v| self.reaches(flow, v))
+            .map(|&v| self.detour_at(flow, v))
+            .min()
+    }
+
+    /// The objective: expected daily customers attracted by `placement`
+    /// under RAP-aware shortest-path choice.
+    pub fn evaluate(&self, placement: &Placement) -> f64 {
+        self.flows
+            .iter()
+            .filter_map(|f| {
+                self.best_detour(f, placement)
+                    .map(|d| self.expected_customers(f, d))
+            })
+            .sum()
+    }
+
+    /// Marginal gain of adding a RAP at `node`, given each flow's current
+    /// best detour (`None` = unreached).
+    pub fn marginal_gain(&self, best: &[Option<Distance>], node: NodeId) -> f64 {
+        let mut gain = 0.0;
+        for (f, cur) in self.flows.iter().zip(best) {
+            if !self.reaches(f, node) {
+                continue;
+            }
+            let new = self.expected_customers(f, self.detour_at(f, node));
+            let old = cur.map_or(0.0, |d| self.expected_customers(f, d));
+            if new > old {
+                gain += new - old;
+            }
+        }
+        gain
+    }
+
+    /// Updates `best` in place after placing a RAP at `node`.
+    pub fn apply(&self, best: &mut [Option<Distance>], node: NodeId) {
+        for (f, slot) in self.flows.iter().zip(best.iter_mut()) {
+            if !self.reaches(f, node) {
+                continue;
+            }
+            let d = self.detour_at(f, node);
+            *slot = Some(match *slot {
+                Some(cur) => cur.min(d),
+                None => d,
+            });
+        }
+    }
+
+    /// The legal RAP sites: every intersection inside the `D × D` region, in
+    /// id order. When the region is the whole grid (the [`ManhattanScenario::new`]
+    /// constructor) this is every intersection.
+    pub fn candidates(&self) -> Vec<NodeId> {
+        self.grid
+            .graph()
+            .nodes()
+            .filter(|&v| self.in_region(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_core::UtilityKind;
+    use rap_graph::GridPos;
+
+    /// 5×5 grid, 250 ft blocks → 1,000 ft side; shop at center (2,2).
+    fn scenario(kind: UtilityKind) -> ManhattanScenario {
+        let grid = GridGraph::new(5, 5, Distance::from_feet(250));
+        let mk = |o: GridPos, d: GridPos, vol: f64| {
+            FlowSpec::new(
+                grid.node_at(o).unwrap(),
+                grid.node_at(d).unwrap(),
+                vol,
+            )
+            .unwrap()
+            .with_attractiveness(1.0)
+            .unwrap()
+        };
+        let specs = vec![
+            // Straight across the middle row (west -> east).
+            mk(GridPos::new(2, 0), GridPos::new(2, 4), 10.0),
+            // Turned: west side -> south side.
+            mk(GridPos::new(3, 0), GridPos::new(0, 2), 20.0),
+            // Other: diagonal with interior endpoint.
+            mk(GridPos::new(1, 1), GridPos::new(4, 4), 5.0),
+        ];
+        ManhattanScenario::new(
+            grid,
+            specs,
+            kind.instantiate(Distance::from_feet(1_000)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classifications_are_attached() {
+        let s = scenario(UtilityKind::Threshold);
+        assert_eq!(s.flows()[0].class(), FlowClass::StraightHorizontal);
+        assert_eq!(s.flows()[1].class(), FlowClass::Turned);
+        assert_eq!(s.flows()[2].class(), FlowClass::Other);
+        assert_eq!(s.shop(), s.grid().center());
+    }
+
+    #[test]
+    fn rectangle_reachability() {
+        let s = scenario(UtilityKind::Threshold);
+        let turned = &s.flows()[1]; // (3,0) -> (0,2)
+        // Inside the rectangle rows 0..3, cols 0..2.
+        assert!(s.reaches(turned, s.grid().node_at(GridPos::new(1, 1)).unwrap()));
+        // The SW corner is reachable (Theorem 3's corner).
+        assert!(s.reaches(turned, s.grid().node_at(GridPos::new(0, 0)).unwrap()));
+        // Outside the rectangle.
+        assert!(!s.reaches(turned, s.grid().node_at(GridPos::new(4, 4)).unwrap()));
+        assert!(!s.reaches(turned, s.grid().node_at(GridPos::new(0, 3)).unwrap()));
+    }
+
+    #[test]
+    fn straight_flow_through_shop_row_has_zero_detour_at_shop() {
+        let s = scenario(UtilityKind::Linear);
+        let straight = &s.flows()[0]; // row 2, the shop's row
+        let shop = s.shop();
+        assert_eq!(s.detour_at(straight, shop), Distance::ZERO);
+        // At the flow's origin the shop is still dead ahead: zero detour.
+        assert_eq!(s.detour_at(straight, straight.origin()), Distance::ZERO);
+    }
+
+    #[test]
+    fn detour_identity_for_turned_flow() {
+        let s = scenario(UtilityKind::Linear);
+        let turned = &s.flows()[1]; // (3,0) -> (0,2), shop (2,2)
+        let corner = s.grid().node_at(GridPos::new(0, 0)).unwrap();
+        // d'(corner -> shop) = (2+2)*250 = 1000; d''(shop -> dest (0,2)) =
+        // 2*250 = 500; d'''(corner -> dest) = 2*250 = 500. detour = 1000.
+        assert_eq!(s.detour_at(turned, corner), Distance::from_feet(1_000));
+        // A RAP at (1,1) instead: d' = (1+1)*250 = 500; d'' = 500;
+        // d''' = (1+1)*250 = 500 → detour 500.
+        let mid = s.grid().node_at(GridPos::new(1, 1)).unwrap();
+        assert_eq!(s.detour_at(turned, mid), Distance::from_feet(500));
+    }
+
+    #[test]
+    fn evaluate_uses_best_reachable_rap() {
+        let s = scenario(UtilityKind::Linear);
+        let corner = s.grid().node_at(GridPos::new(0, 0)).unwrap();
+        let mid = s.grid().node_at(GridPos::new(1, 1)).unwrap();
+        let turned = &s.flows()[1];
+        let p_corner = Placement::new(vec![corner]);
+        let p_both = Placement::new(vec![corner, mid]);
+        assert_eq!(s.best_detour(turned, &p_corner), Some(Distance::from_feet(1_000)));
+        assert_eq!(s.best_detour(turned, &p_both), Some(Distance::from_feet(500)));
+        assert!(s.evaluate(&p_both) >= s.evaluate(&p_corner));
+    }
+
+    #[test]
+    fn unreached_flows_contribute_nothing() {
+        let s = scenario(UtilityKind::Threshold);
+        // RAP at (4,0): reaches no flow (not in any rectangle... flow 0's
+        // rectangle is row 2 only; flow 1's is rows 0-3 cols 0-2 -> (4,0) is
+        // outside; flow 2's is rows 1-4 cols 1-4 -> col 0 outside).
+        let p = Placement::new(vec![s.grid().node_at(GridPos::new(4, 0)).unwrap()]);
+        assert_eq!(s.evaluate(&p), 0.0);
+    }
+
+    #[test]
+    fn marginal_gain_consistency() {
+        let s = scenario(UtilityKind::Linear);
+        let mut best = vec![None; s.flows().len()];
+        let mut placement = Placement::empty();
+        for &v in &s.candidates()[..10] {
+            let gain = s.marginal_gain(&best, v);
+            let before = s.evaluate(&placement);
+            placement.push(v);
+            s.apply(&mut best, v);
+            let after = s.evaluate(&placement);
+            assert!(
+                (after - before - gain).abs() < 1e-9,
+                "gain mismatch at {v}: {gain} vs {}",
+                after - before
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_grid_flow_rejected() {
+        let grid = GridGraph::new(3, 3, Distance::from_feet(10));
+        let bad = FlowSpec::new(NodeId::new(0), NodeId::new(99), 1.0).unwrap();
+        assert!(ManhattanScenario::new(
+            grid,
+            vec![bad],
+            UtilityKind::Threshold.instantiate(Distance::from_feet(100)),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn candidates_cover_whole_grid() {
+        let s = scenario(UtilityKind::Threshold);
+        assert_eq!(s.candidates().len(), 25);
+    }
+
+    #[test]
+    fn region_restricts_candidates_and_corners() {
+        // 7×7 grid of 100 ft blocks, region side 400 ft -> ±2 blocks around
+        // the shop at (3,3): a 5×5 region.
+        let grid = GridGraph::new(7, 7, Distance::from_feet(100));
+        let specs = vec![FlowSpec::new(
+            grid.node_at(GridPos::new(0, 0)).unwrap(),
+            grid.node_at(GridPos::new(6, 6)).unwrap(),
+            10.0,
+        )
+        .unwrap()];
+        let s = ManhattanScenario::with_region(
+            grid.clone(),
+            specs,
+            UtilityKind::Threshold.instantiate(Distance::from_feet(400)),
+            Distance::from_feet(400),
+        )
+        .unwrap();
+        assert_eq!(s.candidates().len(), 25);
+        let (lo, hi) = s.region_bounds();
+        assert_eq!(lo, GridPos::new(1, 1));
+        assert_eq!(hi, GridPos::new(5, 5));
+        let corners = s.region_corners();
+        assert_eq!(grid.pos_of(corners[0]), GridPos::new(1, 1)); // SW
+        assert_eq!(grid.pos_of(corners[2]), GridPos::new(5, 5)); // NE
+        // Nodes outside the region are not candidates but can still be
+        // *reached* conceptually — they are simply not legal RAP sites.
+        let outside = grid.node_at(GridPos::new(0, 3)).unwrap();
+        assert!(!s.in_region(outside));
+        assert!(s.in_region(s.shop()));
+        // The diagonal flow's rectangle covers the whole grid, so every
+        // in-region site reaches it.
+        for &v in &s.candidates() {
+            assert!(s.reaches(&s.flows()[0], v));
+        }
+    }
+
+    #[test]
+    fn default_region_is_whole_grid() {
+        let s = scenario(UtilityKind::Threshold);
+        for v in s.grid().graph().nodes() {
+            assert!(s.in_region(v));
+        }
+        assert_eq!(s.region_corners().to_vec(), s.grid().corners().to_vec());
+    }
+}

@@ -1,0 +1,409 @@
+//! Algorithms 3 and 4 — two-stage placements for the Manhattan grid
+//! (paper Sections IV-B and IV-C).
+//!
+//! Both algorithms split the RAP budget:
+//!
+//! 1. **Turned flows.** Four RAPs pinned near the grid corners. Every turned
+//!    flow has a shortest path through the corner joining its two boundary
+//!    sides, and drivers take the RAP path for the free advertisement, so
+//!    four corner RAPs cover *all* turned flows. Algorithm 3 puts them
+//!    exactly at the corners; Algorithm 4 (decreasing utility) moves each to
+//!    the midpoint between its corner and the shop, halving the worst-case
+//!    detour at the cost of covering only the turned flows whose rectangles
+//!    still contain the midpoint.
+//! 2. **Straight flows.** The remaining `k − 4` RAPs are placed greedily on
+//!    uncovered straight flows. An intersection covers at most one
+//!    horizontal-straight and one vertical-straight flow, so the greedy
+//!    stage is optimal for straight traffic.
+//!
+//! For `k ≤ 4` both algorithms fall back to exhaustive search when it fits
+//! the enumeration budget (the paper's line 1–2), and otherwise to the
+//! marginal-gain grid greedy.
+//!
+//! Guarantees (on turned + straight flows): Algorithm 3 achieves `1 − 4/k`
+//! of the optimum under the threshold utility (Theorem 3); Algorithm 4
+//! achieves `1/2 − 2/k` under the linear decreasing utility with uniformly
+//! distributed turned detours (Theorem 4).
+
+use crate::algorithms::{GridExhaustive, GridGreedy, ManhattanAlgorithm};
+use crate::scenario::{GridFlow, ManhattanScenario};
+use rap_core::Placement;
+use rand::rngs::StdRng;
+use rap_graph::{GridPos, NodeId};
+
+/// Where stage one pins its four RAPs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CornerStyle {
+    /// Exactly at the four grid corners (Algorithm 3).
+    AtCorners,
+    /// At the midpoint between each corner and the shop (Algorithm 4).
+    CornerShopMidpoints,
+}
+
+fn corner_nodes(scenario: &ManhattanScenario, style: CornerStyle) -> Vec<NodeId> {
+    let grid = scenario.grid();
+    let corners = scenario.region_corners();
+    match style {
+        CornerStyle::AtCorners => corners.to_vec(),
+        CornerStyle::CornerShopMidpoints => {
+            let shop = grid.pos_of(scenario.shop());
+            corners
+                .iter()
+                .map(|&c| {
+                    let pos = grid.pos_of(c);
+                    let mid = GridPos::new(
+                        (pos.row + shop.row).div_ceil(2).min(grid.rows() - 1),
+                        (pos.col + shop.col).div_ceil(2).min(grid.cols() - 1),
+                    );
+                    grid.node_at(mid).expect("midpoint is inside the grid")
+                })
+                .collect()
+        }
+    }
+}
+
+/// Enumeration budget for the paper's "exhaustive search for k ≤ 4" step.
+/// Beyond this many candidate placements (e.g. a large `D × D` region), the
+/// exact search would dominate experiment wall-clock, so the two-stage
+/// algorithms fall back to the adaptive grid greedy instead.
+const SMALL_K_BUDGET: u64 = 50_000;
+
+/// Shared two-stage skeleton for Algorithms 3 and 4.
+fn two_stage_place(
+    scenario: &ManhattanScenario,
+    k: usize,
+    style: CornerStyle,
+    rng: &mut StdRng,
+) -> Placement {
+    // Paper lines 1–2: small budgets are solved exactly when feasible.
+    if k <= 4 {
+        if let Ok(p) = GridExhaustive::with_budget(SMALL_K_BUDGET).solve(scenario, k) {
+            return p;
+        }
+        return GridGreedy.place(scenario, k, rng);
+    }
+
+    let mut placement = Placement::empty();
+    for c in corner_nodes(scenario, style) {
+        placement.push(c);
+    }
+
+    // Stage two: greedy over uncovered region-straight flows. Classification
+    // is *relative to the D × D region*: a flow whose shortest-path
+    // rectangle crosses the region as a single row/column strip behaves like
+    // the paper's straight flow (one RAP on the strip covers it, strips on
+    // distinct rows/columns are disjoint), while a flow whose rectangle
+    // contains a region corner is stage-one's responsibility.
+    let flows = scenario.flows();
+    let mut covered: Vec<bool> = flows
+        .iter()
+        .map(|f| region_class(scenario, f) != RegionClass::StraightStrip)
+        .collect();
+    // Strip flows already covered by a stage-one RAP stay covered.
+    for (f, c) in flows.iter().zip(covered.iter_mut()) {
+        if !*c
+            && placement
+                .iter()
+                .any(|&v| scenario.reaches(f, v) && scenario.expected_customers(f, scenario.detour_at(f, v)) > 0.0)
+        {
+            *c = true;
+        }
+    }
+
+    let candidates = scenario.candidates();
+    while placement.len() < k {
+        let mut chosen: Option<(NodeId, f64)> = None;
+        for &v in &candidates {
+            if placement.contains(v) {
+                continue;
+            }
+            let gain = straight_gain(scenario, &covered, v);
+            if gain <= 0.0 {
+                continue;
+            }
+            match chosen {
+                Some((_, bg)) if gain <= bg => {}
+                _ => chosen = Some((v, gain)),
+            }
+        }
+        let Some((v, _)) = chosen else { break };
+        placement.push(v);
+        for (i, f) in flows.iter().enumerate() {
+            if !covered[i]
+                && scenario.reaches(f, v)
+                && scenario.expected_customers(f, scenario.detour_at(f, v)) > 0.0
+            {
+                covered[i] = true;
+            }
+        }
+    }
+    placement
+}
+
+fn straight_gain(scenario: &ManhattanScenario, covered: &[bool], v: NodeId) -> f64 {
+    let mut gain = 0.0;
+    for (i, f) in scenario.flows().iter().enumerate() {
+        if covered[i] {
+            continue; // non-strip flows were pre-marked covered
+        }
+        if scenario.reaches(f, v) {
+            gain += scenario.expected_customers(f, scenario.detour_at(f, v));
+        }
+    }
+    gain
+}
+
+/// How a flow's shortest-path rectangle relates to the `D × D` region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RegionClass {
+    /// The rectangle misses the region: no in-region RAP can reach the flow.
+    Outside,
+    /// The rectangle contains a region corner: stage one covers it.
+    CornerCovered,
+    /// The rectangle crosses the region as a single row or column strip: a
+    /// stage-two target (the region-relative "straight" flow).
+    StraightStrip,
+    /// The rectangle overlaps the region in both dimensions without a
+    /// corner: the paper's "neither straight nor turned" case, which the
+    /// two-stage algorithms deliberately ignore.
+    Other,
+}
+
+/// Region-relative classification (reduces to the paper's Definition 3 when
+/// the region is the whole grid and flows run boundary to boundary).
+fn region_class(scenario: &ManhattanScenario, f: &GridFlow) -> RegionClass {
+    let grid = scenario.grid();
+    let (lo, hi) = scenario.region_bounds();
+    let o = grid.pos_of(f.origin());
+    let d = grid.pos_of(f.destination());
+    let rmin = o.row.min(d.row).max(lo.row);
+    let rmax = o.row.max(d.row).min(hi.row);
+    let cmin = o.col.min(d.col).max(lo.col);
+    let cmax = o.col.max(d.col).min(hi.col);
+    if rmin > rmax || cmin > cmax {
+        return RegionClass::Outside;
+    }
+    let corner_in = |r: u32, c: u32| r >= rmin && r <= rmax && c >= cmin && c <= cmax;
+    if corner_in(lo.row, lo.col)
+        || corner_in(lo.row, hi.col)
+        || corner_in(hi.row, lo.col)
+        || corner_in(hi.row, hi.col)
+    {
+        return RegionClass::CornerCovered;
+    }
+    if rmin == rmax || cmin == cmax {
+        return RegionClass::StraightStrip;
+    }
+    RegionClass::Other
+}
+
+/// Algorithm 3: corners + greedy on straight flows; ratio `1 − 4/k` on
+/// turned + straight flows under the threshold utility (Theorem 3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwoStage;
+
+impl ManhattanAlgorithm for TwoStage {
+    fn name(&self) -> &str {
+        "Algorithm 3 (two-stage)"
+    }
+
+    fn place(&self, scenario: &ManhattanScenario, k: usize, rng: &mut StdRng) -> Placement {
+        two_stage_place(scenario, k, CornerStyle::AtCorners, rng)
+    }
+
+    fn incremental(&self) -> bool {
+        false // k <= 4 switches to exhaustive search
+    }
+}
+
+/// Algorithm 4: corner–shop midpoints + greedy on straight flows; ratio
+/// `1/2 − 2/k` on turned + straight flows under the linear decreasing
+/// utility (Theorem 4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModifiedTwoStage;
+
+impl ManhattanAlgorithm for ModifiedTwoStage {
+    fn name(&self) -> &str {
+        "Algorithm 4 (modified two-stage)"
+    }
+
+    fn place(&self, scenario: &ManhattanScenario, k: usize, rng: &mut StdRng) -> Placement {
+        two_stage_place(scenario, k, CornerStyle::CornerShopMidpoints, rng)
+    }
+
+    fn incremental(&self) -> bool {
+        false // k <= 4 switches to exhaustive search
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::FlowClass;
+    use rap_core::UtilityKind;
+    use rap_graph::{Distance, GridGraph};
+    use rap_traffic::FlowSpec;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    /// 5×5 grid, 250 ft blocks (side 1,000 ft = D), shop center. A mix of
+    /// turned and straight boundary-to-boundary flows.
+    fn scenario(kind: UtilityKind) -> ManhattanScenario {
+        let grid = GridGraph::new(5, 5, Distance::from_feet(250));
+        let mk = |o: GridPos, d: GridPos, vol: f64| {
+            FlowSpec::new(grid.node_at(o).unwrap(), grid.node_at(d).unwrap(), vol)
+                .unwrap()
+                .with_attractiveness(1.0)
+                .unwrap()
+        };
+        let specs = vec![
+            // Straight flows on distinct rows/columns.
+            mk(GridPos::new(1, 0), GridPos::new(1, 4), 12.0),
+            mk(GridPos::new(3, 0), GridPos::new(3, 4), 9.0),
+            mk(GridPos::new(0, 1), GridPos::new(4, 1), 7.0),
+            mk(GridPos::new(0, 3), GridPos::new(4, 3), 5.0),
+            // Turned flows (perpendicular boundary sides).
+            mk(GridPos::new(2, 0), GridPos::new(0, 2), 20.0),
+            mk(GridPos::new(0, 1), GridPos::new(2, 4), 15.0),
+            mk(GridPos::new(4, 2), GridPos::new(1, 0), 10.0),
+            mk(GridPos::new(3, 4), GridPos::new(4, 1), 8.0),
+        ];
+        ManhattanScenario::new(grid, specs, kind.instantiate(Distance::from_feet(1_000)))
+            .unwrap()
+    }
+
+    #[test]
+    fn small_k_uses_exhaustive() {
+        let s = scenario(UtilityKind::Threshold);
+        // C(25, k<=4) is far under the budget, so the result must match the
+        // exhaustive optimum exactly.
+        for k in 1..=2 {
+            let two = TwoStage.place(&s, k, &mut rng());
+            let opt = GridExhaustive::new().solve(&s, k).unwrap();
+            assert!((s.evaluate(&two) - s.evaluate(&opt)).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn corners_cover_all_turned_flows() {
+        let s = scenario(UtilityKind::Threshold);
+        let p = TwoStage.place(&s, 5, &mut rng());
+        // The four grid corners are in the placement.
+        for c in s.grid().corners() {
+            assert!(p.contains(c), "corner {c} missing");
+        }
+        // Every turned flow is reached.
+        for f in s.flows().iter().filter(|f| f.class() == FlowClass::Turned) {
+            assert!(
+                s.best_detour(f, &p).is_some(),
+                "turned flow {}→{} unreached",
+                f.origin(),
+                f.destination()
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_ratio_holds() {
+        // On turned + straight flows with the threshold utility, Algorithm 3
+        // attains >= (1 - 4/k) of the optimum. With k = 6 on this instance
+        // the exhaustive search is C(25,6) ≈ 177k placements.
+        let s = scenario(UtilityKind::Threshold);
+        let k = 6;
+        let alg3 = s.evaluate(&TwoStage.place(&s, k, &mut rng()));
+        let opt = s.evaluate(
+            &GridExhaustive::with_budget(5_000_000)
+                .solve(&s, k)
+                .unwrap(),
+        );
+        let bound = (1.0 - 4.0 / k as f64) * opt;
+        assert!(alg3 + 1e-9 >= bound, "alg3 {alg3} < bound {bound} (opt {opt})");
+    }
+
+    #[test]
+    fn theorem_4_ratio_holds() {
+        let s = scenario(UtilityKind::Linear);
+        let k = 6;
+        let alg4 = s.evaluate(&ModifiedTwoStage.place(&s, k, &mut rng()));
+        let opt = s.evaluate(
+            &GridExhaustive::with_budget(5_000_000)
+                .solve(&s, k)
+                .unwrap(),
+        );
+        let bound = (0.5 - 2.0 / k as f64) * opt;
+        assert!(alg4 + 1e-9 >= bound, "alg4 {alg4} < bound {bound} (opt {opt})");
+    }
+
+    #[test]
+    fn modified_midpoints_are_between_corner_and_shop() {
+        let s = scenario(UtilityKind::Linear);
+        let p = ModifiedTwoStage.place(&s, 5, &mut rng());
+        // On a 5×5 grid with shop (2,2), the midpoints of corners (0,0),
+        // (0,4), (4,4), (4,0) are (1,1), (1,3), (3,3), (3,1).
+        for pos in [
+            GridPos::new(1, 1),
+            GridPos::new(1, 3),
+            GridPos::new(3, 3),
+            GridPos::new(3, 1),
+        ] {
+            let v = s.grid().node_at(pos).unwrap();
+            assert!(p.contains(v), "midpoint {pos} missing from {p}");
+        }
+    }
+
+    #[test]
+    fn midpoint_raps_give_smaller_detours_for_reached_turned_flows() {
+        let s = scenario(UtilityKind::Linear);
+        let at_corners = TwoStage.place(&s, 5, &mut rng());
+        let at_midpoints = ModifiedTwoStage.place(&s, 5, &mut rng());
+        for f in s.flows().iter().filter(|f| f.class() == FlowClass::Turned) {
+            if let (Some(dc), Some(dm)) = (
+                s.best_detour(f, &at_corners),
+                s.best_detour(f, &at_midpoints),
+            ) {
+                assert!(
+                    dm <= dc,
+                    "midpoint detour {dm} worse than corner detour {dc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage_two_covers_straight_flows() {
+        let s = scenario(UtilityKind::Threshold);
+        // k = 8: 4 corners + 4 straight flows.
+        let p = TwoStage.place(&s, 8, &mut rng());
+        for f in s.flows().iter().filter(|f| f.class().is_straight()) {
+            assert!(
+                s.best_detour(f, &p).is_some(),
+                "straight flow {}→{} unreached with k=8",
+                f.origin(),
+                f.destination()
+            );
+        }
+    }
+
+    #[test]
+    fn respects_k_and_no_duplicates() {
+        let s = scenario(UtilityKind::Linear);
+        for k in [0, 1, 4, 5, 9, 30] {
+            for alg in [&TwoStage as &dyn ManhattanAlgorithm, &ModifiedTwoStage] {
+                let p = alg.place(&s, k, &mut rng());
+                assert!(p.len() <= k.max(4) || p.len() <= k, "k={k}");
+                assert!(p.len() <= k || k <= 4);
+                let set: std::collections::HashSet<_> = p.iter().collect();
+                assert_eq!(set.len(), p.len());
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TwoStage.name(), "Algorithm 3 (two-stage)");
+        assert_eq!(ModifiedTwoStage.name(), "Algorithm 4 (modified two-stage)");
+    }
+}

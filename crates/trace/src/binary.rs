@@ -1,0 +1,201 @@
+//! Compact binary trace codec.
+//!
+//! City-scale GPS feeds run to millions of records; the CSV codec
+//! ([`crate::csv`]) is for interoperability and eyeballing, this binary
+//! format for archival and fast reload. Layout (all little-endian):
+//!
+//! ```text
+//! magic   [u8; 4] = b"RAPT"
+//! version u8      = 1
+//! schema  u8      (0 = dublin, 1 = seattle)
+//! count   u32
+//! records count × { bus u32, journey u32, x f64, y f64, time f64 }
+//! ```
+
+use crate::csv::TraceSchema;
+use crate::error::TraceError;
+use crate::gps::{BusId, GpsPoint, JourneyId, TraceRecord};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rap_graph::Point;
+
+const MAGIC: [u8; 4] = *b"RAPT";
+const VERSION: u8 = 1;
+/// Bytes per encoded record.
+const RECORD_SIZE: usize = 4 + 4 + 8 + 8 + 8;
+
+fn schema_tag(schema: TraceSchema) -> u8 {
+    match schema {
+        TraceSchema::Dublin => 0,
+        TraceSchema::Seattle => 1,
+    }
+}
+
+fn schema_from_tag(tag: u8) -> Option<TraceSchema> {
+    match tag {
+        0 => Some(TraceSchema::Dublin),
+        1 => Some(TraceSchema::Seattle),
+        _ => None,
+    }
+}
+
+/// Encodes records into the binary format.
+///
+/// # Panics
+///
+/// Panics if more than `u32::MAX` records are passed.
+pub fn encode(records: &[TraceRecord], schema: TraceSchema) -> Bytes {
+    let count = u32::try_from(records.len()).expect("record count fits in u32");
+    let mut buf = BytesMut::with_capacity(10 + records.len() * RECORD_SIZE);
+    buf.put_slice(&MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(schema_tag(schema));
+    buf.put_u32_le(count);
+    for r in records {
+        buf.put_u32_le(r.bus.0);
+        buf.put_u32_le(r.journey.0);
+        buf.put_f64_le(r.fix.position.x);
+        buf.put_f64_le(r.fix.position.y);
+        buf.put_f64_le(r.fix.time_s);
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary trace, returning its schema and records.
+///
+/// # Errors
+///
+/// [`TraceError::ParseTrace`] on a bad magic, unsupported version, unknown
+/// schema tag, or truncated payload (`line` carries the failing record
+/// index, with 0 for header failures).
+pub fn decode(mut data: impl Buf) -> Result<(TraceSchema, Vec<TraceRecord>), TraceError> {
+    let header_err = |message: String| TraceError::ParseTrace { line: 0, message };
+    if data.remaining() < 10 {
+        return Err(header_err("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(header_err(format!("bad magic {magic:?}")));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(header_err(format!("unsupported version {version}")));
+    }
+    let schema = schema_from_tag(data.get_u8())
+        .ok_or_else(|| header_err("unknown schema tag".into()))?;
+    let count = data.get_u32_le() as usize;
+    if data.remaining() < count * RECORD_SIZE {
+        return Err(TraceError::ParseTrace {
+            line: data.remaining() / RECORD_SIZE + 1,
+            message: format!(
+                "truncated payload: {} records promised, {} bytes left",
+                count,
+                data.remaining()
+            ),
+        });
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let bus = BusId(data.get_u32_le());
+        let journey = JourneyId(data.get_u32_le());
+        let x = data.get_f64_le();
+        let y = data.get_f64_le();
+        let t = data.get_f64_le();
+        records.push(TraceRecord {
+            bus,
+            journey,
+            fix: GpsPoint::new(Point::new(x, y), t),
+        });
+    }
+    Ok((schema, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u32) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord {
+                bus: BusId(i),
+                journey: JourneyId(i / 3),
+                fix: GpsPoint::new(Point::new(i as f64 * 1.5, -(i as f64)), i as f64 * 20.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_both_schemas() {
+        for schema in [TraceSchema::Dublin, TraceSchema::Seattle] {
+            let records = sample(17);
+            let bytes = encode(&records, schema);
+            let (schema_back, back) = decode(bytes).unwrap();
+            assert_eq!(schema_back, schema);
+            assert_eq!(back, records);
+        }
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let bytes = encode(&[], TraceSchema::Dublin);
+        assert_eq!(bytes.len(), 10);
+        let (_, back) = decode(bytes).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn encoded_size_is_exact() {
+        let records = sample(5);
+        let bytes = encode(&records, TraceSchema::Seattle);
+        assert_eq!(bytes.len(), 10 + 5 * RECORD_SIZE);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = encode(&sample(1), TraceSchema::Dublin).to_vec();
+        raw[0] = b'X';
+        let err = decode(raw.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut raw = encode(&sample(1), TraceSchema::Dublin).to_vec();
+        raw[4] = 99;
+        let err = decode(raw.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn bad_schema_rejected() {
+        let mut raw = encode(&sample(1), TraceSchema::Dublin).to_vec();
+        raw[5] = 7;
+        let err = decode(raw.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("schema"));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let raw = encode(&sample(4), TraceSchema::Seattle);
+        let cut = &raw[..raw.len() - 5];
+        let err = decode(cut).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let err = decode(&b"RAP"[..]).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn csv_and_binary_agree() {
+        let records = sample(9);
+        let bytes = encode(&records, TraceSchema::Seattle);
+        let (_, from_binary) = decode(bytes).unwrap();
+        let mut csv = Vec::new();
+        crate::csv::write_csv(&records, TraceSchema::Seattle, &mut csv).unwrap();
+        let from_csv = crate::csv::read_csv(csv.as_slice(), TraceSchema::Seattle).unwrap();
+        assert_eq!(from_binary, from_csv);
+    }
+}

@@ -1,0 +1,195 @@
+//! Trace-file I/O in the two datasets' record schemas.
+//!
+//! * **Dublin** \[19\]: `bus_id,longitude,latitude,journey_id` — positions are
+//!   geographic in the original; our city-local frame stores planar feet in
+//!   the same two columns.
+//! * **Seattle** \[20\]: `bus_id,x,y,route_id` — already planar.
+//!
+//! Both reduce to the same four columns plus our explicit `time_s` column
+//! (the real datasets carry timestamps too; the paper does not use them, but
+//! map matching does, so we keep them as a fifth column).
+
+use crate::error::TraceError;
+use crate::gps::{BusId, GpsPoint, JourneyId, TraceRecord};
+use rap_graph::Point;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// The record schema to read or write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceSchema {
+    /// `bus_id,longitude,latitude,journey_id,time_s`
+    Dublin,
+    /// `bus_id,x,y,route_id,time_s`
+    Seattle,
+}
+
+impl TraceSchema {
+    /// The CSV header line for this schema.
+    pub fn header(self) -> &'static str {
+        match self {
+            TraceSchema::Dublin => "bus_id,longitude,latitude,journey_id,time_s",
+            TraceSchema::Seattle => "bus_id,x,y,route_id,time_s",
+        }
+    }
+}
+
+impl fmt::Display for TraceSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceSchema::Dublin => "dublin",
+            TraceSchema::Seattle => "seattle",
+        })
+    }
+}
+
+/// Writes `records` as CSV in the given schema (header included).
+///
+/// A mutable reference can be passed for `writer` (e.g. `&mut Vec<u8>`).
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on write failure.
+pub fn write_csv<W: Write>(
+    records: &[TraceRecord],
+    schema: TraceSchema,
+    mut writer: W,
+) -> Result<(), TraceError> {
+    writeln!(writer, "{}", schema.header())?;
+    for r in records {
+        writeln!(
+            writer,
+            "{},{},{},{},{}",
+            r.bus.0, r.fix.position.x, r.fix.position.y, r.journey.0, r.fix.time_s
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads CSV records in the given schema. The header line is validated.
+///
+/// # Errors
+///
+/// * [`TraceError::ParseTrace`] on a bad header, malformed row, or wrong
+///   column count.
+/// * [`TraceError::Io`] on read failure.
+pub fn read_csv<R: Read>(reader: R, schema: TraceSchema) -> Result<Vec<TraceRecord>, TraceError> {
+    let buf = BufReader::new(reader);
+    let mut records = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line_no == 1 {
+            if line != schema.header() {
+                return Err(TraceError::ParseTrace {
+                    line: 1,
+                    message: format!(
+                        "expected {} header `{}`, got `{line}`",
+                        schema,
+                        schema.header()
+                    ),
+                });
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(TraceError::ParseTrace {
+                line: line_no,
+                message: format!("expected 5 columns, got {}", fields.len()),
+            });
+        }
+        let bus: u32 = parse(fields[0], line_no, "bus id")?;
+        let x: f64 = parse(fields[1], line_no, "x")?;
+        let y: f64 = parse(fields[2], line_no, "y")?;
+        let journey: u32 = parse(fields[3], line_no, "journey/route id")?;
+        let time_s: f64 = parse(fields[4], line_no, "time")?;
+        records.push(TraceRecord {
+            bus: BusId(bus),
+            journey: JourneyId(journey),
+            fix: GpsPoint::new(Point::new(x, y), time_s),
+        });
+    }
+    Ok(records)
+}
+
+fn parse<T: std::str::FromStr>(token: &str, line: usize, what: &str) -> Result<T, TraceError> {
+    token.trim().parse().map_err(|_| TraceError::ParseTrace {
+        line,
+        message: format!("invalid {what}: `{token}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                bus: BusId(1),
+                journey: JourneyId(10),
+                fix: GpsPoint::new(Point::new(100.5, 200.25), 0.0),
+            },
+            TraceRecord {
+                bus: BusId(2),
+                journey: JourneyId(10),
+                fix: GpsPoint::new(Point::new(-3.0, 4.0), 20.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_both_schemas() {
+        for schema in [TraceSchema::Dublin, TraceSchema::Seattle] {
+            let recs = sample_records();
+            let mut buf = Vec::new();
+            write_csv(&recs, schema, &mut buf).unwrap();
+            let back = read_csv(buf.as_slice(), schema).unwrap();
+            assert_eq!(back, recs, "{schema}");
+        }
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let mut buf = Vec::new();
+        write_csv(&sample_records(), TraceSchema::Dublin, &mut buf).unwrap();
+        let err = read_csv(buf.as_slice(), TraceSchema::Seattle).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn wrong_column_count_rejected() {
+        let text = format!("{}\n1,2,3\n", TraceSchema::Seattle.header());
+        let err = read_csv(text.as_bytes(), TraceSchema::Seattle).unwrap_err();
+        assert!(err.to_string().contains("5 columns"));
+    }
+
+    #[test]
+    fn invalid_field_rejected() {
+        let text = format!("{}\nabc,1,2,3,4\n", TraceSchema::Dublin.header());
+        let err = read_csv(text.as_bytes(), TraceSchema::Dublin).unwrap_err();
+        assert!(err.to_string().contains("bus id"));
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let text = format!("{}\n\n1,2,3,4,5\n\n", TraceSchema::Seattle.header());
+        let recs = read_csv(text.as_bytes(), TraceSchema::Seattle).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn headers_differ_between_schemas() {
+        assert_ne!(
+            TraceSchema::Dublin.header(),
+            TraceSchema::Seattle.header()
+        );
+        assert_eq!(TraceSchema::Dublin.to_string(), "dublin");
+        assert_eq!(TraceSchema::Seattle.to_string(), "seattle");
+    }
+}

@@ -1,0 +1,120 @@
+//! Error types for the trace tooling.
+
+use rap_graph::{GraphError, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by trace generation, parsing, and map matching.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Map matching was attempted against a graph with no nodes.
+    EmptyGraph,
+    /// Two consecutive snapped intersections are mutually unreachable.
+    UnmatchableTrace {
+        /// Last reachable intersection.
+        from: NodeId,
+        /// The unreachable successor.
+        to: NodeId,
+    },
+    /// Invalid extraction or generation parameters.
+    BadParams {
+        /// Explanation of what was wrong.
+        message: String,
+    },
+    /// A trace file was malformed.
+    ParseTrace {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what was wrong.
+        message: String,
+    },
+    /// An underlying graph error.
+    Graph(GraphError),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::EmptyGraph => write!(f, "cannot map-match against an empty graph"),
+            TraceError::UnmatchableTrace { from, to } => {
+                write!(f, "trace unmatchable: no route from {from} to {to}")
+            }
+            TraceError::BadParams { message } => write!(f, "invalid parameters: {message}"),
+            TraceError::ParseTrace { line, message } => {
+                write!(f, "malformed trace file at line {line}: {message}")
+            }
+            TraceError::Graph(e) => write!(f, "graph error: {e}"),
+            TraceError::Io(e) => write!(f, "trace i/o failure: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Graph(e) => Some(e),
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for TraceError {
+    fn from(e: GraphError) -> Self {
+        TraceError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TraceError::EmptyGraph.to_string().contains("empty"));
+        assert!(TraceError::UnmatchableTrace {
+            from: NodeId::new(1),
+            to: NodeId::new(2)
+        }
+        .to_string()
+        .contains("V1"));
+        assert!(TraceError::BadParams {
+            message: "x".into()
+        }
+        .to_string()
+        .contains("x"));
+        assert!(TraceError::ParseTrace {
+            line: 7,
+            message: "y".into()
+        }
+        .to_string()
+        .contains("line 7"));
+    }
+
+    #[test]
+    fn sources() {
+        let e = TraceError::from(GraphError::NodeOutOfBounds {
+            node: NodeId::new(0),
+            node_count: 0,
+        });
+        assert!(e.source().is_some());
+        let io = TraceError::from(std::io::Error::other("boom"));
+        assert!(io.source().is_some());
+        assert!(TraceError::EmptyGraph.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

@@ -1,0 +1,175 @@
+//! GPS points and trace records.
+//!
+//! Both of the paper's datasets are sequences of per-bus position fixes:
+//! Dublin records `(bus id, longitude, latitude, vehicle journey id)` and
+//! Seattle records `(bus id, x, y, route id)`. We work in the city-local
+//! planar frame (feet), so both schemas reduce to [`TraceRecord`]: a bus, a
+//! position, a timestamp, and the journey/route tag that groups records into
+//! traffic flows.
+
+use rap_graph::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single GPS fix in the city-local frame.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct GpsPoint {
+    /// Position in feet.
+    pub position: Point,
+    /// Seconds since the start of the observation window.
+    pub time_s: f64,
+}
+
+impl GpsPoint {
+    /// Creates a fix.
+    pub fn new(position: Point, time_s: f64) -> Self {
+        GpsPoint { position, time_s }
+    }
+}
+
+/// Identifier of a physical bus.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct BusId(pub u32);
+
+impl fmt::Display for BusId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bus{}", self.0)
+    }
+}
+
+/// Identifier of a vehicle journey (Dublin) or route (Seattle). Buses sharing
+/// a journey id follow similar paths, and each journey id maps to one traffic
+/// flow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct JourneyId(pub u32);
+
+impl fmt::Display for JourneyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journey{}", self.0)
+    }
+}
+
+/// One row of a bus trace.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The reporting bus.
+    pub bus: BusId,
+    /// The journey/route the bus is serving.
+    pub journey: JourneyId,
+    /// The GPS fix.
+    pub fix: GpsPoint,
+}
+
+/// Gaussian GPS noise via the Box–Muller transform (the `rand` crate ships
+/// no normal distribution without `rand_distr`, and two transcendental calls
+/// per sample are plenty fast for trace generation).
+#[derive(Clone, Copy, Debug)]
+pub struct GpsNoise {
+    /// Standard deviation of the positional error, in feet, applied
+    /// independently per axis.
+    pub std_feet: f64,
+}
+
+impl GpsNoise {
+    /// Noise with the given per-axis standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_feet` is negative or not finite.
+    pub fn new(std_feet: f64) -> Self {
+        assert!(
+            std_feet.is_finite() && std_feet >= 0.0,
+            "gps noise std must be non-negative and finite"
+        );
+        GpsNoise { std_feet }
+    }
+
+    /// Zero noise.
+    pub const NONE: GpsNoise = GpsNoise { std_feet: 0.0 };
+
+    /// Perturbs `p` with independent Gaussian noise per axis.
+    pub fn perturb<R: rand::Rng>(&self, p: Point, rng: &mut R) -> Point {
+        if self.std_feet == 0.0 {
+            return p;
+        }
+        let (dx, dy) = gaussian_pair(rng);
+        Point::new(p.x + dx * self.std_feet, p.y + dy * self.std_feet)
+    }
+}
+
+/// Two independent standard-normal samples (Box–Muller).
+fn gaussian_pair<R: rand::Rng>(rng: &mut R) -> (f64, f64) {
+    // Avoid ln(0): sample u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(BusId(4).to_string(), "bus4");
+        assert_eq!(JourneyId(9).to_string(), "journey9");
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Point::new(3.0, 4.0);
+        assert_eq!(GpsNoise::NONE.perturb(p, &mut rng), p);
+    }
+
+    #[test]
+    fn noise_statistics_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let noise = GpsNoise::new(30.0);
+        let n = 4_000;
+        let (mut sum_dx, mut sum_sq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let q = noise.perturb(Point::ORIGIN, &mut rng);
+            sum_dx += q.x;
+            sum_sq += q.x * q.x;
+        }
+        let mean = sum_dx / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 2.0, "mean {mean} too far from 0");
+        let std = var.sqrt();
+        assert!(
+            (std - 30.0).abs() < 2.5,
+            "std {std} too far from 30"
+        );
+    }
+
+    #[test]
+    fn noise_is_seed_deterministic() {
+        let noise = GpsNoise::new(10.0);
+        let a = noise.perturb(Point::ORIGIN, &mut StdRng::seed_from_u64(5));
+        let b = noise.perturb(Point::ORIGIN, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_panics() {
+        let _ = GpsNoise::new(-1.0);
+    }
+
+    #[test]
+    fn record_roundtrips_through_equality() {
+        let r = TraceRecord {
+            bus: BusId(1),
+            journey: JourneyId(2),
+            fix: GpsPoint::new(Point::new(1.0, 2.0), 3.5),
+        };
+        assert_eq!(r, r.clone());
+    }
+}

@@ -1,0 +1,206 @@
+//! Map-matching quality measurement against ground truth.
+//!
+//! Synthetic traces come with known journeys, so the pipeline's recovery
+//! quality can be scored exactly: how many journeys were recovered at all,
+//! how many with exactly the right endpoints, and how far off the snapped
+//! endpoints are (in street distance) when they miss.
+
+use crate::gps::JourneyId;
+use crate::map_match::MatchedJourney;
+use rap_graph::{dijkstra, NodeId, RoadGraph};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Ground truth for one journey: its true endpoints.
+pub type GroundTruth = BTreeMap<JourneyId, (NodeId, NodeId)>;
+
+/// A recovery-quality report.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct QualityReport {
+    /// Journeys in the ground truth.
+    pub truth_journeys: usize,
+    /// Journeys recovered by the matcher.
+    pub recovered_journeys: usize,
+    /// Recovered journeys whose endpoints match the truth exactly.
+    pub exact_endpoints: usize,
+    /// Mean street distance between true and recovered endpoints (feet),
+    /// averaged over both endpoints of every recovered journey.
+    pub mean_endpoint_error_feet: f64,
+    /// Ground-truth journeys with no recovered counterpart.
+    pub missing: usize,
+    /// Recovered journeys with no ground-truth counterpart (phantoms).
+    pub phantom: usize,
+}
+
+impl QualityReport {
+    /// The exact-recovery rate among recovered journeys (1.0 when everything
+    /// matched exactly; 0 when nothing was recovered).
+    pub fn exact_rate(&self) -> f64 {
+        if self.recovered_journeys == 0 {
+            0.0
+        } else {
+            self.exact_endpoints as f64 / self.recovered_journeys as f64
+        }
+    }
+}
+
+impl fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} journeys recovered ({} exact, {:.0}%), mean endpoint error {:.0} ft, \
+             {} missing, {} phantom",
+            self.recovered_journeys,
+            self.truth_journeys,
+            self.exact_endpoints,
+            self.exact_rate() * 100.0,
+            self.mean_endpoint_error_feet,
+            self.missing,
+            self.phantom
+        )
+    }
+}
+
+/// Scores matched journeys against ground truth.
+///
+/// Endpoint error uses street (shortest-path) distance — the operationally
+/// relevant metric, since a snapped endpoint one long block away distorts
+/// detours by that street distance. Unreachable endpoint pairs contribute
+/// the straight-line distance instead (conservative fallback).
+pub fn compare(
+    graph: &RoadGraph,
+    truth: &GroundTruth,
+    matched: &[MatchedJourney],
+) -> QualityReport {
+    let mut exact = 0usize;
+    let mut error_sum = 0.0f64;
+    let mut error_count = 0usize;
+    let mut phantom = 0usize;
+    let mut seen: std::collections::BTreeSet<JourneyId> = std::collections::BTreeSet::new();
+
+    for m in matched {
+        seen.insert(m.journey);
+        let Some(&(true_o, true_d)) = truth.get(&m.journey) else {
+            phantom += 1;
+            continue;
+        };
+        let (got_o, got_d) = (m.path.origin(), m.path.destination());
+        if got_o == true_o && got_d == true_d {
+            exact += 1;
+        }
+        for (a, b) in [(true_o, got_o), (true_d, got_d)] {
+            let err = match dijkstra::distance(graph, a, b) {
+                Some(d) => d.as_f64(),
+                None => graph.point(a).euclidean(graph.point(b)),
+            };
+            error_sum += err;
+            error_count += 1;
+        }
+    }
+    let missing = truth.keys().filter(|j| !seen.contains(j)).count();
+    QualityReport {
+        truth_journeys: truth.len(),
+        recovered_journeys: matched.len(),
+        exact_endpoints: exact,
+        mean_endpoint_error_feet: if error_count > 0 {
+            error_sum / error_count as f64
+        } else {
+            0.0
+        },
+        missing,
+        phantom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{drive_path, DriveParams};
+    use crate::gps::{BusId, GpsNoise};
+    use crate::map_match::match_journeys;
+    use rap_graph::{Distance, GridGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_pipeline(noise: f64, seed: u64) -> (rap_graph::RoadGraph, GroundTruth, Vec<MatchedJourney>) {
+        let grid = GridGraph::new(5, 5, Distance::from_feet(800));
+        let graph = grid.graph().clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut truth = GroundTruth::new();
+        let mut records = Vec::new();
+        let pairs = [(0u32, 24u32), (4, 20), (2, 22), (10, 14)];
+        for (j, &(o, d)) in pairs.iter().enumerate() {
+            truth.insert(JourneyId(j as u32), (NodeId::new(o), NodeId::new(d)));
+            let path =
+                dijkstra::shortest_path(&graph, NodeId::new(o), NodeId::new(d)).unwrap();
+            records.extend(drive_path(
+                &graph,
+                &path,
+                BusId(j as u32),
+                JourneyId(j as u32),
+                0.0,
+                DriveParams {
+                    speed_fps: 30.0,
+                    sample_interval_s: 10.0,
+                    noise: GpsNoise::new(noise),
+                },
+                &mut rng,
+            ));
+        }
+        let matched = match_journeys(&graph, &records);
+        (graph, truth, matched)
+    }
+
+    #[test]
+    fn noiseless_pipeline_scores_perfectly() {
+        let (graph, truth, matched) = run_pipeline(0.0, 1);
+        let q = compare(&graph, &truth, &matched);
+        assert_eq!(q.truth_journeys, 4);
+        assert_eq!(q.recovered_journeys, 4);
+        assert_eq!(q.exact_endpoints, 4);
+        assert_eq!(q.mean_endpoint_error_feet, 0.0);
+        assert_eq!(q.missing, 0);
+        assert_eq!(q.phantom, 0);
+        assert_eq!(q.exact_rate(), 1.0);
+        assert!(q.to_string().contains("4/4"));
+    }
+
+    #[test]
+    fn noise_degrades_but_is_quantified() {
+        let (graph, truth, matched) = run_pipeline(900.0, 2);
+        let q = compare(&graph, &truth, &matched);
+        assert!(q.recovered_journeys <= 4);
+        // Heavy noise (more than a block) must show up as endpoint error or
+        // inexact endpoints; either signal suffices.
+        assert!(
+            q.mean_endpoint_error_feet > 0.0 || q.exact_endpoints < q.recovered_journeys,
+            "900 ft of noise went unnoticed: {q}"
+        );
+    }
+
+    #[test]
+    fn missing_and_phantom_are_counted() {
+        let (graph, mut truth, mut matched) = run_pipeline(0.0, 3);
+        // Remove one truth entry: its recovery becomes a phantom.
+        truth.remove(&JourneyId(0));
+        // And invent a truth journey nobody recovered.
+        truth.insert(JourneyId(99), (NodeId::new(0), NodeId::new(1)));
+        let q = compare(&graph, &truth, &matched);
+        assert_eq!(q.phantom, 1);
+        assert_eq!(q.missing, 1);
+        // Drop a recovery entirely.
+        matched.pop();
+        let q2 = compare(&graph, &truth, &matched);
+        assert!(q2.recovered_journeys < q.recovered_journeys);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let grid = GridGraph::new(2, 2, Distance::from_feet(10));
+        let q = compare(grid.graph(), &GroundTruth::new(), &[]);
+        assert_eq!(q.exact_rate(), 0.0);
+        assert_eq!(q.mean_endpoint_error_feet, 0.0);
+        assert_eq!(q.truth_journeys, 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Origin–destination demand generators.
+//!
+//! The paper derives its traffic flows from bus traces; these generators
+//! synthesize comparable demand directly on a road graph. All are
+//! deterministic in their seed, and all return *specs* — route them with
+//! [`crate::FlowSet::route`].
+//!
+//! * [`uniform_demand`] — OD pairs uniform over intersections; the neutral
+//!   baseline workload.
+//! * [`commuter_demand`] — the paper's motivating workload ("drive back home
+//!   from work"): origins concentrated near a work center, destinations
+//!   spread toward the periphery, volumes log-normal-ish.
+//! * [`gravity_demand`] — classical gravity model: P(i→j) ∝ w(i)·w(j)/d(i,j),
+//!   with node weights decaying with distance from the city center, giving
+//!   center-heavy traffic like a real downtown.
+
+use crate::error::TrafficError;
+use crate::flow::FlowSpec;
+use rap_graph::{NodeId, Point, RoadGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Common knobs for the demand generators.
+#[derive(Clone, Copy, Debug)]
+pub struct DemandParams {
+    /// Number of flows to generate.
+    pub flows: usize,
+    /// Minimum daily volume per flow.
+    pub min_volume: f64,
+    /// Maximum daily volume per flow.
+    pub max_volume: f64,
+    /// Advertisement attractiveness `α` applied to every flow.
+    pub attractiveness: f64,
+}
+
+impl Default for DemandParams {
+    fn default() -> Self {
+        DemandParams {
+            flows: 100,
+            min_volume: 50.0,
+            max_volume: 500.0,
+            attractiveness: crate::flow::DEFAULT_ATTRACTIVENESS,
+        }
+    }
+}
+
+impl DemandParams {
+    fn validate(&self, graph: &RoadGraph) -> Result<(), TrafficError> {
+        if graph.node_count() < 2 {
+            // Not enough intersections to form an OD pair.
+            return Err(TrafficError::Graph(rap_graph::GraphError::NodeOutOfBounds {
+                node: NodeId::new(1),
+                node_count: graph.node_count(),
+            }));
+        }
+        let volumes_valid = self.min_volume.is_finite()
+            && self.min_volume > 0.0
+            && self.max_volume.is_finite()
+            && self.max_volume >= self.min_volume;
+        if !volumes_valid {
+            return Err(TrafficError::InvalidVolume {
+                volume: self.min_volume.min(self.max_volume),
+            });
+        }
+        if !(self.attractiveness.is_finite() && (0.0..=1.0).contains(&self.attractiveness)) {
+            return Err(TrafficError::InvalidAttractiveness {
+                alpha: self.attractiveness,
+            });
+        }
+        Ok(())
+    }
+
+    fn sample_volume(&self, rng: &mut StdRng) -> f64 {
+        if self.min_volume == self.max_volume {
+            self.min_volume
+        } else {
+            rng.random_range(self.min_volume..=self.max_volume)
+        }
+    }
+}
+
+/// Generates OD pairs uniformly at random over distinct intersections.
+///
+/// # Errors
+///
+/// Propagates parameter validation failures; see [`DemandParams`].
+pub fn uniform_demand(
+    graph: &RoadGraph,
+    params: DemandParams,
+    seed: u64,
+) -> Result<Vec<FlowSpec>, TrafficError> {
+    params.validate(graph)?;
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut specs = Vec::with_capacity(params.flows);
+    while specs.len() < params.flows {
+        let o = NodeId::new(rng.random_range(0..n as u32));
+        let d = NodeId::new(rng.random_range(0..n as u32));
+        if o == d {
+            continue;
+        }
+        let spec = FlowSpec::new(o, d, params.sample_volume(&mut rng))?
+            .with_attractiveness(params.attractiveness)?;
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// Generates commuter demand: origins biased toward `work_center`,
+/// destinations biased away from it ("return home from the office",
+/// Section I of the paper).
+///
+/// The bias strength is controlled by `concentration`: with 0 the generator
+/// degenerates to uniform; with larger values origins cluster tightly around
+/// the work center.
+///
+/// # Errors
+///
+/// Propagates parameter validation failures; `concentration` must be finite
+/// and non-negative (else [`TrafficError::InvalidVolume`] is reused to signal
+/// the bad scalar).
+pub fn commuter_demand(
+    graph: &RoadGraph,
+    work_center: Point,
+    concentration: f64,
+    params: DemandParams,
+    seed: u64,
+) -> Result<Vec<FlowSpec>, TrafficError> {
+    params.validate(graph)?;
+    if !(concentration.is_finite() && concentration >= 0.0) {
+        return Err(TrafficError::InvalidVolume {
+            volume: concentration,
+        });
+    }
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Precompute distance-from-center weights.
+    let mut max_dist: f64 = 0.0;
+    let dists: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = graph.point(NodeId::new(i as u32)).euclidean(work_center);
+            max_dist = max_dist.max(d);
+            d
+        })
+        .collect();
+    let scale = if max_dist > 0.0 { max_dist } else { 1.0 };
+    // Origin weight decays with distance from the center; destination weight
+    // grows with it.
+    let origin_w: Vec<f64> = dists
+        .iter()
+        .map(|d| (-concentration * d / scale).exp())
+        .collect();
+    let dest_w: Vec<f64> = dists
+        .iter()
+        .map(|d| 1.0 + concentration * d / scale)
+        .collect();
+
+    let mut specs = Vec::with_capacity(params.flows);
+    while specs.len() < params.flows {
+        let o = weighted_pick(&origin_w, &mut rng);
+        let d = weighted_pick(&dest_w, &mut rng);
+        if o == d {
+            continue;
+        }
+        let spec = FlowSpec::new(
+            NodeId::new(o as u32),
+            NodeId::new(d as u32),
+            params.sample_volume(&mut rng),
+        )?
+        .with_attractiveness(params.attractiveness)?;
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// Generates gravity-model demand: `P(i→j) ∝ w(i) · w(j) / (1 + d(i,j))`,
+/// where `w(v)` decays with Euclidean distance from `city_center` and
+/// `d(i,j)` is the Euclidean distance between `i` and `j`.
+///
+/// # Errors
+///
+/// Propagates parameter validation failures; see [`DemandParams`].
+pub fn gravity_demand(
+    graph: &RoadGraph,
+    city_center: Point,
+    params: DemandParams,
+    seed: u64,
+) -> Result<Vec<FlowSpec>, TrafficError> {
+    params.validate(graph)?;
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut max_dist: f64 = 0.0;
+    let center_d: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = graph.point(NodeId::new(i as u32)).euclidean(city_center);
+            max_dist = max_dist.max(d);
+            d
+        })
+        .collect();
+    let scale = if max_dist > 0.0 { max_dist } else { 1.0 };
+    let node_w: Vec<f64> = center_d.iter().map(|d| (-2.0 * d / scale).exp()).collect();
+
+    let mut specs = Vec::with_capacity(params.flows);
+    let mut guard = 0usize;
+    while specs.len() < params.flows {
+        guard += 1;
+        assert!(
+            guard < params.flows * 1_000 + 10_000,
+            "gravity sampler failed to produce enough distinct od pairs"
+        );
+        let o = weighted_pick(&node_w, &mut rng);
+        let d = weighted_pick(&node_w, &mut rng);
+        if o == d {
+            continue;
+        }
+        // Rejection step implementing the 1/(1 + distance) deterrence term.
+        let po = graph.point(NodeId::new(o as u32));
+        let pd = graph.point(NodeId::new(d as u32));
+        let deterrence = 1.0 / (1.0 + po.euclidean(pd) / scale);
+        if !rng.random_bool(deterrence.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let spec = FlowSpec::new(
+            NodeId::new(o as u32),
+            NodeId::new(d as u32),
+            params.sample_volume(&mut rng),
+        )?
+        .with_attractiveness(params.attractiveness)?;
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// Samples an index proportionally to `weights` (all non-negative, at least
+/// one positive).
+fn weighted_pick(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must not be all zero");
+    let mut target = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if target < *w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1 // floating-point tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow_set::FlowSet;
+    use rap_graph::{Distance, GridGraph};
+
+    fn grid() -> GridGraph {
+        GridGraph::new(6, 6, Distance::from_feet(100))
+    }
+
+    fn params(flows: usize) -> DemandParams {
+        DemandParams {
+            flows,
+            min_volume: 10.0,
+            max_volume: 20.0,
+            attractiveness: 0.001,
+        }
+    }
+
+    #[test]
+    fn uniform_demand_routes_cleanly() {
+        let grid = grid();
+        let specs = uniform_demand(grid.graph(), params(50), 1).unwrap();
+        assert_eq!(specs.len(), 50);
+        for s in &specs {
+            assert_ne!(s.origin(), s.destination());
+            assert!(s.volume() >= 10.0 && s.volume() <= 20.0);
+            assert_eq!(s.attractiveness(), 0.001);
+        }
+        let fs = FlowSet::route(grid.graph(), specs).unwrap();
+        assert_eq!(fs.len(), 50);
+    }
+
+    #[test]
+    fn uniform_demand_deterministic() {
+        let grid = grid();
+        let a = uniform_demand(grid.graph(), params(30), 7).unwrap();
+        let b = uniform_demand(grid.graph(), params(30), 7).unwrap();
+        assert_eq!(a, b);
+        let c = uniform_demand(grid.graph(), params(30), 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn commuter_demand_biases_origins_to_center() {
+        let grid = grid();
+        let center = grid.graph().point(grid.center());
+        let specs =
+            commuter_demand(grid.graph(), center, 8.0, params(400), 3).unwrap();
+        let avg_origin_dist: f64 = specs
+            .iter()
+            .map(|s| grid.graph().point(s.origin()).euclidean(center))
+            .sum::<f64>()
+            / specs.len() as f64;
+        let avg_dest_dist: f64 = specs
+            .iter()
+            .map(|s| grid.graph().point(s.destination()).euclidean(center))
+            .sum::<f64>()
+            / specs.len() as f64;
+        assert!(
+            avg_origin_dist < avg_dest_dist,
+            "origins ({avg_origin_dist:.0}) should sit closer to the work \
+             center than destinations ({avg_dest_dist:.0})"
+        );
+    }
+
+    #[test]
+    fn gravity_demand_prefers_center_nodes() {
+        let grid = grid();
+        let center = grid.graph().point(grid.center());
+        let specs = gravity_demand(grid.graph(), center, params(300), 5).unwrap();
+        let avg_od_dist: f64 = specs
+            .iter()
+            .map(|s| {
+                grid.graph().point(s.origin()).euclidean(center)
+                    + grid.graph().point(s.destination()).euclidean(center)
+            })
+            .sum::<f64>()
+            / (2.0 * specs.len() as f64);
+        // Uniform sampling over a 6x6 grid of 100 ft blocks would average
+        // roughly 270 ft from the center; gravity should sit well below.
+        assert!(
+            avg_od_dist < 230.0,
+            "gravity demand should concentrate near the center, got {avg_od_dist:.0}"
+        );
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let grid = grid();
+        let bad_vol = DemandParams {
+            min_volume: -1.0,
+            ..params(5)
+        };
+        assert!(uniform_demand(grid.graph(), bad_vol, 0).is_err());
+        let bad_alpha = DemandParams {
+            attractiveness: 3.0,
+            ..params(5)
+        };
+        assert!(uniform_demand(grid.graph(), bad_alpha, 0).is_err());
+        let inverted = DemandParams {
+            min_volume: 10.0,
+            max_volume: 5.0,
+            ..params(5)
+        };
+        assert!(uniform_demand(grid.graph(), inverted, 0).is_err());
+        assert!(commuter_demand(grid.graph(), Point::ORIGIN, f64::NAN, params(5), 0).is_err());
+    }
+
+    #[test]
+    fn tiny_graph_rejected() {
+        let mut b = rap_graph::GraphBuilder::new();
+        b.add_node(Point::ORIGIN);
+        let g = b.build();
+        assert!(uniform_demand(&g, params(1), 0).is_err());
+    }
+
+    #[test]
+    fn fixed_volume_when_min_equals_max() {
+        let grid = grid();
+        let p = DemandParams {
+            min_volume: 42.0,
+            max_volume: 42.0,
+            ..params(10)
+        };
+        let specs = uniform_demand(grid.graph(), p, 0).unwrap();
+        assert!(specs.iter().all(|s| s.volume() == 42.0));
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = vec![0.0, 0.0, 1.0];
+        for _ in 0..20 {
+            assert_eq!(weighted_pick(&w, &mut rng), 2);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Error types for the traffic substrate.
+
+use rap_graph::{GraphError, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or routing traffic flows.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TrafficError {
+    /// A flow's daily volume was not a positive finite number.
+    InvalidVolume {
+        /// The offending value.
+        volume: f64,
+    },
+    /// A flow's advertisement attractiveness was outside `[0, 1]`.
+    InvalidAttractiveness {
+        /// The offending value.
+        alpha: f64,
+    },
+    /// A flow's origin and destination coincide; a parked car is not a flow.
+    DegenerateFlow {
+        /// The repeated intersection.
+        node: NodeId,
+    },
+    /// No route exists from the flow's origin to its destination.
+    UnroutableFlow {
+        /// Flow origin.
+        origin: NodeId,
+        /// Flow destination.
+        destination: NodeId,
+    },
+    /// An underlying graph error (e.g. an endpoint outside the graph).
+    Graph(GraphError),
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::InvalidVolume { volume } => {
+                write!(f, "flow volume must be positive and finite, got {volume}")
+            }
+            TrafficError::InvalidAttractiveness { alpha } => {
+                write!(f, "attractiveness must lie in [0, 1], got {alpha}")
+            }
+            TrafficError::DegenerateFlow { node } => {
+                write!(f, "flow origin and destination coincide at {node}")
+            }
+            TrafficError::UnroutableFlow {
+                origin,
+                destination,
+            } => write!(f, "no route from {origin} to {destination}"),
+            TrafficError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for TrafficError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrafficError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for TrafficError {
+    fn from(e: GraphError) -> Self {
+        TrafficError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TrafficError::InvalidVolume { volume: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(TrafficError::InvalidAttractiveness { alpha: 2.0 }
+            .to_string()
+            .contains("[0, 1]"));
+        assert!(TrafficError::DegenerateFlow {
+            node: NodeId::new(3)
+        }
+        .to_string()
+        .contains("V3"));
+        assert_eq!(
+            TrafficError::UnroutableFlow {
+                origin: NodeId::new(0),
+                destination: NodeId::new(1)
+            }
+            .to_string(),
+            "no route from V0 to V1"
+        );
+    }
+
+    #[test]
+    fn graph_error_is_source() {
+        let inner = GraphError::NodeOutOfBounds {
+            node: NodeId::new(5),
+            node_count: 2,
+        };
+        let e = TrafficError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrafficError>();
+    }
+}

@@ -1,0 +1,343 @@
+//! Routed flow collections with per-intersection first-visit indices.
+//!
+//! [`FlowSet`] is the workhorse structure of the placement algorithms: it
+//! routes every demand spec on a shortest path and indexes, for every
+//! intersection, which flows pass through it. Only a flow's *first* visit to
+//! an intersection is indexed: by Theorem 1 of the paper, the first RAP on a
+//! flow's path provides the minimum detour distance, and for repeated visits
+//! the earliest one dominates the later ones for the same reason.
+
+use crate::error::TrafficError;
+use crate::flow::{FlowId, FlowSpec, TrafficFlow};
+use rap_graph::{dijkstra, Distance, NodeId, RoadGraph};
+use std::collections::HashMap;
+
+/// One flow's first visit to some intersection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlowVisit {
+    /// The visiting flow.
+    pub flow: FlowId,
+    /// Index of the intersection within the flow's path (first occurrence).
+    pub position: u32,
+    /// Exact distance driven from the flow's origin to this visit.
+    pub prefix: Distance,
+}
+
+/// A routed collection of traffic flows over one road graph.
+///
+/// ```
+/// use rap_graph::{GridGraph, Distance, NodeId};
+/// use rap_traffic::{FlowSpec, FlowSet};
+/// # fn main() -> Result<(), rap_traffic::TrafficError> {
+/// let grid = GridGraph::new(2, 3, Distance::from_feet(10));
+/// let specs = vec![
+///     FlowSpec::new(NodeId::new(0), NodeId::new(2), 100.0)?,
+///     FlowSpec::new(NodeId::new(3), NodeId::new(5), 40.0)?,
+/// ];
+/// let flows = FlowSet::route(grid.graph(), specs)?;
+/// assert_eq!(flows.len(), 2);
+/// assert_eq!(flows.total_volume(), 140.0);
+/// // Node 1 lies on the first flow's path.
+/// assert_eq!(flows.visits_at(NodeId::new(1)).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlowSet {
+    flows: Vec<TrafficFlow>,
+    /// `node_index[v]` lists the first visits of all flows passing `v`.
+    node_index: Vec<Vec<FlowVisit>>,
+}
+
+impl FlowSet {
+    /// Routes each spec on a shortest path in `graph` and builds the
+    /// first-visit index.
+    ///
+    /// Specs sharing an origin share one Dijkstra tree, so routing `m` flows
+    /// costs `O(u · (|V|+|E|) log |V| + Σ path lengths)` where `u` is the
+    /// number of distinct origins.
+    ///
+    /// # Errors
+    ///
+    /// * [`TrafficError::UnroutableFlow`] if a destination is unreachable.
+    /// * [`TrafficError::Graph`] if a spec references a missing node.
+    pub fn route(graph: &RoadGraph, specs: Vec<FlowSpec>) -> Result<Self, TrafficError> {
+        let mut by_origin: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, s) in specs.iter().enumerate() {
+            graph.check_node(s.origin())?;
+            graph.check_node(s.destination())?;
+            by_origin.entry(s.origin()).or_default().push(i);
+        }
+        let mut flows: Vec<Option<TrafficFlow>> = vec![None; specs.len()];
+        for (origin, idxs) in by_origin {
+            let tree = dijkstra::shortest_path_tree(graph, origin);
+            for i in idxs {
+                let spec = specs[i];
+                let path = tree
+                    .path_to(spec.destination())
+                    .map_err(|_| TrafficError::UnroutableFlow {
+                        origin: spec.origin(),
+                        destination: spec.destination(),
+                    })?;
+                flows[i] = Some(TrafficFlow::new(FlowId::new(i as u32), spec, path));
+            }
+        }
+        let flows: Vec<TrafficFlow> = flows
+            .into_iter()
+            .map(|f| f.expect("every spec was routed"))
+            .collect();
+        Ok(Self::from_routed(graph, flows))
+    }
+
+    /// Builds a flow set from already-routed flows (e.g. paths chosen by the
+    /// Manhattan scenario rather than plain shortest paths), re-deriving the
+    /// first-visit index.
+    ///
+    /// Flow ids are reassigned to match positions in `flows`.
+    pub fn from_routed(graph: &RoadGraph, flows: Vec<TrafficFlow>) -> Self {
+        let mut reindexed = Vec::with_capacity(flows.len());
+        for (i, f) in flows.into_iter().enumerate() {
+            reindexed.push(TrafficFlow::new(
+                FlowId::new(i as u32),
+                *f.spec(),
+                f.path().clone(),
+            ));
+        }
+        let mut node_index: Vec<Vec<FlowVisit>> = vec![Vec::new(); graph.node_count()];
+        for flow in &reindexed {
+            let mut seen: HashMap<NodeId, ()> = HashMap::new();
+            let mut prefix = Distance::ZERO;
+            let nodes = flow.path().nodes();
+            for (pos, &node) in nodes.iter().enumerate() {
+                if pos > 0 {
+                    let prev = nodes[pos - 1];
+                    let hop = graph
+                        .edge_length(prev, node)
+                        .expect("routed path edges exist in graph");
+                    prefix = prefix.saturating_add(hop);
+                }
+                if seen.insert(node, ()).is_none() {
+                    node_index[node.index()].push(FlowVisit {
+                        flow: flow.id(),
+                        position: pos as u32,
+                        prefix,
+                    });
+                }
+            }
+        }
+        FlowSet {
+            flows: reindexed,
+            node_index,
+        }
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if there are no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The flow with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn flow(&self, id: FlowId) -> &TrafficFlow {
+        &self.flows[id.index()]
+    }
+
+    /// The flow with the given id, or `None` if out of bounds.
+    pub fn get(&self, id: FlowId) -> Option<&TrafficFlow> {
+        self.flows.get(id.index())
+    }
+
+    /// Iterates over all flows in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TrafficFlow> {
+        self.flows.iter()
+    }
+
+    /// First visits of all flows passing intersection `node`.
+    ///
+    /// Returns an empty slice for intersections no flow passes or ids outside
+    /// the graph the set was built against.
+    pub fn visits_at(&self, node: NodeId) -> &[FlowVisit] {
+        self.node_index
+            .get(node.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct flows passing `node`.
+    pub fn cardinality_at(&self, node: NodeId) -> usize {
+        self.visits_at(node).len()
+    }
+
+    /// Total volume of flows passing `node` (the paper's *MaxVehicles*
+    /// baseline ranks intersections by this).
+    pub fn volume_at(&self, node: NodeId) -> f64 {
+        self.visits_at(node)
+            .iter()
+            .map(|v| self.flow(v.flow).volume())
+            .sum()
+    }
+
+    /// Total daily volume over all flows.
+    pub fn total_volume(&self) -> f64 {
+        self.flows.iter().map(|f| f.volume()).sum()
+    }
+
+    /// Number of intersections in the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.node_index.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a FlowSet {
+    type Item = &'a TrafficFlow;
+    type IntoIter = std::slice::Iter<'a, TrafficFlow>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.flows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_graph::{GraphBuilder, GridGraph, Point};
+
+    fn grid3() -> rap_graph::GridGraph {
+        GridGraph::new(3, 3, Distance::from_feet(10))
+    }
+
+    #[test]
+    fn route_assigns_shortest_paths() {
+        let grid = grid3();
+        let specs = vec![
+            FlowSpec::new(NodeId::new(0), NodeId::new(8), 10.0).unwrap(),
+            FlowSpec::new(NodeId::new(2), NodeId::new(6), 5.0).unwrap(),
+        ];
+        let fs = FlowSet::route(grid.graph(), specs).unwrap();
+        assert_eq!(fs.len(), 2);
+        for f in &fs {
+            assert_eq!(f.path().length(), Distance::from_feet(40));
+        }
+        assert_eq!(fs.total_volume(), 15.0);
+    }
+
+    #[test]
+    fn shared_origin_flows_share_tree() {
+        let grid = grid3();
+        let specs: Vec<FlowSpec> = (1..9)
+            .map(|d| FlowSpec::new(NodeId::new(0), NodeId::new(d), 1.0).unwrap())
+            .collect();
+        let fs = FlowSet::route(grid.graph(), specs).unwrap();
+        assert_eq!(fs.len(), 8);
+        // Flow to node 8 (opposite corner) is 4 blocks.
+        let far = fs.iter().find(|f| f.destination() == NodeId::new(8)).unwrap();
+        assert_eq!(far.path().length(), Distance::from_feet(40));
+    }
+
+    #[test]
+    fn unroutable_flow_is_reported() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 0.0));
+        let island = b.add_node(Point::new(9.0, 9.0));
+        b.add_two_way(a, c, Distance::from_feet(1)).unwrap();
+        let g = b.build();
+        let specs = vec![FlowSpec::new(a, island, 1.0).unwrap()];
+        assert!(matches!(
+            FlowSet::route(&g, specs),
+            Err(TrafficError::UnroutableFlow { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_node_is_reported() {
+        let grid = grid3();
+        let specs = vec![FlowSpec::new(NodeId::new(0), NodeId::new(99), 1.0).unwrap()];
+        assert!(matches!(
+            FlowSet::route(grid.graph(), specs),
+            Err(TrafficError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn first_visit_index_prefixes() {
+        let grid = grid3();
+        let fs = FlowSet::route(
+            grid.graph(),
+            vec![FlowSpec::new(NodeId::new(0), NodeId::new(2), 7.0).unwrap()],
+        )
+        .unwrap();
+        // Path 0 -> 1 -> 2 along the south edge.
+        let v0 = fs.visits_at(NodeId::new(0));
+        let v1 = fs.visits_at(NodeId::new(1));
+        let v2 = fs.visits_at(NodeId::new(2));
+        assert_eq!(v0.len(), 1);
+        assert_eq!(v0[0].position, 0);
+        assert_eq!(v0[0].prefix, Distance::ZERO);
+        assert_eq!(v1[0].position, 1);
+        assert_eq!(v1[0].prefix, Distance::from_feet(10));
+        assert_eq!(v2[0].position, 2);
+        assert_eq!(v2[0].prefix, Distance::from_feet(20));
+        // Unvisited intersection.
+        assert!(fs.visits_at(NodeId::new(8)).is_empty());
+        assert_eq!(fs.cardinality_at(NodeId::new(1)), 1);
+        assert_eq!(fs.volume_at(NodeId::new(1)), 7.0);
+    }
+
+    #[test]
+    fn repeated_visit_keeps_first_only() {
+        // Build a path that revisits a node and check the index keeps the
+        // first (earliest) visit.
+        let grid = grid3();
+        let g = grid.graph();
+        let spec = FlowSpec::new(NodeId::new(0), NodeId::new(2), 1.0).unwrap();
+        let zig = rap_graph::Path::new(
+            g,
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+            ],
+        )
+        .unwrap();
+        let flow = TrafficFlow::new(FlowId::new(0), spec, zig);
+        let fs = FlowSet::from_routed(g, vec![flow]);
+        let v1 = fs.visits_at(NodeId::new(1));
+        assert_eq!(v1.len(), 1);
+        assert_eq!(v1[0].position, 1);
+        assert_eq!(v1[0].prefix, Distance::from_feet(10));
+    }
+
+    #[test]
+    fn out_of_bounds_queries_are_empty() {
+        let grid = grid3();
+        let fs = FlowSet::route(grid.graph(), vec![]).unwrap();
+        assert!(fs.is_empty());
+        assert!(fs.visits_at(NodeId::new(999)).is_empty());
+        assert_eq!(fs.volume_at(NodeId::new(999)), 0.0);
+        assert_eq!(fs.get(FlowId::new(0)), None);
+    }
+
+    #[test]
+    fn from_routed_reassigns_ids() {
+        let grid = grid3();
+        let g = grid.graph();
+        let mk = |o: u32, d: u32| {
+            let spec = FlowSpec::new(NodeId::new(o), NodeId::new(d), 1.0).unwrap();
+            let path = rap_graph::dijkstra::shortest_path(g, NodeId::new(o), NodeId::new(d)).unwrap();
+            TrafficFlow::new(FlowId::new(77), spec, path)
+        };
+        let fs = FlowSet::from_routed(g, vec![mk(0, 2), mk(6, 8)]);
+        assert_eq!(fs.flow(FlowId::new(0)).origin(), NodeId::new(0));
+        assert_eq!(fs.flow(FlowId::new(1)).origin(), NodeId::new(6));
+    }
+}

@@ -1,0 +1,184 @@
+//! Origin–destination matrices.
+//!
+//! An [`OdMatrix`] aggregates flow volumes by (origin, destination) pair —
+//! the standard demand representation in transportation engineering. The
+//! trace pipeline uses it to compare recovered demand against ground truth,
+//! and the experiment harness uses it for workload reporting.
+
+use crate::flow::FlowSpec;
+use crate::flow_set::FlowSet;
+use rap_graph::NodeId;
+use std::collections::BTreeMap;
+
+/// A sparse origin–destination volume matrix.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OdMatrix {
+    cells: BTreeMap<(NodeId, NodeId), f64>,
+}
+
+impl OdMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        OdMatrix::default()
+    }
+
+    /// Aggregates a list of demand specs.
+    pub fn from_specs(specs: &[FlowSpec]) -> Self {
+        let mut m = OdMatrix::new();
+        for s in specs {
+            m.add(s.origin(), s.destination(), s.volume());
+        }
+        m
+    }
+
+    /// Aggregates a routed flow set.
+    pub fn from_flows(flows: &FlowSet) -> Self {
+        let mut m = OdMatrix::new();
+        for f in flows {
+            m.add(f.origin(), f.destination(), f.volume());
+        }
+        m
+    }
+
+    /// Adds `volume` to the `(origin, destination)` cell.
+    pub fn add(&mut self, origin: NodeId, destination: NodeId, volume: f64) {
+        *self.cells.entry((origin, destination)).or_insert(0.0) += volume;
+    }
+
+    /// The volume of the `(origin, destination)` cell (0 when absent).
+    pub fn volume(&self, origin: NodeId, destination: NodeId) -> f64 {
+        self.cells.get(&(origin, destination)).copied().unwrap_or(0.0)
+    }
+
+    /// Number of non-zero cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no demand is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total volume across all cells.
+    pub fn total_volume(&self) -> f64 {
+        self.cells.values().sum()
+    }
+
+    /// Total volume departing `origin`.
+    pub fn row_total(&self, origin: NodeId) -> f64 {
+        self.cells
+            .iter()
+            .filter(|((o, _), _)| *o == origin)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Total volume arriving at `destination`.
+    pub fn column_total(&self, destination: NodeId) -> f64 {
+        self.cells
+            .iter()
+            .filter(|((_, d), _)| *d == destination)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterates over `((origin, destination), volume)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = ((NodeId, NodeId), f64)> + '_ {
+        self.cells.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// The L1 distance between two matrices over the union of their cells —
+    /// the natural measure of demand-recovery error for the trace pipeline.
+    pub fn l1_distance(&self, other: &OdMatrix) -> f64 {
+        let mut keys: std::collections::BTreeSet<(NodeId, NodeId)> =
+            self.cells.keys().copied().collect();
+        keys.extend(other.cells.keys().copied());
+        keys.into_iter()
+            .map(|k| (self.volume(k.0, k.1) - other.volume(k.0, k.1)).abs())
+            .sum()
+    }
+}
+
+impl FromIterator<(NodeId, NodeId, f64)> for OdMatrix {
+    fn from_iter<T: IntoIterator<Item = (NodeId, NodeId, f64)>>(iter: T) -> Self {
+        let mut m = OdMatrix::new();
+        for (o, d, v) in iter {
+            m.add(o, d, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_graph::{Distance, GridGraph};
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn aggregation_merges_duplicate_pairs() {
+        let mut m = OdMatrix::new();
+        m.add(v(0), v(1), 10.0);
+        m.add(v(0), v(1), 5.0);
+        m.add(v(1), v(0), 2.0);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.volume(v(0), v(1)), 15.0);
+        assert_eq!(m.volume(v(1), v(0)), 2.0);
+        assert_eq!(m.volume(v(2), v(3)), 0.0);
+        assert_eq!(m.total_volume(), 17.0);
+    }
+
+    #[test]
+    fn row_and_column_totals() {
+        let m: OdMatrix = [
+            (v(0), v(1), 10.0),
+            (v(0), v(2), 20.0),
+            (v(3), v(2), 5.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(m.row_total(v(0)), 30.0);
+        assert_eq!(m.row_total(v(3)), 5.0);
+        assert_eq!(m.column_total(v(2)), 25.0);
+        assert_eq!(m.column_total(v(1)), 10.0);
+        assert_eq!(m.column_total(v(9)), 0.0);
+    }
+
+    #[test]
+    fn from_specs_and_flows_agree() {
+        let grid = GridGraph::new(3, 3, Distance::from_feet(10));
+        let specs = vec![
+            FlowSpec::new(v(0), v(2), 7.0).unwrap(),
+            FlowSpec::new(v(0), v(2), 3.0).unwrap(),
+            FlowSpec::new(v(6), v(8), 4.0).unwrap(),
+        ];
+        let from_specs = OdMatrix::from_specs(&specs);
+        let flows = FlowSet::route(grid.graph(), specs).unwrap();
+        let from_flows = OdMatrix::from_flows(&flows);
+        assert_eq!(from_specs, from_flows);
+        assert_eq!(from_specs.volume(v(0), v(2)), 10.0);
+    }
+
+    #[test]
+    fn l1_distance_properties() {
+        let a: OdMatrix = [(v(0), v(1), 10.0), (v(2), v(3), 5.0)].into_iter().collect();
+        let b: OdMatrix = [(v(0), v(1), 8.0), (v(4), v(5), 1.0)].into_iter().collect();
+        assert_eq!(a.l1_distance(&a), 0.0);
+        assert_eq!(a.l1_distance(&b), 2.0 + 5.0 + 1.0);
+        assert_eq!(a.l1_distance(&b), b.l1_distance(&a));
+        assert_eq!(OdMatrix::new().l1_distance(&a), a.total_volume());
+    }
+
+    #[test]
+    fn iteration_in_key_order() {
+        let m: OdMatrix = [(v(2), v(0), 1.0), (v(0), v(1), 2.0)].into_iter().collect();
+        let keys: Vec<(NodeId, NodeId)> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![(v(0), v(1)), (v(2), v(0))]);
+        assert!(!m.is_empty());
+        assert!(OdMatrix::new().is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Flow-set operations: filtering, merging, and selection.
+//!
+//! The paper pre-filters demand ("traffic flows that do not include
+//! sufficient potential customers ... are not counted"); these helpers make
+//! such pre-processing explicit and reusable: drop small flows, restrict to
+//! a window, merge demand from multiple sources, keep the top movers.
+
+use crate::flow::FlowSpec;
+use crate::flow_set::FlowSet;
+use crate::error::TrafficError;
+use rap_graph::{BoundingBox, NodeId, RoadGraph};
+
+/// Keeps flows whose daily volume is at least `min_volume` (the paper's
+/// "sufficient potential customers" filter).
+pub fn filter_by_volume(specs: &[FlowSpec], min_volume: f64) -> Vec<FlowSpec> {
+    specs
+        .iter()
+        .filter(|s| s.volume() >= min_volume)
+        .copied()
+        .collect()
+}
+
+/// Keeps flows whose endpoints both fall inside `window` (study-area
+/// cropping).
+pub fn filter_by_window(
+    graph: &RoadGraph,
+    specs: &[FlowSpec],
+    window: &BoundingBox,
+) -> Vec<FlowSpec> {
+    specs
+        .iter()
+        .filter(|s| {
+            graph.contains_node(s.origin())
+                && graph.contains_node(s.destination())
+                && window.contains(graph.point(s.origin()))
+                && window.contains(graph.point(s.destination()))
+        })
+        .copied()
+        .collect()
+}
+
+/// The `n` highest-volume flows (ties toward earlier position).
+pub fn top_by_volume(specs: &[FlowSpec], n: usize) -> Vec<FlowSpec> {
+    let mut indexed: Vec<(usize, FlowSpec)> = specs.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| {
+        b.1.volume()
+            .partial_cmp(&a.1.volume())
+            .expect("volumes are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    indexed.into_iter().take(n).map(|(_, s)| s).collect()
+}
+
+/// Merges demand from several sources, summing volumes of identical OD pairs
+/// (keeping the first occurrence's attractiveness).
+///
+/// # Errors
+///
+/// Propagates [`TrafficError::InvalidVolume`] if a merged volume overflows
+/// to non-finite (practically impossible with real inputs).
+pub fn merge(sources: &[&[FlowSpec]]) -> Result<Vec<FlowSpec>, TrafficError> {
+    let mut by_od: std::collections::BTreeMap<(NodeId, NodeId), FlowSpec> =
+        std::collections::BTreeMap::new();
+    for specs in sources {
+        for s in *specs {
+            match by_od.entry((s.origin(), s.destination())) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(*s);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = FlowSpec::new(
+                        s.origin(),
+                        s.destination(),
+                        e.get().volume() + s.volume(),
+                    )?
+                    .with_attractiveness(e.get().attractiveness())?;
+                    e.insert(merged);
+                }
+            }
+        }
+    }
+    Ok(by_od.into_values().collect())
+}
+
+/// Restricts a routed flow set to flows passing through `node` — the demand
+/// a RAP at that intersection can reach (with any detour).
+pub fn flows_through(flows: &FlowSet, node: NodeId) -> Vec<FlowSpec> {
+    flows
+        .visits_at(node)
+        .iter()
+        .map(|v| *flows.flow(v.flow).spec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_graph::{Distance, GridGraph, Point};
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn specs() -> Vec<FlowSpec> {
+        vec![
+            FlowSpec::new(v(0), v(2), 100.0).unwrap(),
+            FlowSpec::new(v(3), v(5), 40.0).unwrap(),
+            FlowSpec::new(v(6), v(8), 250.0).unwrap(),
+            FlowSpec::new(v(0), v(8), 10.0).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn volume_filter() {
+        let kept = filter_by_volume(&specs(), 50.0);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|s| s.volume() >= 50.0));
+        assert!(filter_by_volume(&specs(), 0.0).len() == 4);
+        assert!(filter_by_volume(&specs(), 1e9).is_empty());
+    }
+
+    #[test]
+    fn window_filter() {
+        let grid = GridGraph::new(3, 3, Distance::from_feet(100));
+        // Window around the south row only (y in [0, 50]).
+        let window = BoundingBox::new(Point::new(-1.0, -1.0), Point::new(300.0, 50.0));
+        let kept = filter_by_window(grid.graph(), &specs(), &window);
+        // Only 0 -> 2 has both endpoints on the south row.
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].origin(), v(0));
+        assert_eq!(kept[0].destination(), v(2));
+    }
+
+    #[test]
+    fn top_by_volume_orders_and_truncates() {
+        let top = top_by_volume(&specs(), 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].volume(), 250.0);
+        assert_eq!(top[1].volume(), 100.0);
+        assert_eq!(top_by_volume(&specs(), 0).len(), 0);
+        assert_eq!(top_by_volume(&specs(), 99).len(), 4);
+    }
+
+    #[test]
+    fn merge_sums_duplicate_ods() {
+        let a = vec![
+            FlowSpec::new(v(0), v(1), 10.0).unwrap(),
+            FlowSpec::new(v(1), v(2), 5.0).unwrap(),
+        ];
+        let b = vec![
+            FlowSpec::new(v(0), v(1), 7.0)
+                .unwrap()
+                .with_attractiveness(0.9)
+                .unwrap(),
+        ];
+        let merged = merge(&[&a, &b]).unwrap();
+        assert_eq!(merged.len(), 2);
+        let zero_one = merged
+            .iter()
+            .find(|s| s.origin() == v(0) && s.destination() == v(1))
+            .unwrap();
+        assert_eq!(zero_one.volume(), 17.0);
+        // First occurrence's attractiveness wins.
+        assert_eq!(
+            zero_one.attractiveness(),
+            crate::flow::DEFAULT_ATTRACTIVENESS
+        );
+    }
+
+    #[test]
+    fn flows_through_node() {
+        let grid = GridGraph::new(3, 3, Distance::from_feet(100));
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![
+                FlowSpec::new(v(0), v(2), 100.0).unwrap(),
+                FlowSpec::new(v(6), v(8), 50.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let through_1 = flows_through(&flows, v(1));
+        assert_eq!(through_1.len(), 1);
+        assert_eq!(through_1[0].volume(), 100.0);
+        assert!(flows_through(&flows, v(4)).is_empty());
+    }
+}

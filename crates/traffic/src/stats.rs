@@ -1,0 +1,122 @@
+//! Summary statistics over flow sets, used by the experiment harness and by
+//! the city-model calibration tests.
+
+use crate::flow_set::FlowSet;
+use rap_graph::{Distance, NodeId};
+use serde::Serialize;
+use std::fmt;
+
+/// Aggregate statistics of a routed flow set.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct FlowStats {
+    /// Number of flows.
+    pub flows: usize,
+    /// Sum of daily volumes.
+    pub total_volume: f64,
+    /// Mean daily volume per flow.
+    pub mean_volume: f64,
+    /// Mean routed path length in feet.
+    pub mean_path_feet: f64,
+    /// Longest routed path.
+    pub max_path: Distance,
+    /// Mean number of intersections per path.
+    pub mean_path_nodes: f64,
+    /// Number of intersections at least one flow passes.
+    pub covered_nodes: usize,
+}
+
+impl FlowStats {
+    /// Computes statistics for `flows`.
+    pub fn compute(flows: &FlowSet) -> Self {
+        let n = flows.len();
+        if n == 0 {
+            return FlowStats {
+                flows: 0,
+                total_volume: 0.0,
+                mean_volume: 0.0,
+                mean_path_feet: 0.0,
+                max_path: Distance::ZERO,
+                mean_path_nodes: 0.0,
+                covered_nodes: 0,
+            };
+        }
+        let total_volume = flows.total_volume();
+        let mut path_feet = 0.0;
+        let mut max_path = Distance::ZERO;
+        let mut path_nodes = 0usize;
+        for f in flows {
+            path_feet += f.path().length().as_f64();
+            max_path = max_path.max(f.path().length());
+            path_nodes += f.path().len();
+        }
+        let covered_nodes = (0..flows.node_count())
+            .filter(|&v| flows.cardinality_at(NodeId::new(v as u32)) > 0)
+            .count();
+        FlowStats {
+            flows: n,
+            total_volume,
+            mean_volume: total_volume / n as f64,
+            mean_path_feet: path_feet / n as f64,
+            max_path,
+            mean_path_nodes: path_nodes as f64 / n as f64,
+            covered_nodes,
+        }
+    }
+}
+
+impl fmt::Display for FlowStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} flows, {:.0} persons/day total (mean {:.1}), \
+             mean path {:.0}ft (max {}), mean {:.1} nodes/path, \
+             {} intersections covered",
+            self.flows,
+            self.total_volume,
+            self.mean_volume,
+            self.mean_path_feet,
+            self.max_path,
+            self.mean_path_nodes,
+            self.covered_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use rap_graph::GridGraph;
+
+    #[test]
+    fn stats_on_simple_set() {
+        let grid = GridGraph::new(2, 3, Distance::from_feet(10));
+        let specs = vec![
+            FlowSpec::new(NodeId::new(0), NodeId::new(2), 100.0).unwrap(),
+            FlowSpec::new(NodeId::new(3), NodeId::new(4), 60.0).unwrap(),
+        ];
+        let fs = FlowSet::route(grid.graph(), specs).unwrap();
+        let s = FlowStats::compute(&fs);
+        assert_eq!(s.flows, 2);
+        assert_eq!(s.total_volume, 160.0);
+        assert_eq!(s.mean_volume, 80.0);
+        assert_eq!(s.mean_path_feet, 15.0); // 20 + 10 over 2
+        assert_eq!(s.max_path, Distance::from_feet(20));
+        assert_eq!(s.mean_path_nodes, 2.5); // 3 + 2 over 2
+        assert_eq!(s.covered_nodes, 5);
+        let text = s.to_string();
+        assert!(text.contains("2 flows"));
+        assert!(text.contains("160"));
+    }
+
+    #[test]
+    fn stats_on_empty_set() {
+        let grid = GridGraph::new(2, 2, Distance::from_feet(10));
+        let fs = FlowSet::route(grid.graph(), vec![]).unwrap();
+        let s = FlowStats::compute(&fs);
+        assert_eq!(s.flows, 0);
+        assert_eq!(s.total_volume, 0.0);
+        assert_eq!(s.covered_nodes, 0);
+        assert_eq!(s.max_path, Distance::ZERO);
+    }
+}

@@ -1,0 +1,245 @@
+//! Time-of-day traffic profiles.
+//!
+//! The paper works with daily aggregate volumes ("a certain number of
+//! vehicles that travel daily from i to j"), but the motivating flow —
+//! commuters returning home — is strongly time-of-day dependent, and a shop
+//! open only part of the day should weight flows by when they actually
+//! drive. A [`TimeProfile`] distributes a flow's daily volume over the 24
+//! hours; [`scale_specs`] produces the demand visible within an opening
+//! window, ready to route and place against.
+
+use crate::error::TrafficError;
+use crate::flow::FlowSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 24-hour volume distribution (fractions summing to 1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeProfile {
+    weights: [f64; 24],
+}
+
+impl TimeProfile {
+    /// Builds a profile from raw non-negative hourly weights (normalized to
+    /// sum to 1).
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::InvalidVolume`] if weights are negative, non-finite,
+    /// or all zero.
+    pub fn new(weights: [f64; 24]) -> Result<Self, TrafficError> {
+        let mut total = 0.0;
+        for &w in &weights {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(TrafficError::InvalidVolume { volume: w });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(TrafficError::InvalidVolume { volume: 0.0 });
+        }
+        let mut normalized = weights;
+        for w in &mut normalized {
+            *w /= total;
+        }
+        Ok(TimeProfile {
+            weights: normalized,
+        })
+    }
+
+    /// Uniform traffic around the clock.
+    pub fn uniform() -> Self {
+        TimeProfile {
+            weights: [1.0 / 24.0; 24],
+        }
+    }
+
+    /// The paper's motivating pattern: a strong evening commute peak
+    /// (16:00–19:00) with a modest morning shoulder.
+    pub fn evening_commute() -> Self {
+        let mut w = [0.5f64; 24];
+        for (h, weight) in w.iter_mut().enumerate() {
+            *weight = match h {
+                7..=9 => 2.0,
+                16 => 4.0,
+                17 => 6.0,
+                18 => 5.0,
+                19 => 3.0,
+                0..=5 => 0.1,
+                _ => 1.0,
+            };
+        }
+        TimeProfile::new(w).expect("hard-coded weights are valid")
+    }
+
+    /// The fraction of daily volume in hour `hour` (0–23).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn fraction(&self, hour: usize) -> f64 {
+        assert!(hour < 24, "hour must be 0..24");
+        self.weights[hour]
+    }
+
+    /// The fraction of daily volume within `[open, close)` hours, wrapping
+    /// past midnight when `close < open`; `open == close` is the empty
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is `>= 24`.
+    pub fn window_fraction(&self, open: usize, close: usize) -> f64 {
+        assert!(open < 24 && close < 24, "hours must be 0..24");
+        let mut total = 0.0;
+        let mut h = open;
+        loop {
+            if h == close {
+                break;
+            }
+            total += self.weights[h];
+            h = (h + 1) % 24;
+            if h == open {
+                break; // full wrap: whole day
+            }
+        }
+        total
+    }
+
+    /// The busiest hour (ties toward the earlier hour).
+    pub fn peak_hour(&self) -> usize {
+        let mut best = 0;
+        for h in 1..24 {
+            if self.weights[h] > self.weights[best] {
+                best = h;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for TimeProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peak {:02}:00 ({:.1}%)", self.peak_hour(), self.fraction(self.peak_hour()) * 100.0)
+    }
+}
+
+/// Scales demand specs to the volume visible in an opening window
+/// `[open, close)` under `profile`. Flows whose windowed volume rounds to
+/// zero are dropped (nobody drives them while the shop is open).
+///
+/// # Errors
+///
+/// Propagates invalid hours as [`TrafficError::InvalidVolume`].
+pub fn scale_specs(
+    specs: &[FlowSpec],
+    profile: &TimeProfile,
+    open: usize,
+    close: usize,
+) -> Result<Vec<FlowSpec>, TrafficError> {
+    if open >= 24 || close >= 24 {
+        return Err(TrafficError::InvalidVolume {
+            volume: open.max(close) as f64,
+        });
+    }
+    let fraction = profile.window_fraction(open, close);
+    let mut scaled = Vec::with_capacity(specs.len());
+    for s in specs {
+        let volume = s.volume() * fraction;
+        if volume <= 0.0 {
+            continue;
+        }
+        scaled.push(
+            FlowSpec::new(s.origin(), s.destination(), volume)?
+                .with_attractiveness(s.attractiveness())?,
+        );
+    }
+    Ok(scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_graph::NodeId;
+
+    #[test]
+    fn uniform_profile_fractions() {
+        let p = TimeProfile::uniform();
+        assert!((p.fraction(0) - 1.0 / 24.0).abs() < 1e-12);
+        assert!((p.window_fraction(9, 17) - 8.0 / 24.0).abs() < 1e-12);
+        // open == close is the empty window.
+        assert_eq!(p.window_fraction(5, 5), 0.0);
+        // A 23-hour wrap covers everything except the open hour.
+        assert!((p.window_fraction(5, 4) - 23.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evening_commute_peaks_at_17() {
+        let p = TimeProfile::evening_commute();
+        assert_eq!(p.peak_hour(), 17);
+        let sum: f64 = (0..24).map(|h| p.fraction(h)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // The 16-20 window dominates any 4-hour night window.
+        assert!(p.window_fraction(16, 20) > 4.0 * p.window_fraction(1, 2));
+        assert!(p.to_string().contains("17:00"));
+    }
+
+    #[test]
+    fn window_wraps_midnight() {
+        let p = TimeProfile::evening_commute();
+        let night = p.window_fraction(22, 2); // 22, 23, 0, 1
+        let direct = p.fraction(22) + p.fraction(23) + p.fraction(0) + p.fraction(1);
+        assert!((night - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        let specs = vec![
+            FlowSpec::new(NodeId::new(0), NodeId::new(1), 240.0).unwrap(),
+            FlowSpec::new(NodeId::new(2), NodeId::new(3), 120.0)
+                .unwrap()
+                .with_attractiveness(0.5)
+                .unwrap(),
+        ];
+        let scaled = scale_specs(&specs, &TimeProfile::uniform(), 12, 18).unwrap();
+        assert_eq!(scaled.len(), 2);
+        assert!((scaled[0].volume() - 60.0).abs() < 1e-9); // 6/24 of 240
+        assert!((scaled[1].volume() - 30.0).abs() < 1e-9);
+        assert_eq!(scaled[1].attractiveness(), 0.5);
+        assert_eq!(scaled[0].origin(), NodeId::new(0));
+    }
+
+    #[test]
+    fn empty_window_drops_flows() {
+        // A profile with zero weight over the window drops everything.
+        let mut w = [0.0f64; 24];
+        w[8] = 1.0;
+        let p = TimeProfile::new(w).unwrap();
+        let specs = vec![FlowSpec::new(NodeId::new(0), NodeId::new(1), 100.0).unwrap()];
+        let scaled = scale_specs(&specs, &p, 12, 14).unwrap();
+        assert!(scaled.is_empty());
+    }
+
+    #[test]
+    fn invalid_profiles_rejected() {
+        assert!(TimeProfile::new([0.0; 24]).is_err());
+        let mut w = [1.0; 24];
+        w[3] = -1.0;
+        assert!(TimeProfile::new(w).is_err());
+        w[3] = f64::NAN;
+        assert!(TimeProfile::new(w).is_err());
+    }
+
+    #[test]
+    fn bad_hours_rejected() {
+        let specs = vec![FlowSpec::new(NodeId::new(0), NodeId::new(1), 1.0).unwrap()];
+        assert!(scale_specs(&specs, &TimeProfile::uniform(), 24, 2).is_err());
+        assert!(scale_specs(&specs, &TimeProfile::uniform(), 2, 24).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "hour")]
+    fn fraction_out_of_range_panics() {
+        let _ = TimeProfile::uniform().fraction(24);
+    }
+}

@@ -1,0 +1,236 @@
+//! Zone classification of intersections.
+//!
+//! The paper's experiments pick shop locations "in the city's center, city,
+//! or suburb", where "all the street intersections in both traces are
+//! classified into city's center, city, or suburb according to the amount of
+//! passing traffic flows" (Section V-A). [`ZoneMap::classify`] reproduces
+//! that: intersections are ranked by passing traffic volume and split by
+//! configurable quantiles.
+
+use crate::flow_set::FlowSet;
+use rap_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The zone of an intersection, by passing-traffic mass.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Zone {
+    /// Heaviest-traffic intersections (downtown core).
+    CityCenter,
+    /// Intermediate-traffic intersections.
+    City,
+    /// Light-traffic intersections (periphery).
+    Suburb,
+}
+
+impl fmt::Display for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Zone::CityCenter => "city-center",
+            Zone::City => "city",
+            Zone::Suburb => "suburb",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Quantile thresholds for [`ZoneMap::classify`].
+#[derive(Clone, Copy, Debug)]
+pub struct ZoneThresholds {
+    /// Fraction of intersections (by rank) labelled [`Zone::CityCenter`].
+    pub center_fraction: f64,
+    /// Fraction labelled [`Zone::CityCenter`] *or* [`Zone::City`].
+    pub city_fraction: f64,
+}
+
+impl Default for ZoneThresholds {
+    /// Top 10% of intersections are the center, the next 30% the city, the
+    /// rest suburb.
+    fn default() -> Self {
+        ZoneThresholds {
+            center_fraction: 0.10,
+            city_fraction: 0.40,
+        }
+    }
+}
+
+/// A per-intersection zone assignment.
+#[derive(Clone, Debug)]
+pub struct ZoneMap {
+    zones: Vec<Zone>,
+}
+
+impl ZoneMap {
+    /// Classifies every intersection of the flow set's graph by passing
+    /// traffic volume.
+    ///
+    /// Intersections are sorted by total passing volume (descending, ties
+    /// broken toward lower node ids); the top `center_fraction` become
+    /// [`Zone::CityCenter`], the following up to `city_fraction` become
+    /// [`Zone::City`], the rest [`Zone::Suburb`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thresholds are not `0 ≤ center ≤ city ≤ 1`.
+    pub fn classify(flows: &FlowSet, thresholds: ZoneThresholds) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&thresholds.center_fraction)
+                && (0.0..=1.0).contains(&thresholds.city_fraction)
+                && thresholds.center_fraction <= thresholds.city_fraction,
+            "zone thresholds must satisfy 0 <= center <= city <= 1"
+        );
+        let n = flows.node_count();
+        let mut ranked: Vec<usize> = (0..n).collect();
+        ranked.sort_by(|&a, &b| {
+            let va = flows.volume_at(NodeId::new(a as u32));
+            let vb = flows.volume_at(NodeId::new(b as u32));
+            vb.partial_cmp(&va)
+                .expect("volumes are finite")
+                .then(a.cmp(&b))
+        });
+        let center_cut = (thresholds.center_fraction * n as f64).round() as usize;
+        let city_cut = (thresholds.city_fraction * n as f64).round() as usize;
+        let mut zones = vec![Zone::Suburb; n];
+        for (rank, &node) in ranked.iter().enumerate() {
+            zones[node] = if rank < center_cut {
+                Zone::CityCenter
+            } else if rank < city_cut {
+                Zone::City
+            } else {
+                Zone::Suburb
+            };
+        }
+        ZoneMap { zones }
+    }
+
+    /// The zone of an intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn zone(&self, node: NodeId) -> Zone {
+        self.zones[node.index()]
+    }
+
+    /// The zone of an intersection, or `None` if out of bounds.
+    pub fn get(&self, node: NodeId) -> Option<Zone> {
+        self.zones.get(node.index()).copied()
+    }
+
+    /// All intersections assigned to `zone`, in id order.
+    pub fn nodes_in(&self, zone: Zone) -> Vec<NodeId> {
+        self.zones
+            .iter()
+            .enumerate()
+            .filter(|(_, z)| **z == zone)
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect()
+    }
+
+    /// Number of intersections covered by this map.
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// True if the map covers no intersections.
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use rap_graph::{Distance, GridGraph};
+
+    /// A 3x3 grid where every flow crosses the center column, making column-1
+    /// nodes the heavy ones.
+    fn center_heavy() -> (GridGraph, FlowSet) {
+        let grid = GridGraph::new(3, 3, Distance::from_feet(10));
+        let specs = vec![
+            FlowSpec::new(NodeId::new(0), NodeId::new(2), 100.0).unwrap(),
+            FlowSpec::new(NodeId::new(3), NodeId::new(5), 100.0).unwrap(),
+            FlowSpec::new(NodeId::new(6), NodeId::new(8), 100.0).unwrap(),
+            FlowSpec::new(NodeId::new(1), NodeId::new(7), 50.0).unwrap(),
+        ];
+        let fs = FlowSet::route(grid.graph(), specs).unwrap();
+        (grid, fs)
+    }
+
+    #[test]
+    fn heavy_nodes_become_center() {
+        let (_, fs) = center_heavy();
+        let zm = ZoneMap::classify(
+            &fs,
+            ZoneThresholds {
+                center_fraction: 0.2,
+                city_fraction: 0.6,
+            },
+        );
+        assert_eq!(zm.len(), 9);
+        // Node 4 (grid center) carries flow 1 (row) + flow 3 (column) at
+        // least; it must rank among the top two.
+        assert_eq!(zm.zone(NodeId::new(4)), Zone::CityCenter);
+        // Suburb exists: some corner nodes carry a single flow.
+        assert!(!zm.nodes_in(Zone::Suburb).is_empty());
+    }
+
+    #[test]
+    fn zone_counts_respect_fractions() {
+        let (_, fs) = center_heavy();
+        let zm = ZoneMap::classify(
+            &fs,
+            ZoneThresholds {
+                center_fraction: 1.0 / 9.0,
+                city_fraction: 4.0 / 9.0,
+            },
+        );
+        assert_eq!(zm.nodes_in(Zone::CityCenter).len(), 1);
+        assert_eq!(zm.nodes_in(Zone::City).len(), 3);
+        assert_eq!(zm.nodes_in(Zone::Suburb).len(), 5);
+    }
+
+    #[test]
+    fn all_center_when_fraction_one() {
+        let (_, fs) = center_heavy();
+        let zm = ZoneMap::classify(
+            &fs,
+            ZoneThresholds {
+                center_fraction: 1.0,
+                city_fraction: 1.0,
+            },
+        );
+        assert_eq!(zm.nodes_in(Zone::CityCenter).len(), 9);
+        assert!(zm.nodes_in(Zone::Suburb).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn inverted_thresholds_panic() {
+        let (_, fs) = center_heavy();
+        let _ = ZoneMap::classify(
+            &fs,
+            ZoneThresholds {
+                center_fraction: 0.5,
+                city_fraction: 0.2,
+            },
+        );
+    }
+
+    #[test]
+    fn get_out_of_bounds() {
+        let (_, fs) = center_heavy();
+        let zm = ZoneMap::classify(&fs, ZoneThresholds::default());
+        assert_eq!(zm.get(NodeId::new(99)), None);
+        assert!(zm.get(NodeId::new(0)).is_some());
+        assert!(!zm.is_empty());
+    }
+
+    #[test]
+    fn zone_display() {
+        assert_eq!(Zone::CityCenter.to_string(), "city-center");
+        assert_eq!(Zone::City.to_string(), "city");
+        assert_eq!(Zone::Suburb.to_string(), "suburb");
+    }
+}

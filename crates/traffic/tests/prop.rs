@@ -1,0 +1,129 @@
+//! Property-based tests for the traffic substrate.
+
+use proptest::prelude::*;
+use rap_graph::{dijkstra, Distance, GridGraph, NodeId};
+use rap_traffic::zones::{ZoneMap, ZoneThresholds};
+use rap_traffic::{FlowSet, FlowSpec, Zone};
+
+#[derive(Debug, Clone)]
+struct Demand {
+    rows: u32,
+    cols: u32,
+    flows: Vec<(u32, u32, u32)>,
+}
+
+fn arb_demand() -> impl Strategy<Value = Demand> {
+    (2u32..7, 2u32..7)
+        .prop_flat_map(|(rows, cols)| {
+            let n = rows * cols;
+            let flows = proptest::collection::vec((0..n, 0..n, 1u32..1_000), 0..12);
+            (Just(rows), Just(cols), flows)
+        })
+        .prop_map(|(rows, cols, flows)| Demand { rows, cols, flows })
+}
+
+fn build(d: &Demand) -> (GridGraph, FlowSet) {
+    let grid = GridGraph::new(d.rows, d.cols, Distance::from_feet(100));
+    let specs: Vec<FlowSpec> = d
+        .flows
+        .iter()
+        .filter(|(o, dd, _)| o != dd)
+        .map(|&(o, d, v)| FlowSpec::new(NodeId::new(o), NodeId::new(d), v as f64).expect("valid"))
+        .collect();
+    let flows = FlowSet::route(grid.graph(), specs).expect("grid routes everything");
+    (grid, flows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routed paths are always shortest paths.
+    #[test]
+    fn routed_paths_are_shortest(d in arb_demand()) {
+        let (grid, flows) = build(&d);
+        for f in &flows {
+            let direct = dijkstra::distance(grid.graph(), f.origin(), f.destination())
+                .expect("grid is connected");
+            prop_assert_eq!(f.path().length(), direct);
+            prop_assert_eq!(f.path().origin(), f.origin());
+            prop_assert_eq!(f.path().destination(), f.destination());
+        }
+    }
+
+    /// The first-visit index is complete and exact: a flow appears at node v
+    /// iff its path visits v, with the prefix distance of the first visit.
+    #[test]
+    fn first_visit_index_is_exact(d in arb_demand()) {
+        let (grid, flows) = build(&d);
+        for f in &flows {
+            for (pos, &v) in f.path().nodes().iter().enumerate() {
+                let visit = flows
+                    .visits_at(v)
+                    .iter()
+                    .find(|visit| visit.flow == f.id())
+                    .expect("visited node indexed");
+                prop_assert!(visit.position as usize <= pos);
+                prop_assert_eq!(
+                    visit.prefix,
+                    f.path().prefix_length(grid.graph(), visit.position as usize)
+                );
+            }
+        }
+        // And no phantom entries: every indexed visit is a real path node.
+        for v in grid.graph().nodes() {
+            for visit in flows.visits_at(v) {
+                prop_assert!(flows.flow(visit.flow).path().visits(v));
+            }
+        }
+    }
+
+    /// Volume accounting: per-node volume sums flow volumes; total volume is
+    /// the sum over flows.
+    #[test]
+    fn volume_accounting(d in arb_demand()) {
+        let (grid, flows) = build(&d);
+        let mut total = 0.0;
+        for f in &flows {
+            total += f.volume();
+        }
+        prop_assert!((flows.total_volume() - total).abs() < 1e-9);
+        for v in grid.graph().nodes() {
+            let by_index: f64 = flows
+                .visits_at(v)
+                .iter()
+                .map(|visit| flows.flow(visit.flow).volume())
+                .sum();
+            prop_assert!((flows.volume_at(v) - by_index).abs() < 1e-9);
+        }
+    }
+
+    /// Zone classification is a partition ordered by traffic volume:
+    /// every center node carries at least as much volume as every city node,
+    /// and city nodes at least as much as suburb nodes.
+    #[test]
+    fn zones_are_volume_ordered(d in arb_demand()) {
+        let (grid, flows) = build(&d);
+        let zones = ZoneMap::classify(&flows, ZoneThresholds::default());
+        prop_assert_eq!(zones.len(), grid.graph().node_count());
+        let min_volume = |zone: Zone| {
+            zones
+                .nodes_in(zone)
+                .iter()
+                .map(|&v| flows.volume_at(v))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let max_volume = |zone: Zone| {
+            zones
+                .nodes_in(zone)
+                .iter()
+                .map(|&v| flows.volume_at(v))
+                .fold(0.0f64, f64::max)
+        };
+        if !zones.nodes_in(Zone::CityCenter).is_empty() && !zones.nodes_in(Zone::City).is_empty() {
+            prop_assert!(min_volume(Zone::CityCenter) + 1e-9 >= max_volume(Zone::City));
+        }
+        if !zones.nodes_in(Zone::City).is_empty() && !zones.nodes_in(Zone::Suburb).is_empty() {
+            prop_assert!(min_volume(Zone::City) + 1e-9 >= max_volume(Zone::Suburb));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Multi-shop, multi-advertisement scheduling — the paper's stated future
+//! work (Section VI): several shops share slot-limited RAPs, and the greedy
+//! scheduler decides both where poles go and whose ads each broadcasts.
+//!
+//! ```sh
+//! cargo run --release --example ad_scheduling
+//! ```
+
+use rap_vcps::graph::{Distance, GridGraph, NodeId};
+use rap_vcps::placement::{AdCampaign, ScheduleGreedy, UtilityKind};
+use rap_vcps::traffic::demand::{uniform_demand, DemandParams};
+use rap_vcps::traffic::FlowSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = GridGraph::new(9, 9, Distance::from_feet(500));
+    let graph = grid.graph().clone();
+    let specs = uniform_demand(
+        &graph,
+        DemandParams {
+            flows: 70,
+            min_volume: 100.0,
+            max_volume: 800.0,
+            attractiveness: 0.001,
+        },
+        21,
+    )?;
+    let flows = FlowSet::route(&graph, specs)?;
+
+    // Three shops: downtown, north-west, south-east.
+    let shops = vec![NodeId::new(40), NodeId::new(66), NodeId::new(14)];
+    let campaign = AdCampaign::new(
+        graph,
+        flows,
+        shops.clone(),
+        UtilityKind::Linear.instantiate(Distance::from_feet(3_000)),
+    )?;
+
+    println!("shops: {shops:?}\n");
+    for (k, slots) in [(4usize, 1usize), (4, 2), (4, 3), (8, 1)] {
+        let schedule = ScheduleGreedy.schedule(&campaign, k, slots);
+        println!(
+            "k = {k}, {slots} slot(s)/rap -> {:.3} customers/day across all shops",
+            campaign.evaluate(&schedule)
+        );
+        for (node, ads) in schedule.iter() {
+            let names: Vec<String> = ads.iter().map(|&s| shops[s].to_string()).collect();
+            println!("  rap at {node}: ads for {}", names.join(", "));
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Failure-aware placement: how the optimal strategy changes when RAP
+//! hardware can be offline, and what redundancy buys.
+//!
+//! ```sh
+//! cargo run --release --example failure_robustness
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rap_vcps::graph::Distance;
+use rap_vcps::placement::{
+    failure_aware_evaluate, CompositeGreedy, FailureAwareGreedy, PlacementAlgorithm,
+    Scenario, UtilityKind,
+};
+use rap_vcps::trace::{dublin, CityParams};
+use rap_vcps::traffic::Zone;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut params = CityParams::dublin();
+    params.journeys = 60;
+    let city = dublin(params, 2015)?;
+    let shop = city.shop_candidates(Zone::City)[0];
+    let scenario = Scenario::single_shop(
+        city.graph().clone(),
+        city.flows().clone(),
+        shop,
+        UtilityKind::Linear.instantiate(Distance::from_feet(20_000)),
+    )?;
+
+    let k = 8;
+    let mut rng = StdRng::seed_from_u64(1);
+    let nominal = CompositeGreedy.place(&scenario, k, &mut rng);
+
+    println!("shop at {shop}, k = {k}\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "per-rap failure p", "nominal plan", "aware plan", "advantage"
+    );
+    for failure_p in [0.0, 0.1, 0.25, 0.5, 0.75] {
+        let aware = FailureAwareGreedy::new(failure_p).place(&scenario, k, &mut rng);
+        let v_nominal = failure_aware_evaluate(&scenario, &nominal, failure_p);
+        let v_aware = failure_aware_evaluate(&scenario, &aware, failure_p);
+        println!(
+            "{failure_p:<22} {v_nominal:>12.3} {v_aware:>12.3} {:>11.1}%",
+            (v_aware / v_nominal - 1.0) * 100.0
+        );
+    }
+
+    println!(
+        "\nnominal plan under no failures: {:.3} customers/day",
+        scenario.evaluate(&nominal)
+    );
+    println!(
+        "the failure-aware plan buys redundancy on heavy flows, which the\n\
+         nominal objective would never pick (redundant ads add nothing when\n\
+         every rap is alive)."
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # rap-vcps
+//!
+//! Facade crate for the **roadside advertisement dissemination** system — a
+//! from-scratch Rust reproduction of Zheng & Wu, *Optimizing Roadside
+//! Advertisement Dissemination in Vehicular Cyber-Physical Systems*
+//! (IEEE ICDCS 2015).
+//!
+//! A shop places `k` roadside access points (RAPs) at street intersections to
+//! broadcast advertisements to passing traffic; drivers detour to the shop
+//! with a probability that decreases in the detour distance. This workspace
+//! implements the paper's placement algorithms, every substrate they need
+//! (road graphs, traffic flows, synthetic bus traces, city models), and an
+//! experiment harness regenerating the paper's figures.
+//!
+//! The facade re-exports each crate under a stable module name:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `rap-graph` | road networks, shortest paths, generators |
+//! | [`traffic`] | `rap-traffic` | traffic flows, demand, zones |
+//! | [`trace`] | `rap-trace` | synthetic GPS traces, map matching, city models |
+//! | [`placement`] | `rap-core` | utilities, detour tables, Algorithms 1–2, baselines |
+//! | [`manhattan`] | `rap-manhattan` | grid scenario, Algorithms 3–4 |
+//! | [`experiments`] | `rap-experiments` | figure-regeneration harness |
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use rap_core as placement;
+pub use rap_experiments as experiments;
+pub use rap_graph as graph;
+pub use rap_manhattan as manhattan;
+pub use rap_trace as trace;
+pub use rap_traffic as traffic;
