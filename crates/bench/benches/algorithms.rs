@@ -6,11 +6,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rap_bench::grid_scenario;
 use rap_core::{
-    CompositeGreedy, GreedyCoverage, LazyGreedy, MarginalGreedy, MaxCustomers, PlacementAlgorithm,
-    Random, UtilityKind,
+    CompositeGreedy, GreedyCoverage, LazyGreedy, LazyParallelGreedy, MarginalGreedy, MaxCustomers,
+    ParallelGreedy, PlacementAlgorithm, Random, UtilityKind,
 };
 use rap_manhattan::gen::{boundary_flows, BoundaryFlowParams};
-use rap_manhattan::{GridGreedy, ManhattanAlgorithm, ManhattanScenario, ModifiedTwoStage, TwoStage};
+use rap_manhattan::{
+    GridGreedy, ManhattanAlgorithm, ManhattanScenario, ModifiedTwoStage, TwoStage,
+};
 use std::hint::black_box;
 
 fn rng() -> StdRng {
@@ -59,6 +61,16 @@ fn bench_k_scaling(c: &mut Criterion) {
             let mut r = rng();
             b.iter(|| black_box(LazyGreedy.place(&scenario, k, &mut r)))
         });
+        g.bench_with_input(BenchmarkId::new("parallel", k), &k, |b, &k| {
+            let mut r = rng();
+            let alg = ParallelGreedy::default();
+            b.iter(|| black_box(alg.place(&scenario, k, &mut r)))
+        });
+        g.bench_with_input(BenchmarkId::new("lazy_parallel", k), &k, |b, &k| {
+            let mut r = rng();
+            let alg = LazyParallelGreedy::default();
+            b.iter(|| black_box(alg.place(&scenario, k, &mut r)))
+        });
     }
     g.finish();
 }
@@ -104,8 +116,7 @@ fn bench_manhattan(c: &mut Criterion) {
 /// greedy, multi-ad scheduling, and Yen's K-shortest enumeration.
 fn bench_extensions(c: &mut Criterion) {
     use rap_core::{
-        AdCampaign, BudgetedGreedy, FailureAwareGreedy, GreedyWithSwaps, ScheduleGreedy,
-        SiteCosts,
+        AdCampaign, BudgetedGreedy, FailureAwareGreedy, GreedyWithSwaps, ScheduleGreedy, SiteCosts,
     };
     let mut g = c.benchmark_group("scaling/extensions");
     let scenario = grid_scenario(15, 120, UtilityKind::Linear);

@@ -115,9 +115,7 @@ fn bench_trace_pipeline(c: &mut Criterion) {
     }
     g.bench_function("extract_flows_40_buses", |b| {
         b.iter(|| {
-            black_box(
-                extract_flows(graph, &records, ExtractParams::default()).expect("extracts"),
-            )
+            black_box(extract_flows(graph, &records, ExtractParams::default()).expect("extracts"))
         })
     });
 

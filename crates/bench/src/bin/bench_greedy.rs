@@ -1,0 +1,187 @@
+//! `bench_greedy` — the greedy-engine ablation harness behind
+//! `BENCH_greedy.json`.
+//!
+//! Runs the four marginal-greedy engines (sequential, CELF-lazy, pooled
+//! parallel scan, lazy-parallel hybrid) on one large grid instance, checks
+//! their placements are identical, and writes wall-clock times, speedups
+//! versus the sequential baseline, and gain-evaluation counts as JSON.
+//!
+//! Usage: `cargo run --release -p rap-bench --bin bench_greedy [OUT.json]`
+//! (default output path `BENCH_greedy.json` in the current directory).
+
+use rap_bench::grid_scenario;
+use rap_core::{
+    LazyGreedy, LazyParallelGreedy, MarginalGreedy, ParallelGreedy, Placement, Scenario,
+    UtilityKind,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Benchmark scale: comfortably above the 50×50-grid / 2,000-flow / k = 20
+/// floor so the parallel engines have real work to amortize their pools.
+const GRID_SIDE: u32 = 60;
+const FLOWS: usize = 3_000;
+const K: usize = 20;
+/// Timed repetitions per engine (after one warmup); the median is reported.
+const RUNS: usize = 5;
+
+#[derive(Serialize)]
+struct ScenarioMeta {
+    grid_side: u32,
+    nodes: usize,
+    flows: usize,
+    k: usize,
+    utility: String,
+    threads: usize,
+    timed_runs: usize,
+}
+
+#[derive(Serialize)]
+struct EngineResult {
+    name: String,
+    wall_clock_ms: f64,
+    speedup_vs_marginal: f64,
+    gain_evals: u64,
+    objective: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scenario: ScenarioMeta,
+    engines: Vec<EngineResult>,
+}
+
+/// Median wall-clock seconds of `RUNS` timed repetitions (after one warmup),
+/// together with the last run's output.
+fn time_median<F: FnMut() -> (Placement, u64)>(mut run: F) -> (f64, Placement, u64) {
+    let mut out = run(); // warmup
+    let mut times: Vec<f64> = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        out = run();
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], out.0, out.1)
+}
+
+fn engine_result(
+    scenario: &Scenario,
+    name: &str,
+    seconds: f64,
+    baseline_seconds: f64,
+    placement: &Placement,
+    gain_evals: u64,
+) -> EngineResult {
+    EngineResult {
+        name: name.to_string(),
+        wall_clock_ms: seconds * 1e3,
+        speedup_vs_marginal: baseline_seconds / seconds,
+        gain_evals,
+        objective: scenario.evaluate(placement),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_greedy.json".to_string());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    eprintln!(
+        "building {GRID_SIDE}x{GRID_SIDE} grid, {FLOWS} flows, k = {K}, {threads} threads ..."
+    );
+    let scenario = grid_scenario(GRID_SIDE, FLOWS, UtilityKind::Linear);
+
+    let (seq_s, seq_p, seq_evals) = time_median(|| MarginalGreedy.place_with_stats(&scenario, K));
+    eprintln!(
+        "marginal greedy: {:.1} ms, {seq_evals} gain evals",
+        seq_s * 1e3
+    );
+
+    let (lazy_s, lazy_p, lazy_evals) = time_median(|| LazyGreedy.place_with_stats(&scenario, K));
+    eprintln!(
+        "lazy (CELF): {:.1} ms, {lazy_evals} gain evals",
+        lazy_s * 1e3
+    );
+
+    let parallel = ParallelGreedy::with_threads(threads);
+    let (par_s, par_p, par_evals) = time_median(|| parallel.place_with_stats(&scenario, K));
+    eprintln!(
+        "parallel scan: {:.1} ms, {par_evals} gain evals",
+        par_s * 1e3
+    );
+
+    let hybrid = LazyParallelGreedy::with_threads(threads);
+    let (hyb_s, hyb_p, hyb_evals) = time_median(|| hybrid.place_with_stats(&scenario, K));
+    eprintln!(
+        "lazy-parallel: {:.1} ms, {hyb_evals} gain evals",
+        hyb_s * 1e3
+    );
+
+    // Every engine must produce the sequential placement, bit for bit.
+    assert_eq!(lazy_p, seq_p, "lazy greedy diverged from marginal greedy");
+    assert_eq!(
+        par_p, seq_p,
+        "parallel greedy diverged from marginal greedy"
+    );
+    assert_eq!(
+        hyb_p, seq_p,
+        "lazy-parallel greedy diverged from marginal greedy"
+    );
+
+    let report = Report {
+        scenario: ScenarioMeta {
+            grid_side: GRID_SIDE,
+            nodes: scenario.graph().node_count(),
+            flows: scenario.flows().len(),
+            k: K,
+            utility: "linear".to_string(),
+            threads,
+            timed_runs: RUNS,
+        },
+        engines: vec![
+            engine_result(
+                &scenario,
+                "marginal greedy",
+                seq_s,
+                seq_s,
+                &seq_p,
+                seq_evals,
+            ),
+            engine_result(
+                &scenario,
+                "lazy greedy (CELF)",
+                lazy_s,
+                seq_s,
+                &lazy_p,
+                lazy_evals,
+            ),
+            engine_result(
+                &scenario,
+                "parallel marginal greedy",
+                par_s,
+                seq_s,
+                &par_p,
+                par_evals,
+            ),
+            engine_result(
+                &scenario,
+                "lazy-parallel greedy (CELF + pool)",
+                hyb_s,
+                seq_s,
+                &hyb_p,
+                hyb_evals,
+            ),
+        ],
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write benchmark report");
+    eprintln!(
+        "wrote {out_path}; lazy-parallel speedup vs marginal: {:.2}x",
+        seq_s / hyb_s
+    );
+}

@@ -223,8 +223,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ArgsError::MissingValue("x".into()).to_string().contains("--x"));
-        assert!(ArgsError::MissingOption("y".into()).to_string().contains("--y"));
+        assert!(ArgsError::MissingValue("x".into())
+            .to_string()
+            .contains("--x"));
+        assert!(ArgsError::MissingOption("y".into())
+            .to_string()
+            .contains("--y"));
         assert!(ArgsError::InvalidValue {
             option: "k".into(),
             value: "z".into(),

@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rap_core::{
     CompositeGreedy, ExhaustiveOptimal, GreedyCoverage, GreedyWithSwaps, LazyGreedy,
-    MarginalGreedy, MaxCardinality, MaxCustomers, MaxVehicles, PlacementAlgorithm,
-    PlacementReport, Random, Scenario, UtilityKind,
+    LazyParallelGreedy, MarginalGreedy, MaxCardinality, MaxCustomers, MaxVehicles, ParallelGreedy,
+    PlacementAlgorithm, PlacementReport, Random, Scenario, UtilityKind,
 };
 use rap_graph::{Distance, NodeId};
 use rap_traffic::{FlowSet, FlowSpec};
@@ -16,7 +16,7 @@ use rap_traffic::{FlowSet, FlowSpec};
 pub const USAGE: &str = "\
 rap place --graph FILE --flows FILE --shop NODE --k N
           [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
-          [--algorithm alg1|alg2|marginal|lazy|swaps|maxcard|maxveh|maxcust|random|optimal|all]
+          [--algorithm alg1|alg2|marginal|lazy|parallel|lazypar|swaps|maxcard|maxveh|maxcust|random|optimal|all]
 
 --graph  street network in the rap-graph text format (see `rap generate`)
 --flows  CSV with header origin,destination,volume,alpha
@@ -37,11 +37,13 @@ fn read_flows(path: &str) -> Result<Vec<FlowSpec>, CliError> {
                 idx + 1
             )));
         }
-        let parse_err = |what: &str| {
-            CliError::Usage(format!("flows file line {}: invalid {what}", idx + 1))
-        };
+        let parse_err =
+            |what: &str| CliError::Usage(format!("flows file line {}: invalid {what}", idx + 1));
         let origin: u32 = fields[0].trim().parse().map_err(|_| parse_err("origin"))?;
-        let dest: u32 = fields[1].trim().parse().map_err(|_| parse_err("destination"))?;
+        let dest: u32 = fields[1]
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("destination"))?;
         let volume: f64 = fields[2].trim().parse().map_err(|_| parse_err("volume"))?;
         let alpha: f64 = fields[3].trim().parse().map_err(|_| parse_err("alpha"))?;
         let spec = FlowSpec::new(NodeId::new(origin), NodeId::new(dest), volume)
@@ -59,6 +61,8 @@ fn algorithm_by_name(name: &str) -> Option<Box<dyn PlacementAlgorithm>> {
         "alg2" => Box::new(CompositeGreedy),
         "marginal" => Box::new(MarginalGreedy),
         "lazy" => Box::new(LazyGreedy),
+        "parallel" => Box::new(ParallelGreedy::default()),
+        "lazypar" => Box::new(LazyParallelGreedy::default()),
         "swaps" => Box::new(GreedyWithSwaps),
         "maxcard" => Box::new(MaxCardinality),
         "maxveh" => Box::new(MaxVehicles),
@@ -69,8 +73,9 @@ fn algorithm_by_name(name: &str) -> Option<Box<dyn PlacementAlgorithm>> {
     })
 }
 
-const ALL_ALGORITHMS: [&str; 9] = [
-    "alg1", "alg2", "marginal", "lazy", "swaps", "maxcard", "maxveh", "maxcust", "random",
+const ALL_ALGORITHMS: [&str; 11] = [
+    "alg1", "alg2", "marginal", "lazy", "parallel", "lazypar", "swaps", "maxcard", "maxveh",
+    "maxcust", "random",
 ];
 
 /// Runs the command; returns the human-readable report.
@@ -186,7 +191,15 @@ mod tests {
         ])
         .unwrap();
         let report = run(&args).unwrap();
-        for needle in ["Algorithm 1", "Algorithm 2", "MaxVehicles", "Random", "CELF"] {
+        for needle in [
+            "Algorithm 1",
+            "Algorithm 2",
+            "MaxVehicles",
+            "Random",
+            "CELF",
+            "parallel marginal greedy",
+            "CELF + pool",
+        ] {
             assert!(report.contains(needle), "missing {needle}: {report}");
         }
     }

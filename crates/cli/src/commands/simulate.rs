@@ -107,8 +107,18 @@ mod tests {
     #[test]
     fn simulate_runs_with_defaults_scaled_down() {
         let args = Args::parse([
-            "--side", "9", "--spacing", "250", "--d", "1000", "--flows", "30", "--k", "6",
-            "--samples", "20",
+            "--side",
+            "9",
+            "--spacing",
+            "250",
+            "--d",
+            "1000",
+            "--flows",
+            "30",
+            "--k",
+            "6",
+            "--samples",
+            "20",
         ])
         .unwrap();
         let report = run(&args).unwrap();

@@ -165,10 +165,7 @@ mod tests {
         // overlap V3's.
         let s = fig4_scenario(UtilityKind::Linear);
         let p = MaxCustomers.place(&s, 3, &mut rng());
-        assert_eq!(
-            p.raps(),
-            &[NodeId::new(3), NodeId::new(2), NodeId::new(4)]
-        );
+        assert_eq!(p.raps(), &[NodeId::new(3), NodeId::new(2), NodeId::new(4)]);
     }
 
     #[test]
@@ -220,7 +217,11 @@ mod tests {
         ] {
             let p = alg.place(&s, 100, &mut rng());
             for &rap in &p {
-                assert!(!s.entries_at(rap).is_empty(), "{} placed uselessly", alg.name());
+                assert!(
+                    !s.entries_at(rap).is_empty(),
+                    "{} placed uselessly",
+                    alg.name()
+                );
             }
         }
     }

@@ -16,7 +16,7 @@
 use crate::error::PlacementError;
 use crate::placement::Placement;
 use crate::scenario::Scenario;
-use rap_graph::{Distance, NodeId};
+use rap_graph::NodeId;
 
 /// Per-intersection placement costs.
 #[derive(Clone, Debug)]
@@ -44,10 +44,7 @@ impl SiteCosts {
     /// Panics if any produced cost is zero.
     pub fn from_fn<F: FnMut(NodeId) -> u64>(node_count: usize, mut f: F) -> Self {
         let costs: Vec<u64> = (0..node_count as u32).map(|i| f(NodeId::new(i))).collect();
-        assert!(
-            costs.iter().all(|&c| c > 0),
-            "site costs must be positive"
-        );
+        assert!(costs.iter().all(|&c| c > 0), "site costs must be positive");
         SiteCosts { costs }
     }
 
@@ -114,7 +111,7 @@ impl BudgetedGreedy {
 
         // Branch 1: cost-effectiveness greedy.
         let mut placement = Placement::empty();
-        let mut best: Vec<Option<Distance>> = vec![None; scenario.flows().len()];
+        let mut best_value = vec![0.0f64; scenario.flows().len()];
         let mut spent = 0u64;
         loop {
             let mut chosen: Option<(NodeId, f64)> = None;
@@ -126,7 +123,7 @@ impl BudgetedGreedy {
                 if spent + cost > budget {
                     continue;
                 }
-                let gain = scenario.marginal_gain(&best, v);
+                let gain = scenario.marginal_gain_value(&best_value, v);
                 if gain <= 0.0 {
                     continue;
                 }
@@ -139,13 +136,7 @@ impl BudgetedGreedy {
             let Some((v, _)) = chosen else { break };
             spent += costs.cost(v);
             placement.push(v);
-            for e in scenario.entries_at(v) {
-                let slot = &mut best[e.flow.index()];
-                *slot = Some(match *slot {
-                    Some(cur) => cur.min(e.detour),
-                    None => e.detour,
-                });
-            }
+            scenario.commit_best_values(&mut best_value, v);
         }
         let greedy_value = scenario.evaluate(&placement);
 
@@ -167,10 +158,11 @@ impl BudgetedGreedy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::composite::MarginalGreedy;
     use crate::algorithms::PlacementAlgorithm;
+    use crate::composite::MarginalGreedy;
     use crate::fixtures::{fig4_scenario, rng, small_grid_scenario};
     use crate::utility::UtilityKind;
+    use rap_graph::Distance;
 
     #[test]
     fn uniform_costs_match_marginal_greedy() {

@@ -19,7 +19,6 @@ use crate::algorithms::{argmax_node, PlacementAlgorithm};
 use crate::placement::Placement;
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
-use rap_graph::Distance;
 
 /// Algorithm 2: composite greedy placement with the `1 − 1/√e` guarantee.
 #[derive(Clone, Copy, Debug, Default)]
@@ -34,7 +33,7 @@ impl PlacementAlgorithm for CompositeGreedy {
         let candidates = scenario.candidates();
         let flow_count = scenario.flows().len();
         let mut covered = vec![false; flow_count];
-        let mut best: Vec<Option<Distance>> = vec![None; flow_count];
+        let mut best_value = vec![0.0f64; flow_count];
         let mut placement = Placement::empty();
 
         for _ in 0..k {
@@ -44,7 +43,7 @@ impl PlacementAlgorithm for CompositeGreedy {
             });
             // Candidate ii: improve covered flows with smaller detours.
             let cand_ii = argmax_node(&candidates, &placement, 0.0, |v| {
-                scenario.improvement_gain(&covered, &best, v)
+                scenario.improvement_gain_value(&covered, &best_value, v)
             });
             // Pick the better; ties favor candidate i (the paper compares
             // "the one that can attract more drivers").
@@ -61,17 +60,15 @@ impl PlacementAlgorithm for CompositeGreedy {
                 (None, None) => break, // nothing attracts anyone anymore
             };
             placement.push(chosen);
-            for e in scenario.entries_at(chosen) {
-                let flow = scenario.flows().flow(e.flow);
-                if scenario.expected_customers(flow, e.detour) > 0.0 {
-                    covered[e.flow.index()] = true;
+            let (flows, values) = scenario.value_entries_at(chosen);
+            for (&f, &v) in flows.iter().zip(values) {
+                // A flow counts as covered once some RAP attracts a positive
+                // expected number of its drivers (precomputed entry value).
+                if v > 0.0 {
+                    covered[f as usize] = true;
                 }
-                let slot = &mut best[e.flow.index()];
-                *slot = Some(match *slot {
-                    Some(cur) => cur.min(e.detour),
-                    None => e.detour,
-                });
             }
+            scenario.commit_best_values(&mut best_value, chosen);
         }
         placement
     }
@@ -87,31 +84,36 @@ impl PlacementAlgorithm for CompositeGreedy {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MarginalGreedy;
 
+impl MarginalGreedy {
+    /// Like [`place`](PlacementAlgorithm::place), additionally returning the
+    /// number of gain evaluations performed (the ablation metric reported in
+    /// `BENCH_greedy.json`).
+    pub fn place_with_stats(&self, scenario: &Scenario, k: usize) -> (Placement, u64) {
+        let candidates = scenario.candidates();
+        let mut best_value = vec![0.0f64; scenario.flows().len()];
+        let mut placement = Placement::empty();
+        let evals = std::cell::Cell::new(0u64);
+        for _ in 0..k {
+            let Some((node, _gain)) = argmax_node(&candidates, &placement, 0.0, |v| {
+                evals.set(evals.get() + 1);
+                scenario.marginal_gain_value(&best_value, v)
+            }) else {
+                break;
+            };
+            placement.push(node);
+            scenario.commit_best_values(&mut best_value, node);
+        }
+        (placement, evals.get())
+    }
+}
+
 impl PlacementAlgorithm for MarginalGreedy {
     fn name(&self) -> &str {
         "marginal greedy"
     }
 
     fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
-        let candidates = scenario.candidates();
-        let mut best: Vec<Option<Distance>> = vec![None; scenario.flows().len()];
-        let mut placement = Placement::empty();
-        for _ in 0..k {
-            let Some((node, _gain)) = argmax_node(&candidates, &placement, 0.0, |v| {
-                scenario.marginal_gain(&best, v)
-            }) else {
-                break;
-            };
-            placement.push(node);
-            for e in scenario.entries_at(node) {
-                let slot = &mut best[e.flow.index()];
-                *slot = Some(match *slot {
-                    Some(cur) => cur.min(e.detour),
-                    None => e.detour,
-                });
-            }
-        }
-        placement
+        self.place_with_stats(scenario, k).0
     }
 }
 

@@ -35,7 +35,12 @@ pub struct FlowDetour {
 }
 
 /// Precomputed detour distances of every flow at every intersection it
-/// passes.
+/// passes, stored in a flat CSR (compressed sparse row) layout.
+///
+/// Entries for intersection `v` occupy the contiguous slice
+/// `entries[offsets[v] .. offsets[v + 1]]`. The flat layout keeps the per-step
+/// candidate scans of the greedy algorithms on sequential memory instead of
+/// chasing one heap allocation per intersection.
 ///
 /// ```
 /// use rap_graph::{GridGraph, Distance, NodeId};
@@ -59,7 +64,11 @@ pub struct FlowDetour {
 /// ```
 #[derive(Clone, Debug)]
 pub struct DetourTable {
-    per_node: Vec<Vec<FlowDetour>>,
+    /// CSR row starts: node `v`'s entries are `entries[offsets[v] as usize ..
+    /// offsets[v + 1] as usize]`. Length `node_count + 1`.
+    offsets: Vec<u32>,
+    /// All (intersection, flow) entries, grouped by intersection id.
+    entries: Vec<FlowDetour>,
     /// `min_s dist(v → shop_s)`, `Distance::MAX` when no shop is reachable.
     to_shop: Vec<Distance>,
     flow_count: usize,
@@ -126,8 +135,12 @@ impl DetourTable {
             })
             .collect();
 
-        let mut per_node: Vec<Vec<FlowDetour>> = vec![Vec::new(); n];
-        for (v, entries) in per_node.iter_mut().enumerate() {
+        // Single pass in node-id order fills the flat entries array and the
+        // CSR offsets directly.
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut entries: Vec<FlowDetour> = Vec::new();
+        offsets.push(0);
+        for v in 0..n {
             let node = NodeId::new(v as u32);
             for visit in flows.visits_at(node) {
                 let flow = flows.flow(visit.flow);
@@ -155,13 +168,34 @@ impl DetourTable {
                     detour: via_shop.saturating_sub(remaining),
                 });
             }
+            assert!(
+                entries.len() <= u32::MAX as usize,
+                "detour table exceeds u32 CSR offset range"
+            );
+            offsets.push(entries.len() as u32);
         }
 
         Ok(DetourTable {
-            per_node,
+            offsets,
+            entries,
             to_shop,
             flow_count: flows.len(),
         })
+    }
+
+    /// The flat CSR index range of `node`'s entries (empty for ids outside
+    /// the graph), usable to address parallel per-entry arrays.
+    pub fn entry_range(&self, node: NodeId) -> std::ops::Range<usize> {
+        let v = node.index();
+        if v + 1 >= self.offsets.len() {
+            return 0..0;
+        }
+        self.offsets[v] as usize..self.offsets[v + 1] as usize
+    }
+
+    /// All entries in CSR order (grouped by intersection id).
+    pub fn entries(&self) -> &[FlowDetour] {
+        &self.entries
     }
 
     /// Flows passing `node`, each with its exact detour distance there.
@@ -169,10 +203,7 @@ impl DetourTable {
     /// Returns an empty slice for intersections no flow passes (or ids
     /// outside the graph).
     pub fn entries_at(&self, node: NodeId) -> &[FlowDetour] {
-        self.per_node
-            .get(node.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        &self.entries[self.entry_range(node)]
     }
 
     /// Shortest distance from `node` to the nearest shop, or `None` if no
@@ -186,7 +217,7 @@ impl DetourTable {
 
     /// Number of intersections covered by the table.
     pub fn node_count(&self) -> usize {
-        self.per_node.len()
+        self.offsets.len() - 1
     }
 
     /// Number of flows in the flow set the table was built from.
@@ -197,10 +228,10 @@ impl DetourTable {
     /// Intersections where placing a RAP reaches at least one flow, in id
     /// order.
     pub fn candidate_nodes(&self) -> Vec<NodeId> {
-        self.per_node
-            .iter()
+        self.offsets
+            .windows(2)
             .enumerate()
-            .filter(|(_, e)| !e.is_empty())
+            .filter(|(_, w)| w[0] < w[1])
             .map(|(i, _)| NodeId::new(i as u32))
             .collect()
     }
@@ -272,11 +303,7 @@ mod tests {
         for f in &flows {
             let mut along: Vec<(u32, Distance)> = Vec::new();
             for &v in f.path().nodes() {
-                if let Some(e) = table
-                    .entries_at(v)
-                    .iter()
-                    .find(|e| e.flow == f.id())
-                {
+                if let Some(e) = table.entries_at(v).iter().find(|e| e.flow == f.id()) {
                     along.push((e.position, e.detour));
                 }
             }
@@ -302,10 +329,14 @@ mod tests {
         )
         .unwrap();
         let one = DetourTable::build(grid.graph(), &flows, &[NodeId::new(8)]).unwrap();
-        let both = DetourTable::build(grid.graph(), &flows, &[NodeId::new(8), NodeId::new(1)])
+        let both =
+            DetourTable::build(grid.graph(), &flows, &[NodeId::new(8), NodeId::new(1)]).unwrap();
+        let d_one = one
+            .detour_of(NodeId::new(0), rap_traffic::FlowId::new(0))
             .unwrap();
-        let d_one = one.detour_of(NodeId::new(0), rap_traffic::FlowId::new(0)).unwrap();
-        let d_both = both.detour_of(NodeId::new(0), rap_traffic::FlowId::new(0)).unwrap();
+        let d_both = both
+            .detour_of(NodeId::new(0), rap_traffic::FlowId::new(0))
+            .unwrap();
         assert!(d_both <= d_one);
         // Shop at node 1 lies on the path: zero detour.
         assert_eq!(d_both, Distance::ZERO);
@@ -345,8 +376,7 @@ mod tests {
         let island = b.add_node(Point::new(9.0, 9.0));
         b.add_two_way(a, c, Distance::from_feet(1)).unwrap();
         let g = b.build();
-        let flows =
-            FlowSet::route(&g, vec![FlowSpec::new(a, c, 1.0).unwrap()]).unwrap();
+        let flows = FlowSet::route(&g, vec![FlowSpec::new(a, c, 1.0).unwrap()]).unwrap();
         let table = DetourTable::build(&g, &flows, &[island]).unwrap();
         assert!(table.entries_at(a).is_empty());
         assert!(table.entries_at(c).is_empty());
@@ -379,6 +409,32 @@ mod tests {
             Some(Distance::from_feet(20))
         );
         assert_eq!(table.shop_distance(NodeId::new(99)), None);
+    }
+
+    #[test]
+    fn csr_layout_is_consistent() {
+        let grid = grid();
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![
+                FlowSpec::new(NodeId::new(0), NodeId::new(8), 10.0).unwrap(),
+                FlowSpec::new(NodeId::new(6), NodeId::new(2), 10.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let table = DetourTable::build(grid.graph(), &flows, &[NodeId::new(4)]).unwrap();
+        // Per-node slices tile the flat entries array exactly, in id order.
+        let mut reassembled = Vec::new();
+        for v in 0..table.node_count() {
+            let node = NodeId::new(v as u32);
+            let range = table.entry_range(node);
+            assert_eq!(&table.entries()[range], table.entries_at(node));
+            reassembled.extend_from_slice(table.entries_at(node));
+        }
+        assert_eq!(reassembled, table.entries());
+        // Out-of-bounds ids yield empty ranges, not panics.
+        assert!(table.entry_range(NodeId::new(99)).is_empty());
+        assert!(table.entries_at(NodeId::new(99)).is_empty());
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl fmt::Display for PlacementError {
         match self {
             PlacementError::NoShops => write!(f, "scenario requires at least one shop"),
             PlacementError::ShopOutOfBounds { shop } => {
-                write!(f, "shop location {shop} is not an intersection of the graph")
+                write!(
+                    f,
+                    "shop location {shop} is not an intersection of the graph"
+                )
             }
             PlacementError::SearchTooLarge {
                 candidates,

@@ -6,10 +6,10 @@
 
 use crate::scenario::Scenario;
 use crate::utility::UtilityKind;
-use rap_graph::{Distance, GraphBuilder, GridGraph, NodeId, Point};
-use rap_traffic::{FlowSet, FlowSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rap_graph::{Distance, GraphBuilder, GridGraph, NodeId, Point};
+use rap_traffic::{FlowSet, FlowSpec};
 
 /// A fixed-seed RNG for deterministic tests.
 pub fn rng() -> StdRng {

@@ -56,10 +56,12 @@ impl PlacementAlgorithm for GreedyCoverage {
                 break; // every remaining intersection attracts nobody new
             };
             placement.push(node);
-            for e in scenario.entries_at(node) {
-                let flow = scenario.flows().flow(e.flow);
-                if scenario.expected_customers(flow, e.detour) > 0.0 {
-                    covered[e.flow.index()] = true;
+            let (flows, values) = scenario.value_entries_at(node);
+            for (&f, &v) in flows.iter().zip(values) {
+                // Positive precomputed value == the RAP attracts a positive
+                // expected number of this flow's drivers.
+                if v > 0.0 {
+                    covered[f as usize] = true;
                 }
             }
         }

@@ -14,18 +14,41 @@ use crate::algorithms::PlacementAlgorithm;
 use crate::placement::Placement;
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
-use rap_graph::{Distance, NodeId};
+use rap_graph::NodeId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// A heap entry: a candidate node with a (possibly stale) upper bound on its
 /// marginal gain.
-struct HeapEntry {
-    gain: f64,
-    node: NodeId,
+pub(crate) struct HeapEntry {
+    pub(crate) gain: f64,
+    pub(crate) node: NodeId,
     /// The placement size at which `gain` was computed; the gain is fresh iff
     /// this equals the current placement size.
-    round: usize,
+    pub(crate) round: usize,
+}
+
+impl HeapEntry {
+    /// Wraps a computed gain for the heap.
+    ///
+    /// Finiteness is checked *here*, at construction, rather than inside
+    /// `Ord::cmp`: a comparison method that panics mid-sift can leave a
+    /// `BinaryHeap` in a broken state, and the old
+    /// `partial_cmp(...).expect(...)` fired at an arbitrary later heap
+    /// operation — far from the code that produced the NaN. Gains come from
+    /// sums of finite precomputed entry values, so this only trips if a
+    /// utility implementation returns NaN/infinity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is not finite.
+    pub(crate) fn new(gain: f64, node: NodeId, round: usize) -> Self {
+        assert!(
+            gain.is_finite(),
+            "non-finite marginal gain {gain} for candidate {node}"
+        );
+        HeapEntry { gain, node, round }
+    }
 }
 
 impl PartialEq for HeapEntry {
@@ -45,10 +68,12 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap by gain; ties toward the lower node id (so `pop` matches
-        // the plain greedy's deterministic tie-break).
+        // the plain greedy's deterministic tie-break). `total_cmp` is total,
+        // so this never panics; `HeapEntry::new` already rejected NaN (for
+        // which total_cmp's ordering would silently diverge from the
+        // sequential argmax).
         self.gain
-            .partial_cmp(&other.gain)
-            .expect("gains are finite")
+            .total_cmp(&other.gain)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -59,22 +84,18 @@ impl Ord for HeapEntry {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LazyGreedy;
 
-impl PlacementAlgorithm for LazyGreedy {
-    fn name(&self) -> &str {
-        "lazy greedy (CELF)"
-    }
-
-    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
-        let mut best: Vec<Option<Distance>> = vec![None; scenario.flows().len()];
+impl LazyGreedy {
+    /// Like [`place`](PlacementAlgorithm::place), additionally returning the
+    /// number of gain evaluations performed (the ablation metric reported in
+    /// `BENCH_greedy.json`).
+    pub fn place_with_stats(&self, scenario: &Scenario, k: usize) -> (Placement, u64) {
+        let mut best_value = vec![0.0f64; scenario.flows().len()];
         let mut placement = Placement::empty();
-        let mut heap: BinaryHeap<HeapEntry> = scenario
-            .candidates()
+        let candidates = scenario.candidates();
+        let mut evals = candidates.len() as u64;
+        let mut heap: BinaryHeap<HeapEntry> = candidates
             .into_iter()
-            .map(|v| HeapEntry {
-                gain: scenario.marginal_gain(&best, v),
-                node: v,
-                round: 0,
-            })
+            .map(|v| HeapEntry::new(scenario.marginal_gain_value(&best_value, v), v, 0))
             .collect();
 
         while placement.len() < k {
@@ -85,23 +106,28 @@ impl PlacementAlgorithm for LazyGreedy {
             if top.round == placement.len() {
                 // Fresh: by submodularity no other node can beat it.
                 placement.push(top.node);
-                for e in scenario.entries_at(top.node) {
-                    let slot = &mut best[e.flow.index()];
-                    *slot = Some(match *slot {
-                        Some(cur) => cur.min(e.detour),
-                        None => e.detour,
-                    });
-                }
+                scenario.commit_best_values(&mut best_value, top.node);
             } else {
                 // Stale: re-evaluate and push back.
-                heap.push(HeapEntry {
-                    gain: scenario.marginal_gain(&best, top.node),
-                    node: top.node,
-                    round: placement.len(),
-                });
+                evals += 1;
+                heap.push(HeapEntry::new(
+                    scenario.marginal_gain_value(&best_value, top.node),
+                    top.node,
+                    placement.len(),
+                ));
             }
         }
-        placement
+        (placement, evals)
+    }
+}
+
+impl PlacementAlgorithm for LazyGreedy {
+    fn name(&self) -> &str {
+        "lazy greedy (CELF)"
+    }
+
+    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
+        self.place_with_stats(scenario, k).0
     }
 }
 
@@ -120,10 +146,7 @@ mod tests {
                 for k in 0..6 {
                     let lazy = LazyGreedy.place(&s, k, &mut rng());
                     let plain = MarginalGreedy.place(&s, k, &mut rng());
-                    assert_eq!(
-                        lazy, plain,
-                        "divergence at kind={kind} d={d} k={k}"
-                    );
+                    assert_eq!(lazy, plain, "divergence at kind={kind} d={d} k={k}");
                 }
             }
         }
@@ -157,5 +180,17 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(LazyGreedy.name(), "lazy greedy (CELF)");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite marginal gain")]
+    fn nan_gain_rejected_at_construction() {
+        let _ = HeapEntry::new(f64::NAN, NodeId::new(7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite marginal gain")]
+    fn infinite_gain_rejected_at_construction() {
+        let _ = HeapEntry::new(f64::INFINITY, NodeId::new(7), 0);
     }
 }

@@ -1,0 +1,232 @@
+//! Lazy-parallel hybrid greedy: a CELF heap whose stale re-evaluations run
+//! in batches on the persistent worker pool.
+//!
+//! [`LazyGreedy`](crate::lazy::LazyGreedy) re-evaluates one stale heap entry
+//! at a time — minimal work, but strictly serial. [`ParallelGreedy`]
+//! (crate::parallel::ParallelGreedy) scans every candidate each round —
+//! embarrassingly parallel, but does the work CELF proves unnecessary.
+//! [`LazyParallelGreedy`] combines them: pop the top of the CELF heap; if it
+//! is stale, pop the next highest entries up to a batch cap and refresh the
+//! stale ones concurrently on the pool, then push everything back. A fresh
+//! top is selected exactly as in CELF.
+//!
+//! The output is *bit-for-bit identical* to the sequential
+//! [`MarginalGreedy`](crate::composite::MarginalGreedy): gains come from the
+//! same [`Scenario::marginal_gain_value`] expression against replicas built
+//! by the same [`Scenario::commit_best_values`] commits, refreshing extra
+//! entries never changes which fresh entry reaches the top (re-evaluation
+//! only tightens CELF's upper bounds to their true values), and the heap
+//! tie-break (higher gain, then lower node id) matches the sequential
+//! argmax.
+
+use crate::algorithms::PlacementAlgorithm;
+use crate::lazy::HeapEntry;
+use crate::parallel::{default_threads, with_eval_pool};
+use crate::placement::Placement;
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rap_graph::NodeId;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// CELF greedy with pooled batch re-evaluation of stale heap entries.
+#[derive(Clone, Copy, Debug)]
+pub struct LazyParallelGreedy {
+    /// Worker threads for the evaluation pool (clamped to the candidate
+    /// count when the pool is spawned).
+    pub threads: usize,
+    /// Maximum number of stale entries refreshed per pool round-trip.
+    /// Larger batches amortize coordination but may refresh entries CELF
+    /// would never have touched; values near `4 × threads` work well.
+    pub batch: usize,
+}
+
+impl Default for LazyParallelGreedy {
+    /// Uses `available_parallelism()` (falling back to 4 threads, logged
+    /// once) and a batch cap of four entries per worker.
+    fn default() -> Self {
+        let threads = default_threads();
+        LazyParallelGreedy {
+            threads,
+            batch: 4 * threads,
+        }
+    }
+}
+
+impl LazyParallelGreedy {
+    /// Creates the greedy with an explicit thread count and the default
+    /// `4 × threads` batch cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        LazyParallelGreedy {
+            threads,
+            batch: 4 * threads,
+        }
+    }
+
+    /// Like [`place`](PlacementAlgorithm::place), additionally returning the
+    /// number of gain evaluations dispatched (the ablation metric reported
+    /// in `BENCH_greedy.json`).
+    pub fn place_with_stats(&self, scenario: &Scenario, k: usize) -> (Placement, u64) {
+        let candidates = scenario.candidates();
+        let batch = self.batch.max(1);
+        let mut placement = Placement::empty();
+        let evals = with_eval_pool(scenario, &candidates, self.threads, |pool| {
+            // Initial gains for every candidate, computed on the pool.
+            let all: Arc<[NodeId]> = candidates.clone().into();
+            let mut heap: BinaryHeap<HeapEntry> = all
+                .iter()
+                .zip(pool.batch_gains(&all))
+                .map(|(&v, gain)| HeapEntry::new(gain, v, 0))
+                .collect();
+
+            while placement.len() < k {
+                let Some(top) = heap.pop() else { break };
+                if top.gain <= 0.0 {
+                    // Stale gains are upper bounds, so even the stale top
+                    // being non-positive means no candidate can help.
+                    break;
+                }
+                if top.round == placement.len() {
+                    // Fresh: by submodularity no other node can beat it.
+                    placement.push(top.node);
+                    pool.commit(top.node);
+                    continue;
+                }
+                // Stale: gather the highest entries up to the batch cap.
+                // Fresh entries popped along the way are kept aside and
+                // reinserted unchanged; stale ones are refreshed together.
+                let mut stale = vec![top.node];
+                let mut fresh = Vec::new();
+                while stale.len() < batch {
+                    match heap.peek() {
+                        Some(e) if e.gain > 0.0 => {
+                            let e = heap.pop().expect("peeked entry");
+                            if e.round == placement.len() {
+                                fresh.push(e);
+                            } else {
+                                stale.push(e.node);
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let nodes: Arc<[NodeId]> = stale.into();
+                for (&node, gain) in nodes.iter().zip(pool.batch_gains(&nodes)) {
+                    heap.push(HeapEntry::new(gain, node, placement.len()));
+                }
+                heap.extend(fresh);
+            }
+            pool.gain_evals()
+        });
+        (placement, evals)
+    }
+}
+
+impl PlacementAlgorithm for LazyParallelGreedy {
+    fn name(&self) -> &str {
+        "lazy-parallel greedy (CELF + pool)"
+    }
+
+    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
+        self.place_with_stats(scenario, k).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::MarginalGreedy;
+    use crate::fixtures::{fig4_scenario, rng, small_grid_scenario};
+    use crate::lazy::LazyGreedy;
+    use crate::utility::UtilityKind;
+    use rap_graph::Distance;
+
+    #[test]
+    fn matches_sequential_and_lazy_exactly() {
+        for kind in UtilityKind::ALL {
+            for d in [100u64, 200, 350] {
+                let s = small_grid_scenario(kind, Distance::from_feet(d));
+                for k in 0..6 {
+                    let seq = MarginalGreedy.place(&s, k, &mut rng());
+                    let lazy = LazyGreedy.place(&s, k, &mut rng());
+                    assert_eq!(lazy, seq);
+                    for threads in [1, 2, 3, 8] {
+                        let hybrid =
+                            LazyParallelGreedy::with_threads(threads).place(&s, k, &mut rng());
+                        assert_eq!(hybrid, seq, "kind={kind} d={d} k={k} threads={threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_batches_still_match() {
+        // batch = 1 degenerates to plain CELF with pooled single
+        // re-evaluations; the output must not change.
+        let s = small_grid_scenario(UtilityKind::Sqrt, Distance::from_feet(200));
+        for k in 0..6 {
+            let hybrid = LazyParallelGreedy {
+                threads: 2,
+                batch: 1,
+            }
+            .place(&s, k, &mut rng());
+            let seq = MarginalGreedy.place(&s, k, &mut rng());
+            assert_eq!(hybrid, seq, "k={k}");
+        }
+    }
+
+    #[test]
+    fn matches_on_fig4() {
+        for kind in UtilityKind::ALL {
+            let s = fig4_scenario(kind);
+            for k in 0..4 {
+                assert_eq!(
+                    LazyParallelGreedy::default().place(&s, k, &mut rng()),
+                    MarginalGreedy.place(&s, k, &mut rng())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluates_fewer_gains_than_full_scans() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(300));
+        let k = 5;
+        let (p, lazy_evals) = LazyParallelGreedy::with_threads(2).place_with_stats(&s, k);
+        let full_scans = (p.len() as u64 + 1) * s.candidates().len() as u64;
+        assert!(
+            lazy_evals <= full_scans,
+            "lazy-parallel dispatched {lazy_evals} evals, full scans would be {full_scans}"
+        );
+    }
+
+    #[test]
+    fn stops_when_gains_vanish() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let p = LazyParallelGreedy::with_threads(2).place(&s, 100, &mut rng());
+        assert!(p.len() <= s.candidates().len());
+        let w_all = s.evaluate(&p);
+        let p2 = LazyParallelGreedy::with_threads(2).place(&s, 2, &mut rng());
+        assert!((s.evaluate(&p2) - w_all).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_panics() {
+        let _ = LazyParallelGreedy::with_threads(0);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(
+            LazyParallelGreedy::default().name(),
+            "lazy-parallel greedy (CELF + pool)"
+        );
+    }
+}

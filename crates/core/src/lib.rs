@@ -21,6 +21,8 @@
 //! | [`CompositeGreedy`] | Algorithm 2 | `1 − 1/√e` (any non-increasing utility) |
 //! | [`MarginalGreedy`] | Sec. III-C naive greedy | none (ablation) |
 //! | [`LazyGreedy`] | — (CELF extension) | identical output to `MarginalGreedy` |
+//! | [`ParallelGreedy`] | — (pooled scan) | identical output to `MarginalGreedy` |
+//! | [`LazyParallelGreedy`] | — (CELF + pool hybrid) | identical output to `MarginalGreedy` |
 //! | [`MaxCardinality`], [`MaxVehicles`], [`MaxCustomers`], [`Random`] | Sec. V-B baselines | none |
 //! | [`ExhaustiveOptimal`] | — | exact (small instances) |
 //!
@@ -65,6 +67,7 @@ pub mod exhaustive;
 pub mod fixtures;
 pub mod greedy;
 pub mod lazy;
+pub mod lazy_parallel;
 pub mod local_search;
 pub mod metrics;
 pub mod parallel;
@@ -85,6 +88,7 @@ pub use error::PlacementError;
 pub use exhaustive::ExhaustiveOptimal;
 pub use greedy::GreedyCoverage;
 pub use lazy::LazyGreedy;
+pub use lazy_parallel::LazyParallelGreedy;
 pub use local_search::{GreedyWithSwaps, SwapSearch};
 pub use metrics::PlacementReport;
 pub use parallel::ParallelGreedy;
@@ -93,6 +97,4 @@ pub use placement::Placement;
 pub use robustness::{failure_aware_evaluate, FailureAwareGreedy};
 pub use scenario::Scenario;
 pub use scheduling::{AdCampaign, Schedule, ScheduleGreedy};
-pub use utility::{
-    LinearUtility, SqrtUtility, ThresholdUtility, UtilityFunction, UtilityKind,
-};
+pub use utility::{LinearUtility, SqrtUtility, ThresholdUtility, UtilityFunction, UtilityKind};

@@ -63,7 +63,9 @@ impl SwapSearch {
                 // `out` silences the unused warning; kept for readability.
                 let _ = out;
             }
-            let Some((i, inn, value)) = best_swap else { break };
+            let Some((i, inn, value)) = best_swap else {
+                break;
+            };
             let mut raps = current.raps().to_vec();
             raps[i] = inn;
             current = Placement::new(raps);
@@ -102,10 +104,17 @@ mod tests {
         // 8 ({V2, V4}), one swap away (V3 -> V4 after the greedy's {V3, V2}).
         let s = fig4_scenario(UtilityKind::Linear);
         let p = GreedyWithSwaps.place(&s, 2, &mut rng());
-        assert!((s.evaluate(&p) - 8.0).abs() < 1e-9, "got {}", s.evaluate(&p));
+        assert!(
+            (s.evaluate(&p) - 8.0).abs() < 1e-9,
+            "got {}",
+            s.evaluate(&p)
+        );
         let mut raps = p.raps().to_vec();
         raps.sort();
-        assert_eq!(raps, vec![rap_graph::NodeId::new(2), rap_graph::NodeId::new(4)]);
+        assert_eq!(
+            raps,
+            vec![rap_graph::NodeId::new(2), rap_graph::NodeId::new(4)]
+        );
     }
 
     #[test]

@@ -1,34 +1,269 @@
-//! Parallel marginal-gain greedy for large cities.
+//! Persistent-pool parallel marginal-gain greedy for large cities.
 //!
 //! Each greedy step scans every candidate intersection; the scans are
-//! independent, so they shard across crossbeam scoped threads. The chosen
-//! node is *bit-for-bit identical* to the sequential marginal greedy: each
-//! shard reports its best `(gain, node)` and the reduction resolves ties
-//! toward the lower node id, exactly like the sequential argmax.
+//! independent, so they shard across worker threads. Unlike a
+//! scope-per-round design, the pool here is spawned **once per [`place`]
+//! call** and fed commands for all `k` rounds, so thread spawn/join cost is
+//! paid once and every worker keeps a warm per-flow best-value replica
+//! between rounds.
 //!
-//! Worth it only when `|V| × flows-per-node` is large; the ablation bench
-//! (`scaling/k`) shows the crossover.
+//! The chosen node is *bit-for-bit identical* to the sequential marginal
+//! greedy: every worker folds the committed RAPs into its replica with
+//! [`Scenario::commit_best_values`] and scores candidates with
+//! [`Scenario::marginal_gain_value`] — the same expressions, against the
+//! same state, as the sequential code — and the coordinator reduces the
+//! per-shard argmax slots with the sequential tie-break (higher gain, then
+//! lower node id). Already-placed nodes need no special skip: after their
+//! commit every per-flow delta is `<= 0`, so their gain is exactly `0.0` and
+//! the `gain <= 0.0` filter drops them, just like the sequential argmax.
+//!
+//! Worth it only when `|V| × flows-per-node` is large; the committed
+//! `BENCH_greedy.json` shows the crossover.
+//!
+//! [`place`]: ParallelGreedy::place
 
 use crate::algorithms::PlacementAlgorithm;
 use crate::placement::Placement;
 use crate::scenario::Scenario;
-use parking_lot::Mutex;
+use crossbeam::channel::{Receiver, Sender};
 use rand::rngs::StdRng;
-use rap_graph::{Distance, NodeId};
+use rap_graph::NodeId;
+use std::cell::Cell;
+use std::sync::Arc;
 
-/// Marginal-gain greedy with parallel candidate evaluation.
+/// Worker threads used by [`ParallelGreedy::default`] and
+/// [`LazyParallelGreedy::default`](crate::lazy_parallel::LazyParallelGreedy):
+/// `std::thread::available_parallelism()`, falling back to 4 when the
+/// platform cannot report it (e.g. restricted sandboxes). The fallback is
+/// logged to stderr once per process so a silently mis-sized pool is
+/// diagnosable.
+pub(crate) fn default_threads() -> usize {
+    match std::thread::available_parallelism() {
+        Ok(n) => n.get(),
+        Err(err) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "rap-core: available_parallelism() failed ({err}); \
+                     parallel greedy defaulting to 4 worker threads"
+                );
+            });
+            4
+        }
+    }
+}
+
+/// The single clamp point for requested thread counts: never more workers
+/// than candidates (extra workers would idle on empty shards), never fewer
+/// than one.
+pub(crate) fn effective_threads(requested: usize, candidate_count: usize) -> usize {
+    requested.min(candidate_count).max(1)
+}
+
+/// Commands the coordinator feeds to pool workers.
+#[derive(Debug)]
+enum Command {
+    /// Fold a placed RAP into the worker's best-value replica.
+    Commit(NodeId),
+    /// Score the worker's candidate shard; reply with its argmax slot.
+    Scan,
+    /// Score `nodes[i]` for every `i ≡ worker (mod threads)`; reply with the
+    /// `(index, gain)` pairs.
+    Batch(Arc<[NodeId]>),
+}
+
+/// Worker replies, tagged with the worker index (the per-shard slot).
+enum Reply {
+    Scan(usize, Option<(f64, NodeId)>),
+    Batch(Vec<(usize, f64)>),
+}
+
+/// Coordinator-side handle to a spawned evaluation pool.
+///
+/// Owned command senders double as the shutdown signal: dropping the handle
+/// closes every worker's channel and the workers drain out before the
+/// enclosing scope joins them.
+pub(crate) struct EvalPool<'a> {
+    command_txs: Vec<Sender<Command>>,
+    reply_rx: Receiver<Reply>,
+    threads: usize,
+    candidates: &'a [NodeId],
+    gain_evals: Cell<u64>,
+}
+
+impl EvalPool<'_> {
+    /// Number of gain evaluations dispatched so far (ablation metric).
+    pub(crate) fn gain_evals(&self) -> u64 {
+        self.gain_evals.get()
+    }
+
+    /// Broadcasts a placed RAP so every worker replica folds it in.
+    pub(crate) fn commit(&self, node: NodeId) {
+        for tx in &self.command_txs {
+            tx.send(Command::Commit(node)).expect("pool worker alive");
+        }
+    }
+
+    /// One full candidate scan: the argmax `(gain, node)` over all shards,
+    /// `None` when no candidate has positive gain.
+    pub(crate) fn scan(&self) -> Option<(f64, NodeId)> {
+        for tx in &self.command_txs {
+            tx.send(Command::Scan).expect("pool worker alive");
+        }
+        self.gain_evals
+            .set(self.gain_evals.get() + self.candidates.len() as u64);
+        let mut slots: Vec<Option<(f64, NodeId)>> = vec![None; self.threads];
+        for _ in 0..self.threads {
+            match self.reply_rx.recv().expect("pool worker alive") {
+                Reply::Scan(shard, slot) => slots[shard] = slot,
+                Reply::Batch(_) => unreachable!("scan round received a batch reply"),
+            }
+        }
+        // Reduce the per-shard slots exactly like the sequential argmax:
+        // strictly greater gain wins, equal gain goes to the lower node id.
+        let mut best: Option<(f64, NodeId)> = None;
+        for (gain, node) in slots.into_iter().flatten() {
+            let better = match best {
+                Some((bg, bn)) => gain > bg || (gain == bg && node < bn),
+                None => true,
+            };
+            if better {
+                best = Some((gain, node));
+            }
+        }
+        best
+    }
+
+    /// Scores an explicit node list concurrently (strided across workers);
+    /// returns the gains aligned with `nodes`.
+    pub(crate) fn batch_gains(&self, nodes: &Arc<[NodeId]>) -> Vec<f64> {
+        for tx in &self.command_txs {
+            tx.send(Command::Batch(Arc::clone(nodes)))
+                .expect("pool worker alive");
+        }
+        self.gain_evals
+            .set(self.gain_evals.get() + nodes.len() as u64);
+        let mut gains = vec![0.0f64; nodes.len()];
+        for _ in 0..self.threads {
+            match self.reply_rx.recv().expect("pool worker alive") {
+                Reply::Batch(pairs) => {
+                    for (i, g) in pairs {
+                        gains[i] = g;
+                    }
+                }
+                Reply::Scan(..) => unreachable!("batch round received a scan reply"),
+            }
+        }
+        gains
+    }
+}
+
+/// Spawns a persistent evaluation pool for `scenario`, runs `f` against it,
+/// and tears the pool down. The pool lives for the whole closure — one
+/// spawn/join per `place` call, not per greedy round.
+pub(crate) fn with_eval_pool<R, F>(
+    scenario: &Scenario,
+    candidates: &[NodeId],
+    requested_threads: usize,
+    f: F,
+) -> R
+where
+    F: FnOnce(&EvalPool) -> R,
+{
+    let threads = effective_threads(requested_threads, candidates.len());
+    let chunk = candidates.len().div_ceil(threads).max(1);
+    let (reply_tx, reply_rx) = crossbeam::channel::unbounded::<Reply>();
+    let mut command_txs = Vec::with_capacity(threads);
+    let mut worker_inputs = Vec::with_capacity(threads);
+    for worker in 0..threads {
+        let (tx, rx) = crossbeam::channel::unbounded::<Command>();
+        command_txs.push(tx);
+        let start = (worker * chunk).min(candidates.len());
+        let end = ((worker + 1) * chunk).min(candidates.len());
+        worker_inputs.push((worker, rx, &candidates[start..end]));
+    }
+    crossbeam::thread::scope(|scope| {
+        for (worker, rx, shard) in worker_inputs {
+            let reply_tx = reply_tx.clone();
+            scope.spawn(move |_| worker_loop(scenario, worker, threads, shard, rx, reply_tx));
+        }
+        let pool = EvalPool {
+            command_txs,
+            reply_rx,
+            threads,
+            candidates,
+            gain_evals: Cell::new(0),
+        };
+        let out = f(&pool);
+        // Dropping the pool closes the command channels; workers observe the
+        // disconnect and exit before the scope joins them.
+        drop(pool);
+        out
+    })
+    .expect("evaluation pool worker panicked")
+}
+
+/// One worker: a private best-value replica plus a command loop.
+fn worker_loop(
+    scenario: &Scenario,
+    worker: usize,
+    threads: usize,
+    shard: &[NodeId],
+    rx: Receiver<Command>,
+    tx: Sender<Reply>,
+) {
+    let mut best_value = vec![0.0f64; scenario.flows().len()];
+    while let Ok(command) = rx.recv() {
+        match command {
+            Command::Commit(node) => scenario.commit_best_values(&mut best_value, node),
+            Command::Scan => {
+                let mut local: Option<(f64, NodeId)> = None;
+                for &v in shard {
+                    let gain = scenario.marginal_gain_value(&best_value, v);
+                    if gain <= 0.0 {
+                        continue;
+                    }
+                    let better = match local {
+                        Some((bg, bn)) => gain > bg || (gain == bg && v < bn),
+                        None => true,
+                    };
+                    if better {
+                        local = Some((gain, v));
+                    }
+                }
+                if tx.send(Reply::Scan(worker, local)).is_err() {
+                    break; // coordinator gone; shut down
+                }
+            }
+            Command::Batch(nodes) => {
+                let mut pairs = Vec::new();
+                let mut i = worker;
+                while i < nodes.len() {
+                    pairs.push((i, scenario.marginal_gain_value(&best_value, nodes[i])));
+                    i += threads;
+                }
+                if tx.send(Reply::Batch(pairs)).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Marginal-gain greedy with pooled parallel candidate evaluation.
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelGreedy {
-    /// Worker threads per greedy step (defaults to available parallelism).
+    /// Worker threads for the evaluation pool. Requests are clamped to the
+    /// candidate count when the pool is spawned (see `effective_threads`).
     pub threads: usize,
 }
 
 impl Default for ParallelGreedy {
+    /// Uses `available_parallelism()`, falling back to 4 threads (logged to
+    /// stderr once) when the platform cannot report a parallelism level.
     fn default() -> Self {
         ParallelGreedy {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: default_threads(),
         }
     }
 }
@@ -43,6 +278,25 @@ impl ParallelGreedy {
         assert!(threads > 0, "thread count must be positive");
         ParallelGreedy { threads }
     }
+
+    /// Like [`place`](PlacementAlgorithm::place), additionally returning the
+    /// number of gain evaluations dispatched (the ablation metric reported
+    /// in `BENCH_greedy.json`).
+    pub fn place_with_stats(&self, scenario: &Scenario, k: usize) -> (Placement, u64) {
+        let candidates = scenario.candidates();
+        let mut placement = Placement::empty();
+        let evals = with_eval_pool(scenario, &candidates, self.threads, |pool| {
+            for _ in 0..k {
+                let Some((_gain, node)) = pool.scan() else {
+                    break;
+                };
+                placement.push(node);
+                pool.commit(node);
+            }
+            pool.gain_evals()
+        });
+        (placement, evals)
+    }
 }
 
 impl PlacementAlgorithm for ParallelGreedy {
@@ -51,68 +305,7 @@ impl PlacementAlgorithm for ParallelGreedy {
     }
 
     fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
-        let candidates = scenario.candidates();
-        let mut best: Vec<Option<Distance>> = vec![None; scenario.flows().len()];
-        let mut placement = Placement::empty();
-        let threads = self.threads.min(candidates.len().max(1));
-        let chunk = candidates.len().div_ceil(threads);
-
-        for _ in 0..k {
-            // (gain, node) winner across shards; lower node id wins ties.
-            let winner: Mutex<Option<(f64, NodeId)>> = Mutex::new(None);
-            crossbeam::thread::scope(|scope| {
-                for shard in candidates.chunks(chunk.max(1)) {
-                    let best = &best;
-                    let placement = &placement;
-                    let winner = &winner;
-                    scope.spawn(move |_| {
-                        let mut local: Option<(f64, NodeId)> = None;
-                        for &v in shard {
-                            if placement.contains(v) {
-                                continue;
-                            }
-                            let gain = scenario.marginal_gain(best, v);
-                            if gain <= 0.0 {
-                                continue;
-                            }
-                            let better = match local {
-                                Some((bg, bn)) => {
-                                    gain > bg || (gain == bg && v < bn)
-                                }
-                                None => true,
-                            };
-                            if better {
-                                local = Some((gain, v));
-                            }
-                        }
-                        if let Some((gain, node)) = local {
-                            let mut w = winner.lock();
-                            let better = match *w {
-                                Some((bg, bn)) => {
-                                    gain > bg || (gain == bg && node < bn)
-                                }
-                                None => true,
-                            };
-                            if better {
-                                *w = Some((gain, node));
-                            }
-                        }
-                    });
-                }
-            })
-            .expect("parallel greedy worker panicked");
-
-            let Some((_, node)) = *winner.lock() else { break };
-            placement.push(node);
-            for e in scenario.entries_at(node) {
-                let slot = &mut best[e.flow.index()];
-                *slot = Some(match *slot {
-                    Some(cur) => cur.min(e.detour),
-                    None => e.detour,
-                });
-            }
-        }
-        placement
+        self.place_with_stats(scenario, k).0
     }
 }
 
@@ -122,6 +315,7 @@ mod tests {
     use crate::composite::MarginalGreedy;
     use crate::fixtures::{fig4_scenario, rng, small_grid_scenario};
     use crate::utility::UtilityKind;
+    use rap_graph::Distance;
 
     #[test]
     fn matches_sequential_greedy_exactly() {
@@ -152,6 +346,36 @@ mod tests {
         let s = fig4_scenario(UtilityKind::Threshold);
         let p = ParallelGreedy::with_threads(64).place(&s, 3, &mut rng());
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn thread_clamp_is_sane() {
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert_eq!(effective_threads(4, 0), 1);
+    }
+
+    #[test]
+    fn stats_count_one_scan_per_round() {
+        let s = fig4_scenario(UtilityKind::Linear);
+        let n = s.candidates().len() as u64;
+        let (p, evals) = ParallelGreedy::with_threads(2).place_with_stats(&s, 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(evals, 2 * n, "each round scans every candidate once");
+    }
+
+    #[test]
+    fn batch_gains_match_scan_state() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(200));
+        let candidates = s.candidates();
+        let nodes: Arc<[NodeId]> = candidates.clone().into();
+        with_eval_pool(&s, &candidates, 3, |pool| {
+            let gains = pool.batch_gains(&nodes);
+            let best_value = vec![0.0f64; s.flows().len()];
+            for (&v, &g) in nodes.iter().zip(&gains) {
+                assert_eq!(g, s.marginal_gain_value(&best_value, v));
+            }
+        });
     }
 
     #[test]

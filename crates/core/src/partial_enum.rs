@@ -61,8 +61,12 @@ impl PartialEnumeration {
             .collect();
         let n = candidates.len() as u64;
         // seeds of size 0..=3: 1 + n + C(n,2) + C(n,3)
-        let seeds = 1 + n + n.saturating_mul(n.saturating_sub(1)) / 2
-            + n.saturating_mul(n.saturating_sub(1)).saturating_mul(n.saturating_sub(2)) / 6;
+        let seeds = 1
+            + n
+            + n.saturating_mul(n.saturating_sub(1)) / 2
+            + n.saturating_mul(n.saturating_sub(1))
+                .saturating_mul(n.saturating_sub(2))
+                / 6;
         if seeds > self.max_seeds {
             return Err(PlacementError::SearchTooLarge {
                 candidates: candidates.len(),
@@ -164,11 +168,7 @@ mod tests {
         let costs = SiteCosts::from_fn(s.graph().node_count(), |v| 1 + (v.raw() as u64 % 3));
         for budget in 1..=7u64 {
             let cheap = s.evaluate(&BudgetedGreedy.place(&s, &costs, budget).unwrap());
-            let strong = s.evaluate(
-                &PartialEnumeration::new()
-                    .place(&s, &costs, budget)
-                    .unwrap(),
-            );
+            let strong = s.evaluate(&PartialEnumeration::new().place(&s, &costs, budget).unwrap());
             assert!(
                 strong + 1e-9 >= cheap,
                 "budget {budget}: enumeration {strong} < greedy {cheap}"
@@ -184,7 +184,11 @@ mod tests {
         let costs = SiteCosts::uniform(s.graph().node_count(), 1);
         // Budget 2 == k = 2: optimum is {V2, V4} with 8 drivers.
         let p = PartialEnumeration::new().place(&s, &costs, 2).unwrap();
-        assert!((s.evaluate(&p) - 8.0).abs() < 1e-9, "got {}", s.evaluate(&p));
+        assert!(
+            (s.evaluate(&p) - 8.0).abs() < 1e-9,
+            "got {}",
+            s.evaluate(&p)
+        );
     }
 
     #[test]

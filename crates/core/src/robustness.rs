@@ -44,11 +44,7 @@ fn check_probability(p: f64) {
 /// # Panics
 ///
 /// Panics if `failure_p` is outside `[0, 1)`.
-pub fn failure_aware_evaluate(
-    scenario: &Scenario,
-    placement: &Placement,
-    failure_p: f64,
-) -> f64 {
+pub fn failure_aware_evaluate(scenario: &Scenario, placement: &Placement, failure_p: f64) -> f64 {
     check_probability(failure_p);
     // Per flow: collect detours of placed RAPs on its path, sort ascending.
     let mut per_flow: Vec<Vec<Distance>> = vec![Vec::new(); scenario.flows().len()];
@@ -66,9 +62,7 @@ pub fn failure_aware_evaluate(
         let flow = scenario.flows().flow(rap_traffic::FlowId::new(i as u32));
         let mut all_better_failed = 1.0;
         for &d in detours.iter() {
-            total += (1.0 - failure_p)
-                * all_better_failed
-                * scenario.expected_customers(flow, d);
+            total += (1.0 - failure_p) * all_better_failed * scenario.expected_customers(flow, d);
             all_better_failed *= failure_p;
         }
     }
@@ -154,9 +148,9 @@ impl PlacementAlgorithm for FailureAwareGreedy {
 mod tests {
     use super::*;
     use crate::composite::MarginalGreedy;
-    use rap_graph::NodeId;
     use crate::fixtures::{fig4_scenario, rng, small_grid_scenario};
     use crate::utility::UtilityKind;
+    use rap_graph::NodeId;
 
     #[test]
     fn zero_failure_matches_nominal_evaluation() {

@@ -6,6 +6,21 @@
 //! function `w(placement)`: the expected number of customers attracted per
 //! day (paper Section III-A: `Σ f(d_{i,j}) · T_{i,j}` over covered flows,
 //! with `d_{i,j}` the minimum detour over placed RAPs).
+//!
+//! ## Evaluation engine
+//!
+//! The utility function is frozen per scenario, so every entry's contribution
+//! `α · f(detour) · T` is computed **once** at [`Scenario::new`] time and
+//! stored in flat arrays parallel to the [`DetourTable`]'s CSR entries
+//! ([`Scenario::value_entries_at`]). The greedy hot loops then operate on a
+//! `best_value: Vec<f64>` state array (per-flow best value so far — because
+//! the utility is non-increasing, the minimum detour is exactly the maximum
+//! value) via [`Scenario::marginal_gain_value`] and
+//! [`Scenario::commit_best_values`]: branch-light sums over contiguous `f64`s
+//! with no utility re-evaluation and no pointer chasing. The `Distance`-based
+//! accessors ([`Scenario::marginal_gain`], [`Scenario::best_detours`], …) are
+//! kept for the Theorem-1 property tests and the Manhattan crate; both paths
+//! produce bit-for-bit identical results.
 
 use crate::detour::{DetourTable, FlowDetour};
 use crate::error::PlacementError;
@@ -46,6 +61,11 @@ pub struct Scenario {
     shops: Vec<NodeId>,
     utility: Arc<dyn UtilityFunction>,
     detours: DetourTable,
+    /// Flow index of each CSR detour entry (parallel to
+    /// `detours.entries()`), as bare `u32`s for tight gain loops.
+    entry_flow: Vec<u32>,
+    /// Precomputed `α · f(detour) · T` of each CSR detour entry.
+    entry_value: Vec<f64>,
 }
 
 impl Scenario {
@@ -64,12 +84,24 @@ impl Scenario {
         utility: Arc<dyn UtilityFunction>,
     ) -> Result<Self, PlacementError> {
         let detours = DetourTable::build(&graph, &flows, &shops)?;
+        // The utility is frozen for the scenario's lifetime: precompute every
+        // entry's contribution `α · f(detour) · T` once, so the greedy hot
+        // loops never re-evaluate the utility function.
+        let mut entry_flow = Vec::with_capacity(detours.entries().len());
+        let mut entry_value = Vec::with_capacity(detours.entries().len());
+        for e in detours.entries() {
+            let flow = flows.flow(e.flow);
+            entry_flow.push(e.flow.index() as u32);
+            entry_value.push(utility.probability(e.detour, flow.attractiveness()) * flow.volume());
+        }
         Ok(Scenario {
             graph,
             flows,
             shops,
             utility,
             detours,
+            entry_flow,
+            entry_value,
         })
     }
 
@@ -150,17 +182,83 @@ impl Scenario {
         best
     }
 
+    /// Flow indices and precomputed `α · f(detour) · T` values of the CSR
+    /// detour entries at `node` — the raw material of the fast gain loops.
+    ///
+    /// Both slices are parallel to [`Scenario::entries_at`]; the values are
+    /// exactly what [`Scenario::expected_customers`] would return for each
+    /// entry's flow and detour.
+    pub fn value_entries_at(&self, node: NodeId) -> (&[u32], &[f64]) {
+        let range = self.detours.entry_range(node);
+        (&self.entry_flow[range.clone()], &self.entry_value[range])
+    }
+
+    /// Folds a RAP at `node` into a per-flow best-value state array:
+    /// `best_value[f] = max(best_value[f], value of f at node)`.
+    ///
+    /// Because the utility is non-increasing, tracking the per-flow *maximum
+    /// value* is equivalent to tracking the *minimum detour*; an uncovered
+    /// flow sits at `0.0`.
+    pub fn commit_best_values(&self, best_value: &mut [f64], node: NodeId) {
+        let (flows, values) = self.value_entries_at(node);
+        for (&f, &v) in flows.iter().zip(values) {
+            let slot = &mut best_value[f as usize];
+            if v > *slot {
+                *slot = v;
+            }
+        }
+    }
+
+    /// Marginal gain of adding a RAP at `node` against a best-value state
+    /// array (see [`Scenario::commit_best_values`]):
+    /// `Σ_f max(0, value_f(node) − best_value[f])` over flows passing `node`.
+    ///
+    /// Bit-for-bit identical to [`Scenario::marginal_gain`] with the
+    /// corresponding best-detour state, but a branch-light sum over
+    /// contiguous precomputed `f64`s.
+    pub fn marginal_gain_value(&self, best_value: &[f64], node: NodeId) -> f64 {
+        let (flows, values) = self.value_entries_at(node);
+        let mut gain = 0.0;
+        for (&f, &v) in flows.iter().zip(values) {
+            let delta = v - best_value[f as usize];
+            if delta > 0.0 {
+                gain += delta;
+            }
+        }
+        gain
+    }
+
+    /// Candidate-ii objective of Algorithm 2 against a best-value state
+    /// array: *additional* customers attracted from already-covered flows by
+    /// providing them smaller detour distances at `node`.
+    pub fn improvement_gain_value(
+        &self,
+        covered: &[bool],
+        best_value: &[f64],
+        node: NodeId,
+    ) -> f64 {
+        let (flows, values) = self.value_entries_at(node);
+        let mut gain = 0.0;
+        for (&f, &v) in flows.iter().zip(values) {
+            if !covered[f as usize] {
+                continue;
+            }
+            let delta = v - best_value[f as usize];
+            if delta > 0.0 {
+                gain += delta;
+            }
+        }
+        gain
+    }
+
     /// The objective `w(placement)`: expected daily customers attracted by
     /// the placement.
     pub fn evaluate(&self, placement: &Placement) -> f64 {
-        self.best_detours(placement)
-            .iter()
-            .enumerate()
-            .filter_map(|(i, d)| d.map(|d| (i, d)))
-            .map(|(i, d)| {
-                self.expected_customers(self.flows.flow(rap_traffic::FlowId::new(i as u32)), d)
-            })
-            .sum()
+        let mut best_value = vec![0.0f64; self.flows.len()];
+        for &rap in placement {
+            self.commit_best_values(&mut best_value, rap);
+        }
+        best_value.iter().sum()
     }
 
     /// Evaluates a raw list of intersections (deduplicated like
@@ -195,10 +293,12 @@ impl Scenario {
     /// Candidate-i objective of Algorithms 1–2: customers attracted from
     /// *uncovered* flows if a RAP is placed at `node`.
     pub fn uncovered_gain(&self, covered: &[bool], node: NodeId) -> f64 {
-        self.entries_at(node)
+        let (flows, values) = self.value_entries_at(node);
+        flows
             .iter()
-            .filter(|e| !covered[e.flow.index()])
-            .map(|e| self.expected_customers(self.flows.flow(e.flow), e.detour))
+            .zip(values)
+            .filter(|(&f, _)| !covered[f as usize])
+            .map(|(_, &v)| v)
             .sum()
     }
 
@@ -290,7 +390,10 @@ mod tests {
     fn empty_placement_attracts_nobody() {
         let s = simple();
         assert_eq!(s.evaluate(&Placement::empty()), 0.0);
-        assert!(s.best_detours(&Placement::empty()).iter().all(Option::is_none));
+        assert!(s
+            .best_detours(&Placement::empty())
+            .iter()
+            .all(Option::is_none));
     }
 
     #[test]
@@ -319,9 +422,47 @@ mod tests {
         for v in s.candidates() {
             let total = s.marginal_gain(&best, v);
             let split = s.uncovered_gain(&covered, v) + s.improvement_gain(&covered, &best, v);
-            assert!(
-                (total - split).abs() < 1e-9,
-                "gain split mismatch at {v}"
+            assert!((total - split).abs() < 1e-9, "gain split mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn value_entries_align_with_detour_entries() {
+        let s = simple();
+        for v in s.candidates() {
+            let entries = s.entries_at(v);
+            let (flows, values) = s.value_entries_at(v);
+            assert_eq!(entries.len(), flows.len());
+            assert_eq!(entries.len(), values.len());
+            for ((e, &f), &val) in entries.iter().zip(flows).zip(values) {
+                assert_eq!(e.flow.index() as u32, f);
+                // Precomputed values are bit-for-bit what the distance path
+                // computes on demand.
+                assert_eq!(val, s.expected_customers(s.flows().flow(e.flow), e.detour));
+            }
+        }
+    }
+
+    #[test]
+    fn value_engine_matches_distance_engine_exactly() {
+        let s = simple();
+        let base = Placement::new(vec![NodeId::new(0)]);
+        let best = s.best_detours(&base);
+        let covered: Vec<bool> = best.iter().map(Option::is_some).collect();
+        let mut best_value = vec![0.0f64; s.flows().len()];
+        for &rap in &base {
+            s.commit_best_values(&mut best_value, rap);
+        }
+        for v in s.candidates() {
+            assert_eq!(
+                s.marginal_gain(&best, v),
+                s.marginal_gain_value(&best_value, v),
+                "marginal gain diverged at {v}"
+            );
+            assert_eq!(
+                s.improvement_gain(&covered, &best, v),
+                s.improvement_gain_value(&covered, &best_value, v),
+                "improvement gain diverged at {v}"
             );
         }
     }

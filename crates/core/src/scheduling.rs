@@ -262,10 +262,10 @@ mod tests {
         let flows = FlowSet::route(
             grid.graph(),
             vec![
-                mk(0, 2, 100.0),   // south-west traffic (near shop A at 6)
-                mk(10, 12, 80.0),  // mid-west
-                mk(22, 24, 90.0),  // north-east traffic (near shop B at 18)
-                mk(14, 4, 70.0),   // east side
+                mk(0, 2, 100.0),  // south-west traffic (near shop A at 6)
+                mk(10, 12, 80.0), // mid-west
+                mk(22, 24, 90.0), // north-east traffic (near shop B at 18)
+                mk(14, 4, 70.0),  // east side
             ],
         )
         .unwrap();
@@ -348,8 +348,7 @@ mod tests {
             utility.clone(),
         )
         .unwrap();
-        let scenario =
-            Scenario::single_shop(grid.graph().clone(), flows, shop, utility).unwrap();
+        let scenario = Scenario::single_shop(grid.graph().clone(), flows, shop, utility).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         for k in 1..4 {
             let sched = ScheduleGreedy.schedule(&campaign, k, 1);

@@ -183,7 +183,11 @@ impl UtilityKind {
     }
 
     /// All three kinds, in the paper's presentation order.
-    pub const ALL: [UtilityKind; 3] = [UtilityKind::Threshold, UtilityKind::Linear, UtilityKind::Sqrt];
+    pub const ALL: [UtilityKind; 3] = [
+        UtilityKind::Threshold,
+        UtilityKind::Linear,
+        UtilityKind::Sqrt,
+    ];
 }
 
 impl fmt::Display for UtilityKind {
@@ -252,7 +256,11 @@ mod tests {
             let d = Distance::from_feet(step * D / 20);
             let probs: Vec<f64> = utilities.iter().map(|u| u.probability(d, 1.0)).collect();
             for (i, p) in probs.iter().enumerate() {
-                assert!(*p <= prev[i] + 1e-12, "{} not non-increasing", utilities[i].name());
+                assert!(
+                    *p <= prev[i] + 1e-12,
+                    "{} not non-increasing",
+                    utilities[i].name()
+                );
                 assert!((0.0..=1.0).contains(p));
             }
             assert!(probs[0] + 1e-12 >= probs[1], "threshold >= linear at {d}");

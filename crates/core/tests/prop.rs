@@ -6,11 +6,11 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rap_core::{
-    CompositeGreedy, ExhaustiveOptimal, GreedyCoverage, LazyGreedy, MarginalGreedy, Placement,
-    PlacementAlgorithm, Scenario, UtilityKind,
+    CompositeGreedy, ExhaustiveOptimal, GreedyCoverage, LazyGreedy, LazyParallelGreedy,
+    MarginalGreedy, ParallelGreedy, Placement, PlacementAlgorithm, Scenario, UtilityKind,
 };
-use rap_graph::{Distance, GridGraph, NodeId};
-use rap_traffic::{FlowSet, FlowSpec};
+use rap_graph::{dijkstra, Distance, GridGraph, NodeId};
+use rap_traffic::{FlowId, FlowSet, FlowSpec};
 
 /// Strategy: a small grid scenario with random flows, a random shop, and a
 /// random utility.
@@ -71,7 +71,8 @@ fn build(inst: &Instance) -> Option<Scenario> {
             grid.graph().clone(),
             flows,
             NodeId::new(inst.shop),
-            inst.utility.instantiate(Distance::from_feet(inst.threshold)),
+            inst.utility
+                .instantiate(Distance::from_feet(inst.threshold)),
         )
         .expect("scenario valid"),
     )
@@ -171,6 +172,99 @@ proptest! {
             LazyGreedy.place(&s, k, &mut rng()),
             MarginalGreedy.place(&s, k, &mut rng())
         );
+    }
+
+    /// Every accelerated greedy variant — CELF, the pooled parallel scan,
+    /// and the lazy-parallel hybrid at several thread counts — produces a
+    /// placement *identical* to the sequential marginal greedy, for every
+    /// utility kind.
+    #[test]
+    fn greedy_variants_identical(inst in arb_instance(), k in 0usize..6) {
+        for kind in UtilityKind::ALL {
+            let mut inst = inst.clone();
+            inst.utility = kind;
+            let Some(s) = build(&inst) else { return Ok(()) };
+            let seq = MarginalGreedy.place(&s, k, &mut rng());
+            prop_assert_eq!(
+                LazyGreedy.place(&s, k, &mut rng()),
+                seq.clone(),
+                "lazy diverged ({kind}, k={k})"
+            );
+            for threads in [1usize, 2, 3, 8] {
+                prop_assert_eq!(
+                    ParallelGreedy::with_threads(threads).place(&s, k, &mut rng()),
+                    seq.clone(),
+                    "parallel diverged ({kind}, k={k}, threads={threads})"
+                );
+                prop_assert_eq!(
+                    LazyParallelGreedy::with_threads(threads).place(&s, k, &mut rng()),
+                    seq.clone(),
+                    "lazy-parallel diverged ({kind}, k={k}, threads={threads})"
+                );
+            }
+        }
+    }
+
+    /// The CSR detour table matches a nested-Vec reference rebuilt from the
+    /// routed flows and two independent Dijkstra trees: same per-node entry
+    /// grouping, same flows, same detour distances.
+    #[test]
+    fn csr_matches_nested_reference(inst in arb_instance()) {
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let shop = NodeId::new(inst.shop);
+        let rev = dijkstra::reverse_shortest_path_tree(s.graph(), shop);
+        let fwd = dijkstra::shortest_path_tree(s.graph(), shop);
+        let mut nested: Vec<Vec<(FlowId, Distance)>> =
+            vec![Vec::new(); s.graph().node_count()];
+        for (v, row) in nested.iter_mut().enumerate() {
+            let node = NodeId::new(v as u32);
+            for visit in s.flows().visits_at(node) {
+                let flow = s.flows().flow(visit.flow);
+                let (Some(d1), Some(d2)) =
+                    (rev.distance(node), fwd.distance(flow.destination()))
+                else {
+                    continue;
+                };
+                let remaining = flow.path().length().saturating_sub(visit.prefix);
+                row.push((
+                    visit.flow,
+                    d1.saturating_add(d2).saturating_sub(remaining),
+                ));
+            }
+        }
+        for (v, row) in nested.iter().enumerate() {
+            let node = NodeId::new(v as u32);
+            let flat: Vec<(FlowId, Distance)> = s
+                .entries_at(node)
+                .iter()
+                .map(|e| (e.flow, e.detour))
+                .collect();
+            prop_assert_eq!(flat, row.clone(), "CSR row mismatch at {}", node);
+        }
+    }
+
+    /// The precomputed-value engine agrees bit-for-bit with the
+    /// distance-based accessors on arbitrary intermediate greedy states.
+    #[test]
+    fn value_engine_matches_distance_engine(inst in arb_instance()) {
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let candidates = s.candidates();
+        let base: Placement = candidates.iter().step_by(3).take(3).copied().collect();
+        let best_detours = s.best_detours(&base);
+        let mut best_value = vec![0.0f64; s.flows().len()];
+        for &rap in &base {
+            s.commit_best_values(&mut best_value, rap);
+        }
+        for &v in &candidates {
+            // Exact equality: both engines evaluate the same expression on
+            // the same inputs.
+            prop_assert_eq!(
+                s.marginal_gain_value(&best_value, v),
+                s.marginal_gain(&best_detours, v),
+                "gain mismatch at {}",
+                v
+            );
+        }
     }
 
     /// Under the threshold utility Algorithm 2 reduces to Algorithm 1

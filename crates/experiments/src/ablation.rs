@@ -2,8 +2,9 @@
 //!
 //! * **Greedy objective** — Algorithm 2's composite two-candidate objective
 //!   against its parts and relatives: Algorithm 1's uncovered-only objective,
-//!   the naive total-marginal greedy of Section III-C, and the CELF-lazy
-//!   variant (identical output to the marginal greedy, cheaper).
+//!   the naive total-marginal greedy of Section III-C, the CELF-lazy
+//!   variant, and the lazy-parallel pool hybrid (the latter two produce
+//!   output identical to the marginal greedy, only cheaper/faster).
 //! * **Two-stage structure** — Algorithms 3/4's fixed corner stage against a
 //!   fully adaptive grid greedy under both utilities, quantifying what the
 //!   `1 − 4/k` structural guarantee costs in practice.
@@ -12,7 +13,9 @@ use crate::figures::Settings;
 use crate::general::{run_general, GeneralRun};
 use crate::manhattan_run::{run_manhattan, ManhattanRun};
 use crate::series::Figure;
-use rap_core::{CompositeGreedy, GreedyCoverage, LazyGreedy, MarginalGreedy, UtilityKind};
+use rap_core::{
+    CompositeGreedy, GreedyCoverage, LazyGreedy, LazyParallelGreedy, MarginalGreedy, UtilityKind,
+};
 use rap_graph::Distance;
 use rap_manhattan::gen::BoundaryFlowParams;
 use rap_manhattan::{GridGreedy, ModifiedTwoStage, TwoStage};
@@ -32,13 +35,20 @@ pub fn ablation(settings: &Settings) -> Figure {
         trials: settings.trials,
         seed: settings.seed,
     };
+    let lazy_parallel = LazyParallelGreedy::with_threads(2);
     panels.push(run_general(
         &city,
         &cfg,
         "greedy objectives: composite vs uncovered-only vs marginal vs lazy \
-         (Dublin, linear, D = 20,000 ft)"
+         vs lazy-parallel (Dublin, linear, D = 20,000 ft)"
             .into(),
-        &[&CompositeGreedy, &GreedyCoverage, &MarginalGreedy, &LazyGreedy],
+        &[
+            &CompositeGreedy,
+            &GreedyCoverage,
+            &MarginalGreedy,
+            &LazyGreedy,
+            &lazy_parallel,
+        ],
     ));
 
     // Panel 2: the same under the fast-decaying sqrt utility, where overlaps
@@ -51,7 +61,13 @@ pub fn ablation(settings: &Settings) -> Figure {
         &city,
         &cfg_sqrt,
         "greedy objectives under the sqrt utility (Dublin, D = 20,000 ft)".into(),
-        &[&CompositeGreedy, &GreedyCoverage, &MarginalGreedy, &LazyGreedy],
+        &[
+            &CompositeGreedy,
+            &GreedyCoverage,
+            &MarginalGreedy,
+            &LazyGreedy,
+            &lazy_parallel,
+        ],
     ));
 
     // Panels 3-4: two-stage structure vs adaptive grid greedy.
@@ -98,11 +114,18 @@ mod tests {
         };
         let f = ablation(&settings);
         assert_eq!(f.panels.len(), 4);
-        // CELF must agree with the plain marginal greedy on every point.
+        // CELF and the lazy-parallel hybrid must agree with the plain
+        // marginal greedy on every point.
         for panel in &f.panels[..2] {
             let marginal = panel.series_named("marginal greedy").unwrap();
             let lazy = panel.series_named("lazy greedy (CELF)").unwrap();
+            let hybrid = panel
+                .series_named("lazy-parallel greedy (CELF + pool)")
+                .unwrap();
             for (a, b) in marginal.points.iter().zip(lazy.points.iter()) {
+                assert!((a.customers - b.customers).abs() < 1e-9);
+            }
+            for (a, b) in marginal.points.iter().zip(hybrid.points.iter()) {
                 assert!((a.customers - b.customers).abs() < 1e-9);
             }
         }

@@ -9,13 +9,13 @@
 //! series tables (the `customers` column carries µs here).
 
 use crate::series::{Figure, Panel, Series, SeriesPoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rap_core::{CompositeGreedy, DetourTable, PlacementAlgorithm, Scenario, UtilityKind};
 use rap_graph::apsp::DistanceMatrix;
 use rap_graph::{Distance, GridGraph};
 use rap_traffic::demand::{uniform_demand, DemandParams};
 use rap_traffic::FlowSet;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 /// Median-of-`reps` wall-clock of `f`, in microseconds.
@@ -86,8 +86,7 @@ pub fn complexity(settings: &crate::figures::Settings) -> Figure {
         detour_v.points.push(SeriesPoint {
             k: n,
             customers: time_us(reps, || {
-                let _ = DetourTable::build(s.graph(), s.flows(), s.shops())
-                    .expect("valid table");
+                let _ = DetourTable::build(s.graph(), s.flows(), s.shops()).expect("valid table");
             }),
         });
         apsp_v.points.push(SeriesPoint {
@@ -98,8 +97,7 @@ pub fn complexity(settings: &crate::figures::Settings) -> Figure {
         });
     }
     let panel_v = Panel {
-        title: "runtime vs |V| (|T| = 150, k = 10); our detour build replaces the APSP term"
-            .into(),
+        title: "runtime vs |V| (|T| = 150, k = 10); our detour build replaces the APSP term".into(),
         series: vec![greedy_v, detour_v, apsp_v],
     };
 
@@ -174,7 +172,9 @@ mod tests {
 
     #[test]
     fn time_us_is_sane() {
-        let t = time_us(3, || std::thread::sleep(std::time::Duration::from_millis(2)));
+        let t = time_us(3, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
         assert!(t >= 1_500.0, "measured {t}µs for a 2ms sleep");
     }
 }

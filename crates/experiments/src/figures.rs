@@ -10,8 +10,8 @@ use crate::general::{run_general, GeneralRun};
 use crate::manhattan_run::{run_manhattan, ManhattanRun};
 use crate::series::Figure;
 use rap_core::{
-    CompositeGreedy, GreedyCoverage, MaxCardinality, MaxCustomers, MaxVehicles,
-    PlacementAlgorithm, Random, UtilityKind,
+    CompositeGreedy, GreedyCoverage, MaxCardinality, MaxCustomers, MaxVehicles, PlacementAlgorithm,
+    Random, UtilityKind,
 };
 use rap_graph::Distance;
 use rap_manhattan::gen::BoundaryFlowParams;
@@ -63,9 +63,7 @@ pub fn seattle_city(settings: &Settings) -> CityModel {
 
 /// The general-scenario comparison set for a panel: the paper algorithm for
 /// the utility plus the four baselines.
-fn general_algorithms(
-    utility: UtilityKind,
-) -> Vec<&'static (dyn PlacementAlgorithm + Sync)> {
+fn general_algorithms(utility: UtilityKind) -> Vec<&'static (dyn PlacementAlgorithm + Sync)> {
     static GREEDY: GreedyCoverage = GreedyCoverage;
     static COMPOSITE: CompositeGreedy = CompositeGreedy;
     static CARD: MaxCardinality = MaxCardinality;
@@ -172,9 +170,7 @@ pub fn fig12(settings: &Settings) -> Figure {
 
 /// The Manhattan comparison set: the paper algorithm for the utility plus
 /// the four grid baselines.
-fn manhattan_algorithms(
-    utility: UtilityKind,
-) -> Vec<&'static (dyn ManhattanAlgorithm + Sync)> {
+fn manhattan_algorithms(utility: UtilityKind) -> Vec<&'static (dyn ManhattanAlgorithm + Sync)> {
     static TWO: TwoStage = TwoStage;
     static MOD: ModifiedTwoStage = ModifiedTwoStage;
     static CARD: GridMaxCardinality = GridMaxCardinality;

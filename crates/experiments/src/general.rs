@@ -11,12 +11,12 @@
 //! `k_max`-RAP output.
 
 use crate::series::{Panel, Series, SeriesPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rap_core::{Placement, PlacementAlgorithm, Scenario, UtilityKind};
 use rap_graph::{Distance, NodeId};
 use rap_trace::CityModel;
 use rap_traffic::Zone;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of one general-scenario run (one panel).
 #[derive(Clone, Debug)]

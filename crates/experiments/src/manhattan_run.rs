@@ -6,12 +6,12 @@
 //! like the general runner.
 
 use crate::series::{Panel, Series, SeriesPoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rap_core::{Placement, UtilityKind};
 use rap_graph::{Distance, GridGraph};
 use rap_manhattan::gen::{boundary_flows, BoundaryFlowParams};
 use rap_manhattan::{ManhattanAlgorithm, ManhattanScenario};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Configuration of one Manhattan-scenario run (one panel).
 #[derive(Clone, Debug)]

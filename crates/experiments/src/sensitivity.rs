@@ -16,6 +16,8 @@
 //!   mechanism, isolated).
 
 use crate::series::{Figure, Panel, Series, SeriesPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rap_core::{CompositeGreedy, MaxCustomers, PlacementAlgorithm, Scenario, UtilityKind};
 use rap_graph::{Distance, GridGraph};
 use rap_manhattan::gen::{boundary_flows, BoundaryFlowParams};
@@ -24,8 +26,6 @@ use rap_manhattan::{GridGreedy, ManhattanAlgorithm, ManhattanScenario};
 use rap_trace::{dublin, CityParams};
 use rap_traffic::demand::{uniform_demand, DemandParams};
 use rap_traffic::{FlowSet, Zone};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Runs all sensitivity sweeps.
 pub fn sensitivity(settings: &crate::figures::Settings) -> Figure {
@@ -198,13 +198,8 @@ fn flexibility_sweep(settings: &crate::figures::Settings) -> Panel {
     )
     .expect("valid params");
     let d = Distance::from_feet(2_500);
-    let s = ManhattanScenario::with_region(
-        grid,
-        specs,
-        UtilityKind::Threshold.instantiate(d),
-        d,
-    )
-    .expect("valid scenario");
+    let s = ManhattanScenario::with_region(grid, specs, UtilityKind::Threshold.instantiate(d), d)
+        .expect("valid scenario");
     let mut seeking_series = Series {
         label: "rap-seeking drivers".into(),
         points: Vec::new(),
@@ -260,7 +255,11 @@ mod tests {
 
         // Flexibility sweep: seeking dominates random at every k.
         let flex = &f.panels[3];
-        for (s, r) in flex.series[0].points.iter().zip(flex.series[1].points.iter()) {
+        for (s, r) in flex.series[0]
+            .points
+            .iter()
+            .zip(flex.series[1].points.iter())
+        {
             assert!(s.customers + 1e-9 >= r.customers, "k={}", s.k);
         }
     }

@@ -140,15 +140,27 @@ mod tests {
                     Series {
                         label: "Algorithm 1".into(),
                         points: vec![
-                            SeriesPoint { k: 1, customers: 1.5 },
-                            SeriesPoint { k: 2, customers: 2.25 },
+                            SeriesPoint {
+                                k: 1,
+                                customers: 1.5,
+                            },
+                            SeriesPoint {
+                                k: 2,
+                                customers: 2.25,
+                            },
                         ],
                     },
                     Series {
                         label: "Random".into(),
                         points: vec![
-                            SeriesPoint { k: 1, customers: 0.5 },
-                            SeriesPoint { k: 2, customers: 0.75 },
+                            SeriesPoint {
+                                k: 1,
+                                customers: 0.5,
+                            },
+                            SeriesPoint {
+                                k: 2,
+                                customers: 0.75,
+                            },
                         ],
                     },
                 ],

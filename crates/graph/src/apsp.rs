@@ -11,9 +11,9 @@
 //!   program, kept as an independent reference implementation that the test
 //!   suite cross-checks the Dijkstra variants against.
 
+use crate::dijkstra;
 use crate::graph::RoadGraph;
 use crate::node::{Distance, NodeId};
-use crate::dijkstra;
 
 /// A dense matrix of exact pairwise shortest distances.
 ///
@@ -70,7 +70,10 @@ impl DistanceMatrix {
         assert!(threads > 0, "thread count must be positive");
         let n = graph.node_count();
         if n == 0 {
-            return DistanceMatrix { n, data: Vec::new() };
+            return DistanceMatrix {
+                n,
+                data: Vec::new(),
+            };
         }
         let mut data = vec![Distance::MAX; n * n];
         let rows_per_chunk = n.div_ceil(threads);
@@ -231,7 +234,10 @@ mod tests {
         let g = sample();
         let m = DistanceMatrix::dijkstra_all(&g);
         // 2 -> 3 is one hop; 3 -> 2 must loop 3 -> 0 -> 1 -> 2.
-        assert_eq!(m.get(NodeId::new(2), NodeId::new(3)), Some(Distance::from_feet(1)));
+        assert_eq!(
+            m.get(NodeId::new(2), NodeId::new(3)),
+            Some(Distance::from_feet(1))
+        );
         assert_eq!(
             m.get(NodeId::new(3), NodeId::new(2)),
             Some(Distance::from_feet(12))

@@ -147,11 +147,13 @@ mod tests {
         let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(5_000.0, 5_000.0));
         let g = random_geometric(60, bb, 1_200.0, 3);
         let scale = admissible_scale(&g);
-        assert!(scale > 0.99, "euclidean edges should be near-exact, got {scale}");
+        assert!(
+            scale > 0.99,
+            "euclidean edges should be near-exact, got {scale}"
+        );
         for target in [1u32, 17, 42, 59] {
             let d = dijkstra::distance(&g, NodeId::new(0), NodeId::new(target)).unwrap();
-            let p =
-                astar_path_with_scale(&g, NodeId::new(0), NodeId::new(target), scale).unwrap();
+            let p = astar_path_with_scale(&g, NodeId::new(0), NodeId::new(target), scale).unwrap();
             assert_eq!(p.length(), d, "target {target}");
         }
     }

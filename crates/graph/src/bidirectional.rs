@@ -202,7 +202,9 @@ mod tests {
     #[test]
     fn respects_one_way_streets() {
         let mut b = GraphBuilder::new();
-        let v: Vec<NodeId> = (0..3).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        let v: Vec<NodeId> = (0..3)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
         b.add_edge(v[0], v[1], Distance::from_feet(1)).unwrap();
         b.add_edge(v[1], v[2], Distance::from_feet(1)).unwrap();
         let g = b.build();

@@ -159,7 +159,9 @@ mod tests {
     #[test]
     fn one_way_cycle_vs_dead_end() {
         let mut b = GraphBuilder::new();
-        let v: Vec<NodeId> = (0..4).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        let v: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
         // 0 -> 1 -> 2 -> 0 cycle; 3 reachable from 2 but with no way back.
         b.add_edge(v[0], v[1], Distance::from_feet(1)).unwrap();
         b.add_edge(v[1], v[2], Distance::from_feet(1)).unwrap();
@@ -198,7 +200,9 @@ mod tests {
         // Cross-check component structure against the distance matrix on a
         // graph with several one-way streets.
         let mut b = GraphBuilder::new();
-        let v: Vec<NodeId> = (0..6).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        let v: Vec<NodeId> = (0..6)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
         b.add_two_way(v[0], v[1], Distance::from_feet(1)).unwrap();
         b.add_edge(v[1], v[2], Distance::from_feet(1)).unwrap();
         b.add_two_way(v[2], v[3], Distance::from_feet(1)).unwrap();

@@ -51,7 +51,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds (graph has {node_count} nodes)")
+                write!(
+                    f,
+                    "node {node} out of bounds (graph has {node_count} nodes)"
+                )
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop edge at node {node}")
@@ -97,7 +100,9 @@ mod tests {
         };
         assert_eq!(e.to_string(), "node V9 out of bounds (graph has 4 nodes)");
 
-        let e = GraphError::SelfLoop { node: NodeId::new(1) };
+        let e = GraphError::SelfLoop {
+            node: NodeId::new(1),
+        };
         assert!(e.to_string().contains("self-loop"));
 
         let e = GraphError::ZeroLengthEdge {

@@ -208,9 +208,9 @@ pub fn radial_ring_city(center: Point, params: RadialRingParams, seed: u64) -> R
         for s in 0..params.spokes {
             let base_angle = (s as f64) / (params.spokes as f64) * std::f64::consts::TAU;
             let angle = base_angle
-                + rng.random_range(-params.jitter..=params.jitter)
-                    / (params.rings as f64);
-            let radius = (r as f64) * params.ring_spacing
+                + rng.random_range(-params.jitter..=params.jitter) / (params.rings as f64);
+            let radius = (r as f64)
+                * params.ring_spacing
                 * (1.0 + rng.random_range(-params.jitter..=params.jitter));
             ring_nodes.push(b.add_node(Point::new(
                 center.x + radius * angle.cos(),

@@ -5,8 +5,8 @@
 //! [`NodeId`] correspondence so the Manhattan-specific algorithms can reason
 //! geometrically (corners, straight streets, turned flows).
 
-use crate::graph::{GraphBuilder, RoadGraph};
 use crate::geometry::Point;
+use crate::graph::{GraphBuilder, RoadGraph};
 use crate::node::{Distance, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -157,10 +157,12 @@ impl GridGraph {
     pub fn corners(&self) -> [NodeId; 4] {
         [
             self.node_at(GridPos::new(0, 0)).expect("corner exists"),
-            self.node_at(GridPos::new(0, self.cols - 1)).expect("corner exists"),
+            self.node_at(GridPos::new(0, self.cols - 1))
+                .expect("corner exists"),
             self.node_at(GridPos::new(self.rows - 1, self.cols - 1))
                 .expect("corner exists"),
-            self.node_at(GridPos::new(self.rows - 1, 0)).expect("corner exists"),
+            self.node_at(GridPos::new(self.rows - 1, 0))
+                .expect("corner exists"),
         ]
     }
 

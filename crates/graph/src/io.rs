@@ -13,8 +13,8 @@
 //! goes through [`GraphBuilder`], which derives `Serialize`/`Deserialize`.
 
 use crate::error::GraphError;
-use crate::graph::{GraphBuilder, RoadGraph};
 use crate::geometry::Point;
+use crate::graph::{GraphBuilder, RoadGraph};
 use crate::node::{Distance, NodeId};
 use std::io::{BufRead, BufReader, Read, Write};
 
@@ -27,13 +27,24 @@ use std::io::{BufRead, BufReader, Read, Write};
 /// Returns [`GraphError::Io`] on write failure.
 pub fn write_text<W: Write>(graph: &RoadGraph, mut writer: W) -> Result<(), GraphError> {
     writeln!(writer, "# rap-graph text format v1")?;
-    writeln!(writer, "# {} nodes, {} edges", graph.node_count(), graph.edge_count())?;
+    writeln!(
+        writer,
+        "# {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
     for v in graph.nodes() {
         let p = graph.point(v);
         writeln!(writer, "node {} {}", p.x, p.y)?;
     }
     for e in graph.edges() {
-        writeln!(writer, "edge {} {} {}", e.src.raw(), e.dst.raw(), e.length.feet())?;
+        writeln!(
+            writer,
+            "edge {} {} {}",
+            e.src.raw(),
+            e.dst.raw(),
+            e.length.feet()
+        )?;
     }
     Ok(())
 }
@@ -70,11 +81,7 @@ pub fn read_text<R: Read>(reader: R) -> Result<RoadGraph, GraphError> {
                 let dst = parse_u32(parts.next(), line_no, "edge dst")?;
                 let len = parse_u64(parts.next(), line_no, "edge length")?;
                 builder
-                    .add_edge(
-                        NodeId::new(src),
-                        NodeId::new(dst),
-                        Distance::from_feet(len),
-                    )
+                    .add_edge(NodeId::new(src), NodeId::new(dst), Distance::from_feet(len))
                     .map_err(|e| GraphError::ParseGraph {
                         line: line_no,
                         message: e.to_string(),

@@ -214,7 +214,9 @@ mod tests {
         for p in &paths[..3] {
             assert_eq!(p.length(), Distance::from_feet(300));
         }
-        assert!(paths[3..].iter().all(|p| p.length() > Distance::from_feet(300)));
+        assert!(paths[3..]
+            .iter()
+            .all(|p| p.length() > Distance::from_feet(300)));
         // All distinct and loopless.
         let mut seen = HashSet::new();
         for p in &paths {
@@ -238,7 +240,9 @@ mod tests {
     #[test]
     fn diamond_with_distinct_lengths() {
         let mut b = GraphBuilder::new();
-        let v: Vec<NodeId> = (0..4).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        let v: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
         b.add_two_way(v[0], v[1], Distance::from_feet(1)).unwrap();
         b.add_two_way(v[1], v[3], Distance::from_feet(1)).unwrap();
         b.add_two_way(v[0], v[2], Distance::from_feet(2)).unwrap();
@@ -263,9 +267,11 @@ mod tests {
         ));
         assert_eq!(count_shortest_paths(&g, a, island), 0);
         let grid = GridGraph::new(2, 2, Distance::from_feet(1));
-        assert!(k_shortest_paths(grid.graph(), NodeId::new(0), NodeId::new(3), 0)
-            .unwrap()
-            .is_empty());
+        assert!(
+            k_shortest_paths(grid.graph(), NodeId::new(0), NodeId::new(3), 0)
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

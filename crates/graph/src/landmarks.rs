@@ -42,7 +42,10 @@ impl Landmarks {
     /// Panics if the graph is empty or `count` is zero.
     pub fn select(graph: &RoadGraph, count: usize) -> Self {
         assert!(count > 0, "at least one landmark required");
-        assert!(!graph.is_empty(), "cannot select landmarks on an empty graph");
+        assert!(
+            !graph.is_empty(),
+            "cannot select landmarks on an empty graph"
+        );
         let mut nodes: Vec<NodeId> = Vec::with_capacity(count);
         let mut min_dist = vec![Distance::MAX; graph.node_count()];
         let mut current = NodeId::new(0);
@@ -134,7 +137,11 @@ pub fn alt_path(
     let mut pred: Vec<Option<NodeId>> = vec![None; n];
     let mut heap: BinaryHeap<Reverse<(Distance, Distance, u32)>> = BinaryHeap::new();
     dist[from.index()] = Distance::ZERO;
-    heap.push(Reverse((landmarks.lower_bound(from, to), Distance::ZERO, from.raw())));
+    heap.push(Reverse((
+        landmarks.lower_bound(from, to),
+        Distance::ZERO,
+        from.raw(),
+    )));
     while let Some(Reverse((_f, g, raw))) = heap.pop() {
         let u = NodeId::new(raw);
         if g > dist[u.index()] {

@@ -294,7 +294,10 @@ mod tests {
 
     #[test]
     fn distance_saturation() {
-        assert_eq!(Distance::MAX.saturating_add(Distance::from_feet(1)), Distance::MAX);
+        assert_eq!(
+            Distance::MAX.saturating_add(Distance::from_feet(1)),
+            Distance::MAX
+        );
         assert_eq!(
             Distance::ZERO.saturating_sub(Distance::from_feet(1)),
             Distance::ZERO

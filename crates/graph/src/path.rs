@@ -194,7 +194,9 @@ mod tests {
 
     fn line_graph(n: u32) -> (RoadGraph, Vec<NodeId>) {
         let mut b = GraphBuilder::new();
-        let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
         for w in nodes.windows(2) {
             b.add_two_way(w[0], w[1], Distance::from_feet(10)).unwrap();
         }

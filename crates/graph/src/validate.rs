@@ -141,11 +141,8 @@ mod tests {
 
     #[test]
     fn generators_produce_healthy_graphs() {
-        let city = generators::radial_ring_city(
-            Point::ORIGIN,
-            generators::RadialRingParams::default(),
-            4,
-        );
+        let city =
+            generators::radial_ring_city(Point::ORIGIN, generators::RadialRingParams::default(), 4);
         assert!(GraphReport::analyze(&city).is_healthy());
         let grid = generators::perturbed_grid(generators::PerturbedGridParams::default(), 4);
         assert!(GraphReport::analyze(&grid).is_healthy());
@@ -168,7 +165,9 @@ mod tests {
     #[test]
     fn one_way_cycle_detected_as_connected() {
         let mut b = GraphBuilder::new();
-        let v: Vec<NodeId> = (0..3).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        let v: Vec<NodeId> = (0..3)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
         b.add_edge(v[0], v[1], Distance::from_feet(1)).unwrap();
         b.add_edge(v[1], v[2], Distance::from_feet(1)).unwrap();
         b.add_edge(v[2], v[0], Distance::from_feet(1)).unwrap();

@@ -8,10 +8,7 @@ use rap_graph::{dijkstra, BoundingBox, Distance, GraphBuilder, GridGraph, NodeId
 /// list); edges may be dense or sparse, lengths in 1..=1000.
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
     (2usize..12).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1u64..1_000),
-            1..40,
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1u64..1_000), 1..40);
         (Just(n), edges)
     })
 }

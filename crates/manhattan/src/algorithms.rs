@@ -7,9 +7,9 @@
 //! algorithms' analogue), and an exhaustive optimum for small grids.
 
 use crate::scenario::ManhattanScenario;
-use rap_core::{Placement, PlacementError};
 use rand::rngs::StdRng;
 use rand::Rng;
+use rap_core::{Placement, PlacementError};
 use rap_graph::{Distance, NodeId};
 
 /// A placement strategy for the Manhattan-grid scenario.
@@ -277,10 +277,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use rap_core::UtilityKind;
     use rap_graph::{GridGraph, GridPos};
     use rap_traffic::FlowSpec;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

@@ -78,7 +78,10 @@ pub enum FlowClass {
 impl FlowClass {
     /// True for either straight orientation.
     pub fn is_straight(self) -> bool {
-        matches!(self, FlowClass::StraightHorizontal | FlowClass::StraightVertical)
+        matches!(
+            self,
+            FlowClass::StraightHorizontal | FlowClass::StraightVertical
+        )
     }
 }
 
@@ -199,13 +202,19 @@ mod tests {
         );
         // T_{2,4} = 1 -> 3: enters horizontally (south side), exits
         // vertically (west side): turned.
-        assert_eq!(classify(&g, NodeId::new(1), NodeId::new(3)), FlowClass::Turned);
+        assert_eq!(
+            classify(&g, NodeId::new(1), NodeId::new(3)),
+            FlowClass::Turned
+        );
         // T_{3,8} = 2 -> 7: the paper calls this neither straight nor
         // turned (enters and exits through horizontal streets). In the
         // endpoint model V3 is a grid corner, whose side orientation is
         // ambiguous; our rule resolves it toward Turned (see module docs) —
         // and indeed the NE grid corner lies on a shortest 2 -> 7 path.
-        assert_eq!(classify(&g, NodeId::new(2), NodeId::new(7)), FlowClass::Turned);
+        assert_eq!(
+            classify(&g, NodeId::new(2), NodeId::new(7)),
+            FlowClass::Turned
+        );
         let c = turned_corner(&g, NodeId::new(2), NodeId::new(7)).unwrap();
         assert_eq!(c, NodeId::new(8));
     }

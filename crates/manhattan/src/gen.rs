@@ -6,10 +6,10 @@
 //! requested class mix), volumes uniform in a range.
 
 use crate::classify::{classify, FlowClass};
-use rap_graph::{GridGraph, GridPos};
-use rap_traffic::{FlowSpec, TrafficError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rap_graph::{GridGraph, GridPos};
+use rap_traffic::{FlowSpec, TrafficError};
 
 /// Parameters for [`boundary_flows`].
 #[derive(Clone, Copy, Debug)]

@@ -53,8 +53,8 @@ pub mod simulate;
 pub mod two_stage;
 
 pub use algorithms::{
-    GridExhaustive, GridGreedy, GridMaxCardinality, GridMaxCustomers, GridMaxVehicles,
-    GridRandom, ManhattanAlgorithm,
+    GridExhaustive, GridGreedy, GridMaxCardinality, GridMaxCustomers, GridMaxVehicles, GridRandom,
+    ManhattanAlgorithm,
 };
 pub use classify::{classify, turned_corner, FlowClass, Side};
 pub use report::{ClassReport, ClassStats};

@@ -87,7 +87,11 @@ impl fmt::Display for ClassReport {
                 s.flows, s.reached, s.attracted_flows, s.customers
             )?;
         }
-        write!(f, "total     {:>10.3} customers/day", self.total_customers())
+        write!(
+            f,
+            "total     {:>10.3} customers/day",
+            self.total_customers()
+        )
     }
 }
 
@@ -96,11 +100,11 @@ mod tests {
     use super::*;
     use crate::two_stage::TwoStage;
     use crate::ManhattanAlgorithm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use rap_core::UtilityKind;
     use rap_graph::{Distance, GridGraph, GridPos};
     use rap_traffic::FlowSpec;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn scenario() -> ManhattanScenario {
         let grid = GridGraph::new(5, 5, Distance::from_feet(250));

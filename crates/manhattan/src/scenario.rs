@@ -103,9 +103,8 @@ impl ManhattanScenario {
         specs: Vec<FlowSpec>,
         utility: Arc<dyn UtilityFunction>,
     ) -> Result<Self, PlacementError> {
-        let side = Distance::from_feet(
-            grid.spacing().feet() * (grid.rows().max(grid.cols()) as u64),
-        );
+        let side =
+            Distance::from_feet(grid.spacing().feet() * (grid.rows().max(grid.cols()) as u64));
         Self::with_region(grid, specs, utility, side)
     }
 
@@ -323,14 +322,10 @@ mod tests {
     fn scenario(kind: UtilityKind) -> ManhattanScenario {
         let grid = GridGraph::new(5, 5, Distance::from_feet(250));
         let mk = |o: GridPos, d: GridPos, vol: f64| {
-            FlowSpec::new(
-                grid.node_at(o).unwrap(),
-                grid.node_at(d).unwrap(),
-                vol,
-            )
-            .unwrap()
-            .with_attractiveness(1.0)
-            .unwrap()
+            FlowSpec::new(grid.node_at(o).unwrap(), grid.node_at(d).unwrap(), vol)
+                .unwrap()
+                .with_attractiveness(1.0)
+                .unwrap()
         };
         let specs = vec![
             // Straight across the middle row (west -> east).
@@ -340,12 +335,7 @@ mod tests {
             // Other: diagonal with interior endpoint.
             mk(GridPos::new(1, 1), GridPos::new(4, 4), 5.0),
         ];
-        ManhattanScenario::new(
-            grid,
-            specs,
-            kind.instantiate(Distance::from_feet(1_000)),
-        )
-        .unwrap()
+        ManhattanScenario::new(grid, specs, kind.instantiate(Distance::from_feet(1_000))).unwrap()
     }
 
     #[test]
@@ -361,7 +351,7 @@ mod tests {
     fn rectangle_reachability() {
         let s = scenario(UtilityKind::Threshold);
         let turned = &s.flows()[1]; // (3,0) -> (0,2)
-        // Inside the rectangle rows 0..3, cols 0..2.
+                                    // Inside the rectangle rows 0..3, cols 0..2.
         assert!(s.reaches(turned, s.grid().node_at(GridPos::new(1, 1)).unwrap()));
         // The SW corner is reachable (Theorem 3's corner).
         assert!(s.reaches(turned, s.grid().node_at(GridPos::new(0, 0)).unwrap()));
@@ -402,8 +392,14 @@ mod tests {
         let turned = &s.flows()[1];
         let p_corner = Placement::new(vec![corner]);
         let p_both = Placement::new(vec![corner, mid]);
-        assert_eq!(s.best_detour(turned, &p_corner), Some(Distance::from_feet(1_000)));
-        assert_eq!(s.best_detour(turned, &p_both), Some(Distance::from_feet(500)));
+        assert_eq!(
+            s.best_detour(turned, &p_corner),
+            Some(Distance::from_feet(1_000))
+        );
+        assert_eq!(
+            s.best_detour(turned, &p_both),
+            Some(Distance::from_feet(500))
+        );
         assert!(s.evaluate(&p_both) >= s.evaluate(&p_corner));
     }
 
@@ -479,8 +475,8 @@ mod tests {
         let corners = s.region_corners();
         assert_eq!(grid.pos_of(corners[0]), GridPos::new(1, 1)); // SW
         assert_eq!(grid.pos_of(corners[2]), GridPos::new(5, 5)); // NE
-        // Nodes outside the region are not candidates but can still be
-        // *reached* conceptually — they are simply not legal RAP sites.
+                                                                 // Nodes outside the region are not candidates but can still be
+                                                                 // *reached* conceptually — they are simply not legal RAP sites.
         let outside = grid.node_at(GridPos::new(0, 3)).unwrap();
         assert!(!s.in_region(outside));
         assert!(s.in_region(s.shop()));

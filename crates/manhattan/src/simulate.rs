@@ -13,10 +13,10 @@
 //! `C(r + c, r)` monotone shortest paths.
 
 use crate::scenario::{GridFlow, ManhattanScenario};
-use rap_core::Placement;
-use rap_graph::{Distance, GridPos};
 use rand::rngs::StdRng;
 use rand::Rng;
+use rap_core::Placement;
+use rap_graph::{Distance, GridPos};
 
 /// Result of a Monte-Carlo run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -146,10 +146,10 @@ pub fn flexibility_gain(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use rap_core::UtilityKind;
     use rap_graph::{Distance, GridGraph, NodeId};
     use rap_manhattan_test_helpers::*;
-    use rand::SeedableRng;
 
     /// Local helpers (kept in a faux module name to mirror fixture style).
     mod rap_manhattan_test_helpers {
@@ -169,12 +169,8 @@ mod tests {
                 mk(GridPos::new(2, 0), GridPos::new(2, 4), 8.0),
                 mk(GridPos::new(4, 1), GridPos::new(0, 3), 6.0),
             ];
-            ManhattanScenario::new(
-                grid,
-                specs,
-                kind.instantiate(Distance::from_feet(2_000)),
-            )
-            .unwrap()
+            ManhattanScenario::new(grid, specs, kind.instantiate(Distance::from_feet(2_000)))
+                .unwrap()
         }
     }
 
@@ -213,10 +209,12 @@ mod tests {
         // The straight flow's paths all run along row 2; a RAP on that row
         // is unavoidable, so random routing matches seeking for that flow.
         let grid = GridGraph::new(3, 3, Distance::from_feet(100));
-        let specs = vec![rap_traffic::FlowSpec::new(NodeId::new(3), NodeId::new(5), 10.0)
-            .unwrap()
-            .with_attractiveness(1.0)
-            .unwrap()];
+        let specs = vec![
+            rap_traffic::FlowSpec::new(NodeId::new(3), NodeId::new(5), 10.0)
+                .unwrap()
+                .with_attractiveness(1.0)
+                .unwrap(),
+        ];
         let s = ManhattanScenario::new(
             grid,
             specs,
@@ -248,10 +246,12 @@ mod tests {
         // probability exactly 1/3 by a random-path driver. Check the
         // empirical frequency.
         let grid = GridGraph::new(3, 2, Distance::from_feet(100));
-        let specs = vec![rap_traffic::FlowSpec::new(NodeId::new(0), NodeId::new(5), 1.0)
-            .unwrap()
-            .with_attractiveness(1.0)
-            .unwrap()];
+        let specs = vec![
+            rap_traffic::FlowSpec::new(NodeId::new(0), NodeId::new(5), 1.0)
+                .unwrap()
+                .with_attractiveness(1.0)
+                .unwrap(),
+        ];
         let s = ManhattanScenario::new(
             grid,
             specs,
@@ -269,10 +269,7 @@ mod tests {
             }
         }
         let freq = hits as f64 / trials as f64;
-        assert!(
-            (freq - 1.0 / 3.0).abs() < 0.02,
-            "expected ~1/3, got {freq}"
-        );
+        assert!((freq - 1.0 / 3.0).abs() < 0.02, "expected ~1/3, got {freq}");
     }
 
     #[test]

@@ -27,8 +27,8 @@
 
 use crate::algorithms::{GridExhaustive, GridGreedy, ManhattanAlgorithm};
 use crate::scenario::{GridFlow, ManhattanScenario};
-use rap_core::Placement;
 use rand::rngs::StdRng;
+use rap_core::Placement;
 use rap_graph::{GridPos, NodeId};
 
 /// Where stage one pins its four RAPs.
@@ -102,9 +102,10 @@ fn two_stage_place(
     // Strip flows already covered by a stage-one RAP stay covered.
     for (f, c) in flows.iter().zip(covered.iter_mut()) {
         if !*c
-            && placement
-                .iter()
-                .any(|&v| scenario.reaches(f, v) && scenario.expected_customers(f, scenario.detour_at(f, v)) > 0.0)
+            && placement.iter().any(|&v| {
+                scenario.reaches(f, v)
+                    && scenario.expected_customers(f, scenario.detour_at(f, v)) > 0.0
+            })
         {
             *c = true;
         }
@@ -240,10 +241,10 @@ impl ManhattanAlgorithm for ModifiedTwoStage {
 mod tests {
     use super::*;
     use crate::classify::FlowClass;
+    use rand::SeedableRng;
     use rap_core::UtilityKind;
     use rap_graph::{Distance, GridGraph};
     use rap_traffic::FlowSpec;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)
@@ -271,8 +272,7 @@ mod tests {
             mk(GridPos::new(4, 2), GridPos::new(1, 0), 10.0),
             mk(GridPos::new(3, 4), GridPos::new(4, 1), 8.0),
         ];
-        ManhattanScenario::new(grid, specs, kind.instantiate(Distance::from_feet(1_000)))
-            .unwrap()
+        ManhattanScenario::new(grid, specs, kind.instantiate(Distance::from_feet(1_000))).unwrap()
     }
 
     #[test]
@@ -314,13 +314,12 @@ mod tests {
         let s = scenario(UtilityKind::Threshold);
         let k = 6;
         let alg3 = s.evaluate(&TwoStage.place(&s, k, &mut rng()));
-        let opt = s.evaluate(
-            &GridExhaustive::with_budget(5_000_000)
-                .solve(&s, k)
-                .unwrap(),
-        );
+        let opt = s.evaluate(&GridExhaustive::with_budget(5_000_000).solve(&s, k).unwrap());
         let bound = (1.0 - 4.0 / k as f64) * opt;
-        assert!(alg3 + 1e-9 >= bound, "alg3 {alg3} < bound {bound} (opt {opt})");
+        assert!(
+            alg3 + 1e-9 >= bound,
+            "alg3 {alg3} < bound {bound} (opt {opt})"
+        );
     }
 
     #[test]
@@ -328,13 +327,12 @@ mod tests {
         let s = scenario(UtilityKind::Linear);
         let k = 6;
         let alg4 = s.evaluate(&ModifiedTwoStage.place(&s, k, &mut rng()));
-        let opt = s.evaluate(
-            &GridExhaustive::with_budget(5_000_000)
-                .solve(&s, k)
-                .unwrap(),
-        );
+        let opt = s.evaluate(&GridExhaustive::with_budget(5_000_000).solve(&s, k).unwrap());
         let bound = (0.5 - 2.0 / k as f64) * opt;
-        assert!(alg4 + 1e-9 >= bound, "alg4 {alg4} < bound {bound} (opt {opt})");
+        assert!(
+            alg4 + 1e-9 >= bound,
+            "alg4 {alg4} < bound {bound} (opt {opt})"
+        );
     }
 
     #[test]

@@ -57,13 +57,9 @@ fn build(inst: &GridInstance) -> Option<(GridGraph, ManhattanScenario)> {
         return None;
     }
     let side = Distance::from_feet(100 * (inst.rows.max(inst.cols) as u64));
-    let scenario = ManhattanScenario::with_region(
-        grid.clone(),
-        specs,
-        inst.utility.instantiate(side),
-        side,
-    )
-    .expect("valid scenario");
+    let scenario =
+        ManhattanScenario::with_region(grid.clone(), specs, inst.utility.instantiate(side), side)
+            .expect("valid scenario");
     Some((grid, scenario))
 }
 

@@ -81,8 +81,8 @@ pub fn decode(mut data: impl Buf) -> Result<(TraceSchema, Vec<TraceRecord>), Tra
     if version != VERSION {
         return Err(header_err(format!("unsupported version {version}")));
     }
-    let schema = schema_from_tag(data.get_u8())
-        .ok_or_else(|| header_err("unknown schema tag".into()))?;
+    let schema =
+        schema_from_tag(data.get_u8()).ok_or_else(|| header_err("unknown schema tag".into()))?;
     let count = data.get_u32_le() as usize;
     if data.remaining() < count * RECORD_SIZE {
         return Err(TraceError::ParseTrace {

@@ -6,8 +6,8 @@
 //! feeds (Dublin buses report roughly every 20 s).
 
 use crate::gps::{BusId, GpsNoise, GpsPoint, JourneyId, TraceRecord};
-use rap_graph::{Path, Point, RoadGraph};
 use rand::Rng;
+use rap_graph::{Path, Point, RoadGraph};
 
 /// Simulation knobs for one bus run.
 #[derive(Clone, Copy, Debug)]
@@ -144,9 +144,9 @@ pub fn drive_path<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rap_graph::{dijkstra, Distance, GridGraph, NodeId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rap_graph::{dijkstra, Distance, GridGraph, NodeId};
 
     fn grid_path() -> (rap_graph::RoadGraph, Path) {
         let g = GridGraph::new(3, 3, Distance::from_feet(300)).into_graph();
@@ -243,7 +243,9 @@ mod tests {
             DriveParams::default(),
             &mut StdRng::seed_from_u64(0),
         );
-        assert!(recs.iter().all(|r| r.bus == BusId(7) && r.journey == JourneyId(3)));
+        assert!(recs
+            .iter()
+            .all(|r| r.bus == BusId(7) && r.journey == JourneyId(3)));
     }
 
     #[test]

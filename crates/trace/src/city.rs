@@ -20,11 +20,11 @@ use crate::bus::{drive_path, DriveParams};
 use crate::error::TraceError;
 use crate::gps::{BusId, GpsNoise, JourneyId, TraceRecord};
 use crate::map_match::{extract_flows, ExtractParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rap_graph::{dijkstra, generators, Distance, NodeId, Point, RoadGraph};
 use rap_traffic::zones::{ZoneMap, ZoneThresholds};
 use rap_traffic::{demand, FlowSet, Zone};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A fully generated city: street network, recovered flows, zone labels.
 #[derive(Clone, Debug)]
@@ -129,10 +129,7 @@ impl CityParams {
         }
         if self.min_buses == 0 || self.min_buses > self.max_buses {
             return Err(TraceError::BadParams {
-                message: format!(
-                    "bus range [{}, {}] invalid",
-                    self.min_buses, self.max_buses
-                ),
+                message: format!("bus range [{}, {}] invalid", self.min_buses, self.max_buses),
             });
         }
         Ok(())
@@ -302,7 +299,10 @@ mod tests {
         // Volumes are multiples of 100 (passengers per bus).
         for f in city.flows() {
             let v = f.volume();
-            assert!((v / 100.0).fract().abs() < 1e-9, "volume {v} not a multiple of 100");
+            assert!(
+                (v / 100.0).fract().abs() < 1e-9,
+                "volume {v} not a multiple of 100"
+            );
             assert!(v >= 100.0);
         }
         // The 80k ft extent is roughly respected.

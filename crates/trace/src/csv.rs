@@ -185,10 +185,7 @@ mod tests {
 
     #[test]
     fn headers_differ_between_schemas() {
-        assert_ne!(
-            TraceSchema::Dublin.header(),
-            TraceSchema::Seattle.header()
-        );
+        assert_ne!(TraceSchema::Dublin.header(), TraceSchema::Seattle.header());
         assert_eq!(TraceSchema::Dublin.to_string(), "dublin");
         assert_eq!(TraceSchema::Seattle.to_string(), "seattle");
     }

@@ -143,10 +143,7 @@ mod tests {
         let var = sum_sq / n as f64 - mean * mean;
         assert!(mean.abs() < 2.0, "mean {mean} too far from 0");
         let std = var.sqrt();
-        assert!(
-            (std - 30.0).abs() < 2.5,
-            "std {std} too far from 30"
-        );
+        assert!((std - 30.0).abs() < 2.5, "std {std} too far from 30");
     }
 
     #[test]

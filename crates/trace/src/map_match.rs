@@ -29,10 +29,7 @@ use std::collections::BTreeMap;
 ///
 /// [`TraceError::UnmatchableTrace`] when two consecutive snapped
 /// intersections are mutually unreachable in `graph`.
-pub fn match_fixes(
-    graph: &RoadGraph,
-    records: &[TraceRecord],
-) -> Result<Option<Path>, TraceError> {
+pub fn match_fixes(graph: &RoadGraph, records: &[TraceRecord]) -> Result<Option<Path>, TraceError> {
     // Snap, collapsing consecutive duplicates.
     let mut snapped: Vec<NodeId> = Vec::with_capacity(records.len());
     for r in records {
@@ -54,11 +51,8 @@ pub fn match_fixes(
             walk.push(b);
             continue;
         }
-        let bridge =
-            dijkstra::shortest_path(graph, a, b).map_err(|_| TraceError::UnmatchableTrace {
-                from: a,
-                to: b,
-            })?;
+        let bridge = dijkstra::shortest_path(graph, a, b)
+            .map_err(|_| TraceError::UnmatchableTrace { from: a, to: b })?;
         walk.extend_from_slice(&bridge.nodes()[1..]);
     }
     let path = Path::new(graph, walk).map_err(TraceError::from)?;
@@ -190,9 +184,9 @@ mod tests {
     use super::*;
     use crate::bus::{drive_path, DriveParams};
     use crate::gps::GpsNoise;
-    use rap_graph::{Distance, GridGraph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rap_graph::{Distance, GridGraph};
 
     fn grid() -> rap_graph::RoadGraph {
         GridGraph::new(4, 4, Distance::from_feet(400)).into_graph()

@@ -119,11 +119,14 @@ mod tests {
     use crate::bus::{drive_path, DriveParams};
     use crate::gps::{BusId, GpsNoise};
     use crate::map_match::match_journeys;
-    use rap_graph::{Distance, GridGraph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rap_graph::{Distance, GridGraph};
 
-    fn run_pipeline(noise: f64, seed: u64) -> (rap_graph::RoadGraph, GroundTruth, Vec<MatchedJourney>) {
+    fn run_pipeline(
+        noise: f64,
+        seed: u64,
+    ) -> (rap_graph::RoadGraph, GroundTruth, Vec<MatchedJourney>) {
         let grid = GridGraph::new(5, 5, Distance::from_feet(800));
         let graph = grid.graph().clone();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -132,8 +135,7 @@ mod tests {
         let pairs = [(0u32, 24u32), (4, 20), (2, 22), (10, 14)];
         for (j, &(o, d)) in pairs.iter().enumerate() {
             truth.insert(JourneyId(j as u32), (NodeId::new(o), NodeId::new(d)));
-            let path =
-                dijkstra::shortest_path(&graph, NodeId::new(o), NodeId::new(d)).unwrap();
+            let path = dijkstra::shortest_path(&graph, NodeId::new(o), NodeId::new(d)).unwrap();
             records.extend(drive_path(
                 &graph,
                 &path,

@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rap_graph::{dijkstra, Distance, GridGraph, NodeId, Point};
 use rap_trace::{
-    drive_path, extract_flows, match_fixes, read_csv, write_csv, BusId, DriveParams,
-    ExtractParams, GpsNoise, GpsPoint, JourneyId, TraceRecord, TraceSchema,
+    drive_path, extract_flows, match_fixes, read_csv, write_csv, BusId, DriveParams, ExtractParams,
+    GpsNoise, GpsPoint, JourneyId, TraceRecord, TraceSchema,
 };
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {

@@ -16,9 +16,9 @@
 
 use crate::error::TrafficError;
 use crate::flow::FlowSpec;
-use rap_graph::{NodeId, Point, RoadGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rap_graph::{NodeId, Point, RoadGraph};
 
 /// Common knobs for the demand generators.
 #[derive(Clone, Copy, Debug)]
@@ -48,10 +48,12 @@ impl DemandParams {
     fn validate(&self, graph: &RoadGraph) -> Result<(), TrafficError> {
         if graph.node_count() < 2 {
             // Not enough intersections to form an OD pair.
-            return Err(TrafficError::Graph(rap_graph::GraphError::NodeOutOfBounds {
-                node: NodeId::new(1),
-                node_count: graph.node_count(),
-            }));
+            return Err(TrafficError::Graph(
+                rap_graph::GraphError::NodeOutOfBounds {
+                    node: NodeId::new(1),
+                    node_count: graph.node_count(),
+                },
+            ));
         }
         let volumes_valid = self.min_volume.is_finite()
             && self.min_volume > 0.0
@@ -294,8 +296,7 @@ mod tests {
     fn commuter_demand_biases_origins_to_center() {
         let grid = grid();
         let center = grid.graph().point(grid.center());
-        let specs =
-            commuter_demand(grid.graph(), center, 8.0, params(400), 3).unwrap();
+        let specs = commuter_demand(grid.graph(), center, 8.0, params(400), 3).unwrap();
         let avg_origin_dist: f64 = specs
             .iter()
             .map(|s| grid.graph().point(s.origin()).euclidean(center))

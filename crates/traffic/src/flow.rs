@@ -256,7 +256,10 @@ mod tests {
         let flow = TrafficFlow::new(
             FlowId::new(3),
             s,
-            Path::from_parts_unchecked(vec![NodeId::new(0), NodeId::new(1)], Distance::from_feet(5)),
+            Path::from_parts_unchecked(
+                vec![NodeId::new(0), NodeId::new(1)],
+                Distance::from_feet(5),
+            ),
         );
         assert!(flow.to_string().starts_with("T3"));
         assert_eq!(flow.id(), FlowId::new(3));

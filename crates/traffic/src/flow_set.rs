@@ -73,12 +73,12 @@ impl FlowSet {
             let tree = dijkstra::shortest_path_tree(graph, origin);
             for i in idxs {
                 let spec = specs[i];
-                let path = tree
-                    .path_to(spec.destination())
-                    .map_err(|_| TrafficError::UnroutableFlow {
-                        origin: spec.origin(),
-                        destination: spec.destination(),
-                    })?;
+                let path =
+                    tree.path_to(spec.destination())
+                        .map_err(|_| TrafficError::UnroutableFlow {
+                            origin: spec.origin(),
+                            destination: spec.destination(),
+                        })?;
                 flows[i] = Some(TrafficFlow::new(FlowId::new(i as u32), spec, path));
             }
         }
@@ -237,7 +237,10 @@ mod tests {
         let fs = FlowSet::route(grid.graph(), specs).unwrap();
         assert_eq!(fs.len(), 8);
         // Flow to node 8 (opposite corner) is 4 blocks.
-        let far = fs.iter().find(|f| f.destination() == NodeId::new(8)).unwrap();
+        let far = fs
+            .iter()
+            .find(|f| f.destination() == NodeId::new(8))
+            .unwrap();
         assert_eq!(far.path().length(), Distance::from_feet(40));
     }
 
@@ -333,7 +336,8 @@ mod tests {
         let g = grid.graph();
         let mk = |o: u32, d: u32| {
             let spec = FlowSpec::new(NodeId::new(o), NodeId::new(d), 1.0).unwrap();
-            let path = rap_graph::dijkstra::shortest_path(g, NodeId::new(o), NodeId::new(d)).unwrap();
+            let path =
+                rap_graph::dijkstra::shortest_path(g, NodeId::new(o), NodeId::new(d)).unwrap();
             TrafficFlow::new(FlowId::new(77), spec, path)
         };
         let fs = FlowSet::from_routed(g, vec![mk(0, 2), mk(6, 8)]);

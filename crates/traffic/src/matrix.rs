@@ -47,7 +47,10 @@ impl OdMatrix {
 
     /// The volume of the `(origin, destination)` cell (0 when absent).
     pub fn volume(&self, origin: NodeId, destination: NodeId) -> f64 {
-        self.cells.get(&(origin, destination)).copied().unwrap_or(0.0)
+        self.cells
+            .get(&(origin, destination))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Number of non-zero cells.
@@ -134,13 +137,9 @@ mod tests {
 
     #[test]
     fn row_and_column_totals() {
-        let m: OdMatrix = [
-            (v(0), v(1), 10.0),
-            (v(0), v(2), 20.0),
-            (v(3), v(2), 5.0),
-        ]
-        .into_iter()
-        .collect();
+        let m: OdMatrix = [(v(0), v(1), 10.0), (v(0), v(2), 20.0), (v(3), v(2), 5.0)]
+            .into_iter()
+            .collect();
         assert_eq!(m.row_total(v(0)), 30.0);
         assert_eq!(m.row_total(v(3)), 5.0);
         assert_eq!(m.column_total(v(2)), 25.0);
@@ -165,7 +164,9 @@ mod tests {
 
     #[test]
     fn l1_distance_properties() {
-        let a: OdMatrix = [(v(0), v(1), 10.0), (v(2), v(3), 5.0)].into_iter().collect();
+        let a: OdMatrix = [(v(0), v(1), 10.0), (v(2), v(3), 5.0)]
+            .into_iter()
+            .collect();
         let b: OdMatrix = [(v(0), v(1), 8.0), (v(4), v(5), 1.0)].into_iter().collect();
         assert_eq!(a.l1_distance(&a), 0.0);
         assert_eq!(a.l1_distance(&b), 2.0 + 5.0 + 1.0);

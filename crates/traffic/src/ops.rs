@@ -5,9 +5,9 @@
 //! such pre-processing explicit and reusable: drop small flows, restrict to
 //! a window, merge demand from multiple sources, keep the top movers.
 
+use crate::error::TrafficError;
 use crate::flow::FlowSpec;
 use crate::flow_set::FlowSet;
-use crate::error::TrafficError;
 use rap_graph::{BoundingBox, NodeId, RoadGraph};
 
 /// Keeps flows whose daily volume is at least `min_volume` (the paper's
@@ -68,12 +68,9 @@ pub fn merge(sources: &[&[FlowSpec]]) -> Result<Vec<FlowSpec>, TrafficError> {
                     e.insert(*s);
                 }
                 std::collections::btree_map::Entry::Occupied(mut e) => {
-                    let merged = FlowSpec::new(
-                        s.origin(),
-                        s.destination(),
-                        e.get().volume() + s.volume(),
-                    )?
-                    .with_attractiveness(e.get().attractiveness())?;
+                    let merged =
+                        FlowSpec::new(s.origin(), s.destination(), e.get().volume() + s.volume())?
+                            .with_attractiveness(e.get().attractiveness())?;
                     e.insert(merged);
                 }
             }
@@ -147,12 +144,10 @@ mod tests {
             FlowSpec::new(v(0), v(1), 10.0).unwrap(),
             FlowSpec::new(v(1), v(2), 5.0).unwrap(),
         ];
-        let b = vec![
-            FlowSpec::new(v(0), v(1), 7.0)
-                .unwrap()
-                .with_attractiveness(0.9)
-                .unwrap(),
-        ];
+        let b = vec![FlowSpec::new(v(0), v(1), 7.0)
+            .unwrap()
+            .with_attractiveness(0.9)
+            .unwrap()];
         let merged = merge(&[&a, &b]).unwrap();
         assert_eq!(merged.len(), 2);
         let zero_one = merged

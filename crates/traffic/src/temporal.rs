@@ -120,7 +120,12 @@ impl TimeProfile {
 
 impl fmt::Display for TimeProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "peak {:02}:00 ({:.1}%)", self.peak_hour(), self.fraction(self.peak_hour()) * 100.0)
+        write!(
+            f,
+            "peak {:02}:00 ({:.1}%)",
+            self.peak_hour(),
+            self.fraction(self.peak_hour()) * 100.0
+        )
     }
 }
 

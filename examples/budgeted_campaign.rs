@@ -7,9 +7,7 @@
 //! ```
 
 use rap_vcps::graph::{Distance, GridGraph};
-use rap_vcps::placement::{
-    BudgetedGreedy, PlacementReport, Scenario, SiteCosts, UtilityKind,
-};
+use rap_vcps::placement::{BudgetedGreedy, PlacementReport, Scenario, SiteCosts, UtilityKind};
 use rap_vcps::traffic::demand::{commuter_demand, DemandParams};
 use rap_vcps::traffic::FlowSet;
 
@@ -41,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // intersections cost several times the periphery.
     let costs = SiteCosts::traffic_weighted(&scenario, 20, 0.05);
     println!("site costs range over the candidates:");
-    let candidate_costs: Vec<u64> = scenario.candidates().iter().map(|&v| costs.cost(v)).collect();
+    let candidate_costs: Vec<u64> = scenario
+        .candidates()
+        .iter()
+        .map(|&v| costs.cost(v))
+        .collect();
     println!(
         "  min ${}, max ${}",
         candidate_costs.iter().min().unwrap(),

@@ -9,8 +9,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rap_vcps::graph::Distance;
 use rap_vcps::placement::{
-    failure_aware_evaluate, CompositeGreedy, FailureAwareGreedy, PlacementAlgorithm,
-    Scenario, UtilityKind,
+    failure_aware_evaluate, CompositeGreedy, FailureAwareGreedy, PlacementAlgorithm, Scenario,
+    UtilityKind,
 };
 use rap_vcps::trace::{dublin, CityParams};
 use rap_vcps::traffic::Zone;

@@ -39,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let mut rng = StdRng::seed_from_u64(0);
     for shops in branch_sets {
-        let scenario = Scenario::new(graph.clone(), flows.clone(), shops.to_vec(), utility.clone())?;
+        let scenario = Scenario::new(
+            graph.clone(),
+            flows.clone(),
+            shops.to_vec(),
+            utility.clone(),
+        )?;
         let placement = CompositeGreedy.place(&scenario, 6, &mut rng);
         let report = PlacementReport::compute(&scenario, &placement);
         let names: Vec<String> = shops.iter().map(|s| s.to_string()).collect();

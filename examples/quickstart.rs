@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Algorithm 1 (coverage-only).
     let mut rng = StdRng::seed_from_u64(2015);
     let k = 3;
-    for alg in [
-        &CompositeGreedy as &dyn PlacementAlgorithm,
-        &GreedyCoverage,
-    ] {
+    for alg in [&CompositeGreedy as &dyn PlacementAlgorithm, &GreedyCoverage] {
         let placement: Placement = alg.place(&scenario, k, &mut rng);
         let report = PlacementReport::compute(&scenario, &placement);
         println!("{:<32} -> {placement}", alg.name());

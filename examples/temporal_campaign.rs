@@ -52,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let flows = FlowSet::route(&graph, specs)?;
-        let scenario =
-            Scenario::single_shop(graph.clone(), flows, grid.center(), utility.clone())?;
+        let scenario = Scenario::single_shop(graph.clone(), flows, grid.center(), utility.clone())?;
         let placement = CompositeGreedy.place(&scenario, 6, &mut rng);
         println!(
             "{label:<28} {:>8.3} customers/day via {placement}",

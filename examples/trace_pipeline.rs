@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut file = std::fs::File::create(&path)?;
     write_csv(&records, TraceSchema::Seattle, &mut file)?;
     let reread = read_csv(std::fs::File::open(&path)?, TraceSchema::Seattle)?;
-    println!("csv round-trip via {}: {} records", path.display(), reread.len());
+    println!(
+        "csv round-trip via {}: {} records",
+        path.display(),
+        reread.len()
+    );
     assert_eq!(reread.len(), records.len());
 
     // 3. Map-match and extract flows (Seattle calibration: 200

@@ -6,11 +6,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rap_vcps::graph::{k_shortest, Distance, GridGraph, NodeId};
 use rap_vcps::placement::{
-    certified_fraction, upper_bound, AdCampaign, BudgetedGreedy, CompositeGreedy,
-    GreedyWithSwaps, PlacementAlgorithm, Scenario, ScheduleGreedy, SiteCosts, UtilityKind,
+    certified_fraction, upper_bound, AdCampaign, BudgetedGreedy, CompositeGreedy, GreedyWithSwaps,
+    PlacementAlgorithm, Scenario, ScheduleGreedy, SiteCosts, UtilityKind,
 };
 use rap_vcps::trace::{dublin, CityParams};
-use rap_vcps::traffic::{Zone};
+use rap_vcps::traffic::Zone;
 
 fn city() -> rap_vcps::trace::CityModel {
     let params = CityParams {
@@ -104,8 +104,5 @@ fn k_shortest_supports_flexible_routing_analysis() {
     assert_eq!(count, 20); // C(6, 3)
     let paths = k_shortest::k_shortest_paths(g, from, to, 25).unwrap();
     let min_len = paths[0].length();
-    assert_eq!(
-        paths.iter().filter(|p| p.length() == min_len).count(),
-        20
-    );
+    assert_eq!(paths.iter().filter(|p| p.length() == min_len).count(), 20);
 }

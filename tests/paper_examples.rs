@@ -87,7 +87,9 @@ fn fig3_detour_identity() {
     );
     // And the probability is α · (1 − 4/6) = 1/3 (Eq. 2).
     let flow = s.flows().flow(t25);
-    let p = s.utility().probability(Distance::from_feet(4), flow.attractiveness());
+    let p = s
+        .utility()
+        .probability(Distance::from_feet(4), flow.attractiveness());
     assert!((p - 1.0 / 3.0).abs() < 1e-12);
 }
 

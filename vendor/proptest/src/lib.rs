@@ -1,0 +1,180 @@
+//! Minimal API-compatible stand-in for `proptest`.
+//!
+//! Supports the surface this workspace's property tests use: the `proptest!`
+//! macro (with optional `#![proptest_config(...)]` header and `pat in
+//! strategy` bindings), range/`Just`/tuple/`collection::vec` strategies, the
+//! `prop_map` / `prop_flat_map` / `boxed` combinators, `prop_oneof!`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed deterministic
+//! seed (reproducible across runs), failures panic immediately, and there is
+//! **no shrinking** — a failing case reports the generated inputs as-is.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property-test functions; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn` inside `proptest!` into a `#[test]`-style
+/// function that loops over generated cases.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new_for(stringify!($name), &config);
+            for __case in 0..config.cases {
+                let mut __rng = runner.rng_for_case(__case);
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                )+
+                // Upstream proptest runs bodies as `Result`-returning
+                // closures (so `return Ok(())` and `prop_assume!` work).
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(e) if e.is_reject() => {}
+                    ::std::result::Result::Err(e) => {
+                        panic!("proptest case {} failed: {}", __case, e.message());
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside `proptest!`, panicking with context on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "proptest assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Skips the current generated case when its precondition does not hold, by
+/// returning a rejection from the `Result`-typed case closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (1u32..10).prop_flat_map(|a| (Just(a), a..20))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_in_bounds(x in 5u32..9, y in 0.0..1.0f64) {
+            prop_assert!((5..9).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_respects_dependency((a, b) in arb_pair()) {
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn vectors_sized(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn oneof_and_assume(choice in prop_oneof![Just(1u8), Just(2), Just(3)], k in 0u8..10) {
+            prop_assume!(k > 0);
+            prop_assert!(k > 0);
+            prop_assert!((1..=3).contains(&choice));
+        }
+
+        #[test]
+        fn map_transforms(s in (0u8..5).prop_map(|v| v * 2)) {
+            prop_assert_eq!(s % 2, 0);
+            prop_assert_ne!(s, 11);
+        }
+    }
+}

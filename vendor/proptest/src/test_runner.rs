@@ -1,0 +1,123 @@
+//! Case scheduling and the deterministic generator behind `proptest!`.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps unoptimized suites quick while
+        // still exploring the space (tests can raise it per-block).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case's closure: a precondition rejection
+/// (skipped) or a failure (panics). `prop_assert!` in this stand-in panics
+/// directly, so `Fail` only appears if user code constructs it.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// Case skipped by `prop_assume!`.
+    Reject(String),
+    /// Case failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection carrying the unmet precondition.
+    pub fn reject(why: impl Into<String>) -> Self {
+        TestCaseError::Reject(why.into())
+    }
+
+    /// A failure carrying the cause.
+    pub fn fail(why: impl Into<String>) -> Self {
+        TestCaseError::Fail(why.into())
+    }
+
+    /// Whether this outcome is a `prop_assume!` rejection.
+    pub fn is_reject(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+
+    /// The carried message.
+    pub fn message(&self) -> &str {
+        match self {
+            TestCaseError::Reject(m) | TestCaseError::Fail(m) => m,
+        }
+    }
+}
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform draw from `[0, span]`.
+    pub fn below_inclusive(&mut self, span: u64) -> u64 {
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let buckets = span + 1;
+        let zone = u64::MAX - (u64::MAX - span) % buckets;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % buckets;
+            }
+        }
+    }
+}
+
+/// Drives the per-property case loop.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner whose stream is keyed by the property name, so every
+    /// property explores a different (but reproducible) slice of the space.
+    pub fn new_for(name: &str, _config: &ProptestConfig) -> Self {
+        let mut seed = 0xCAFE_F00D_D15E_A5E5u64;
+        for b in name.bytes() {
+            seed = seed.rotate_left(7) ^ u64::from(b).wrapping_mul(0x0100_0000_01B3);
+        }
+        TestRunner { seed }
+    }
+
+    /// The generator for one case index.
+    pub fn rng_for_case(&mut self, case: u32) -> TestRng {
+        TestRng::new(self.seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}

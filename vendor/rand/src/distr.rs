@@ -1,0 +1,45 @@
+//! Standard distributions for [`crate::Rng::random`].
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<G: RngCore + ?Sized>(&self, rng: &mut G) -> T;
+}
+
+/// The canonical "no parameters" distribution: uniform over a type's natural
+/// domain (`[0, 1)` for floats, full range for integers, fair coin for bool).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardUniform;
+
+impl Distribution<f64> for StandardUniform {
+    fn sample<G: RngCore + ?Sized>(&self, rng: &mut G) -> f64 {
+        // 53 uniform bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for StandardUniform {
+    fn sample<G: RngCore + ?Sized>(&self, rng: &mut G) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for StandardUniform {
+    fn sample<G: RngCore + ?Sized>(&self, rng: &mut G) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<u32> for StandardUniform {
+    fn sample<G: RngCore + ?Sized>(&self, rng: &mut G) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for StandardUniform {
+    fn sample<G: RngCore + ?Sized>(&self, rng: &mut G) -> u64 {
+        rng.next_u64()
+    }
+}

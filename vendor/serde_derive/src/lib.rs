@@ -1,0 +1,305 @@
+//! Offline stand-in for `serde_derive`: generates impls of the stand-in
+//! `serde::Serialize` / `serde::Deserialize` traits (value-tree model).
+//!
+//! The parser is hand-written over `proc_macro::TokenStream` (no syn/quote,
+//! which are unavailable offline) and supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields → JSON objects;
+//! * tuple structs with one field (incl. `#[serde(transparent)]`) → the inner
+//!   value, matching serde's newtype convention;
+//! * tuple structs with several fields → JSON arrays;
+//! * enums with unit variants only → the variant name as a string.
+//!
+//! Anything else (generics, data-carrying enums, unions) panics at expansion
+//! time with a clear message rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug)]
+enum Shape {
+    /// Struct with named fields (field names in declaration order).
+    Named(Vec<String>),
+    /// Tuple struct with `n` fields.
+    Tuple(usize),
+    /// Enum made of unit variants (variant names in declaration order).
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::serialize_value(&self.{f}))")
+                })
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "serde::Value::Str(match self {{ {} }}.to_string())",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stand-in generated invalid Serialize impl")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: {{\n\
+                             let v = fields.iter().find(|(k, _)| k == \"{f}\").map(|(_, v)| v)\n\
+                                 .ok_or_else(|| serde::Error::custom(\
+                                     \"missing field `{f}` in {name}\"))?;\n\
+                             serde::Deserialize::deserialize_value(v)?\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     serde::Value::Map(fields) => Ok({name} {{ {} }}),\n\
+                     other => Err(serde::Error::custom(format!(\n\
+                         \"expected object for {name}, got {{}}\", other.kind()))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(serde::Deserialize::deserialize_value(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     serde::Value::Seq(items) if items.len() == {n} =>\n\
+                         Ok({name}({})),\n\
+                     other => Err(serde::Error::custom(format!(\n\
+                         \"expected array of {n} for {name}, got {{}}\", other.kind()))),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match value.as_str() {{\n\
+                     {},\n\
+                     Some(other) => Err(serde::Error::custom(format!(\n\
+                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                     None => Err(serde::Error::custom(\n\
+                         \"expected string variant for {name}\")),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stand-in generated invalid Deserialize impl")
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips any number of `#[...]` attributes (doc comments included).
+fn skip_attributes(iter: &mut TokenIter) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        // `#![...]` inner attributes cannot appear on items handed to a
+        // derive; the next tree is the bracket group.
+        match iter.next() {
+            Some(TokenTree::Group(_)) => {}
+            other => panic!("serde_derive stand-in: malformed attribute near {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(iter: &mut TokenIter) {
+    let is_pub = matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub");
+    if is_pub {
+        iter.next();
+        let is_restriction = matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        );
+        if is_restriction {
+            iter.next();
+        }
+    }
+}
+
+fn expect_ident(iter: &mut TokenIter, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let keyword = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "type name");
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match (keyword.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", token) => {
+            panic!("serde_derive stand-in: unit struct `{name}` is not supported ({token:?})")
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::UnitEnum(parse_unit_variants(&name, g.stream()))
+        }
+        (kw, token) => {
+            panic!("serde_derive stand-in: unsupported item `{kw} {name}` ({token:?})")
+        }
+    };
+    Input { name, shape }
+}
+
+/// Parses `name: Type, ...` from inside a brace group. Commas inside angle
+/// brackets (`BTreeMap<String, u32>`) are tracked by `<`/`>` depth; commas
+/// inside parens/brackets are invisible here because those are token groups.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let field = expect_ident(&mut iter, "field name");
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stand-in: expected `:` after `{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        let mut angle_depth = 0i32;
+        for token in iter.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields in a tuple-struct paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parses unit variants; panics on data-carrying variants or discriminants
+/// other than plain `Name` / `Name,`.
+fn parse_unit_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let variant = expect_ident(&mut iter, "variant name");
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            other => panic!(
+                "serde_derive stand-in: enum `{enum_name}` variant `{variant}` is not a \
+                 unit variant ({other:?}); only unit enums are supported"
+            ),
+        }
+    }
+    variants
+}
