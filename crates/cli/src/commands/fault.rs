@@ -1,0 +1,93 @@
+//! Shared `--fault-profile` handling for commands that drive the pooled
+//! placement engines.
+//!
+//! A profile names a canned [`FaultPlan`] so resilience can be demonstrated
+//! (and debugged) from the command line without recompiling:
+//!
+//! * `none`   — empty plan (also bypasses any `RAP_FAULT_SEED` env plan)
+//! * `panic`  — worker 0 panics once in round 1 and is respawned
+//! * `stall`  — worker 0 stalls past the receive deadline once
+//! * `drop`   — worker 0 silently drops one reply (timeout-detected)
+//! * `poison` — every slot panics on every incarnation; the engine must
+//!   degrade to the sequential scan
+//! * `seed:N` — the seeded pseudo-random plan used by the CI fault matrix
+
+use crate::CliError;
+use rap_core::{EngineReport, FaultPlan};
+
+/// Parses a `--fault-profile` value into a [`FaultPlan`].
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on an unknown profile or unparsable seed.
+pub fn parse_profile(spec: &str) -> Result<FaultPlan, CliError> {
+    if let Some(seed) = spec.strip_prefix("seed:") {
+        let seed: u64 = seed.parse().map_err(|_| {
+            CliError::Usage(format!(
+                "--fault-profile seed:`{seed}` is not a valid integer seed"
+            ))
+        })?;
+        return Ok(FaultPlan::from_seed(seed, 8));
+    }
+    Ok(match spec {
+        "none" => FaultPlan::none(),
+        "panic" => FaultPlan::panic_once(0, 1),
+        "stall" => FaultPlan::stall_once(0, 0, 200),
+        "drop" => FaultPlan::drop_reply_once(0, 0),
+        // 64 slots covers any realistic pool width; extra events are inert.
+        "poison" => FaultPlan::poison_pool(64),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown fault profile `{other}` \
+                 (expected none, panic, stall, drop, poison, or seed:N)"
+            )))
+        }
+    })
+}
+
+/// One-line human summary of an [`EngineReport`].
+pub fn describe(report: &EngineReport) -> String {
+    format!(
+        "pool: {} respawned, {} retried, {} timeouts, {}",
+        report.workers_respawned,
+        report.replies_retried,
+        report.receive_timeouts,
+        if report.degraded {
+            "degraded to the sequential scan"
+        } else {
+            "recovered in place"
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_profiles_parse() {
+        assert!(parse_profile("none").unwrap().is_empty());
+        assert_eq!(parse_profile("panic").unwrap().len(), 1);
+        assert_eq!(parse_profile("stall").unwrap().len(), 1);
+        assert_eq!(parse_profile("drop").unwrap().len(), 1);
+        assert_eq!(parse_profile("poison").unwrap().len(), 64);
+        assert!(!parse_profile("seed:7").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_profiles_are_usage_errors() {
+        assert!(matches!(parse_profile("meteor"), Err(CliError::Usage(_))));
+        assert!(matches!(parse_profile("seed:x"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn describe_mentions_degradation() {
+        let mut r = EngineReport::default();
+        assert!(describe(&r).contains("recovered in place"));
+        r.degraded = true;
+        r.workers_respawned = 3;
+        let line = describe(&r);
+        assert!(line.contains("3 respawned"));
+        assert!(line.contains("sequential"));
+    }
+}

@@ -2,17 +2,25 @@
 
 use crate::args::Args;
 use crate::CliError;
-use rap_trace::{city, write_csv, TraceSchema};
+use rap_trace::{
+    city, extract_flows, read_csv_report, write_csv, ExtractParams, ParseMode, TraceSchema,
+};
 
 /// Options accepted by `rap generate`.
 pub const USAGE: &str = "\
 rap generate --city <dublin|seattle> [--seed N] [--journeys N]
              [--out-graph FILE] [--out-flows FILE]
+             [--in-trace FILE] [--lenient true]
 
 Generates a synthetic city (street network + simulated bus trace +
 recovered flows) and writes:
   --out-graph   street network in the rap-graph text format
   --out-flows   flow summary CSV (origin,destination,volume,alpha)
+  --in-trace    additionally ingest an external GPS trace CSV (in the
+                city's schema), map-match it against the generated street
+                network, and report the recovered flows
+  --lenient     quarantine malformed trace rows (reported with line
+                numbers) instead of aborting on the first one
 Prints a model summary either way.";
 
 /// Runs the command; returns the human-readable report.
@@ -83,6 +91,39 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         write_csv(&[], schema, &mut file)?;
         report.push_str(&format!("empty {schema} trace header written to {path}\n"));
     }
+    if let Some(path) = args.get("in-trace") {
+        let lenient: bool = args.get_or("lenient", "true/false", false)?;
+        let mode = if lenient {
+            ParseMode::Lenient
+        } else {
+            ParseMode::Strict
+        };
+        let schema = if model.name() == "dublin" {
+            TraceSchema::Dublin
+        } else {
+            TraceSchema::Seattle
+        };
+        let parsed = read_csv_report(std::fs::File::open(path)?, schema, mode)?;
+        report.push_str(&format!(
+            "ingested {path}: {} record(s) parsed, {} quarantined\n",
+            parsed.ok_count(),
+            parsed.quarantined_count()
+        ));
+        for q in parsed.quarantined.iter().take(5) {
+            report.push_str(&format!("  line {}: {}\n", q.line, q.reason));
+        }
+        if parsed.quarantined_count() > 5 {
+            report.push_str(&format!(
+                "  ... and {} more\n",
+                parsed.quarantined_count() - 5
+            ));
+        }
+        let specs = extract_flows(model.graph(), &parsed.records, ExtractParams::default())?;
+        report.push_str(&format!(
+            "  {} flow(s) recovered from the ingested trace\n",
+            specs.len()
+        ));
+    }
     Ok(report)
 }
 
@@ -122,6 +163,42 @@ mod tests {
         assert!(flows.starts_with("origin,destination,volume,alpha"));
         std::fs::remove_file(g).ok();
         std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn in_trace_strict_rejects_and_lenient_quarantines() {
+        let dir = std::env::temp_dir();
+        let tp = dir.join("rap_cli_in_trace.csv");
+        // Seattle schema with one good row, one truncated row, one NaN row.
+        std::fs::write(
+            &tp,
+            "bus_id,x,y,route_id,time_s\n1,100.0,200.0,7,0.0\nbogus,1,2\n2,nan,5.0,7,1.0\n1,400.0,200.0,7,30.0\n",
+        )
+        .unwrap();
+        let base = [
+            "--city",
+            "seattle",
+            "--journeys",
+            "5",
+            "--in-trace",
+            tp.to_str().unwrap(),
+        ];
+        // Strict (default) aborts on the malformed row.
+        assert!(run(&Args::parse(base).unwrap()).is_err());
+        // Lenient salvages the good rows and reports the quarantine.
+        let mut lenient: Vec<&str> = base.to_vec();
+        lenient.extend(["--lenient", "true"]);
+        let report = run(&Args::parse(lenient).unwrap()).unwrap();
+        assert!(
+            report.contains("2 record(s) parsed, 2 quarantined"),
+            "{report}"
+        );
+        assert!(report.contains("line 3:"), "{report}");
+        assert!(
+            report.contains("recovered from the ingested trace"),
+            "{report}"
+        );
+        std::fs::remove_file(tp).ok();
     }
 
     #[test]

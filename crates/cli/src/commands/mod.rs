@@ -1,5 +1,6 @@
 //! CLI command implementations.
 
+pub mod fault;
 pub mod figures;
 pub mod generate;
 pub mod place;

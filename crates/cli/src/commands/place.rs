@@ -1,13 +1,14 @@
 //! `rap place` — run a placement algorithm on a graph + flows from disk.
 
+use super::fault;
 use crate::args::Args;
 use crate::CliError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rap_core::{
-    CompositeGreedy, ExhaustiveOptimal, GreedyCoverage, GreedyWithSwaps, LazyGreedy,
+    CompositeGreedy, ExhaustiveOptimal, FaultPlan, GreedyCoverage, GreedyWithSwaps, LazyGreedy,
     LazyParallelGreedy, MarginalGreedy, MaxCardinality, MaxCustomers, MaxVehicles, ParallelGreedy,
-    PlacementAlgorithm, PlacementReport, Random, Scenario, UtilityKind,
+    Placement, PlacementAlgorithm, PlacementReport, Random, Scenario, UtilityKind,
 };
 use rap_graph::{Distance, NodeId};
 use rap_traffic::{FlowSet, FlowSpec};
@@ -17,42 +18,80 @@ pub const USAGE: &str = "\
 rap place --graph FILE --flows FILE --shop NODE --k N
           [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
           [--algorithm alg1|alg2|marginal|lazy|parallel|lazypar|swaps|maxcard|maxveh|maxcust|random|optimal|all]
+          [--fault-profile none|panic|stall|drop|poison|seed:N] [--lenient true]
 
 --graph  street network in the rap-graph text format (see `rap generate`)
 --flows  CSV with header origin,destination,volume,alpha
+--fault-profile  inject worker faults into the pooled engines (parallel,
+                 lazypar) and report how they recovered; other algorithms
+                 are unaffected
+--lenient        quarantine malformed flow rows (with a count in the
+                 report) instead of aborting on the first one
 Prints the chosen placement(s) and quality reports.";
 
-/// Parses the flow summary CSV written by `rap generate`.
-fn read_flows(path: &str) -> Result<Vec<FlowSpec>, CliError> {
+/// Parses the flow summary CSV written by `rap generate`. In lenient mode
+/// malformed rows are counted instead of aborting the read.
+fn read_flows(path: &str, lenient: bool) -> Result<(Vec<FlowSpec>, usize), CliError> {
     let text = std::fs::read_to_string(path)?;
     let mut specs = Vec::new();
+    let mut quarantined = 0usize;
     for (idx, line) in text.lines().enumerate() {
         if idx == 0 || line.trim().is_empty() {
             continue; // header
         }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 4 {
-            return Err(CliError::Usage(format!(
-                "flows file line {}: expected 4 columns",
-                idx + 1
-            )));
+        match parse_flow_row(line, idx + 1) {
+            Ok(spec) => specs.push(spec),
+            Err(_) if lenient => quarantined += 1,
+            Err(e) => return Err(e),
         }
-        let parse_err =
-            |what: &str| CliError::Usage(format!("flows file line {}: invalid {what}", idx + 1));
-        let origin: u32 = fields[0].trim().parse().map_err(|_| parse_err("origin"))?;
-        let dest: u32 = fields[1]
-            .trim()
-            .parse()
-            .map_err(|_| parse_err("destination"))?;
-        let volume: f64 = fields[2].trim().parse().map_err(|_| parse_err("volume"))?;
-        let alpha: f64 = fields[3].trim().parse().map_err(|_| parse_err("alpha"))?;
-        let spec = FlowSpec::new(NodeId::new(origin), NodeId::new(dest), volume)
-            .map_err(|e| CliError::Usage(format!("flows file line {}: {e}", idx + 1)))?
-            .with_attractiveness(alpha)
-            .map_err(|e| CliError::Usage(format!("flows file line {}: {e}", idx + 1)))?;
-        specs.push(spec);
     }
-    Ok(specs)
+    Ok((specs, quarantined))
+}
+
+/// Parses one `origin,destination,volume,alpha` row.
+fn parse_flow_row(line: &str, line_no: usize) -> Result<FlowSpec, CliError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 4 {
+        return Err(CliError::Usage(format!(
+            "flows file line {line_no}: expected 4 columns"
+        )));
+    }
+    let parse_err =
+        |what: &str| CliError::Usage(format!("flows file line {line_no}: invalid {what}"));
+    let origin: u32 = fields[0].trim().parse().map_err(|_| parse_err("origin"))?;
+    let dest: u32 = fields[1]
+        .trim()
+        .parse()
+        .map_err(|_| parse_err("destination"))?;
+    let volume: f64 = fields[2].trim().parse().map_err(|_| parse_err("volume"))?;
+    let alpha: f64 = fields[3].trim().parse().map_err(|_| parse_err("alpha"))?;
+    FlowSpec::new(NodeId::new(origin), NodeId::new(dest), volume)
+        .map_err(|e| CliError::Usage(format!("flows file line {line_no}: {e}")))?
+        .with_attractiveness(alpha)
+        .map_err(|e| CliError::Usage(format!("flows file line {line_no}: {e}")))
+}
+
+/// Runs the pooled engines under an explicit fault plan; every other
+/// algorithm ignores the plan.
+fn place_under_faults(
+    name: &str,
+    alg: &dyn PlacementAlgorithm,
+    scenario: &Scenario,
+    k: usize,
+    plan: Option<&FaultPlan>,
+    rng: &mut StdRng,
+) -> Result<(Placement, Option<String>), CliError> {
+    match (plan, name) {
+        (Some(plan), "parallel") => {
+            let (p, rep) = ParallelGreedy::default().place_with_faults(scenario, k, plan)?;
+            Ok((p, Some(fault::describe(&rep))))
+        }
+        (Some(plan), "lazypar") => {
+            let (p, rep) = LazyParallelGreedy::default().place_with_faults(scenario, k, plan)?;
+            Ok((p, Some(fault::describe(&rep))))
+        }
+        _ => Ok((alg.place(scenario, k, rng), None)),
+    }
 }
 
 fn algorithm_by_name(name: &str) -> Option<Box<dyn PlacementAlgorithm>> {
@@ -101,9 +140,14 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         }
     };
     let algorithm = args.get("algorithm").unwrap_or("alg2");
+    let lenient: bool = args.get_or("lenient", "true/false", false)?;
+    let fault_plan = match args.get("fault-profile") {
+        Some(spec) => Some(fault::parse_profile(spec)?),
+        None => None,
+    };
 
     let graph = rap_graph::io::read_text(std::fs::File::open(graph_path)?)?;
-    let specs = read_flows(flows_path)?;
+    let (specs, quarantined) = read_flows(flows_path, lenient)?;
     let flows = FlowSet::route(&graph, specs)?;
     let scenario = Scenario::single_shop(
         graph,
@@ -121,14 +165,29 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "shop at V{shop}, {} utility, D = {d} ft, k = {k}\n",
         utility
     );
+    if quarantined > 0 {
+        report.push_str(&format!(
+            "flows: {quarantined} malformed row(s) quarantined (lenient mode)\n"
+        ));
+    }
     for name in names {
         let alg = algorithm_by_name(name).ok_or_else(|| {
             CliError::Usage(format!("unknown algorithm `{name}` (try --algorithm all)"))
         })?;
         let mut rng = StdRng::seed_from_u64(seed);
-        let placement = alg.place(&scenario, k, &mut rng);
+        let (placement, pool_line) = place_under_faults(
+            name,
+            alg.as_ref(),
+            &scenario,
+            k,
+            fault_plan.as_ref(),
+            &mut rng,
+        )?;
         let quality = PlacementReport::compute(&scenario, &placement);
         report.push_str(&format!("{:<28} {placement}\n    {quality}\n", alg.name()));
+        if let Some(line) = pool_line {
+            report.push_str(&format!("    {line}\n"));
+        }
     }
     Ok(report)
 }
@@ -229,6 +288,101 @@ mod tests {
             run(&Args::parse(bad_alg).unwrap()),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn fault_profile_reports_pool_recovery() {
+        let (gp, fp) = fixture();
+        let base = [
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "4",
+            "--k",
+            "2",
+            "--d",
+            "400",
+        ];
+        let mut faulted: Vec<&str> = base.to_vec();
+        faulted.extend(["--algorithm", "parallel", "--fault-profile", "panic"]);
+        let with_faults = run(&Args::parse(faulted).unwrap()).unwrap();
+        assert!(with_faults.contains("pool:"), "{with_faults}");
+        assert!(with_faults.contains("respawned"), "{with_faults}");
+
+        // The recovered placement is the line right after the algorithm
+        // name; it must be bit-identical to the healthy run's.
+        let mut clean: Vec<&str> = base.to_vec();
+        clean.extend(["--algorithm", "parallel", "--fault-profile", "none"]);
+        let without = run(&Args::parse(clean).unwrap()).unwrap();
+        let placement_of = |report: &str| {
+            report
+                .lines()
+                .find(|l| l.contains("parallel marginal greedy"))
+                .unwrap()
+                .trim()
+                .to_string()
+        };
+        assert_eq!(placement_of(&with_faults), placement_of(&without));
+    }
+
+    #[test]
+    fn unknown_fault_profile_is_usage_error() {
+        let (gp, fp) = fixture();
+        let args = Args::parse([
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "4",
+            "--k",
+            "1",
+            "--fault-profile",
+            "meteor",
+        ])
+        .unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn lenient_mode_quarantines_bad_flow_rows() {
+        let (gp, _) = fixture();
+        let dir = std::env::temp_dir();
+        let fp = dir.join("rap_cli_lenient_flows.csv");
+        std::fs::write(
+            &fp,
+            "origin,destination,volume,alpha\n0,2,100,0.01\nbogus,row\n6,8,50,0.01\n",
+        )
+        .unwrap();
+        let base = [
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "4",
+            "--k",
+            "2",
+            "--d",
+            "400",
+        ];
+        // Strict (default) aborts on the malformed row.
+        assert!(matches!(
+            run(&Args::parse(base).unwrap()),
+            Err(CliError::Usage(_))
+        ));
+        // Lenient salvages the two good rows and reports the quarantine.
+        let mut lenient: Vec<&str> = base.to_vec();
+        lenient.extend(["--lenient", "true"]);
+        let report = run(&Args::parse(lenient).unwrap()).unwrap();
+        assert!(
+            report.contains("1 malformed row(s) quarantined"),
+            "{report}"
+        );
+        assert!(report.contains("customers/day"));
+        std::fs::remove_file(fp).ok();
     }
 
     #[test]

@@ -30,11 +30,9 @@ where
         .map(|v| (v, score(v)))
         .filter(|(_, s)| *s > 0.0)
         .collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("scores are finite")
-            .then(a.0.cmp(&b.0))
-    });
+    // total_cmp: a NaN score from a degenerate utility must not panic the
+    // baseline mid-placement; it simply sorts deterministically.
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.truncate(k);
     Placement::new(scored.into_iter().map(|(v, _)| v).collect())
 }

@@ -28,7 +28,7 @@ pub fn singleton_upper_bound(scenario: &Scenario, k: usize) -> f64 {
         .into_iter()
         .map(|v| scenario.uncovered_gain(&no_cover, v))
         .collect();
-    singles.sort_by(|a, b| b.partial_cmp(a).expect("gains are finite"));
+    singles.sort_by(|a, b| b.total_cmp(a));
     singles.into_iter().take(k).sum()
 }
 

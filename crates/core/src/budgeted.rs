@@ -146,7 +146,7 @@ impl BudgetedGreedy {
             .iter()
             .filter(|&&v| costs.cost(v) <= budget)
             .map(|&v| (v, scenario.uncovered_gain(&empty_cover, v)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("gains are finite"));
+            .max_by(|a, b| a.1.total_cmp(&b.1));
 
         match singleton {
             Some((v, value)) if value > greedy_value => Ok(Placement::new(vec![v])),

@@ -18,10 +18,22 @@
 //! only tightens CELF's upper bounds to their true values), and the heap
 //! tie-break (higher gain, then lower node id) matches the sequential
 //! argmax.
+//!
+//! The pool underneath carries the same fault-recovery envelope as
+//! [`ParallelGreedy`](crate::parallel::ParallelGreedy): worker panics are
+//! contained and respawned, stalls and dropped replies are caught by
+//! deadline-bounded receives, and an unrecoverable pool degrades to the
+//! sequential CSR scan — the CELF prefix placed so far equals the
+//! sequential prefix, so the finished placement stays bit-identical.
 
 use crate::algorithms::PlacementAlgorithm;
+use crate::error::PlacementError;
+use crate::faults::FaultPlan;
 use crate::lazy::HeapEntry;
-use crate::parallel::{default_threads, with_eval_pool};
+use crate::parallel::{
+    default_threads, sequential_resume, with_eval_pool, EngineReport, FallbackMode, PoolConfig,
+    PoolFailure,
+};
 use crate::placement::Placement;
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
@@ -39,6 +51,8 @@ pub struct LazyParallelGreedy {
     /// Larger batches amortize coordination but may refresh entries CELF
     /// would never have touched; values near `4 × threads` work well.
     pub batch: usize,
+    /// Recovery budgets, deadlines, and the degradation policy.
+    pub config: PoolConfig,
 }
 
 impl Default for LazyParallelGreedy {
@@ -49,6 +63,7 @@ impl Default for LazyParallelGreedy {
         LazyParallelGreedy {
             threads,
             batch: 4 * threads,
+            config: PoolConfig::default(),
         }
     }
 }
@@ -65,6 +80,7 @@ impl LazyParallelGreedy {
         LazyParallelGreedy {
             threads,
             batch: 4 * threads,
+            config: PoolConfig::default(),
         }
     }
 
@@ -72,58 +88,135 @@ impl LazyParallelGreedy {
     /// number of gain evaluations dispatched (the ablation metric reported
     /// in `BENCH_greedy.json`).
     pub fn place_with_stats(&self, scenario: &Scenario, k: usize) -> (Placement, u64) {
+        let (placement, report) = self.place_with_report(scenario, k);
+        (placement, report.gain_evals)
+    }
+
+    /// Like [`place`](PlacementAlgorithm::place), additionally returning the
+    /// pool's [`EngineReport`]. Infallible: with the default
+    /// [`FallbackMode::Sequential`] an unrecoverable pool degrades to the
+    /// sequential scan instead of erroring.
+    pub fn place_with_report(&self, scenario: &Scenario, k: usize) -> (Placement, EngineReport) {
+        match self.place_resilient(scenario, k, None) {
+            Ok(out) => out,
+            Err(err) => unreachable!("sequential fallback cannot fail: {err}"),
+        }
+    }
+
+    /// Runs the placement under an explicit [`FaultPlan`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::PoolFailed`] when the pool becomes unrecoverable
+    /// and [`PoolConfig::fallback`] is [`FallbackMode::Error`].
+    pub fn place_with_faults(
+        &self,
+        scenario: &Scenario,
+        k: usize,
+        faults: &FaultPlan,
+    ) -> Result<(Placement, EngineReport), PlacementError> {
+        self.place_resilient(scenario, k, Some(faults))
+    }
+
+    fn place_resilient(
+        &self,
+        scenario: &Scenario,
+        k: usize,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(Placement, EngineReport), PlacementError> {
         let candidates = scenario.candidates();
         let batch = self.batch.max(1);
         let mut placement = Placement::empty();
-        let evals = with_eval_pool(scenario, &candidates, self.threads, |pool| {
-            // Initial gains for every candidate, computed on the pool.
-            let all: Arc<[NodeId]> = candidates.clone().into();
-            let mut heap: BinaryHeap<HeapEntry> = all
-                .iter()
-                .zip(pool.batch_gains(&all))
-                .map(|(&v, gain)| HeapEntry::new(gain, v, 0))
-                .collect();
+        let (mut report, failure) = with_eval_pool(
+            scenario,
+            &candidates,
+            self.threads,
+            self.config,
+            faults,
+            |pool| {
+                let mut failure: Option<PoolFailure> = None;
+                'celf: {
+                    // Initial gains for every candidate, computed on the pool.
+                    let all: Arc<[NodeId]> = candidates.clone().into();
+                    let gains = match pool.batch_gains(&all) {
+                        Ok(g) => g,
+                        Err(e) => {
+                            failure = Some(e);
+                            break 'celf;
+                        }
+                    };
+                    let mut heap: BinaryHeap<HeapEntry> = all
+                        .iter()
+                        .zip(gains)
+                        .map(|(&v, gain)| HeapEntry::new(gain, v, 0))
+                        .collect();
 
-            while placement.len() < k {
-                let Some(top) = heap.pop() else { break };
-                if top.gain <= 0.0 {
-                    // Stale gains are upper bounds, so even the stale top
-                    // being non-positive means no candidate can help.
-                    break;
-                }
-                if top.round == placement.len() {
-                    // Fresh: by submodularity no other node can beat it.
-                    placement.push(top.node);
-                    pool.commit(top.node);
-                    continue;
-                }
-                // Stale: gather the highest entries up to the batch cap.
-                // Fresh entries popped along the way are kept aside and
-                // reinserted unchanged; stale ones are refreshed together.
-                let mut stale = vec![top.node];
-                let mut fresh = Vec::new();
-                while stale.len() < batch {
-                    match heap.peek() {
-                        Some(e) if e.gain > 0.0 => {
-                            let e = heap.pop().expect("peeked entry");
-                            if e.round == placement.len() {
-                                fresh.push(e);
-                            } else {
-                                stale.push(e.node);
+                    while placement.len() < k {
+                        let Some(top) = heap.pop() else { break };
+                        if top.gain <= 0.0 {
+                            // Stale gains are upper bounds, so even the stale
+                            // top being non-positive means no candidate can
+                            // help.
+                            break;
+                        }
+                        if top.round == placement.len() {
+                            // Fresh: by submodularity no other node can beat
+                            // it.
+                            placement.push(top.node);
+                            if let Err(e) = pool.commit(top.node) {
+                                failure = Some(e);
+                                break 'celf;
+                            }
+                            continue;
+                        }
+                        // Stale: gather the highest entries up to the batch
+                        // cap. Fresh entries popped along the way are kept
+                        // aside and reinserted unchanged; stale ones are
+                        // refreshed together.
+                        let mut stale = vec![top.node];
+                        let mut fresh = Vec::new();
+                        while stale.len() < batch {
+                            match heap.peek() {
+                                Some(e) if e.gain > 0.0 => {
+                                    let e = heap.pop().expect("peeked entry");
+                                    if e.round == placement.len() {
+                                        fresh.push(e);
+                                    } else {
+                                        stale.push(e.node);
+                                    }
+                                }
+                                _ => break,
                             }
                         }
-                        _ => break,
+                        let nodes: Arc<[NodeId]> = stale.into();
+                        let refreshed = match pool.batch_gains(&nodes) {
+                            Ok(g) => g,
+                            Err(e) => {
+                                failure = Some(e);
+                                break 'celf;
+                            }
+                        };
+                        for (&node, gain) in nodes.iter().zip(refreshed) {
+                            heap.push(HeapEntry::new(gain, node, placement.len()));
+                        }
+                        heap.extend(fresh);
                     }
                 }
-                let nodes: Arc<[NodeId]> = stale.into();
-                for (&node, gain) in nodes.iter().zip(pool.batch_gains(&nodes)) {
-                    heap.push(HeapEntry::new(gain, node, placement.len()));
+                (pool.report(), failure)
+            },
+        );
+        if let Some(fail) = failure {
+            match self.config.fallback {
+                FallbackMode::Error => return Err(fail.into_error()),
+                FallbackMode::Sequential => {
+                    // The CELF prefix placed so far equals the sequential
+                    // greedy prefix, so resuming with plain scans keeps the
+                    // placement bit-identical.
+                    sequential_resume(scenario, &candidates, &mut placement, k, &mut report);
                 }
-                heap.extend(fresh);
             }
-            pool.gain_evals()
-        });
-        (placement, evals)
+        }
+        Ok((placement, report))
     }
 }
 
@@ -133,7 +226,7 @@ impl PlacementAlgorithm for LazyParallelGreedy {
     }
 
     fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
-        self.place_with_stats(scenario, k).0
+        self.place_with_report(scenario, k).0
     }
 }
 
@@ -174,6 +267,7 @@ mod tests {
             let hybrid = LazyParallelGreedy {
                 threads: 2,
                 batch: 1,
+                config: PoolConfig::default(),
             }
             .place(&s, k, &mut rng());
             let seq = MarginalGreedy.place(&s, k, &mut rng());
@@ -228,5 +322,61 @@ mod tests {
             LazyParallelGreedy::default().name(),
             "lazy-parallel greedy (CELF + pool)"
         );
+    }
+
+    #[test]
+    fn worker_panic_during_celf_still_matches_sequential() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(300));
+        let k = 5;
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        for dispatch in 0..3u64 {
+            let plan = FaultPlan::panic_once(0, dispatch);
+            let (p, report) = LazyParallelGreedy::with_threads(2)
+                .place_with_faults(&s, k, &plan)
+                .expect("panic is recoverable");
+            assert_eq!(p, seq, "dispatch {dispatch}");
+            assert_eq!(report.workers_respawned, 1, "dispatch {dispatch}");
+            assert!(!report.degraded, "dispatch {dispatch}");
+        }
+    }
+
+    #[test]
+    fn dropped_batch_reply_recovers_via_timeout() {
+        let s = small_grid_scenario(UtilityKind::Sqrt, Distance::from_feet(250));
+        let k = 4;
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        let plan = FaultPlan::drop_reply_once(1, 0);
+        let (p, report) = LazyParallelGreedy::with_threads(3)
+            .place_with_faults(&s, k, &plan)
+            .expect("dropped reply is recoverable");
+        assert_eq!(p, seq);
+        assert!(report.receive_timeouts >= 1, "{report:?}");
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn poisoned_pool_degrades_to_sequential() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(250));
+        let k = 4;
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        let plan = FaultPlan::poison_pool(3);
+        let (p, report) = LazyParallelGreedy::with_threads(3)
+            .place_with_faults(&s, k, &plan)
+            .expect("sequential fallback absorbs a poisoned pool");
+        assert_eq!(p, seq, "degraded placement must stay bit-identical");
+        assert!(report.degraded);
+    }
+
+    #[test]
+    fn error_mode_surfaces_pool_failed() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(250));
+        let mut alg = LazyParallelGreedy::with_threads(2);
+        alg.config.fallback = FallbackMode::Error;
+        alg.config.max_respawns = 2;
+        let plan = FaultPlan::poison_pool(2);
+        let err = alg
+            .place_with_faults(&s, 3, &plan)
+            .expect_err("poisoned pool with Error fallback must fail");
+        assert!(matches!(err, PlacementError::PoolFailed { .. }), "{err}");
     }
 }

@@ -64,6 +64,7 @@ pub mod composite;
 pub mod detour;
 pub mod error;
 pub mod exhaustive;
+pub mod faults;
 pub mod fixtures;
 pub mod greedy;
 pub mod lazy;
@@ -86,15 +87,20 @@ pub use composite::{CompositeGreedy, MarginalGreedy};
 pub use detour::{DetourTable, FlowDetour};
 pub use error::PlacementError;
 pub use exhaustive::ExhaustiveOptimal;
+pub use faults::{FaultAction, FaultEvent, FaultPlan};
 pub use greedy::GreedyCoverage;
 pub use lazy::LazyGreedy;
 pub use lazy_parallel::LazyParallelGreedy;
 pub use local_search::{GreedyWithSwaps, SwapSearch};
 pub use metrics::PlacementReport;
-pub use parallel::ParallelGreedy;
+pub use parallel::{EngineReport, FallbackMode, ParallelGreedy, PoolConfig};
 pub use partial_enum::PartialEnumeration;
 pub use placement::Placement;
-pub use robustness::{failure_aware_evaluate, FailureAwareGreedy};
+pub use robustness::{
+    correlated_evaluate, failure_aware_evaluate, simulate_correlated_outages, simulate_outages,
+    CorrelatedFailureGreedy, CorrelatedFailureModel, FailureAwareGreedy, OutageSimulation,
+    RegionMap,
+};
 pub use scenario::Scenario;
 pub use scheduling::{AdCampaign, Schedule, ScheduleGreedy};
 pub use utility::{LinearUtility, SqrtUtility, ThresholdUtility, UtilityFunction, UtilityKind};

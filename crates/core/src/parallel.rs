@@ -1,4 +1,5 @@
-//! Persistent-pool parallel marginal-gain greedy for large cities.
+//! Persistent-pool parallel marginal-gain greedy for large cities, with
+//! fault containment and graceful degradation.
 //!
 //! Each greedy step scans every candidate intersection; the scans are
 //! independent, so they shard across worker threads. Unlike a
@@ -13,23 +14,51 @@
 //! [`Scenario::marginal_gain_value`] — the same expressions, against the
 //! same state, as the sequential code — and the coordinator reduces the
 //! per-shard argmax slots with the sequential tie-break (higher gain, then
-//! lower node id). Already-placed nodes need no special skip: after their
-//! commit every per-flow delta is `<= 0`, so their gain is exactly `0.0` and
-//! the `gain <= 0.0` filter drops them, just like the sequential argmax.
+//! lower node id).
 //!
-//! Worth it only when `|V| × flows-per-node` is large; the committed
-//! `BENCH_greedy.json` shows the crossover.
+//! ## Fault containment
+//!
+//! A scan pool wired with `expect("worker alive")` turns one panicking
+//! worker into an aborted `place()` call. Here every scoring command runs
+//! under `catch_unwind`; a panicking worker reports its own death
+//! ([`Reply::Dead`]) and the coordinator *respawns* the slot — same OS
+//! thread (scoped threads cannot be force-killed, and a genuinely hung
+//! thread would block teardown no matter what), fresh incarnation: the
+//! replica is rebuilt from the committed placement via a `Reset` replay and
+//! the pending command is re-sent. Stalled workers and dropped replies are
+//! caught by bounded-timeout receives; replies carry a per-round sequence
+//! number and the slot's incarnation, so late replies from a stalled
+//! incarnation are discarded instead of corrupting a later round.
+//!
+//! The degradation ladder is: **respawn** (bounded by
+//! [`PoolConfig::max_respawns`], with linear backoff) → **retry** the round
+//! against the surviving workers (bounded by
+//! [`PoolConfig::max_round_retries`]) → **sequential fallback**
+//! ([`Scenario::best_candidate_value`] over the same state — bit-identical
+//! placements, just slower). Callers that prefer an error to silent
+//! degradation set [`FallbackMode::Error`] and get
+//! [`PlacementError::PoolFailed`]. Every `place()` surfaces what happened
+//! through an [`EngineReport`].
+//!
+//! Faults are injected deterministically via [`FaultPlan`]
+//! (see [`crate::faults`]); setting `RAP_FAULT_SEED` injects a seeded plan
+//! into every pool in the process, which CI uses to run the whole test
+//! suite — including all bit-identical equivalence tests — under fault
+//! pressure.
 //!
 //! [`place`]: ParallelGreedy::place
 
 use crate::algorithms::PlacementAlgorithm;
+use crate::error::PlacementError;
+use crate::faults::{FaultAction, FaultPlan};
 use crate::placement::Placement;
 use crate::scenario::Scenario;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rap_graph::NodeId;
-use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Worker threads used by [`ParallelGreedy::default`] and
 /// [`LazyParallelGreedy::default`](crate::lazy_parallel::LazyParallelGreedy):
@@ -60,22 +89,114 @@ pub(crate) fn effective_threads(requested: usize, candidate_count: usize) -> usi
     requested.min(candidate_count).max(1)
 }
 
+/// What to do when the pool burns through its respawn/retry budgets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FallbackMode {
+    /// Finish the placement with the sequential CSR scan — bit-identical
+    /// output, reported via [`EngineReport::degraded`].
+    #[default]
+    Sequential,
+    /// Return [`PlacementError::PoolFailed`] instead of degrading.
+    Error,
+}
+
+/// Recovery budgets and deadlines for one evaluation pool.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Per-reply receive deadline. A worker that neither replies nor reports
+    /// death within this window is treated as stalled and its round is
+    /// retried. Generous by default so legitimate long scans on huge cities
+    /// never trip it; fault plans carry a much shorter
+    /// [`hint`](FaultPlan::deadline_hint).
+    pub deadline: Duration,
+    /// Total worker respawns allowed per `place()` before the pool is
+    /// declared unrecoverable.
+    pub max_respawns: u32,
+    /// Timeout-driven retries allowed per scoring round.
+    pub max_round_retries: u32,
+    /// What to do when the budgets are exhausted.
+    pub fallback: FallbackMode,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            deadline: Duration::from_secs(30),
+            max_respawns: 8,
+            max_round_retries: 3,
+            fallback: FallbackMode::Sequential,
+        }
+    }
+}
+
+/// What one `place()` call had to do to survive: the per-call health record
+/// of the evaluation pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Worker slots reincarnated after a panic.
+    pub workers_respawned: u32,
+    /// Scoring commands re-sent after a receive deadline expired.
+    pub replies_retried: u32,
+    /// Receive deadlines that expired while collecting a round.
+    pub receive_timeouts: u32,
+    /// True when the pool was abandoned and the placement was finished by
+    /// the sequential scan.
+    pub degraded: bool,
+    /// Gain evaluations dispatched (the ablation metric; counts each
+    /// scoring round once, not its retries).
+    pub gain_evals: u64,
+}
+
+/// Terminal pool condition carried from the coordinator to the driver.
+#[derive(Debug)]
+pub(crate) struct PoolFailure {
+    respawns: u32,
+    detail: String,
+}
+
+impl PoolFailure {
+    pub(crate) fn into_error(self) -> PlacementError {
+        PlacementError::PoolFailed {
+            respawns: self.respawns,
+            detail: self.detail,
+        }
+    }
+}
+
 /// Commands the coordinator feeds to pool workers.
 #[derive(Debug)]
 enum Command {
     /// Fold a placed RAP into the worker's best-value replica.
     Commit(NodeId),
+    /// Rebuild the replica from scratch (respawn path): adopt the given
+    /// incarnation, zero the replica, and replay the committed placement.
+    Reset {
+        committed: Arc<[NodeId]>,
+        incarnation: u32,
+    },
     /// Score the worker's candidate shard; reply with its argmax slot.
-    Scan,
+    Scan { seq: u64 },
     /// Score `nodes[i]` for every `i ≡ worker (mod threads)`; reply with the
     /// `(index, gain)` pairs.
-    Batch(Arc<[NodeId]>),
+    Batch { seq: u64, nodes: Arc<[NodeId]> },
 }
 
-/// Worker replies, tagged with the worker index (the per-shard slot).
+/// Worker replies, tagged with the worker slot and the round sequence
+/// number so the coordinator can discard replies from abandoned rounds.
 enum Reply {
-    Scan(usize, Option<(f64, NodeId)>),
-    Batch(Vec<(usize, f64)>),
+    Scan {
+        slot: usize,
+        seq: u64,
+        best: Option<(f64, NodeId)>,
+    },
+    Batch {
+        slot: usize,
+        seq: u64,
+        pairs: Vec<(usize, f64)>,
+    },
+    /// The incarnation `incarnation` of `slot` panicked and awaits a
+    /// `Reset`.
+    Dead { slot: usize, incarnation: u32 },
 }
 
 /// Coordinator-side handle to a spawned evaluation pool.
@@ -88,35 +209,139 @@ pub(crate) struct EvalPool<'a> {
     reply_rx: Receiver<Reply>,
     threads: usize,
     candidates: &'a [NodeId],
-    gain_evals: Cell<u64>,
+    /// Coordinator's view of each slot's live incarnation.
+    incarnations: Vec<u32>,
+    /// Round sequence number; replies for other rounds are discarded.
+    seq: u64,
+    /// RAPs committed so far, replayed into respawned workers.
+    committed: Vec<NodeId>,
+    deadline: Duration,
+    config: PoolConfig,
+    report: EngineReport,
 }
 
 impl EvalPool<'_> {
-    /// Number of gain evaluations dispatched so far (ablation metric).
-    pub(crate) fn gain_evals(&self) -> u64 {
-        self.gain_evals.get()
+    /// Snapshot of the pool's health record.
+    pub(crate) fn report(&self) -> EngineReport {
+        self.report
+    }
+
+    fn send_to(&self, slot: usize, command: Command) -> Result<(), PoolFailure> {
+        self.command_txs[slot]
+            .send(command)
+            .map_err(|_| PoolFailure {
+                respawns: self.report.workers_respawned,
+                detail: format!("worker {slot}'s command channel is closed"),
+            })
+    }
+
+    /// Handles a `Dead` report: bump the slot's incarnation (unless the
+    /// report is stale), check the respawn budget, back off linearly, and
+    /// send the `Reset` that rebuilds the replica. Returns whether the
+    /// report was fresh (i.e. the slot's pending command must be re-sent).
+    fn handle_dead(&mut self, slot: usize, incarnation: u32) -> Result<bool, PoolFailure> {
+        if incarnation != self.incarnations[slot] {
+            return Ok(false); // stale death of an already-replaced incarnation
+        }
+        self.incarnations[slot] += 1;
+        self.report.workers_respawned += 1;
+        if self.report.workers_respawned > self.config.max_respawns {
+            return Err(PoolFailure {
+                respawns: self.report.workers_respawned,
+                detail: format!(
+                    "worker {slot} died again after {} respawns",
+                    self.report.workers_respawned - 1
+                ),
+            });
+        }
+        // Linear backoff: repeated deaths of a flaky slot space out, while a
+        // one-off panic costs ~1 ms.
+        std::thread::sleep(Duration::from_millis(u64::from(
+            self.report.workers_respawned,
+        )));
+        self.send_to(
+            slot,
+            Command::Reset {
+                committed: self.committed.clone().into(),
+                incarnation: self.incarnations[slot],
+            },
+        )?;
+        Ok(true)
+    }
+
+    /// Bookkeeping for an expired receive deadline; errors out when the
+    /// round's retry budget is spent.
+    fn handle_timeout(&mut self, retries: &mut u32, pending: usize) -> Result<(), PoolFailure> {
+        self.report.receive_timeouts += 1;
+        *retries += 1;
+        if *retries > self.config.max_round_retries {
+            return Err(PoolFailure {
+                respawns: self.report.workers_respawned,
+                detail: format!(
+                    "{pending} worker(s) unresponsive after {} timed-out retries",
+                    *retries - 1
+                ),
+            });
+        }
+        self.report.replies_retried += pending as u32;
+        Ok(())
     }
 
     /// Broadcasts a placed RAP so every worker replica folds it in.
-    pub(crate) fn commit(&self, node: NodeId) {
-        for tx in &self.command_txs {
-            tx.send(Command::Commit(node)).expect("pool worker alive");
+    pub(crate) fn commit(&mut self, node: NodeId) -> Result<(), PoolFailure> {
+        self.committed.push(node);
+        for slot in 0..self.threads {
+            self.send_to(slot, Command::Commit(node))?;
         }
+        Ok(())
     }
 
     /// One full candidate scan: the argmax `(gain, node)` over all shards,
-    /// `None` when no candidate has positive gain.
-    pub(crate) fn scan(&self) -> Option<(f64, NodeId)> {
-        for tx in &self.command_txs {
-            tx.send(Command::Scan).expect("pool worker alive");
+    /// `None` when no candidate has positive gain. Survives worker panics,
+    /// stalls, and dropped replies within the configured budgets.
+    pub(crate) fn scan(&mut self) -> Result<Option<(f64, NodeId)>, PoolFailure> {
+        self.seq += 1;
+        let seq = self.seq;
+        for slot in 0..self.threads {
+            self.send_to(slot, Command::Scan { seq })?;
         }
-        self.gain_evals
-            .set(self.gain_evals.get() + self.candidates.len() as u64);
+        self.report.gain_evals += self.candidates.len() as u64;
+
         let mut slots: Vec<Option<(f64, NodeId)>> = vec![None; self.threads];
-        for _ in 0..self.threads {
-            match self.reply_rx.recv().expect("pool worker alive") {
-                Reply::Scan(shard, slot) => slots[shard] = slot,
-                Reply::Batch(_) => unreachable!("scan round received a batch reply"),
+        let mut pending: Vec<bool> = vec![true; self.threads];
+        let mut outstanding = self.threads;
+        let mut retries = 0u32;
+        while outstanding > 0 {
+            match self.reply_rx.recv_timeout(self.deadline) {
+                Ok(Reply::Scan {
+                    slot,
+                    seq: reply_seq,
+                    best,
+                }) if reply_seq == seq && pending[slot] => {
+                    slots[slot] = best;
+                    pending[slot] = false;
+                    outstanding -= 1;
+                }
+                // Duplicate for this round or leftover from an abandoned
+                // one: already accounted for, discard.
+                Ok(Reply::Scan { .. }) | Ok(Reply::Batch { .. }) => {}
+                Ok(Reply::Dead { slot, incarnation }) => {
+                    if self.handle_dead(slot, incarnation)? && pending[slot] {
+                        self.send_to(slot, Command::Scan { seq })?;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.handle_timeout(&mut retries, outstanding)?;
+                    for (slot, _) in pending.iter().enumerate().filter(|(_, p)| **p) {
+                        self.send_to(slot, Command::Scan { seq })?;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(PoolFailure {
+                        respawns: self.report.workers_respawned,
+                        detail: "every pool worker exited".into(),
+                    });
+                }
             }
         }
         // Reduce the per-shard slots exactly like the sequential argmax:
@@ -131,45 +356,101 @@ impl EvalPool<'_> {
                 best = Some((gain, node));
             }
         }
-        best
+        Ok(best)
     }
 
     /// Scores an explicit node list concurrently (strided across workers);
-    /// returns the gains aligned with `nodes`.
-    pub(crate) fn batch_gains(&self, nodes: &Arc<[NodeId]>) -> Vec<f64> {
-        for tx in &self.command_txs {
-            tx.send(Command::Batch(Arc::clone(nodes)))
-                .expect("pool worker alive");
+    /// returns the gains aligned with `nodes`. Same recovery envelope as
+    /// [`EvalPool::scan`].
+    pub(crate) fn batch_gains(&mut self, nodes: &Arc<[NodeId]>) -> Result<Vec<f64>, PoolFailure> {
+        self.seq += 1;
+        let seq = self.seq;
+        for slot in 0..self.threads {
+            self.send_to(
+                slot,
+                Command::Batch {
+                    seq,
+                    nodes: Arc::clone(nodes),
+                },
+            )?;
         }
-        self.gain_evals
-            .set(self.gain_evals.get() + nodes.len() as u64);
+        self.report.gain_evals += nodes.len() as u64;
+
         let mut gains = vec![0.0f64; nodes.len()];
-        for _ in 0..self.threads {
-            match self.reply_rx.recv().expect("pool worker alive") {
-                Reply::Batch(pairs) => {
+        let mut pending: Vec<bool> = vec![true; self.threads];
+        let mut outstanding = self.threads;
+        let mut retries = 0u32;
+        while outstanding > 0 {
+            match self.reply_rx.recv_timeout(self.deadline) {
+                Ok(Reply::Batch {
+                    slot,
+                    seq: reply_seq,
+                    pairs,
+                }) if reply_seq == seq && pending[slot] => {
                     for (i, g) in pairs {
                         gains[i] = g;
                     }
+                    pending[slot] = false;
+                    outstanding -= 1;
                 }
-                Reply::Scan(..) => unreachable!("batch round received a scan reply"),
+                Ok(Reply::Batch { .. }) | Ok(Reply::Scan { .. }) => {}
+                Ok(Reply::Dead { slot, incarnation }) => {
+                    if self.handle_dead(slot, incarnation)? && pending[slot] {
+                        self.send_to(
+                            slot,
+                            Command::Batch {
+                                seq,
+                                nodes: Arc::clone(nodes),
+                            },
+                        )?;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.handle_timeout(&mut retries, outstanding)?;
+                    for (slot, _) in pending.iter().enumerate().filter(|(_, p)| **p) {
+                        self.send_to(
+                            slot,
+                            Command::Batch {
+                                seq,
+                                nodes: Arc::clone(nodes),
+                            },
+                        )?;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(PoolFailure {
+                        respawns: self.report.workers_respawned,
+                        detail: "every pool worker exited".into(),
+                    });
+                }
             }
         }
-        gains
+        Ok(gains)
     }
 }
 
 /// Spawns a persistent evaluation pool for `scenario`, runs `f` against it,
 /// and tears the pool down. The pool lives for the whole closure — one
 /// spawn/join per `place` call, not per greedy round.
-pub(crate) fn with_eval_pool<R, F>(
-    scenario: &Scenario,
-    candidates: &[NodeId],
+///
+/// When `faults` is `None`, the process-wide `RAP_FAULT_SEED` plan (if any)
+/// is injected instead, so an env-seeded run exercises recovery in every
+/// pool in the test suite.
+pub(crate) fn with_eval_pool<'a, R, F>(
+    scenario: &'a Scenario,
+    candidates: &'a [NodeId],
     requested_threads: usize,
+    config: PoolConfig,
+    faults: Option<&'a FaultPlan>,
     f: F,
 ) -> R
 where
-    F: FnOnce(&EvalPool) -> R,
+    F: FnOnce(&mut EvalPool) -> R,
 {
+    let faults = faults.or_else(|| FaultPlan::from_env().filter(|p| !p.is_empty()));
+    let deadline = faults
+        .and_then(FaultPlan::deadline_hint)
+        .unwrap_or(config.deadline);
     let threads = effective_threads(requested_threads, candidates.len());
     let chunk = candidates.len().div_ceil(threads).max(1);
     let (reply_tx, reply_rx) = crossbeam::channel::unbounded::<Reply>();
@@ -185,67 +466,219 @@ where
     crossbeam::thread::scope(|scope| {
         for (worker, rx, shard) in worker_inputs {
             let reply_tx = reply_tx.clone();
-            scope.spawn(move |_| worker_loop(scenario, worker, threads, shard, rx, reply_tx));
+            scope.spawn(move |_| {
+                worker_loop(scenario, worker, threads, shard, rx, reply_tx, faults)
+            });
         }
-        let pool = EvalPool {
+        let mut pool = EvalPool {
             command_txs,
             reply_rx,
             threads,
             candidates,
-            gain_evals: Cell::new(0),
+            incarnations: vec![0; threads],
+            seq: 0,
+            committed: Vec::new(),
+            deadline,
+            config,
+            report: EngineReport::default(),
         };
-        let out = f(&pool);
+        let out = f(&mut pool);
         // Dropping the pool closes the command channels; workers observe the
         // disconnect and exit before the scope joins them.
         drop(pool);
         out
     })
-    .expect("evaluation pool worker panicked")
+    .expect("pool scope never propagates worker panics (workers catch_unwind)")
 }
 
-/// One worker: a private best-value replica plus a command loop.
+/// Outcome of one command inside the worker's `catch_unwind` harness.
+enum Step {
+    Continue,
+    /// The coordinator dropped the reply channel: shut down.
+    Exit,
+}
+
+/// One worker: a private best-value replica plus a supervised command loop.
+///
+/// Scoring commands run under `catch_unwind`; a panic marks the replica
+/// poisoned, reports the death, and the worker then discards everything
+/// until the coordinator's `Reset` rebuilds its state for the next
+/// incarnation. Faults from `faults` are injected at scoring-command
+/// granularity, keyed by (slot, incarnation, dispatch).
 fn worker_loop(
     scenario: &Scenario,
-    worker: usize,
+    slot: usize,
     threads: usize,
     shard: &[NodeId],
     rx: Receiver<Command>,
     tx: Sender<Reply>,
+    faults: Option<&FaultPlan>,
 ) {
     let mut best_value = vec![0.0f64; scenario.flows().len()];
+    let mut incarnation: u32 = 0;
+    let mut dispatch: u64 = 0;
+    // Set after a panic: the replica is unreliable and every command is
+    // discarded until the coordinator's Reset arrives.
+    let mut poisoned = false;
     while let Ok(command) = rx.recv() {
-        match command {
-            Command::Commit(node) => scenario.commit_best_values(&mut best_value, node),
-            Command::Scan => {
-                let mut local: Option<(f64, NodeId)> = None;
-                for &v in shard {
-                    let gain = scenario.marginal_gain_value(&best_value, v);
-                    if gain <= 0.0 {
-                        continue;
-                    }
-                    let better = match local {
-                        Some((bg, bn)) => gain > bg || (gain == bg && v < bn),
-                        None => true,
-                    };
-                    if better {
-                        local = Some((gain, v));
-                    }
-                }
-                if tx.send(Reply::Scan(worker, local)).is_err() {
-                    break; // coordinator gone; shut down
+        // Reset is the recovery path itself: handled outside catch_unwind,
+        // performs no scoring, clears the poison.
+        if let Command::Reset {
+            committed,
+            incarnation: inc,
+        } = &command
+        {
+            best_value.iter_mut().for_each(|v| *v = 0.0);
+            for &node in committed.iter() {
+                scenario.commit_best_values(&mut best_value, node);
+            }
+            incarnation = *inc;
+            dispatch = 0;
+            poisoned = false;
+            continue;
+        }
+        if poisoned {
+            continue;
+        }
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            handle_command(
+                scenario,
+                slot,
+                threads,
+                shard,
+                &command,
+                &mut best_value,
+                &mut dispatch,
+                incarnation,
+                faults,
+                &tx,
+            )
+        }));
+        match step {
+            Ok(Step::Continue) => {}
+            Ok(Step::Exit) => return,
+            Err(_) => {
+                poisoned = true;
+                if tx.send(Reply::Dead { slot, incarnation }).is_err() {
+                    return;
                 }
             }
-            Command::Batch(nodes) => {
-                let mut pairs = Vec::new();
-                let mut i = worker;
-                while i < nodes.len() {
-                    pairs.push((i, scenario.marginal_gain_value(&best_value, nodes[i])));
-                    i += threads;
+        }
+    }
+}
+
+/// Executes one non-Reset command; runs inside the catch_unwind harness.
+#[allow(clippy::too_many_arguments)]
+fn handle_command(
+    scenario: &Scenario,
+    slot: usize,
+    threads: usize,
+    shard: &[NodeId],
+    command: &Command,
+    best_value: &mut [f64],
+    dispatch: &mut u64,
+    incarnation: u32,
+    faults: Option<&FaultPlan>,
+    tx: &Sender<Reply>,
+) -> Step {
+    // Returns true when the scheduled fault says to compute but drop the
+    // reply; panics/stalls act immediately.
+    let inject = |dispatch: &mut u64| -> bool {
+        let d = *dispatch;
+        *dispatch += 1;
+        match faults.and_then(|f| f.action_for(slot, incarnation, d)) {
+            Some(FaultAction::Panic) => {
+                panic!("injected fault: worker {slot} incarnation {incarnation} dispatch {d}")
+            }
+            Some(FaultAction::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                false
+            }
+            Some(FaultAction::DropReply) => true,
+            None => false,
+        }
+    };
+    match command {
+        Command::Commit(node) => {
+            scenario.commit_best_values(best_value, *node);
+            Step::Continue
+        }
+        Command::Reset { .. } => unreachable!("Reset is handled by the supervisor loop"),
+        Command::Scan { seq } => {
+            let drop_reply = inject(dispatch);
+            let mut local: Option<(f64, NodeId)> = None;
+            for &v in shard {
+                let gain = scenario.marginal_gain_value(best_value, v);
+                if gain <= 0.0 {
+                    continue;
                 }
-                if tx.send(Reply::Batch(pairs)).is_err() {
-                    break;
+                let better = match local {
+                    Some((bg, bn)) => gain > bg || (gain == bg && v < bn),
+                    None => true,
+                };
+                if better {
+                    local = Some((gain, v));
                 }
             }
+            if drop_reply {
+                return Step::Continue;
+            }
+            match tx.send(Reply::Scan {
+                slot,
+                seq: *seq,
+                best: local,
+            }) {
+                Ok(()) => Step::Continue,
+                Err(_) => Step::Exit, // coordinator gone; shut down
+            }
+        }
+        Command::Batch { seq, nodes } => {
+            let drop_reply = inject(dispatch);
+            let mut pairs = Vec::new();
+            let mut i = slot;
+            while i < nodes.len() {
+                pairs.push((i, scenario.marginal_gain_value(best_value, nodes[i])));
+                i += threads;
+            }
+            if drop_reply {
+                return Step::Continue;
+            }
+            match tx.send(Reply::Batch {
+                slot,
+                seq: *seq,
+                pairs,
+            }) {
+                Ok(()) => Step::Continue,
+                Err(_) => Step::Exit,
+            }
+        }
+    }
+}
+
+/// Finishes a partially built placement with the sequential CSR scan —
+/// the pool's last rung on the degradation ladder. Rebuilds the per-flow
+/// best-value state from the RAPs placed so far and continues the marginal
+/// greedy to `k`, bit-identical to what a healthy pool would have chosen.
+pub(crate) fn sequential_resume(
+    scenario: &Scenario,
+    candidates: &[NodeId],
+    placement: &mut Placement,
+    k: usize,
+    report: &mut EngineReport,
+) {
+    report.degraded = true;
+    let mut best_value = vec![0.0f64; scenario.flows().len()];
+    for &rap in placement.iter() {
+        scenario.commit_best_values(&mut best_value, rap);
+    }
+    while placement.len() < k {
+        report.gain_evals += candidates.len() as u64;
+        match scenario.best_candidate_value(&best_value, candidates) {
+            Some((_gain, node)) => {
+                placement.push(node);
+                scenario.commit_best_values(&mut best_value, node);
+            }
+            None => break,
         }
     }
 }
@@ -256,6 +689,8 @@ pub struct ParallelGreedy {
     /// Worker threads for the evaluation pool. Requests are clamped to the
     /// candidate count when the pool is spawned (see `effective_threads`).
     pub threads: usize,
+    /// Recovery budgets, deadlines, and the degradation policy.
+    pub config: PoolConfig,
 }
 
 impl Default for ParallelGreedy {
@@ -264,6 +699,7 @@ impl Default for ParallelGreedy {
     fn default() -> Self {
         ParallelGreedy {
             threads: default_threads(),
+            config: PoolConfig::default(),
         }
     }
 }
@@ -276,26 +712,90 @@ impl ParallelGreedy {
     /// Panics if `threads` is zero.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads > 0, "thread count must be positive");
-        ParallelGreedy { threads }
+        ParallelGreedy {
+            threads,
+            config: PoolConfig::default(),
+        }
     }
 
     /// Like [`place`](PlacementAlgorithm::place), additionally returning the
     /// number of gain evaluations dispatched (the ablation metric reported
     /// in `BENCH_greedy.json`).
     pub fn place_with_stats(&self, scenario: &Scenario, k: usize) -> (Placement, u64) {
+        let (placement, report) = self.place_with_report(scenario, k);
+        (placement, report.gain_evals)
+    }
+
+    /// Like [`place`](PlacementAlgorithm::place), additionally returning the
+    /// pool's [`EngineReport`]. Infallible: with the default
+    /// [`FallbackMode::Sequential`] an unrecoverable pool degrades to the
+    /// sequential scan instead of erroring.
+    pub fn place_with_report(&self, scenario: &Scenario, k: usize) -> (Placement, EngineReport) {
+        match self.place_resilient(scenario, k, None) {
+            Ok(out) => out,
+            Err(err) => unreachable!("sequential fallback cannot fail: {err}"),
+        }
+    }
+
+    /// Runs the placement under an explicit [`FaultPlan`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::PoolFailed`] when the pool becomes unrecoverable
+    /// and [`PoolConfig::fallback`] is [`FallbackMode::Error`].
+    pub fn place_with_faults(
+        &self,
+        scenario: &Scenario,
+        k: usize,
+        faults: &FaultPlan,
+    ) -> Result<(Placement, EngineReport), PlacementError> {
+        self.place_resilient(scenario, k, Some(faults))
+    }
+
+    fn place_resilient(
+        &self,
+        scenario: &Scenario,
+        k: usize,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(Placement, EngineReport), PlacementError> {
         let candidates = scenario.candidates();
         let mut placement = Placement::empty();
-        let evals = with_eval_pool(scenario, &candidates, self.threads, |pool| {
-            for _ in 0..k {
-                let Some((_gain, node)) = pool.scan() else {
-                    break;
-                };
-                placement.push(node);
-                pool.commit(node);
+        let (mut report, failure) = with_eval_pool(
+            scenario,
+            &candidates,
+            self.threads,
+            self.config,
+            faults,
+            |pool| {
+                let mut failure: Option<PoolFailure> = None;
+                while placement.len() < k {
+                    match pool.scan() {
+                        Ok(Some((_gain, node))) => {
+                            placement.push(node);
+                            if let Err(e) = pool.commit(node) {
+                                failure = Some(e);
+                                break;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                (pool.report(), failure)
+            },
+        );
+        if let Some(fail) = failure {
+            match self.config.fallback {
+                FallbackMode::Error => return Err(fail.into_error()),
+                FallbackMode::Sequential => {
+                    sequential_resume(scenario, &candidates, &mut placement, k, &mut report);
+                }
             }
-            pool.gain_evals()
-        });
-        (placement, evals)
+        }
+        Ok((placement, report))
     }
 }
 
@@ -305,7 +805,7 @@ impl PlacementAlgorithm for ParallelGreedy {
     }
 
     fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
-        self.place_with_stats(scenario, k).0
+        self.place_with_report(scenario, k).0
     }
 }
 
@@ -369,8 +869,8 @@ mod tests {
         let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(200));
         let candidates = s.candidates();
         let nodes: Arc<[NodeId]> = candidates.clone().into();
-        with_eval_pool(&s, &candidates, 3, |pool| {
-            let gains = pool.batch_gains(&nodes);
+        with_eval_pool(&s, &candidates, 3, PoolConfig::default(), None, |pool| {
+            let gains = pool.batch_gains(&nodes).expect("healthy pool");
             let best_value = vec![0.0f64; s.flows().len()];
             for (&v, &g) in nodes.iter().zip(&gains) {
                 assert_eq!(g, s.marginal_gain_value(&best_value, v));
@@ -387,5 +887,165 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(ParallelGreedy::default().name(), "parallel marginal greedy");
+    }
+
+    #[test]
+    fn healthy_pool_reports_clean() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(250));
+        // An explicit empty plan keeps this test healthy even when
+        // RAP_FAULT_SEED injects faults into every env-driven pool.
+        let (p, report) = ParallelGreedy::with_threads(3)
+            .place_with_faults(&s, 4, &FaultPlan::none())
+            .expect("no faults injected");
+        assert_eq!(p.len(), 4);
+        assert_eq!(report.workers_respawned, 0);
+        assert_eq!(report.replies_retried, 0);
+        assert_eq!(report.receive_timeouts, 0);
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn worker_panic_in_round_one_still_matches_sequential() {
+        // The ISSUE regression case: a panic injected into round 1 (the
+        // second scan, dispatch 1) of a k = 5 run must be absorbed — the
+        // slot respawns, the round retries, and the placement is
+        // bit-identical to the sequential greedy.
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(300));
+        let k = 5;
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        for worker in 0..3 {
+            let plan = FaultPlan::panic_once(worker, 1);
+            let (p, report) = ParallelGreedy::with_threads(3)
+                .place_with_faults(&s, k, &plan)
+                .expect("panic is recoverable");
+            assert_eq!(p, seq, "worker {worker}");
+            assert_eq!(report.workers_respawned, 1, "worker {worker}");
+            assert!(!report.degraded, "worker {worker}");
+        }
+    }
+
+    #[test]
+    fn dropped_reply_recovers_via_timeout() {
+        let s = small_grid_scenario(UtilityKind::Sqrt, Distance::from_feet(250));
+        let k = 4;
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        let plan = FaultPlan::drop_reply_once(1, 0);
+        let (p, report) = ParallelGreedy::with_threads(3)
+            .place_with_faults(&s, k, &plan)
+            .expect("dropped reply is recoverable");
+        assert_eq!(p, seq);
+        assert!(report.receive_timeouts >= 1, "{report:?}");
+        assert!(report.replies_retried >= 1, "{report:?}");
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn stalled_worker_recovers() {
+        let s = small_grid_scenario(UtilityKind::Threshold, Distance::from_feet(300));
+        let k = 3;
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        let plan = FaultPlan::stall_once(0, 0, 200);
+        let (p, report) = ParallelGreedy::with_threads(2)
+            .place_with_faults(&s, k, &plan)
+            .expect("stall is recoverable");
+        assert_eq!(p, seq);
+        assert!(report.receive_timeouts >= 1, "{report:?}");
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn poisoned_pool_degrades_to_sequential() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(250));
+        let k = 4;
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        let plan = FaultPlan::poison_pool(3);
+        let (p, report) = ParallelGreedy::with_threads(3)
+            .place_with_faults(&s, k, &plan)
+            .expect("sequential fallback absorbs a poisoned pool");
+        assert_eq!(p, seq, "degraded placement must stay bit-identical");
+        assert!(report.degraded);
+        assert!(report.workers_respawned >= 1);
+    }
+
+    #[test]
+    fn error_mode_surfaces_pool_failed() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(250));
+        let mut alg = ParallelGreedy::with_threads(2);
+        alg.config.fallback = FallbackMode::Error;
+        alg.config.max_respawns = 2;
+        let plan = FaultPlan::poison_pool(2);
+        let err = alg
+            .place_with_faults(&s, 3, &plan)
+            .expect_err("poisoned pool with Error fallback must fail");
+        match err {
+            PlacementError::PoolFailed { respawns, .. } => assert!(respawns >= 2, "{respawns}"),
+            other => panic!("expected PoolFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sequential_resume_from_scratch_matches_greedy() {
+        let s = small_grid_scenario(UtilityKind::Sqrt, Distance::from_feet(300));
+        let candidates = s.candidates();
+        for k in 0..5 {
+            let mut placement = Placement::empty();
+            let mut report = EngineReport::default();
+            sequential_resume(&s, &candidates, &mut placement, k, &mut report);
+            assert!(report.degraded);
+            assert_eq!(placement, MarginalGreedy.place(&s, k, &mut rng()), "k={k}");
+        }
+    }
+
+    #[test]
+    fn sequential_resume_continues_partial_placements() {
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(300));
+        let candidates = s.candidates();
+        let k = 5;
+        let full = MarginalGreedy.place(&s, k, &mut rng());
+        for prefix in 1..=3usize.min(full.len()) {
+            let mut placement = Placement::new(full.iter().take(prefix).copied().collect());
+            let mut report = EngineReport::default();
+            sequential_resume(&s, &candidates, &mut placement, k, &mut report);
+            assert_eq!(placement, full, "prefix={prefix}");
+        }
+    }
+
+    #[test]
+    fn fault_matrix_keeps_bit_identical_placements() {
+        // The acceptance matrix: panic, stall, dropped reply, poisoned pool
+        // — every profile must leave the placement bit-identical to the
+        // sequential greedy and record its recovery in the report.
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(350));
+        let k = 5;
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        let profiles: Vec<(&str, FaultPlan)> = vec![
+            ("panic", FaultPlan::panic_once(0, 0)),
+            ("stall", FaultPlan::stall_once(1, 1, 150)),
+            ("drop", FaultPlan::drop_reply_once(0, 2)),
+            ("poison", FaultPlan::poison_pool(3)),
+        ];
+        for (name, plan) in profiles {
+            let (p, report) = ParallelGreedy::with_threads(3)
+                .place_with_faults(&s, k, &plan)
+                .expect("all profiles recoverable under Sequential fallback");
+            assert_eq!(p, seq, "profile {name}");
+            let acted =
+                report.workers_respawned > 0 || report.receive_timeouts > 0 || report.degraded;
+            assert!(acted, "profile {name} recorded no recovery: {report:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_plans_recover_across_seeds() {
+        let s = small_grid_scenario(UtilityKind::Threshold, Distance::from_feet(300));
+        let k = 4;
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        for seed in 0..6u64 {
+            let plan = FaultPlan::from_seed(seed, 3);
+            let (p, _report) = ParallelGreedy::with_threads(3)
+                .place_with_faults(&s, k, &plan)
+                .expect("seeded plans recoverable");
+            assert_eq!(p, seq, "seed {seed}");
+        }
     }
 }

@@ -21,14 +21,45 @@
 //! heavy flow becomes worthwhile once RAPs can die, which the nominal
 //! objective would never choose (redundant ads add nothing when everything
 //! works).
+//!
+//! Three extensions validate and generalize the closed form:
+//!
+//! * [`FailureAwareGreedy`] scores candidates **incrementally**: each flow
+//!   keeps its sorted detours as the terms `p^j · f(d_j) · volume` plus
+//!   their suffix sums, so inserting a new value `v` at sorted position
+//!   `pos` has marginal gain `(1 − p)·(p^pos · v − (1 − p)·S(pos))` with
+//!   `S(pos) = Σ_{j ≥ pos} p^j · f(d_j) · volume` — an O(log m) lookup
+//!   instead of the old clone-and-rescore of the whole flow list per
+//!   candidate per round.
+//! * [`simulate_outages`] is a seeded Monte Carlo outage simulator that
+//!   samples survivor subsets directly; its mean must agree with the closed
+//!   form within sampling error, which the tests (and a property test)
+//!   assert at 3σ.
+//! * [`correlated_evaluate`] drops the independence assumption: nodes
+//!   belong to [`RegionMap`] regions that black out *together* (power
+//!   feeder, backhaul segment) with probability `q`, and RAPs in surviving
+//!   regions fail independently with probability `p`. The closed form for
+//!   one flow sums, over entries sorted by detour, the probability that the
+//!   entry is the best survivor:
+//!
+//!   ```text
+//!   (1 − q) · (1 − p) · p^{m_r} · Π_{s ≠ r} (q + (1 − q) · p^{m_s})
+//!   ```
+//!
+//!   where `m_s` counts strictly-better entries in region `s`. At `q = 0`
+//!   this collapses to the independent formula. Under correlated outages,
+//!   redundancy is only worth buying *across* regions — a second RAP on the
+//!   same feeder dies with the first — and [`CorrelatedFailureGreedy`]
+//!   places accordingly.
 
 use crate::algorithms::{argmax_node, PlacementAlgorithm};
 use crate::placement::Placement;
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
-use rap_graph::Distance;
+use rand::{Rng, SeedableRng};
+use rap_graph::{Distance, NodeId};
 
-/// Validates a failure probability.
+/// Validates a probability parameter.
 fn check_probability(p: f64) {
     assert!(
         p.is_finite() && (0.0..1.0).contains(&p),
@@ -69,11 +100,75 @@ pub fn failure_aware_evaluate(scenario: &Scenario, placement: &Placement, failur
     total
 }
 
+/// Summary statistics of a Monte Carlo outage simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OutageSimulation {
+    /// Sample mean of the objective over the simulated outage draws.
+    pub mean: f64,
+    /// Standard error of the mean (`s / √n`); the closed-form value should
+    /// lie within a few multiples of this around [`mean`](Self::mean).
+    pub std_error: f64,
+    /// Number of outage draws simulated.
+    pub trials: u64,
+}
+
+fn summarize(sum: f64, sum_sq: f64, trials: u64) -> OutageSimulation {
+    let n = trials as f64;
+    let mean = sum / n;
+    // Unbiased sample variance, clamped: cancellation can drive it
+    // fractionally negative when every draw is identical.
+    let variance = ((sum_sq - n * mean * mean) / (n - 1.0)).max(0.0);
+    OutageSimulation {
+        mean,
+        std_error: (variance / n).sqrt(),
+        trials,
+    }
+}
+
+/// Seeded Monte Carlo validation of [`failure_aware_evaluate`]: samples
+/// `trials` independent outage draws (each placed RAP down with probability
+/// `failure_p`) and evaluates the objective over the survivors via
+/// [`Scenario::evaluate_alive`].
+///
+/// Deterministic for a fixed `(placement, failure_p, trials, seed)`.
+///
+/// # Panics
+///
+/// Panics if `failure_p` is outside `[0, 1)` or `trials < 2` (the standard
+/// error needs at least two samples).
+pub fn simulate_outages(
+    scenario: &Scenario,
+    placement: &Placement,
+    failure_p: f64,
+    trials: u64,
+    seed: u64,
+) -> OutageSimulation {
+    check_probability(failure_p);
+    assert!(trials >= 2, "need at least 2 trials, got {trials}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alive = vec![true; placement.len()];
+    let (mut sum, mut sum_sq) = (0.0, 0.0);
+    for _ in 0..trials {
+        for up in alive.iter_mut() {
+            *up = !rng.random_bool(failure_p);
+        }
+        let value = scenario.evaluate_alive(placement, &alive);
+        sum += value;
+        sum_sq += value * value;
+    }
+    summarize(sum, sum_sq, trials)
+}
+
 /// Greedy placement maximizing the failure-aware objective.
 ///
 /// The objective is monotone submodular in the placed set (adding a RAP can
 /// only help, and helps less the more RAPs already serve each flow), so the
 /// marginal-gain greedy keeps its usual guarantee.
+///
+/// Candidate scoring is incremental: per flow the placement's sorted
+/// detours are kept as the weighted terms `p^j · f(d_j) · volume` together
+/// with their suffix sums, so each candidate entry costs a binary search
+/// plus O(1) arithmetic instead of re-scoring the whole flow list.
 #[derive(Clone, Copy, Debug)]
 pub struct FailureAwareGreedy {
     /// Independent per-RAP offline probability.
@@ -92,6 +187,53 @@ impl FailureAwareGreedy {
     }
 }
 
+/// Per-flow incremental state for [`FailureAwareGreedy`]: sorted detours,
+/// the weighted terms `p^j · f(d_j) · volume`, and their suffix sums
+/// (`suffix[j] = Σ_{i ≥ j} weighted[i]`, with a trailing 0).
+#[derive(Clone, Debug, Default)]
+struct FlowSurvivors {
+    detours: Vec<Distance>,
+    weighted: Vec<f64>,
+    suffix: Vec<f64>,
+}
+
+impl FlowSurvivors {
+    /// Marginal gain of inserting a RAP with detour value `value` (i.e.
+    /// `f(d) · volume`) at sorted position `pos`:
+    /// `(1 − p)·(p^pos · value − (1 − p)·suffix[pos])` — the new survivor
+    /// term minus the demotion of every worse-ranked term by one power of
+    /// `p`.
+    fn insertion_gain(&self, p: f64, pos: usize, value: f64) -> f64 {
+        let suffix = if self.suffix.is_empty() {
+            0.0
+        } else {
+            self.suffix[pos]
+        };
+        (1.0 - p) * (p.powi(pos as i32) * value - (1.0 - p) * suffix)
+    }
+
+    /// Position a detour would be inserted at (after any equal detours,
+    /// matching the stable order of the naive reference).
+    fn insertion_pos(&self, detour: Distance) -> usize {
+        self.detours.partition_point(|&d| d <= detour)
+    }
+
+    /// Commits a new entry and rebuilds the weighted terms and suffix sums.
+    fn insert(&mut self, p: f64, detour: Distance, value: f64) {
+        let pos = self.insertion_pos(detour);
+        self.detours.insert(pos, detour);
+        self.weighted.insert(pos, p.powi(pos as i32) * value);
+        // Entries shifted one rank down pick up one more factor of p.
+        for w in self.weighted.iter_mut().skip(pos + 1) {
+            *w *= p;
+        }
+        self.suffix = vec![0.0; self.weighted.len() + 1];
+        for j in (0..self.weighted.len()).rev() {
+            self.suffix[j] = self.suffix[j + 1] + self.weighted[j];
+        }
+    }
+}
+
 impl PlacementAlgorithm for FailureAwareGreedy {
     fn name(&self) -> &str {
         "failure-aware greedy"
@@ -100,44 +242,306 @@ impl PlacementAlgorithm for FailureAwareGreedy {
     fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
         let candidates = scenario.candidates();
         let p = self.failure_p;
-        // Sorted per-flow detour lists of the current placement.
-        let mut per_flow: Vec<Vec<Distance>> = vec![Vec::new(); scenario.flows().len()];
+        let mut per_flow: Vec<FlowSurvivors> =
+            vec![FlowSurvivors::default(); scenario.flows().len()];
         let mut placement = Placement::empty();
-
-        // Expected value contributed by one flow given its sorted detours.
-        let flow_value = |scenario: &Scenario, flow_idx: usize, detours: &[Distance]| -> f64 {
-            let flow = scenario
-                .flows()
-                .flow(rap_traffic::FlowId::new(flow_idx as u32));
-            let mut value = 0.0;
-            let mut fail_all = 1.0;
-            for &d in detours {
-                value += (1.0 - p) * fail_all * scenario.expected_customers(flow, d);
-                fail_all *= p;
-            }
-            value
-        };
 
         for _ in 0..k {
             let chosen = argmax_node(&candidates, &placement, 0.0, |v| {
                 let mut gain = 0.0;
                 for e in scenario.entries_at(v) {
-                    let old = &per_flow[e.flow.index()];
-                    let before = flow_value(scenario, e.flow.index(), old);
-                    let mut with: Vec<Distance> = old.clone();
-                    let pos = with.partition_point(|&d| d <= e.detour);
-                    with.insert(pos, e.detour);
-                    let after = flow_value(scenario, e.flow.index(), &with);
-                    gain += after - before;
+                    let state = &per_flow[e.flow.index()];
+                    let flow = scenario.flows().flow(e.flow);
+                    let value = scenario.expected_customers(flow, e.detour);
+                    gain += state.insertion_gain(p, state.insertion_pos(e.detour), value);
                 }
                 gain
             });
             let Some((node, _)) = chosen else { break };
             placement.push(node);
             for e in scenario.entries_at(node) {
+                let flow = scenario.flows().flow(e.flow);
+                let value = scenario.expected_customers(flow, e.detour);
+                per_flow[e.flow.index()].insert(p, e.detour, value);
+            }
+        }
+        placement
+    }
+}
+
+/// Assignment of every graph node to an outage region (power feeder,
+/// backhaul segment, …). Regions are the correlation unit of
+/// [`correlated_evaluate`]: a blacked-out region takes all its RAPs down
+/// together.
+#[derive(Clone, Debug)]
+pub struct RegionMap {
+    assignment: Vec<usize>,
+    regions: usize,
+}
+
+impl RegionMap {
+    /// Builds a map from explicit per-node region ids (indexed by
+    /// [`NodeId::index`]). The region count is `max(id) + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is empty.
+    pub fn from_assignments(assignment: Vec<usize>) -> Self {
+        assert!(!assignment.is_empty(), "region map needs at least one node");
+        let regions = assignment.iter().copied().max().unwrap_or(0) + 1;
+        RegionMap {
+            assignment,
+            regions,
+        }
+    }
+
+    /// Every node in one region: correlated evaluation degenerates to
+    /// "either the whole deployment is up, or it is down".
+    pub fn single(node_count: usize) -> Self {
+        RegionMap::from_assignments(vec![0; node_count.max(1)])
+    }
+
+    /// Round-robin striping of nodes over `regions` regions — a convenient
+    /// synthetic layout for experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is zero.
+    pub fn striped(node_count: usize, regions: usize) -> Self {
+        assert!(regions > 0, "need at least one region");
+        RegionMap::from_assignments((0..node_count.max(1)).map(|v| v % regions).collect())
+    }
+
+    /// Region of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside the map.
+    pub fn region_of(&self, node: NodeId) -> usize {
+        self.assignment[node.index()]
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions
+    }
+
+    /// Number of mapped nodes.
+    pub fn node_count(&self) -> usize {
+        self.assignment.len()
+    }
+}
+
+/// Two-level outage model: each region blacks out independently with
+/// probability `region_blackout_p`; RAPs in surviving regions fail
+/// independently with probability `rap_failure_p`.
+///
+/// `region_blackout_p = 0` recovers the independent model exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorrelatedFailureModel {
+    /// Probability that a whole region is down.
+    pub region_blackout_p: f64,
+    /// Conditional per-RAP failure probability given the region is up.
+    pub rap_failure_p: f64,
+}
+
+impl CorrelatedFailureModel {
+    /// Creates the model, validating both probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1)`.
+    pub fn new(region_blackout_p: f64, rap_failure_p: f64) -> Self {
+        check_probability(region_blackout_p);
+        check_probability(rap_failure_p);
+        CorrelatedFailureModel {
+            region_blackout_p,
+            rap_failure_p,
+        }
+    }
+}
+
+/// Expected value of one flow given its `(detour, region)` entries sorted
+/// by detour: each entry contributes `f(d)·volume` times the probability it
+/// is the best survivor —
+/// `(1−q)·(1−p)·p^{m_r} · Π_{s≠r}(q + (1−q)·p^{m_s})` with `m_s` counting
+/// strictly-better entries in region `s`.
+fn correlated_flow_value(
+    scenario: &Scenario,
+    flow: &rap_traffic::TrafficFlow,
+    sorted: &[(Distance, usize)],
+    q: f64,
+    p: f64,
+) -> f64 {
+    // (region, better-entry count); flows see a handful of regions, so a
+    // linear scan beats a map.
+    let mut counts: Vec<(usize, usize)> = Vec::new();
+    let mut total = 0.0;
+    for &(d, r) in sorted {
+        let mut own = 0usize;
+        let mut others_all_dead = 1.0;
+        for &(s, c) in &counts {
+            if s == r {
+                own = c;
+            } else {
+                others_all_dead *= q + (1.0 - q) * p.powi(c as i32);
+            }
+        }
+        total += (1.0 - q)
+            * (1.0 - p)
+            * p.powi(own as i32)
+            * others_all_dead
+            * scenario.expected_customers(flow, d);
+        match counts.iter_mut().find(|(s, _)| *s == r) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((r, 1)),
+        }
+    }
+    total
+}
+
+/// Expected customers under the two-level correlated outage model.
+///
+/// Reduces exactly to [`failure_aware_evaluate`] when
+/// `model.region_blackout_p` is zero.
+///
+/// # Panics
+///
+/// Panics if either model probability is outside `[0, 1)`, or if a placed
+/// RAP lies outside `regions`.
+pub fn correlated_evaluate(
+    scenario: &Scenario,
+    placement: &Placement,
+    model: &CorrelatedFailureModel,
+    regions: &RegionMap,
+) -> f64 {
+    check_probability(model.region_blackout_p);
+    check_probability(model.rap_failure_p);
+    let mut per_flow: Vec<Vec<(Distance, usize)>> = vec![Vec::new(); scenario.flows().len()];
+    for &rap in placement {
+        let r = regions.region_of(rap);
+        for e in scenario.entries_at(rap) {
+            per_flow[e.flow.index()].push((e.detour, r));
+        }
+    }
+    let mut total = 0.0;
+    for (i, list) in per_flow.iter_mut().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        // Ties in detour carry identical f(d)·volume, so their internal
+        // order cannot change the flow value (the tied group's total is the
+        // probability the first survivor falls in the group).
+        list.sort_unstable_by_key(|&(d, _)| d);
+        let flow = scenario.flows().flow(rap_traffic::FlowId::new(i as u32));
+        total += correlated_flow_value(
+            scenario,
+            flow,
+            list,
+            model.region_blackout_p,
+            model.rap_failure_p,
+        );
+    }
+    total
+}
+
+/// Seeded Monte Carlo validation of [`correlated_evaluate`]: each trial
+/// first draws region blackouts, then per-RAP survival conditioned on the
+/// region being up.
+///
+/// # Panics
+///
+/// Panics if either model probability is outside `[0, 1)` or `trials < 2`.
+pub fn simulate_correlated_outages(
+    scenario: &Scenario,
+    placement: &Placement,
+    model: &CorrelatedFailureModel,
+    regions: &RegionMap,
+    trials: u64,
+    seed: u64,
+) -> OutageSimulation {
+    check_probability(model.region_blackout_p);
+    check_probability(model.rap_failure_p);
+    assert!(trials >= 2, "need at least 2 trials, got {trials}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Regions actually touched by the placement, in a fixed draw order.
+    let mut touched: Vec<usize> = placement
+        .iter()
+        .map(|&rap| regions.region_of(rap))
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    let mut blackout = vec![false; regions.region_count()];
+    let mut alive = vec![true; placement.len()];
+    let (mut sum, mut sum_sq) = (0.0, 0.0);
+    for _ in 0..trials {
+        for &r in &touched {
+            blackout[r] = rng.random_bool(model.region_blackout_p);
+        }
+        for (up, &rap) in alive.iter_mut().zip(placement.iter()) {
+            // Draw the per-RAP coin unconditionally to keep the rng stream
+            // aligned across trials regardless of blackout outcomes.
+            let failed = rng.random_bool(model.rap_failure_p);
+            *up = !blackout[regions.region_of(rap)] && !failed;
+        }
+        let value = scenario.evaluate_alive(placement, &alive);
+        sum += value;
+        sum_sq += value * value;
+    }
+    summarize(sum, sum_sq, trials)
+}
+
+/// Greedy placement maximizing the correlated-outage objective: buys
+/// redundancy *across* regions, since same-region redundancy dies with its
+/// feeder.
+#[derive(Clone, Debug)]
+pub struct CorrelatedFailureGreedy {
+    /// The outage model.
+    pub model: CorrelatedFailureModel,
+    /// Region assignment of every graph node.
+    pub regions: RegionMap,
+}
+
+impl CorrelatedFailureGreedy {
+    /// Creates the greedy for a model and region layout.
+    pub fn new(model: CorrelatedFailureModel, regions: RegionMap) -> Self {
+        CorrelatedFailureGreedy { model, regions }
+    }
+}
+
+impl PlacementAlgorithm for CorrelatedFailureGreedy {
+    fn name(&self) -> &str {
+        "correlated-failure greedy"
+    }
+
+    fn place(&self, scenario: &Scenario, k: usize, _rng: &mut StdRng) -> Placement {
+        let candidates = scenario.candidates();
+        let q = self.model.region_blackout_p;
+        let p = self.model.rap_failure_p;
+        let mut per_flow: Vec<Vec<(Distance, usize)>> = vec![Vec::new(); scenario.flows().len()];
+        let mut placement = Placement::empty();
+        for _ in 0..k {
+            let chosen = argmax_node(&candidates, &placement, 0.0, |v| {
+                let r = self.regions.region_of(v);
+                let mut gain = 0.0;
+                for e in scenario.entries_at(v) {
+                    let flow = scenario.flows().flow(e.flow);
+                    let old = &per_flow[e.flow.index()];
+                    let before = correlated_flow_value(scenario, flow, old, q, p);
+                    let mut with = old.clone();
+                    let pos = with.partition_point(|&(d, _)| d <= e.detour);
+                    with.insert(pos, (e.detour, r));
+                    gain += correlated_flow_value(scenario, flow, &with, q, p) - before;
+                }
+                gain
+            });
+            let Some((node, _)) = chosen else { break };
+            placement.push(node);
+            let r = self.regions.region_of(node);
+            for e in scenario.entries_at(node) {
                 let list = &mut per_flow[e.flow.index()];
-                let pos = list.partition_point(|&d| d <= e.detour);
-                list.insert(pos, e.detour);
+                let pos = list.partition_point(|&(d, _)| d <= e.detour);
+                list.insert(pos, (e.detour, r));
             }
         }
         placement
@@ -228,6 +632,107 @@ mod tests {
         }
     }
 
+    /// Reference implementation of the failure-aware greedy: clones each
+    /// flow's sorted detour list per candidate and re-scores it in full.
+    /// Kept only to pin the incremental scorer's behaviour.
+    fn naive_failure_aware_place(scenario: &Scenario, k: usize, p: f64) -> Placement {
+        let candidates = scenario.candidates();
+        let mut per_flow: Vec<Vec<Distance>> = vec![Vec::new(); scenario.flows().len()];
+        let mut placement = Placement::empty();
+        let flow_value = |flow_idx: usize, detours: &[Distance]| -> f64 {
+            let flow = scenario
+                .flows()
+                .flow(rap_traffic::FlowId::new(flow_idx as u32));
+            let mut value = 0.0;
+            let mut fail_all = 1.0;
+            for &d in detours {
+                value += (1.0 - p) * fail_all * scenario.expected_customers(flow, d);
+                fail_all *= p;
+            }
+            value
+        };
+        for _ in 0..k {
+            let chosen = argmax_node(&candidates, &placement, 0.0, |v| {
+                let mut gain = 0.0;
+                for e in scenario.entries_at(v) {
+                    let old = &per_flow[e.flow.index()];
+                    let before = flow_value(e.flow.index(), old);
+                    let mut with: Vec<Distance> = old.clone();
+                    let pos = with.partition_point(|&d| d <= e.detour);
+                    with.insert(pos, e.detour);
+                    gain += flow_value(e.flow.index(), &with) - before;
+                }
+                gain
+            });
+            let Some((node, _)) = chosen else { break };
+            placement.push(node);
+            for e in scenario.entries_at(node) {
+                let list = &mut per_flow[e.flow.index()];
+                let pos = list.partition_point(|&d| d <= e.detour);
+                list.insert(pos, e.detour);
+            }
+        }
+        placement
+    }
+
+    #[test]
+    fn incremental_greedy_matches_naive_reference() {
+        // The suffix-weight scorer must choose the same placements as the
+        // clone-and-rescore reference it replaced.
+        for kind in UtilityKind::ALL {
+            for scenario in [
+                fig4_scenario(kind),
+                small_grid_scenario(kind, rap_graph::Distance::from_feet(300)),
+            ] {
+                for fp in [0.1, 0.3, 0.6] {
+                    for k in 0..6 {
+                        assert_eq!(
+                            FailureAwareGreedy::new(fp).place(&scenario, k, &mut rng()),
+                            naive_failure_aware_place(&scenario, k, fp),
+                            "kind={kind} p={fp} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_gain_matches_objective_difference() {
+        let s = small_grid_scenario(UtilityKind::Sqrt, rap_graph::Distance::from_feet(300));
+        let fp = 0.35;
+        let placement = FailureAwareGreedy::new(fp).place(&s, 3, &mut rng());
+        let base = failure_aware_evaluate(&s, &placement, fp);
+        // Recompute each candidate's gain from scratch and compare with the
+        // incremental formula via actual objective differences.
+        let mut per_flow: Vec<FlowSurvivors> = vec![FlowSurvivors::default(); s.flows().len()];
+        for &rap in &placement {
+            for e in s.entries_at(rap) {
+                let flow = s.flows().flow(e.flow);
+                per_flow[e.flow.index()].insert(fp, e.detour, s.expected_customers(flow, e.detour));
+            }
+        }
+        for &v in s.candidates().iter().take(10) {
+            if placement.contains(v) {
+                continue;
+            }
+            let mut incremental = 0.0;
+            for e in s.entries_at(v) {
+                let state = &per_flow[e.flow.index()];
+                let flow = s.flows().flow(e.flow);
+                let value = s.expected_customers(flow, e.detour);
+                incremental += state.insertion_gain(fp, state.insertion_pos(e.detour), value);
+            }
+            let mut extended = placement.clone();
+            extended.push(v);
+            let diff = failure_aware_evaluate(&s, &extended, fp) - base;
+            assert!(
+                (incremental - diff).abs() < 1e-9,
+                "candidate {v}: incremental {incremental} vs diff {diff}"
+            );
+        }
+    }
+
     #[test]
     fn failure_aware_greedy_beats_nominal_greedy_on_its_objective() {
         let s = small_grid_scenario(UtilityKind::Threshold, rap_graph::Distance::from_feet(300));
@@ -267,5 +772,156 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(FailureAwareGreedy::new(0.2).name(), "failure-aware greedy");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        let s = small_grid_scenario(UtilityKind::Linear, rap_graph::Distance::from_feet(300));
+        let placement = MarginalGreedy.place(&s, 4, &mut rng());
+        for fp in [0.1, 0.3, 0.6] {
+            let exact = failure_aware_evaluate(&s, &placement, fp);
+            let sim = simulate_outages(&s, &placement, fp, 20_000, 42);
+            let sigma = sim.std_error.max(1e-12);
+            assert!(
+                (sim.mean - exact).abs() <= 3.0 * sigma,
+                "p={fp}: MC mean {} vs exact {exact} (3σ = {})",
+                sim.mean,
+                3.0 * sigma
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_seeded_and_deterministic() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let placement = Placement::new(vec![NodeId::new(3), NodeId::new(5)]);
+        let a = simulate_outages(&s, &placement, 0.3, 500, 7);
+        let b = simulate_outages(&s, &placement, 0.3, 500, 7);
+        assert_eq!(a, b);
+        let c = simulate_outages(&s, &placement, 0.3, 500, 8);
+        assert_ne!(a.mean, c.mean, "different seeds should differ");
+    }
+
+    #[test]
+    fn monte_carlo_zero_failure_is_exact() {
+        let s = fig4_scenario(UtilityKind::Linear);
+        let placement = Placement::new(vec![NodeId::new(3), NodeId::new(5)]);
+        let sim = simulate_outages(&s, &placement, 0.0, 10, 1);
+        assert!((sim.mean - s.evaluate(&placement)).abs() < 1e-9);
+        assert!(sim.std_error < 1e-12, "no variance without failures");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 trials")]
+    fn single_trial_panics() {
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let _ = simulate_outages(&s, &Placement::empty(), 0.2, 1, 0);
+    }
+
+    #[test]
+    fn correlated_reduces_to_independent_at_zero_blackout() {
+        let s = small_grid_scenario(UtilityKind::Linear, rap_graph::Distance::from_feet(300));
+        let placement = MarginalGreedy.place(&s, 4, &mut rng());
+        let regions = RegionMap::striped(s.graph().node_count(), 3);
+        for fp in [0.0, 0.2, 0.5, 0.8] {
+            let model = CorrelatedFailureModel::new(0.0, fp);
+            let corr = correlated_evaluate(&s, &placement, &model, &regions);
+            let indep = failure_aware_evaluate(&s, &placement, fp);
+            assert!(
+                (corr - indep).abs() < 1e-9,
+                "p={fp}: correlated {corr} vs independent {indep}"
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_hand_check_single_region() {
+        // Whole deployment in one region: value = (1−q) · independent value,
+        // since the blackout gate applies to every survivor path at once.
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let placement = Placement::new(vec![NodeId::new(3), NodeId::new(5)]);
+        let regions = RegionMap::single(s.graph().node_count());
+        let (q, p) = (0.25, 0.4);
+        let model = CorrelatedFailureModel::new(q, p);
+        let corr = correlated_evaluate(&s, &placement, &model, &regions);
+        let expected = (1.0 - q) * failure_aware_evaluate(&s, &placement, p);
+        assert!((corr - expected).abs() < 1e-9, "{corr} vs {expected}");
+    }
+
+    #[test]
+    fn cross_region_redundancy_beats_same_region_under_blackouts() {
+        // V3 and V5 both cover T_3,5 in fig4. If they share a power feeder,
+        // a blackout kills the pair together; across feeders the flow
+        // survives one regional outage.
+        let s = fig4_scenario(UtilityKind::Threshold);
+        let placement = Placement::new(vec![NodeId::new(3), NodeId::new(5)]);
+        let n = s.graph().node_count();
+        let same = vec![0usize; n];
+        let mut split = vec![0usize; n];
+        split[NodeId::new(5).index()] = 1;
+        let model = CorrelatedFailureModel::new(0.5, 0.1);
+        let v_same =
+            correlated_evaluate(&s, &placement, &model, &RegionMap::from_assignments(same));
+        let v_split =
+            correlated_evaluate(&s, &placement, &model, &RegionMap::from_assignments(split));
+        assert!(
+            v_split > v_same + 1e-9,
+            "cross-region {v_split} should beat same-region {v_same}"
+        );
+    }
+
+    #[test]
+    fn correlated_greedy_wins_on_its_own_objective() {
+        let s = small_grid_scenario(UtilityKind::Threshold, rap_graph::Distance::from_feet(300));
+        let regions = RegionMap::striped(s.graph().node_count(), 2);
+        let model = CorrelatedFailureModel::new(0.4, 0.2);
+        for k in 2..5 {
+            let aware =
+                CorrelatedFailureGreedy::new(model, regions.clone()).place(&s, k, &mut rng());
+            let nominal = MarginalGreedy.place(&s, k, &mut rng());
+            let v_aware = correlated_evaluate(&s, &aware, &model, &regions);
+            let v_nominal = correlated_evaluate(&s, &nominal, &model, &regions);
+            assert!(
+                v_aware + 1e-9 >= v_nominal,
+                "k={k}: aware {v_aware} < nominal {v_nominal}"
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_monte_carlo_agrees_with_closed_form() {
+        let s = small_grid_scenario(UtilityKind::Linear, rap_graph::Distance::from_feet(300));
+        let placement = MarginalGreedy.place(&s, 4, &mut rng());
+        let regions = RegionMap::striped(s.graph().node_count(), 3);
+        let model = CorrelatedFailureModel::new(0.3, 0.25);
+        let exact = correlated_evaluate(&s, &placement, &model, &regions);
+        let sim = simulate_correlated_outages(&s, &placement, &model, &regions, 20_000, 99);
+        let sigma = sim.std_error.max(1e-12);
+        assert!(
+            (sim.mean - exact).abs() <= 3.0 * sigma,
+            "MC mean {} vs exact {exact} (3σ = {})",
+            sim.mean,
+            3.0 * sigma
+        );
+    }
+
+    #[test]
+    fn correlated_greedy_name_is_stable() {
+        let alg = CorrelatedFailureGreedy::new(
+            CorrelatedFailureModel::new(0.1, 0.1),
+            RegionMap::single(4),
+        );
+        assert_eq!(alg.name(), "correlated-failure greedy");
+    }
+
+    #[test]
+    fn region_map_accessors() {
+        let map = RegionMap::striped(10, 3);
+        assert_eq!(map.node_count(), 10);
+        assert_eq!(map.region_count(), 3);
+        assert_eq!(map.region_of(NodeId::new(0)), 0);
+        assert_eq!(map.region_of(NodeId::new(4)), 1);
+        let single = RegionMap::single(5);
+        assert_eq!(single.region_count(), 1);
     }
 }

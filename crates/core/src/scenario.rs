@@ -251,6 +251,57 @@ impl Scenario {
         gain
     }
 
+    /// Sequential argmax over `candidates` against a best-value state array:
+    /// the highest positive [`Scenario::marginal_gain_value`], ties toward
+    /// the lower node id, `None` when no candidate has positive gain.
+    ///
+    /// This is the same expression and the same tie-break as one pool-worker
+    /// scan reduced over shards, so the parallel engines' sequential
+    /// degradation path produces bit-identical placements.
+    pub fn best_candidate_value(
+        &self,
+        best_value: &[f64],
+        candidates: &[NodeId],
+    ) -> Option<(f64, NodeId)> {
+        let mut best: Option<(f64, NodeId)> = None;
+        for &v in candidates {
+            let gain = self.marginal_gain_value(best_value, v);
+            if gain <= 0.0 {
+                continue;
+            }
+            let better = match best {
+                Some((bg, bn)) => gain > bg || (gain == bg && v < bn),
+                None => true,
+            };
+            if better {
+                best = Some((gain, v));
+            }
+        }
+        best
+    }
+
+    /// The objective restricted to the *surviving* subset of a placement:
+    /// RAP `placement[i]` contributes only when `alive[i]` is true. Used by
+    /// the Monte Carlo outage simulators in [`crate::robustness`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len() != placement.len()`.
+    pub fn evaluate_alive(&self, placement: &Placement, alive: &[bool]) -> f64 {
+        assert_eq!(
+            alive.len(),
+            placement.len(),
+            "alive mask must match the placement length"
+        );
+        let mut best_value = vec![0.0f64; self.flows.len()];
+        for (&rap, &up) in placement.iter().zip(alive) {
+            if up {
+                self.commit_best_values(&mut best_value, rap);
+            }
+        }
+        best_value.iter().sum()
+    }
+
     /// The objective `w(placement)`: expected daily customers attracted by
     /// the placement.
     pub fn evaluate(&self, placement: &Placement) -> f64 {
@@ -465,6 +516,56 @@ mod tests {
                 "improvement gain diverged at {v}"
             );
         }
+    }
+
+    #[test]
+    fn best_candidate_value_matches_manual_argmax() {
+        let s = simple();
+        let candidates = s.candidates();
+        let mut best_value = vec![0.0f64; s.flows().len()];
+        s.commit_best_values(&mut best_value, NodeId::new(0));
+        let got = s.best_candidate_value(&best_value, &candidates);
+        let mut expect: Option<(f64, NodeId)> = None;
+        for &v in &candidates {
+            let gain = s.marginal_gain_value(&best_value, v);
+            if gain <= 0.0 {
+                continue;
+            }
+            let better = match expect {
+                Some((bg, bn)) => gain > bg || (gain == bg && v < bn),
+                None => true,
+            };
+            if better {
+                expect = Some((gain, v));
+            }
+        }
+        assert_eq!(got, expect);
+        // Saturated state: nothing has positive gain.
+        for &v in &candidates {
+            s.commit_best_values(&mut best_value, v);
+        }
+        assert_eq!(s.best_candidate_value(&best_value, &candidates), None);
+    }
+
+    #[test]
+    fn evaluate_alive_restricts_to_survivors() {
+        let s = simple();
+        let p = Placement::new(vec![NodeId::new(1), NodeId::new(7)]);
+        assert_eq!(s.evaluate_alive(&p, &[true, true]), s.evaluate(&p));
+        assert_eq!(s.evaluate_alive(&p, &[false, false]), 0.0);
+        let only_first = s.evaluate_alive(&p, &[true, false]);
+        assert_eq!(
+            only_first,
+            s.evaluate(&Placement::new(vec![NodeId::new(1)]))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alive mask")]
+    fn evaluate_alive_rejects_mismatched_mask() {
+        let s = simple();
+        let p = Placement::new(vec![NodeId::new(1)]);
+        let _ = s.evaluate_alive(&p, &[true, false]);
     }
 
     #[test]

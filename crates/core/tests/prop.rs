@@ -324,6 +324,72 @@ proptest! {
         }
     }
 
+    /// The seeded Monte Carlo outage simulator agrees with the closed-form
+    /// failure-aware objective within 3σ of its own standard error, for
+    /// every tested failure probability.
+    #[test]
+    fn monte_carlo_validates_closed_form(inst in arb_instance(), k in 1usize..5, seed in 0u64..1_000) {
+        use rap_core::{failure_aware_evaluate, simulate_outages};
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let placement = MarginalGreedy.place(&s, k, &mut rng());
+        for fp in [0.1, 0.3, 0.6] {
+            let exact = failure_aware_evaluate(&s, &placement, fp);
+            let sim = simulate_outages(&s, &placement, fp, 4_000, seed);
+            let sigma = sim.std_error.max(1e-12);
+            prop_assert!(
+                (sim.mean - exact).abs() <= 3.0 * sigma,
+                "p={fp}: MC mean {} vs exact {exact} (3σ = {})",
+                sim.mean,
+                3.0 * sigma
+            );
+        }
+    }
+
+    /// At zero region-blackout probability the correlated outage model
+    /// collapses exactly to the independent closed form, for any region
+    /// layout.
+    #[test]
+    fn correlated_model_reduces_to_independent(
+        inst in arb_instance(),
+        k in 1usize..5,
+        region_count in 1usize..5,
+    ) {
+        use rap_core::{
+            correlated_evaluate, failure_aware_evaluate, CorrelatedFailureModel, RegionMap,
+        };
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let placement = MarginalGreedy.place(&s, k, &mut rng());
+        let regions = RegionMap::striped(s.graph().node_count(), region_count);
+        for fp in [0.0, 0.2, 0.5, 0.8] {
+            let model = CorrelatedFailureModel::new(0.0, fp);
+            let corr = correlated_evaluate(&s, &placement, &model, &regions);
+            let indep = failure_aware_evaluate(&s, &placement, fp);
+            prop_assert!(
+                (corr - indep).abs() < 1e-9,
+                "p={fp} regions={region_count}: correlated {corr} vs independent {indep}"
+            );
+        }
+    }
+
+    /// Injected worker faults never change the placement: under seeded
+    /// fault plans both pooled engines still match the sequential greedy
+    /// bit for bit (recovering, or degrading to the sequential scan).
+    #[test]
+    fn pooled_engines_survive_fault_plans(inst in arb_instance(), k in 0usize..5, seed in 0u64..200) {
+        use rap_core::FaultPlan;
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        let plan = FaultPlan::from_seed(seed, 3);
+        let (par, _) = ParallelGreedy::with_threads(3)
+            .place_with_faults(&s, k, &plan)
+            .expect("Sequential fallback absorbs any plan");
+        prop_assert_eq!(par, seq.clone(), "parallel diverged under seed {}", seed);
+        let (hybrid, _) = LazyParallelGreedy::with_threads(3)
+            .place_with_faults(&s, k, &plan)
+            .expect("Sequential fallback absorbs any plan");
+        prop_assert_eq!(hybrid, seq, "lazy-parallel diverged under seed {}", seed);
+    }
+
     /// Swap refinement never reduces the objective and keeps the size.
     #[test]
     fn swap_refinement_sound(inst in arb_instance(), k in 1usize..4) {

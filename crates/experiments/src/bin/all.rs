@@ -8,6 +8,7 @@ fn main() {
         rap_experiments::fig12(&settings),
         rap_experiments::fig13(&settings),
         rap_experiments::ablation(&settings),
+        rap_experiments::robustness(&settings),
     ];
     for figure in &figures {
         print!("{figure}");

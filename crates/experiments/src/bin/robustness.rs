@@ -1,0 +1,11 @@
+//! Runs the robustness panels; see `rap_experiments::robustness`.
+
+fn main() {
+    let settings = rap_experiments::Settings::default();
+    let figure = rap_experiments::robustness(&settings);
+    print!("{figure}");
+    match rap_experiments::save_results(&figure) {
+        Ok(path) => println!("json written to {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

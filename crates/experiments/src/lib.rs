@@ -12,6 +12,7 @@
 //! | `fig13` | Fig. 13 — Seattle, Manhattan-grid scenario |
 //! | `ablation` | E7 — greedy-objective and two-stage structure ablations |
 //! | `sensitivity` | robustness sweeps: alpha, demand, gps noise, flexibility |
+//! | `robustness` | failure-model validation, correlated outages, engine self-healing |
 //! | `all` | everything above, writing JSON into `results/` |
 //!
 //! Trials default to 200 per data point (the paper uses 1,000); set
@@ -23,6 +24,7 @@ pub mod complexity;
 pub mod figures;
 pub mod general;
 pub mod manhattan_run;
+pub mod robustness_run;
 pub mod sensitivity;
 pub mod series;
 
@@ -31,5 +33,6 @@ pub use complexity::complexity;
 pub use figures::{fig10, fig11, fig12, fig13, save_results, Settings};
 pub use general::{run_general, GeneralRun};
 pub use manhattan_run::{run_manhattan, ManhattanRun};
+pub use robustness_run::robustness;
 pub use sensitivity::sensitivity;
 pub use series::{Figure, Panel, Series, SeriesPoint};

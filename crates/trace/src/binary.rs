@@ -84,7 +84,12 @@ pub fn decode(mut data: impl Buf) -> Result<(TraceSchema, Vec<TraceRecord>), Tra
     let schema =
         schema_from_tag(data.get_u8()).ok_or_else(|| header_err("unknown schema tag".into()))?;
     let count = data.get_u32_le() as usize;
-    if data.remaining() < count * RECORD_SIZE {
+    // Checked: `count` is untrusted input, and the product must not wrap on
+    // 32-bit targets.
+    let needed = count
+        .checked_mul(RECORD_SIZE)
+        .ok_or_else(|| header_err(format!("record count {count} overflows the payload size")))?;
+    if data.remaining() < needed {
         return Err(TraceError::ParseTrace {
             line: data.remaining() / RECORD_SIZE + 1,
             message: format!(

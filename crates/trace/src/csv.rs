@@ -66,16 +66,85 @@ pub fn write_csv<W: Write>(
     Ok(())
 }
 
+/// How to treat malformed rows while reading a trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ParseMode {
+    /// The first malformed or semantically invalid row aborts the read with
+    /// [`TraceError::ParseTrace`].
+    #[default]
+    Strict,
+    /// Malformed rows are quarantined (with line number and reason) into the
+    /// [`ParseReport`] and the read continues. Real GPS feeds carry dropped
+    /// fixes, `NaN` coordinates, and truncated rows; lenient mode salvages
+    /// the rest of the file instead of discarding it.
+    Lenient,
+}
+
+/// One row set aside by lenient parsing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QuarantinedLine {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Why the row was rejected.
+    pub reason: String,
+}
+
+/// Outcome of [`read_csv_report`]: the records that parsed and validated,
+/// plus every quarantined row. Strict reads always have an empty quarantine
+/// (they abort instead).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ParseReport {
+    /// Successfully parsed and validated records, in input order.
+    pub records: Vec<TraceRecord>,
+    /// Rows rejected under [`ParseMode::Lenient`], in input order.
+    pub quarantined: Vec<QuarantinedLine>,
+}
+
+impl ParseReport {
+    /// Number of good records.
+    pub fn ok_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of quarantined rows.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+}
+
 /// Reads CSV records in the given schema. The header line is validated.
+///
+/// Equivalent to [`read_csv_report`] with [`ParseMode::Strict`], discarding
+/// the (empty) quarantine.
 ///
 /// # Errors
 ///
-/// * [`TraceError::ParseTrace`] on a bad header, malformed row, or wrong
-///   column count.
+/// * [`TraceError::ParseTrace`] on a bad header, malformed row, wrong
+///   column count, or a row whose values fail [`TraceRecord::validate`]
+///   (non-finite coordinates, bad timestamp).
 /// * [`TraceError::Io`] on read failure.
 pub fn read_csv<R: Read>(reader: R, schema: TraceSchema) -> Result<Vec<TraceRecord>, TraceError> {
+    read_csv_report(reader, schema, ParseMode::Strict).map(|r| r.records)
+}
+
+/// Reads CSV records in the given schema, quarantining malformed rows under
+/// [`ParseMode::Lenient`] instead of aborting.
+///
+/// A bad header is fatal in both modes (the whole file is in the wrong
+/// schema, not one row), as are I/O errors.
+///
+/// # Errors
+///
+/// * [`TraceError::ParseTrace`] on a bad header; in strict mode also on the
+///   first malformed or invalid row.
+/// * [`TraceError::Io`] on read failure.
+pub fn read_csv_report<R: Read>(
+    reader: R,
+    schema: TraceSchema,
+    mode: ParseMode,
+) -> Result<ParseReport, TraceError> {
     let buf = BufReader::new(reader);
-    let mut records = Vec::new();
+    let mut report = ParseReport::default();
     for (idx, line) in buf.lines().enumerate() {
         let line_no = idx + 1;
         let line = line?;
@@ -96,25 +165,45 @@ pub fn read_csv<R: Read>(reader: R, schema: TraceSchema) -> Result<Vec<TraceReco
             }
             continue;
         }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 5 {
-            return Err(TraceError::ParseTrace {
-                line: line_no,
-                message: format!("expected 5 columns, got {}", fields.len()),
-            });
+        match parse_row(line, line_no) {
+            Ok(record) => report.records.push(record),
+            Err(TraceError::ParseTrace { line, message }) => match mode {
+                ParseMode::Strict => return Err(TraceError::ParseTrace { line, message }),
+                ParseMode::Lenient => report.quarantined.push(QuarantinedLine {
+                    line,
+                    reason: message,
+                }),
+            },
+            Err(other) => return Err(other),
         }
-        let bus: u32 = parse(fields[0], line_no, "bus id")?;
-        let x: f64 = parse(fields[1], line_no, "x")?;
-        let y: f64 = parse(fields[2], line_no, "y")?;
-        let journey: u32 = parse(fields[3], line_no, "journey/route id")?;
-        let time_s: f64 = parse(fields[4], line_no, "time")?;
-        records.push(TraceRecord {
-            bus: BusId(bus),
-            journey: JourneyId(journey),
-            fix: GpsPoint::new(Point::new(x, y), time_s),
+    }
+    Ok(report)
+}
+
+/// Parses and validates one data row.
+fn parse_row(line: &str, line_no: usize) -> Result<TraceRecord, TraceError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 5 {
+        return Err(TraceError::ParseTrace {
+            line: line_no,
+            message: format!("expected 5 columns, got {}", fields.len()),
         });
     }
-    Ok(records)
+    let bus: u32 = parse(fields[0], line_no, "bus id")?;
+    let x: f64 = parse(fields[1], line_no, "x")?;
+    let y: f64 = parse(fields[2], line_no, "y")?;
+    let journey: u32 = parse(fields[3], line_no, "journey/route id")?;
+    let time_s: f64 = parse(fields[4], line_no, "time")?;
+    let record = TraceRecord {
+        bus: BusId(bus),
+        journey: JourneyId(journey),
+        fix: GpsPoint::new(Point::new(x, y), time_s),
+    };
+    record.validate().map_err(|reason| TraceError::ParseTrace {
+        line: line_no,
+        message: reason,
+    })?;
+    Ok(record)
 }
 
 fn parse<T: std::str::FromStr>(token: &str, line: usize, what: &str) -> Result<T, TraceError> {
@@ -181,6 +270,54 @@ mod tests {
         let text = format!("{}\n\n1,2,3,4,5\n\n", TraceSchema::Seattle.header());
         let recs = read_csv(text.as_bytes(), TraceSchema::Seattle).unwrap();
         assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn strict_rejects_non_finite_values() {
+        for bad in ["1,nan,2,3,4", "1,2,inf,3,4", "1,2,3,4,nan", "1,2,3,4,-1"] {
+            let text = format!("{}\n{bad}\n", TraceSchema::Seattle.header());
+            let err = read_csv(text.as_bytes(), TraceSchema::Seattle).unwrap_err();
+            assert!(
+                matches!(err, TraceError::ParseTrace { line: 2, .. }),
+                "row `{bad}` produced {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn lenient_quarantines_and_continues() {
+        let text = format!(
+            "{}\n1,10.0,20.0,7,0.0\nbogus,1,2\n2,nan,5.0,7,1.0\n3,30.0,40.0,7,2.0\n",
+            TraceSchema::Dublin.header()
+        );
+        let report =
+            read_csv_report(text.as_bytes(), TraceSchema::Dublin, ParseMode::Lenient).unwrap();
+        assert_eq!(report.ok_count(), 2);
+        assert_eq!(report.quarantined_count(), 2);
+        assert_eq!(report.quarantined[0].line, 3);
+        assert!(report.quarantined[0].reason.contains("columns"));
+        assert_eq!(report.quarantined[1].line, 4);
+        assert!(report.quarantined[1].reason.contains("position"));
+        assert_eq!(report.records[0].bus, BusId(1));
+        assert_eq!(report.records[1].bus, BusId(3));
+    }
+
+    #[test]
+    fn lenient_still_rejects_wrong_header() {
+        let text = "totally,not,a,header\n1,2,3,4,5\n";
+        let err =
+            read_csv_report(text.as_bytes(), TraceSchema::Seattle, ParseMode::Lenient).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn strict_report_has_empty_quarantine() {
+        let mut buf = Vec::new();
+        write_csv(&sample_records(), TraceSchema::Seattle, &mut buf).unwrap();
+        let report =
+            read_csv_report(buf.as_slice(), TraceSchema::Seattle, ParseMode::Strict).unwrap();
+        assert_eq!(report.ok_count(), 2);
+        assert_eq!(report.quarantined_count(), 0);
     }
 
     #[test]

@@ -62,6 +62,28 @@ pub struct TraceRecord {
     pub fix: GpsPoint,
 }
 
+impl TraceRecord {
+    /// Semantic validation beyond parseability: real receivers emit `NaN`
+    /// coordinates and bogus timestamps, and `"nan"` parses as a perfectly
+    /// good `f64`. Returns a human-readable reason when the record cannot be
+    /// used (non-finite position, non-finite or negative timestamp).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.fix.position.x.is_finite() || !self.fix.position.y.is_finite() {
+            return Err(format!(
+                "non-finite position ({}, {})",
+                self.fix.position.x, self.fix.position.y
+            ));
+        }
+        if !self.fix.time_s.is_finite() {
+            return Err(format!("non-finite timestamp {}", self.fix.time_s));
+        }
+        if self.fix.time_s < 0.0 {
+            return Err(format!("negative timestamp {}", self.fix.time_s));
+        }
+        Ok(())
+    }
+}
+
 /// Gaussian GPS noise via the Box–Muller transform (the `rand` crate ships
 /// no normal distribution without `rand_distr`, and two transcendental calls
 /// per sample are plenty fast for trace generation).
@@ -168,5 +190,40 @@ mod tests {
             fix: GpsPoint::new(Point::new(1.0, 2.0), 3.5),
         };
         assert_eq!(r, r.clone());
+    }
+
+    #[test]
+    fn validate_accepts_sane_records() {
+        let r = TraceRecord {
+            bus: BusId(1),
+            journey: JourneyId(2),
+            fix: GpsPoint::new(Point::new(1.0, 2.0), 0.0),
+        };
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_fixes() {
+        let mk = |x: f64, y: f64, t: f64| TraceRecord {
+            bus: BusId(1),
+            journey: JourneyId(2),
+            fix: GpsPoint::new(Point::new(x, y), t),
+        };
+        assert!(mk(f64::NAN, 0.0, 1.0)
+            .validate()
+            .unwrap_err()
+            .contains("position"));
+        assert!(mk(0.0, f64::INFINITY, 1.0)
+            .validate()
+            .unwrap_err()
+            .contains("position"));
+        assert!(mk(0.0, 0.0, f64::NAN)
+            .validate()
+            .unwrap_err()
+            .contains("timestamp"));
+        assert!(mk(0.0, 0.0, -5.0)
+            .validate()
+            .unwrap_err()
+            .contains("negative"));
     }
 }

@@ -50,7 +50,9 @@ pub mod quality;
 pub use binary::{decode, encode};
 pub use bus::{drive_path, DriveParams};
 pub use city::{dublin, seattle, CityModel, CityParams};
-pub use csv::{read_csv, write_csv, TraceSchema};
+pub use csv::{
+    read_csv, read_csv_report, write_csv, ParseMode, ParseReport, QuarantinedLine, TraceSchema,
+};
 pub use error::TraceError;
 pub use gps::{BusId, GpsNoise, GpsPoint, JourneyId, TraceRecord};
 pub use map_match::{extract_flows, match_fixes, match_journeys, ExtractParams, MatchedJourney};

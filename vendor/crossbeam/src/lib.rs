@@ -82,6 +82,16 @@ pub mod channel {
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`]: either the deadline
+    /// elapsed with no message, or all senders are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// All senders were dropped and the queue is drained.
+        Disconnected,
+    }
+
     /// Creates an unbounded fifo channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
@@ -113,6 +123,16 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks until a message arrives, the deadline elapses, or all
+        /// senders are dropped.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 
@@ -156,5 +176,23 @@ mod tests {
         assert_eq!(rx.recv(), Ok(42));
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = super::channel::unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }
