@@ -1,0 +1,226 @@
+//! `bench_stream` — the streaming-maintenance harness behind
+//! `BENCH_stream.json`.
+//!
+//! Streams a seeded synthetic drift sequence through a
+//! [`rap_core::MutableScenario`] with the `rap-stream` [`Maintainer`]
+//! serving a placement online, and measures:
+//!
+//! * **throughput** — deltas applied (and maintained) per second, with the
+//!   oracle checkpoints excluded from the timed segments;
+//! * **maintenance effort** — checks, adopted repairs, escalations, and
+//!   their latencies, plus scenario compactions;
+//! * **value-gap trajectory** — maintained objective vs a from-scratch
+//!   oracle re-greedy at evenly spaced checkpoints; the run aborts if the
+//!   maintained placement ever falls more than `GAP_TOLERANCE` behind.
+//!
+//! Usage: `cargo run --release -p rap-bench --bin bench_stream [OUT.json]`
+//! (default output path `BENCH_stream.json` in the current directory).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rap_core::{LazyGreedy, MutableScenario, PlacementAlgorithm, UtilityKind};
+use rap_graph::{Distance, GridGraph};
+use rap_stream::{Maintainer, MaintainerConfig, StreamDelta, SyntheticDrift};
+use rap_traffic::demand::{uniform_demand, DemandParams};
+use rap_traffic::FlowSet;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Benchmark scale: a mid-size city with a drift stream long enough to pass
+/// through several compactions and dozens of staleness checks.
+const GRID_SIDE: u32 = 20;
+const INITIAL_FLOWS: usize = 400;
+const K: usize = 10;
+const DELTAS: usize = 10_000;
+const CHECKPOINTS: usize = 10;
+const SEED: u64 = 2015;
+/// Largest tolerated oracle shortfall at any checkpoint.
+const GAP_TOLERANCE: f64 = 0.05;
+
+#[derive(Serialize)]
+struct ScenarioMeta {
+    grid_side: u32,
+    nodes: usize,
+    initial_flows: usize,
+    k: usize,
+    deltas: usize,
+    check_interval: u64,
+    staleness_threshold: f64,
+    threads: usize,
+    seed: u64,
+}
+
+#[derive(Serialize)]
+struct Throughput {
+    wall_clock_ms: f64,
+    deltas_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Maintenance {
+    checks: u64,
+    repairs: u64,
+    resolves: u64,
+    repair_us_total: u64,
+    resolve_us_total: u64,
+    max_intervention_us: u64,
+    compactions: u64,
+    final_epoch: u64,
+    final_live_flows: usize,
+}
+
+#[derive(Serialize)]
+struct TrajectoryPoint {
+    delta_index: usize,
+    maintained: f64,
+    oracle: f64,
+    gap_pct: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scenario: ScenarioMeta,
+    throughput: Throughput,
+    maintenance: Maintenance,
+    trajectory: Vec<TrajectoryPoint>,
+}
+
+fn substrate() -> MutableScenario {
+    let grid = GridGraph::new(GRID_SIDE, GRID_SIDE, Distance::from_feet(500));
+    let specs = uniform_demand(
+        grid.graph(),
+        DemandParams {
+            flows: INITIAL_FLOWS,
+            min_volume: 100.0,
+            max_volume: 1_000.0,
+            attractiveness: 0.001,
+        },
+        42,
+    )
+    .expect("demand parameters valid");
+    let flows = FlowSet::route(grid.graph(), specs).expect("grid routes all flows");
+    let threshold = Distance::from_feet(u64::from(GRID_SIDE) * 250);
+    MutableScenario::new(
+        grid.graph().clone(),
+        flows,
+        vec![grid.center()],
+        UtilityKind::Linear.instantiate(threshold),
+    )
+    .expect("scenario valid")
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_stream.json".to_string());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let cfg = MaintainerConfig {
+        k: K,
+        threads,
+        seed: SEED,
+        ..MaintainerConfig::default()
+    };
+
+    eprintln!(
+        "building {GRID_SIDE}x{GRID_SIDE} grid, {INITIAL_FLOWS} flows, k = {K}, {threads} threads ..."
+    );
+    let mut scenario = substrate();
+    let mut maintainer = Maintainer::new(cfg.clone(), &mut scenario).expect("initial solve");
+
+    let drift = SyntheticDrift::new(
+        scenario.graph().node_count() as u32,
+        scenario.live_stable_ids(),
+        scenario.next_stable_id(),
+        DELTAS,
+        SEED,
+    );
+
+    let stride = DELTAS / CHECKPOINTS;
+    let mut trajectory = Vec::with_capacity(CHECKPOINTS);
+    let mut streamed = Duration::ZERO;
+    let mut segment_start = Instant::now();
+    let mut applied = 0usize;
+    for delta in drift {
+        let StreamDelta::Flow(flow_delta) = delta else {
+            continue; // the synthetic source never forces compaction
+        };
+        scenario
+            .apply(&flow_delta)
+            .expect("synthetic drift is self-consistent");
+        applied += 1;
+        maintainer.note_delta(&mut scenario);
+
+        if applied.is_multiple_of(stride) {
+            // Pause the throughput clock: the oracle is measurement
+            // apparatus, not part of the serving loop.
+            streamed += segment_start.elapsed();
+            let snap = scenario.snapshot();
+            let maintained = snap.evaluate(maintainer.placement());
+            let oracle =
+                snap.evaluate(&LazyGreedy.place(&snap, K, &mut StdRng::seed_from_u64(SEED)));
+            let gap_pct = if oracle > 0.0 {
+                (1.0 - maintained / oracle) * 100.0
+            } else {
+                0.0
+            };
+            eprintln!(
+                "delta {applied}: maintained {maintained:.1} vs oracle {oracle:.1} ({gap_pct:+.2}% gap), {} live flows, {} compactions",
+                scenario.live_flows(),
+                scenario.compactions()
+            );
+            assert!(
+                maintained >= (1.0 - GAP_TOLERANCE) * oracle,
+                "maintained placement fell {gap_pct:.2}% behind the oracle at delta {applied}"
+            );
+            trajectory.push(TrajectoryPoint {
+                delta_index: applied,
+                maintained,
+                oracle,
+                gap_pct,
+            });
+            segment_start = Instant::now();
+        }
+    }
+    streamed += segment_start.elapsed();
+    assert_eq!(applied, DELTAS, "drift source must emit every delta");
+
+    let stats = maintainer.stats();
+    let report = Report {
+        scenario: ScenarioMeta {
+            grid_side: GRID_SIDE,
+            nodes: scenario.graph().node_count(),
+            initial_flows: INITIAL_FLOWS,
+            k: K,
+            deltas: DELTAS,
+            check_interval: cfg.check_interval,
+            staleness_threshold: cfg.staleness_threshold,
+            threads,
+            seed: SEED,
+        },
+        throughput: Throughput {
+            wall_clock_ms: streamed.as_secs_f64() * 1e3,
+            deltas_per_sec: applied as f64 / streamed.as_secs_f64(),
+        },
+        maintenance: Maintenance {
+            checks: stats.checks,
+            repairs: stats.repairs,
+            resolves: stats.resolves,
+            repair_us_total: stats.repair_us,
+            resolve_us_total: stats.resolve_us,
+            max_intervention_us: stats.max_intervention_us,
+            compactions: scenario.compactions(),
+            final_epoch: scenario.epoch(),
+            final_live_flows: scenario.live_flows(),
+        },
+        trajectory,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write benchmark report");
+    eprintln!(
+        "wrote {out_path}; {:.0} deltas/sec, {} repairs + {} resolves over {} checks",
+        report.throughput.deltas_per_sec, stats.repairs, stats.resolves, stats.checks
+    );
+}

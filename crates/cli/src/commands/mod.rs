@@ -5,3 +5,4 @@ pub mod figures;
 pub mod generate;
 pub mod place;
 pub mod simulate;
+pub mod stream;

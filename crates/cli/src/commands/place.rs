@@ -5,6 +5,7 @@ use crate::args::Args;
 use crate::CliError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rap_core::EngineReport;
 use rap_core::{
     CompositeGreedy, ExhaustiveOptimal, FaultPlan, GreedyCoverage, GreedyWithSwaps, LazyGreedy,
     LazyParallelGreedy, MarginalGreedy, MaxCardinality, MaxCustomers, MaxVehicles, ParallelGreedy,
@@ -12,6 +13,7 @@ use rap_core::{
 };
 use rap_graph::{Distance, NodeId};
 use rap_traffic::{FlowSet, FlowSpec};
+use serde::Serialize;
 
 /// Options accepted by `rap place`.
 pub const USAGE: &str = "\
@@ -19,6 +21,7 @@ rap place --graph FILE --flows FILE --shop NODE --k N
           [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
           [--algorithm alg1|alg2|marginal|lazy|parallel|lazypar|swaps|maxcard|maxveh|maxcust|random|optimal|all]
           [--fault-profile none|panic|stall|drop|poison|seed:N] [--lenient true]
+          [--json true]
 
 --graph  street network in the rap-graph text format (see `rap generate`)
 --flows  CSV with header origin,destination,volume,alpha
@@ -27,11 +30,15 @@ rap place --graph FILE --flows FILE --shop NODE --k N
                  are unaffected
 --lenient        quarantine malformed flow rows (with a count in the
                  report) instead of aborting on the first one
+--json           emit one machine-readable JSON report (placement,
+                 objective, pool counters) instead of the text report —
+                 the same format family the `rap stream` events use
 Prints the chosen placement(s) and quality reports.";
 
-/// Parses the flow summary CSV written by `rap generate`. In lenient mode
-/// malformed rows are counted instead of aborting the read.
-fn read_flows(path: &str, lenient: bool) -> Result<(Vec<FlowSpec>, usize), CliError> {
+/// Parses the flow summary CSV written by `rap generate` (shared with
+/// `rap stream`). In lenient mode malformed rows are counted instead of
+/// aborting the read.
+pub(crate) fn read_flows(path: &str, lenient: bool) -> Result<(Vec<FlowSpec>, usize), CliError> {
     let text = std::fs::read_to_string(path)?;
     let mut specs = Vec::new();
     let mut quarantined = 0usize;
@@ -71,27 +78,84 @@ fn parse_flow_row(line: &str, line_no: usize) -> Result<FlowSpec, CliError> {
         .map_err(|e| CliError::Usage(format!("flows file line {line_no}: {e}")))
 }
 
-/// Runs the pooled engines under an explicit fault plan; every other
-/// algorithm ignores the plan.
-fn place_under_faults(
+/// Runs the pooled engines with their health report (under an explicit
+/// fault plan when one was given); every other algorithm ignores the plan
+/// and yields no report.
+fn place_with_counters(
     name: &str,
     alg: &dyn PlacementAlgorithm,
     scenario: &Scenario,
     k: usize,
     plan: Option<&FaultPlan>,
     rng: &mut StdRng,
-) -> Result<(Placement, Option<String>), CliError> {
-    match (plan, name) {
-        (Some(plan), "parallel") => {
-            let (p, rep) = ParallelGreedy::default().place_with_faults(scenario, k, plan)?;
-            Ok((p, Some(fault::describe(&rep))))
+) -> Result<(Placement, Option<EngineReport>), CliError> {
+    match name {
+        "parallel" => {
+            let engine = ParallelGreedy::default();
+            let (p, rep) = match plan {
+                Some(plan) => engine.place_with_faults(scenario, k, plan)?,
+                None => engine.place_with_report(scenario, k),
+            };
+            Ok((p, Some(rep)))
         }
-        (Some(plan), "lazypar") => {
-            let (p, rep) = LazyParallelGreedy::default().place_with_faults(scenario, k, plan)?;
-            Ok((p, Some(fault::describe(&rep))))
+        "lazypar" => {
+            let engine = LazyParallelGreedy::default();
+            let (p, rep) = match plan {
+                Some(plan) => engine.place_with_faults(scenario, k, plan)?,
+                None => engine.place_with_report(scenario, k),
+            };
+            Ok((p, Some(rep)))
         }
         _ => Ok((alg.place(scenario, k, rng), None)),
     }
+}
+
+/// One algorithm's entry in the `--json` report.
+#[derive(Debug, Serialize)]
+struct JsonAlgorithm {
+    /// The `--algorithm` token.
+    algorithm: String,
+    /// The engine's display name.
+    name: String,
+    /// Chosen RAP intersection ids, in selection order.
+    raps: Vec<u32>,
+    /// Expected customers/day of the placement.
+    objective: f64,
+    /// Pool health counters (pooled engines only).
+    pool: Option<JsonPool>,
+}
+
+/// `EngineReport` counters in JSON form.
+#[derive(Debug, Serialize)]
+struct JsonPool {
+    workers_respawned: u32,
+    replies_retried: u32,
+    receive_timeouts: u32,
+    degraded: bool,
+    gain_evals: u64,
+}
+
+impl From<&EngineReport> for JsonPool {
+    fn from(r: &EngineReport) -> Self {
+        JsonPool {
+            workers_respawned: r.workers_respawned,
+            replies_retried: r.replies_retried,
+            receive_timeouts: r.receive_timeouts,
+            degraded: r.degraded,
+            gain_evals: r.gain_evals,
+        }
+    }
+}
+
+/// The whole `--json` report.
+#[derive(Debug, Serialize)]
+struct JsonReport {
+    shop: u32,
+    utility: String,
+    d_feet: u64,
+    k: usize,
+    quarantined_rows: usize,
+    algorithms: Vec<JsonAlgorithm>,
 }
 
 fn algorithm_by_name(name: &str) -> Option<Box<dyn PlacementAlgorithm>> {
@@ -141,6 +205,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     };
     let algorithm = args.get("algorithm").unwrap_or("alg2");
     let lenient: bool = args.get_or("lenient", "true/false", false)?;
+    let json: bool = args.get_or("json", "true/false", false)?;
     let fault_plan = match args.get("fault-profile") {
         Some(spec) => Some(fault::parse_profile(spec)?),
         None => None,
@@ -170,12 +235,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             "flows: {quarantined} malformed row(s) quarantined (lenient mode)\n"
         ));
     }
+    let mut json_algorithms = Vec::new();
     for name in names {
         let alg = algorithm_by_name(name).ok_or_else(|| {
             CliError::Usage(format!("unknown algorithm `{name}` (try --algorithm all)"))
         })?;
         let mut rng = StdRng::seed_from_u64(seed);
-        let (placement, pool_line) = place_under_faults(
+        let (placement, engine_report) = place_with_counters(
             name,
             alg.as_ref(),
             &scenario,
@@ -183,11 +249,35 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             fault_plan.as_ref(),
             &mut rng,
         )?;
+        if json {
+            json_algorithms.push(JsonAlgorithm {
+                algorithm: name.to_string(),
+                name: alg.name().to_string(),
+                raps: placement.iter().map(|v| v.raw()).collect(),
+                objective: scenario.evaluate(&placement),
+                pool: engine_report.as_ref().map(JsonPool::from),
+            });
+            continue;
+        }
         let quality = PlacementReport::compute(&scenario, &placement);
         report.push_str(&format!("{:<28} {placement}\n    {quality}\n", alg.name()));
-        if let Some(line) = pool_line {
-            report.push_str(&format!("    {line}\n"));
+        // The text report mentions pool health only when faults were
+        // actually injected; `--json` always carries the counters.
+        if let (Some(rep), Some(_)) = (&engine_report, &fault_plan) {
+            report.push_str(&format!("    {}\n", fault::describe(rep)));
         }
+    }
+    if json {
+        let payload = JsonReport {
+            shop,
+            utility: utility.to_string(),
+            d_feet: d,
+            k,
+            quarantined_rows: quarantined,
+            algorithms: json_algorithms,
+        };
+        return serde_json::to_string_pretty(&payload)
+            .map_err(|e| CliError::Usage(format!("json serialization failed: {e}")));
     }
     Ok(report)
 }
@@ -261,6 +351,63 @@ mod tests {
         ] {
             assert!(report.contains(needle), "missing {needle}: {report}");
         }
+    }
+
+    #[test]
+    fn json_report_carries_placement_objective_and_pool_counters() {
+        let (gp, fp) = fixture();
+        let args = Args::parse([
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "4",
+            "--k",
+            "2",
+            "--d",
+            "400",
+            "--algorithm",
+            "lazypar",
+            "--json",
+            "true",
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        let v: serde::Value = serde_json::from_str(&report).expect("valid JSON");
+        assert_eq!(v["shop"], 4u64);
+        assert_eq!(v["k"], 2u64);
+        let alg = &v["algorithms"][0];
+        assert_eq!(alg["algorithm"], "lazypar");
+        assert!(alg["objective"].as_f64().unwrap() > 0.0);
+        let raps: Vec<_> = match &alg["raps"] {
+            serde::Value::Seq(items) => items.clone(),
+            other => panic!("raps not an array: {other:?}"),
+        };
+        assert_eq!(raps.len(), 2);
+        // Healthy pool: counters present and all-zero recovery.
+        assert_eq!(alg["pool"]["workers_respawned"], 0u64);
+        assert_eq!(alg["pool"]["degraded"], serde::Value::Bool(false));
+        assert!(alg["pool"]["gain_evals"].as_f64().unwrap() > 0.0);
+
+        // Non-pooled engines carry no pool object.
+        let args = Args::parse([
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "4",
+            "--k",
+            "2",
+            "--d",
+            "400",
+            "--json",
+            "true",
+        ])
+        .unwrap();
+        let v: serde::Value = serde_json::from_str(&run(&args).unwrap()).unwrap();
+        assert_eq!(v["algorithms"][0]["pool"], serde::Value::Null);
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! `rap stream` — serve a placement over a stream of traffic deltas.
+//!
+//! Three delta sources, exactly one of which must be selected:
+//!
+//! * `--deltas FILE|-` — replay an NDJSON delta log from a file (or stdin
+//!   with `-`), the wire format documented in `rap-stream`;
+//! * `--synthetic COUNT` — a seeded generator of plausible drift over the
+//!   loaded scenario;
+//! * `--replay dublin|seattle` — compress a city model's recovered bus
+//!   journeys into a sliding-window arrival/retirement stream.
+//!
+//! Events (placement updates, metrics, rejects) stream as NDJSON to
+//! `--out FILE` when given, otherwise they are inlined in the report,
+//! followed by a closing human summary and its JSON form.
+
+use super::place::read_flows;
+use crate::args::Args;
+use crate::CliError;
+use rap_core::{MutableScenario, UtilityKind};
+use rap_graph::{Distance, NodeId};
+use rap_stream::{
+    read_ndjson, run_stream, MaintainerConfig, StreamConfig, StreamDelta, StreamError,
+    StreamSummary, SyntheticDrift, TraceReplay,
+};
+use rap_traffic::{FlowSet, Zone};
+use std::io::BufReader;
+
+/// Options accepted by `rap stream`.
+pub const USAGE: &str = "\
+rap stream --k N [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
+           (--graph FILE --flows FILE --shop NODE | --replay dublin|seattle)
+           (--deltas FILE|- | --synthetic COUNT)   [replay is its own source]
+           [--journeys N] [--window N]             [replay mode only]
+           [--threshold F] [--check-interval N] [--threads N]
+           [--metrics-interval N] [--strict true] [--out FILE]
+
+--deltas           NDJSON delta log; `-` reads from stdin. One JSON object
+                   per line: {\"op\":\"add\",\"origin\":N,\"destination\":N,
+                   \"volume\":F,\"alpha\":F}, {\"op\":\"remove\",\"flow\":ID},
+                   {\"op\":\"rescale\",\"flow\":ID,\"factor\":F},
+                   {\"op\":\"set_alpha\",\"flow\":ID,\"alpha\":F},
+                   {\"op\":\"compact\"}
+--synthetic        generate COUNT seeded drift deltas over the loaded flows
+--replay           start from an empty city scenario and stream the model's
+                   journeys through a sliding window (--window, default 200);
+                   --shop defaults to the first city-center candidate
+--threshold        certified staleness that triggers a repair (default 0.05)
+--check-interval   applied deltas between staleness checks (default 32)
+--metrics-interval applied deltas between metrics events (default 1000)
+--strict           stop at the first rejected delta instead of skipping it
+--out              write NDJSON events here instead of inlining them
+Prints (or writes) the event stream and a closing summary.";
+
+/// The scenario plus its delta source, resolved from the arguments.
+struct Session {
+    scenario: MutableScenario,
+    source: Box<dyn Iterator<Item = Result<StreamDelta, StreamError>>>,
+}
+
+/// Builds a city-model session: empty initial traffic, journeys replayed
+/// through a sliding window.
+fn replay_session(
+    args: &Args,
+    city: &str,
+    seed: u64,
+    utility: UtilityKind,
+    d: u64,
+) -> Result<Session, CliError> {
+    let journeys: usize = args.get_or("journeys", "integer", 200)?;
+    let window: usize = args.get_or("window", "integer", 200)?;
+    let params = match city {
+        "dublin" => rap_trace::CityParams {
+            journeys,
+            ..rap_trace::CityParams::dublin()
+        },
+        "seattle" => rap_trace::CityParams {
+            journeys,
+            ..rap_trace::CityParams::seattle()
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown city `{other}` (expected dublin or seattle)"
+            )))
+        }
+    };
+    let model = match city {
+        "dublin" => rap_trace::dublin(params, seed)?,
+        _ => rap_trace::seattle(params, seed)?,
+    };
+    let shop = match args.get_parsed::<u32>("shop", "node id")? {
+        Some(raw) => NodeId::new(raw),
+        None => *model
+            .shop_candidates(Zone::CityCenter)
+            .first()
+            .ok_or_else(|| {
+                CliError::Usage("city model has no city-center shop candidate".into())
+            })?,
+    };
+    let graph = model.graph().clone();
+    let flows = FlowSet::route(&graph, Vec::new())?;
+    let scenario = MutableScenario::new(
+        graph,
+        flows,
+        vec![shop],
+        utility.instantiate(Distance::from_feet(d)),
+    )?;
+    let source = TraceReplay::new(&model, window, scenario.next_stable_id());
+    Ok(Session {
+        scenario,
+        source: Box::new(source.map(Ok)),
+    })
+}
+
+/// Builds an on-disk session (graph + flows files) with the file/stdin or
+/// synthetic delta source.
+fn file_session(args: &Args, seed: u64, utility: UtilityKind, d: u64) -> Result<Session, CliError> {
+    let graph_path = args.required("graph").map_err(|_| {
+        CliError::Usage(
+            "need a scenario: either --graph/--flows/--shop or --replay dublin|seattle".into(),
+        )
+    })?;
+    let flows_path = args.required("flows")?;
+    let shop: u32 = args.required_parsed("shop", "node id")?;
+    let graph = rap_graph::io::read_text(std::fs::File::open(graph_path)?)?;
+    let (specs, _) = read_flows(flows_path, false)?;
+    let flows = FlowSet::route(&graph, specs)?;
+    let node_count = graph.node_count() as u32;
+    let scenario = MutableScenario::new(
+        graph,
+        flows,
+        vec![NodeId::new(shop)],
+        utility.instantiate(Distance::from_feet(d)),
+    )?;
+
+    let source: Box<dyn Iterator<Item = Result<StreamDelta, StreamError>>> = match (
+        args.get("deltas"),
+        args.get_parsed::<usize>("synthetic", "integer")?,
+    ) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--deltas and --synthetic are mutually exclusive".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "need a delta source: --deltas FILE|- or --synthetic COUNT".into(),
+            ))
+        }
+        (Some("-"), None) => Box::new(read_ndjson(std::io::stdin().lock())),
+        (Some(path), None) => Box::new(read_ndjson(BufReader::new(std::fs::File::open(path)?))),
+        (None, Some(count)) => Box::new(
+            SyntheticDrift::new(
+                node_count,
+                scenario.live_stable_ids(),
+                scenario.next_stable_id(),
+                count,
+                seed,
+            )
+            .map(Ok),
+        ),
+    };
+    Ok(Session { scenario, source })
+}
+
+/// Formats the closing human summary line.
+fn describe(summary: &StreamSummary) -> String {
+    format!(
+        "stream done: {} applied, {} rejected, {} compaction(s), {} check(s), {} repair(s), {} resolve(s), objective {:.1} customers/day\n",
+        summary.deltas_applied,
+        summary.deltas_rejected,
+        summary.compactions,
+        summary.checks,
+        summary.repairs,
+        summary.resolves,
+        summary.final_objective,
+    )
+}
+
+/// Runs the command; returns the report (inlined events unless `--out`).
+///
+/// # Errors
+///
+/// Propagates argument, scenario, source, and I/O failures.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let k: usize = args.required_parsed("k", "integer")?;
+    let d: u64 = args.get_or("d", "feet", 2_500)?;
+    let seed: u64 = args.get_or("seed", "integer", 2015)?;
+    let utility = match args.get("utility").unwrap_or("linear") {
+        "threshold" => UtilityKind::Threshold,
+        "linear" => UtilityKind::Linear,
+        "sqrt" => UtilityKind::Sqrt,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown utility `{other}` (expected threshold, linear, or sqrt)"
+            )))
+        }
+    };
+
+    let defaults = MaintainerConfig::default();
+    let cfg = StreamConfig {
+        maintainer: MaintainerConfig {
+            k,
+            staleness_threshold: args.get_or(
+                "threshold",
+                "number",
+                defaults.staleness_threshold,
+            )?,
+            check_interval: args.get_or("check-interval", "integer", defaults.check_interval)?,
+            threads: args.get_or("threads", "integer", defaults.threads)?,
+            seed,
+            ..defaults
+        },
+        metrics_interval: args.get_or("metrics-interval", "integer", 1_000)?,
+        strict: args.get_or("strict", "true/false", false)?,
+    };
+
+    let session = match args.get("replay") {
+        Some(city) => {
+            let city = city.to_string();
+            replay_session(args, &city, seed, utility, d)?
+        }
+        None => file_session(args, seed, utility, d)?,
+    };
+    let Session {
+        mut scenario,
+        source,
+    } = session;
+
+    let mut inline_events = Vec::new();
+    let summary = match args.get("out") {
+        Some(path) => {
+            let mut sink = std::io::BufWriter::new(std::fs::File::create(path)?);
+            run_stream(&mut scenario, &cfg, source, &mut sink)?
+        }
+        None => run_stream(&mut scenario, &cfg, source, &mut inline_events)?,
+    };
+
+    let mut report = String::from_utf8(inline_events)
+        .map_err(|_| CliError::Usage("event stream was not valid UTF-8".into()))?;
+    report.push_str(&describe(&summary));
+    report.push_str(
+        &serde_json::to_string_pretty(&summary)
+            .map_err(|e| CliError::Usage(format!("json serialization failed: {e}")))?,
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Writes a 5×5 grid graph + two-flow CSV to temp files.
+    fn fixture() -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir();
+        let gp = dir.join("rap_cli_stream_graph.txt");
+        let fp = dir.join("rap_cli_stream_flows.csv");
+        let grid = rap_graph::GridGraph::new(5, 5, Distance::from_feet(200));
+        let mut f = std::fs::File::create(&gp).unwrap();
+        rap_graph::io::write_text(grid.graph(), &mut f).unwrap();
+        std::fs::write(
+            &fp,
+            "origin,destination,volume,alpha\n0,24,900,0.3\n4,20,500,0.2\n",
+        )
+        .unwrap();
+        (gp, fp)
+    }
+
+    fn base_args(gp: &std::path::Path, fp: &std::path::Path) -> Vec<String> {
+        [
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "12",
+            "--k",
+            "2",
+            "--d",
+            "1500",
+            "--check-interval",
+            "8",
+            "--threads",
+            "2",
+            "--metrics-interval",
+            "25",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+    }
+
+    #[test]
+    fn replays_the_bundled_smoke_deltas() {
+        let (gp, fp) = fixture();
+        let smoke = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../stream/testdata/smoke.ndjson"
+        );
+        let mut argv = base_args(&gp, &fp);
+        argv.extend(["--deltas".to_string(), smoke.to_string()]);
+        let report = run(&Args::parse(argv).unwrap()).unwrap();
+        assert!(report.contains("\"event\":\"placement\""), "{report}");
+        assert!(report.contains("stream done:"), "{report}");
+        assert!(report.contains("\"forced_compactions\": 1"), "{report}");
+    }
+
+    #[test]
+    fn synthetic_source_streams_and_writes_out_file() {
+        let (gp, fp) = fixture();
+        let out = std::env::temp_dir().join("rap_cli_stream_events.ndjson");
+        let mut argv = base_args(&gp, &fp);
+        argv.extend([
+            "--synthetic".to_string(),
+            "120".to_string(),
+            "--out".to_string(),
+            out.to_str().unwrap().to_string(),
+        ]);
+        let report = run(&Args::parse(argv).unwrap()).unwrap();
+        // Events went to the file, not the report.
+        assert!(report.starts_with("stream done:"), "{report}");
+        assert!(report.contains("\"deltas_applied\": 120"), "{report}");
+        let events = std::fs::read_to_string(&out).unwrap();
+        assert!(events.lines().count() >= 2);
+        for line in events.lines() {
+            let v: serde::Value = serde_json::from_str(line).expect("valid NDJSON");
+            assert!(v.get("event").is_some());
+        }
+        std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn replay_mode_builds_its_own_scenario() {
+        let argv = [
+            "--replay",
+            "dublin",
+            "--journeys",
+            "16",
+            "--window",
+            "6",
+            "--k",
+            "2",
+            "--d",
+            "2500",
+            "--check-interval",
+            "8",
+            "--threads",
+            "2",
+        ];
+        let report = run(&Args::parse(argv).unwrap()).unwrap();
+        assert!(report.contains("stream done:"), "{report}");
+        assert!(report.contains("\"deltas_rejected\": 0"), "{report}");
+    }
+
+    #[test]
+    fn source_selection_is_validated() {
+        let (gp, fp) = fixture();
+        // No source.
+        let argv = base_args(&gp, &fp);
+        assert!(matches!(
+            run(&Args::parse(argv).unwrap()),
+            Err(CliError::Usage(_))
+        ));
+        // Both sources.
+        let mut argv = base_args(&gp, &fp);
+        argv.extend([
+            "--deltas".to_string(),
+            "x.ndjson".to_string(),
+            "--synthetic".to_string(),
+            "5".to_string(),
+        ]);
+        assert!(matches!(
+            run(&Args::parse(argv).unwrap()),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn strict_mode_surfaces_rejects() {
+        let (gp, fp) = fixture();
+        let bad = std::env::temp_dir().join("rap_cli_stream_bad.ndjson");
+        std::fs::write(&bad, "{\"op\":\"remove\",\"flow\":999}\n").unwrap();
+        let mut argv = base_args(&gp, &fp);
+        argv.extend([
+            "--deltas".to_string(),
+            bad.to_str().unwrap().to_string(),
+            "--strict".to_string(),
+            "true".to_string(),
+        ]);
+        assert!(matches!(
+            run(&Args::parse(argv).unwrap()),
+            Err(CliError::Stream(_))
+        ));
+        // Lenient keeps going and reports the reject.
+        let mut argv = base_args(&gp, &fp);
+        argv.extend(["--deltas".to_string(), bad.to_str().unwrap().to_string()]);
+        let report = run(&Args::parse(argv).unwrap()).unwrap();
+        assert!(report.contains("\"deltas_rejected\": 1"), "{report}");
+        std::fs::remove_file(bad).ok();
+    }
+}

@@ -34,6 +34,9 @@ pub enum CliError {
     Traffic(rap_traffic::TrafficError),
     /// Placement failures.
     Placement(rap_core::PlacementError),
+    /// Streaming pipeline failures (delta parsing, rejected deltas in
+    /// strict mode, event-sink I/O).
+    Stream(rap_stream::StreamError),
     /// Filesystem failures.
     Io(std::io::Error),
 }
@@ -47,6 +50,7 @@ impl fmt::Display for CliError {
             CliError::Graph(e) => write!(f, "{e}"),
             CliError::Traffic(e) => write!(f, "{e}"),
             CliError::Placement(e) => write!(f, "{e}"),
+            CliError::Stream(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -90,6 +94,12 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<rap_stream::StreamError> for CliError {
+    fn from(e: rap_stream::StreamError) -> Self {
+        CliError::Stream(e)
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 rap — roadside advertisement dissemination toolkit (ICDCS 2015 reproduction)
@@ -99,6 +109,7 @@ commands:
   place      run placement algorithms on a graph + flows from disk
   figures    regenerate the paper's evaluation figures
   simulate   Manhattan-grid scenario with driver microsimulation
+  stream     serve a placement over a stream of traffic deltas
 
 run `rap <command> --help` for command options.";
 
@@ -125,6 +136,7 @@ where
             "place" => commands::place::USAGE.to_string(),
             "figures" => commands::figures::USAGE.to_string(),
             "simulate" => commands::simulate::USAGE.to_string(),
+            "stream" => commands::stream::USAGE.to_string(),
             _ => USAGE.to_string(),
         });
     }
@@ -134,6 +146,7 @@ where
         "place" => commands::place::run(&parsed),
         "figures" => commands::figures::run(&parsed),
         "simulate" => commands::simulate::run(&parsed),
+        "stream" => commands::stream::run(&parsed),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),

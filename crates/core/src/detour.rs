@@ -95,6 +95,26 @@ impl DetourTable {
         flows: &FlowSet,
         shops: &[NodeId],
     ) -> Result<Self, PlacementError> {
+        Ok(Self::build_with_trees(graph, flows, shops)?.0)
+    }
+
+    /// [`DetourTable::build`], additionally returning the per-shop reverse
+    /// and forward shortest-path trees it computed. The incremental
+    /// [`crate::mutable::MutableScenario`] retains them so that later flow
+    /// additions cost one Dijkstra for the new flow's route instead of a full
+    /// table rebuild.
+    pub(crate) fn build_with_trees(
+        graph: &RoadGraph,
+        flows: &FlowSet,
+        shops: &[NodeId],
+    ) -> Result<
+        (
+            Self,
+            Vec<dijkstra::ShortestPathTree>,
+            Vec<dijkstra::ShortestPathTree>,
+        ),
+        PlacementError,
+    > {
         if shops.is_empty() {
             return Err(PlacementError::NoShops);
         }
@@ -175,12 +195,48 @@ impl DetourTable {
             offsets.push(entries.len() as u32);
         }
 
-        Ok(DetourTable {
+        Ok((
+            DetourTable {
+                offsets,
+                entries,
+                to_shop,
+                flow_count: flows.len(),
+            },
+            rev_trees,
+            fwd_trees,
+        ))
+    }
+
+    /// Reassembles a table from raw CSR parts, without any Dijkstra runs.
+    ///
+    /// Used by [`crate::mutable::MutableScenario`] to materialize read
+    /// snapshots from its incrementally maintained arrays. The parts must
+    /// satisfy the CSR invariants ([`DetourTable::build`] documents the
+    /// layout); they are debug-asserted here.
+    pub(crate) fn from_parts(
+        offsets: Vec<u32>,
+        entries: Vec<FlowDetour>,
+        to_shop: Vec<Distance>,
+        flow_count: usize,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty(), "offsets must have node_count + 1 rows");
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().expect("nonempty") as usize, entries.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        DetourTable {
             offsets,
             entries,
             to_shop,
-            flow_count: flows.len(),
-        })
+            flow_count,
+        }
+    }
+
+    /// Disassembles the table into its raw CSR parts
+    /// `(offsets, entries, to_shop)`, handing
+    /// [`crate::mutable::MutableScenario`] ownership of the base arrays it
+    /// maintains incrementally.
+    pub(crate) fn into_raw_parts(self) -> (Vec<u32>, Vec<FlowDetour>, Vec<Distance>) {
+        (self.offsets, self.entries, self.to_shop)
     }
 
     /// The flat CSR index range of `node`'s entries (empty for ids outside

@@ -71,6 +71,7 @@ pub mod lazy;
 pub mod lazy_parallel;
 pub mod local_search;
 pub mod metrics;
+pub mod mutable;
 pub mod parallel;
 pub mod partial_enum;
 pub mod placement;
@@ -93,6 +94,7 @@ pub use lazy::LazyGreedy;
 pub use lazy_parallel::LazyParallelGreedy;
 pub use local_search::{GreedyWithSwaps, SwapSearch};
 pub use metrics::PlacementReport;
+pub use mutable::{DeltaError, DeltaOutcome, FlowDelta, MutableScenario};
 pub use parallel::{EngineReport, FallbackMode, ParallelGreedy, PoolConfig};
 pub use partial_enum::PartialEnumeration;
 pub use placement::Placement;

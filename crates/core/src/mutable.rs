@@ -1,0 +1,1118 @@
+//! Incremental scenario maintenance for streaming traffic.
+//!
+//! [`Scenario`] is build-once-immutable: the CSR detour table and the
+//! per-entry value array are frozen at construction, so any traffic change
+//! forces a full rebuild (two Dijkstras per shop plus a pass over every
+//! routed path). [`MutableScenario`] closes that gap for a *fixed* graph,
+//! shop set, and utility function: it applies a stream of [`FlowDelta`]s —
+//! add / remove / rescale a flow, change a flow's price sensitivity `α` —
+//! directly to incrementally maintained CSR arrays.
+//!
+//! ## Append + tombstone + compaction
+//!
+//! * **Add** routes the new flow on the current graph (one Dijkstra from its
+//!   origin — the same [`rap_graph::dijkstra::shortest_path_tree`] call
+//!   [`FlowSet::route`] makes, so the path is identical to a from-scratch
+//!   rebuild's), derives its first-visit detour entries from the per-shop
+//!   trees retained at construction, and *appends* them to per-node overlay
+//!   rows behind the base CSR.
+//! * **Remove** marks the flow dead and zeroes its entry values in place
+//!   (a zero value can never win a best-value comparison, so the hot loops
+//!   need no liveness branch); the stale entries are *tombstones*.
+//! * **Rescale / set-α** recompute the flow's entry values from scratch —
+//!   `f(detour, α) · volume` with the updated parameter, never by scaling the
+//!   stored floats — so values stay bit-identical to a rebuild's.
+//!
+//! When the tombstone share of all entries reaches a configurable threshold,
+//! a **compaction** merges the overlay into a fresh base CSR, drops dead
+//! entries, and densely renumbers the surviving flows (order-preserving, so
+//! per-node entries stay sorted by flow id exactly as [`DetourTable::build`]
+//! emits them).
+//!
+//! ## Epoch-numbered snapshots
+//!
+//! Every successful mutation advances an epoch counter. [`snapshot`]
+//! materializes the current state as a real, immutable [`Scenario`] (cached
+//! per epoch), so *every* existing evaluation engine — sequential, pooled,
+//! lazy-parallel — keeps scanning flat arrays with zero changes. Snapshots
+//! are **bit-identical** to a from-scratch rebuild of the live flows: same
+//! routed paths, same CSR entry order, same `f64` entry values (the
+//! equivalence is property-tested in `tests/mutable_equivalence.rs`).
+//!
+//! [`snapshot`]: MutableScenario::snapshot
+//!
+//! ```
+//! use rap_graph::{GridGraph, Distance, NodeId};
+//! use rap_traffic::{FlowSpec, FlowSet};
+//! use rap_core::{FlowDelta, MutableScenario, UtilityKind};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let grid = GridGraph::new(3, 3, Distance::from_feet(10));
+//! let flows = FlowSet::route(
+//!     grid.graph(),
+//!     vec![FlowSpec::new(NodeId::new(0), NodeId::new(2), 1000.0)?],
+//! )?;
+//! let mut live = MutableScenario::new(
+//!     grid.graph().clone(),
+//!     flows,
+//!     vec![NodeId::new(4)],
+//!     UtilityKind::Linear.instantiate(Distance::from_feet(40)),
+//! )?;
+//! let outcome = live.apply(&FlowDelta::AddFlow {
+//!     origin: NodeId::new(6),
+//!     destination: NodeId::new(8),
+//!     volume: 500.0,
+//!     alpha: 0.1,
+//! })?;
+//! assert_eq!(outcome.assigned, Some(1)); // stable ids are monotone
+//! assert_eq!(live.snapshot().flows().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::detour::{DetourTable, FlowDetour};
+use crate::error::PlacementError;
+use crate::placement::Placement;
+use crate::scenario::Scenario;
+use crate::utility::UtilityFunction;
+use rap_graph::{dijkstra, Distance, NodeId, Path, RoadGraph};
+use rap_traffic::{FlowId, FlowSet, FlowSpec, TrafficFlow};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Tombstone share of all entries above which [`MutableScenario::apply`]
+/// triggers a compaction.
+pub const DEFAULT_COMPACT_RATIO: f64 = 0.25;
+
+/// One mutation of the live traffic scenario.
+///
+/// Flows are addressed by *stable* ids: the id assigned when the flow was
+/// added (monotonically increasing, starting at the initial flow count) and
+/// unchanged by compactions, unlike the dense internal ids the CSR uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FlowDelta {
+    /// Introduce a new flow, routed on a shortest path like
+    /// [`FlowSet::route`] would.
+    AddFlow {
+        /// Origin intersection.
+        origin: NodeId,
+        /// Destination intersection.
+        destination: NodeId,
+        /// Daily vehicle volume (finite, positive).
+        volume: f64,
+        /// Advertisement attractiveness / price sensitivity `α` in `[0, 1]`.
+        alpha: f64,
+    },
+    /// Retire a live flow, tombstoning its detour entries.
+    RemoveFlow {
+        /// Stable id of the flow to remove.
+        flow: u64,
+    },
+    /// Multiply a live flow's daily volume by `factor`.
+    RescaleFlow {
+        /// Stable id of the flow to rescale.
+        flow: u64,
+        /// Volume multiplier (finite, positive; the product must stay a
+        /// valid volume).
+        factor: f64,
+    },
+    /// Change a live flow's price sensitivity `α` (the paper's shop-side
+    /// knob: how attractive the advertised discount is).
+    SetAlpha {
+        /// Stable id of the flow to retune.
+        flow: u64,
+        /// New `α` in `[0, 1]`.
+        alpha: f64,
+    },
+}
+
+/// Why a [`FlowDelta`] was rejected. The scenario is unchanged on error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeltaError {
+    /// The stable flow id is unknown or already removed.
+    UnknownFlow {
+        /// The offending stable id.
+        flow: u64,
+    },
+    /// An endpoint is not an intersection of the graph.
+    NodeOutOfBounds {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// Origin equals destination.
+    DegenerateFlow {
+        /// The shared endpoint.
+        node: NodeId,
+    },
+    /// No path from origin to destination.
+    Unroutable {
+        /// Origin intersection.
+        origin: NodeId,
+        /// Destination intersection.
+        destination: NodeId,
+    },
+    /// Volume (or a rescaled volume) is not finite and positive.
+    InvalidVolume {
+        /// The offending volume.
+        volume: f64,
+    },
+    /// Rescale factor is not finite and positive.
+    InvalidFactor {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// `α` is not finite in `[0, 1]`.
+    InvalidAlpha {
+        /// The offending alpha.
+        alpha: f64,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DeltaError::UnknownFlow { flow } => {
+                write!(f, "flow #{flow} is unknown or already removed")
+            }
+            DeltaError::NodeOutOfBounds { node } => {
+                write!(f, "{node} is not an intersection of the graph")
+            }
+            DeltaError::DegenerateFlow { node } => {
+                write!(f, "flow origin and destination are both {node}")
+            }
+            DeltaError::Unroutable {
+                origin,
+                destination,
+            } => write!(f, "no route from {origin} to {destination}"),
+            DeltaError::InvalidVolume { volume } => {
+                write!(f, "volume {volume} is not finite and positive")
+            }
+            DeltaError::InvalidFactor { factor } => {
+                write!(f, "rescale factor {factor} is not finite and positive")
+            }
+            DeltaError::InvalidAlpha { alpha } => {
+                write!(f, "alpha {alpha} is not finite in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// What applying one [`FlowDelta`] did.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaOutcome {
+    /// The epoch after the mutation (and a triggered compaction, if any).
+    pub epoch: u64,
+    /// The stable id assigned by an `AddFlow`.
+    pub assigned: Option<u64>,
+    /// Whether the mutation pushed the tombstone share over the threshold
+    /// and a compaction ran.
+    pub compacted: bool,
+    /// CSR entries appended, tombstoned, or revalued by this delta.
+    pub entries_touched: usize,
+}
+
+/// One appended detour entry in a per-node overlay row.
+#[derive(Clone, Copy, Debug)]
+struct OverlayEntry {
+    /// Dense internal flow id.
+    flow: u32,
+    position: u32,
+    detour: Distance,
+    /// `f(detour, α) · volume`, zeroed when the flow is tombstoned.
+    value: f64,
+}
+
+/// Everything the maintainer tracks per flow.
+#[derive(Clone, Debug)]
+struct FlowState {
+    stable: u64,
+    origin: NodeId,
+    destination: NodeId,
+    volume: f64,
+    alpha: f64,
+    path: Path,
+    live: bool,
+    /// Flat indices of this flow's entries in the base CSR.
+    base_locs: Vec<u32>,
+    /// `(node, index within the node's overlay row)` of appended entries.
+    overlay_locs: Vec<(u32, u32)>,
+}
+
+/// A placement scenario that stays current under a stream of traffic deltas.
+///
+/// See the [module docs](self) for the maintenance scheme. The graph, shop
+/// set, and utility function are fixed for the scenario's lifetime; only the
+/// flow population mutates.
+pub struct MutableScenario {
+    graph: RoadGraph,
+    shops: Vec<NodeId>,
+    utility: Arc<dyn UtilityFunction>,
+    /// Per-shop reverse trees: `d'(v → shop)` for any `v`, cached forever.
+    rev_trees: Vec<dijkstra::ShortestPathTree>,
+    /// Per-shop forward trees: `d''(shop → dest)` for any destination.
+    fwd_trees: Vec<dijkstra::ShortestPathTree>,
+    /// `min_s dist(v → shop_s)` — immutable, shared by every snapshot.
+    to_shop: Vec<Distance>,
+    flows: Vec<FlowState>,
+    /// Stable id → dense internal id, live flows only.
+    by_stable: HashMap<u64, u32>,
+    next_stable: u64,
+    /// Base CSR (last compaction's state): row starts, entries, values.
+    offsets: Vec<u32>,
+    entries: Vec<FlowDetour>,
+    values: Vec<f64>,
+    /// Per-node rows of entries appended since the last compaction.
+    overlay: Vec<Vec<OverlayEntry>>,
+    overlay_entries: usize,
+    /// Entries belonging to tombstoned flows (still occupying slots).
+    dead_entries: usize,
+    compact_ratio: f64,
+    epoch: u64,
+    compactions: u64,
+    /// Last materialized snapshot, keyed by the epoch it reflects.
+    cache: Option<(u64, Arc<Scenario>)>,
+}
+
+impl fmt::Debug for MutableScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutableScenario")
+            .field("epoch", &self.epoch)
+            .field("live_flows", &self.by_stable.len())
+            .field("total_entries", &self.total_entries())
+            .field("dead_entries", &self.dead_entries)
+            .field("compactions", &self.compactions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MutableScenario {
+    /// Wraps an initial flow population, precomputing the base CSR and the
+    /// per-shop trees that make later additions cheap.
+    ///
+    /// The initial flows receive stable ids `0..flows.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::new`].
+    pub fn new(
+        graph: RoadGraph,
+        flows: FlowSet,
+        shops: Vec<NodeId>,
+        utility: Arc<dyn UtilityFunction>,
+    ) -> Result<Self, PlacementError> {
+        let (table, rev_trees, fwd_trees) = DetourTable::build_with_trees(&graph, &flows, &shops)?;
+        let (offsets, entries, to_shop) = table.into_raw_parts();
+        let mut states: Vec<FlowState> = flows
+            .iter()
+            .map(|f| FlowState {
+                stable: f.id().index() as u64,
+                origin: f.origin(),
+                destination: f.destination(),
+                volume: f.volume(),
+                alpha: f.attractiveness(),
+                path: f.path().clone(),
+                live: true,
+                base_locs: Vec::new(),
+                overlay_locs: Vec::new(),
+            })
+            .collect();
+        let mut values = Vec::with_capacity(entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            let st = &mut states[e.flow.index()];
+            st.base_locs.push(i as u32);
+            values.push(utility.probability(e.detour, st.alpha) * st.volume);
+        }
+        let by_stable = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.stable, i as u32))
+            .collect();
+        let n = graph.node_count();
+        let next_stable = states.len() as u64;
+        Ok(MutableScenario {
+            graph,
+            shops,
+            utility,
+            rev_trees,
+            fwd_trees,
+            to_shop,
+            flows: states,
+            by_stable,
+            next_stable,
+            offsets,
+            entries,
+            values,
+            overlay: vec![Vec::new(); n],
+            overlay_entries: 0,
+            dead_entries: 0,
+            compact_ratio: DEFAULT_COMPACT_RATIO,
+            epoch: 0,
+            compactions: 0,
+            cache: None,
+        })
+    }
+
+    /// Overrides the tombstone share that triggers auto-compaction
+    /// (default [`DEFAULT_COMPACT_RATIO`]); clamped to `[0, 1]`. A ratio of
+    /// `1.0` effectively disables auto-compaction ([`MutableScenario::compact`]
+    /// still works).
+    #[must_use]
+    pub fn with_compact_ratio(mut self, ratio: f64) -> Self {
+        self.compact_ratio = ratio.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Applies one delta; on success the epoch advances (twice if a
+    /// compaction was triggered).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeltaError`] and leaves the scenario unchanged when the
+    /// delta references an unknown flow or carries invalid parameters.
+    pub fn apply(&mut self, delta: &FlowDelta) -> Result<DeltaOutcome, DeltaError> {
+        let (assigned, entries_touched) = match *delta {
+            FlowDelta::AddFlow {
+                origin,
+                destination,
+                volume,
+                alpha,
+            } => {
+                let (stable, touched) = self.add_flow(origin, destination, volume, alpha)?;
+                (Some(stable), touched)
+            }
+            FlowDelta::RemoveFlow { flow } => (None, self.remove_flow(flow)?),
+            FlowDelta::RescaleFlow { flow, factor } => (None, self.rescale_flow(flow, factor)?),
+            FlowDelta::SetAlpha { flow, alpha } => (None, self.set_alpha(flow, alpha)?),
+        };
+        self.epoch += 1;
+        self.cache = None;
+        let compacted = self.maybe_compact();
+        Ok(DeltaOutcome {
+            epoch: self.epoch,
+            assigned,
+            compacted,
+            entries_touched,
+        })
+    }
+
+    fn add_flow(
+        &mut self,
+        origin: NodeId,
+        destination: NodeId,
+        volume: f64,
+        alpha: f64,
+    ) -> Result<(u64, usize), DeltaError> {
+        for node in [origin, destination] {
+            if !self.graph.contains_node(node) {
+                return Err(DeltaError::NodeOutOfBounds { node });
+            }
+        }
+        if origin == destination {
+            return Err(DeltaError::DegenerateFlow { node: origin });
+        }
+        if !volume.is_finite() || volume <= 0.0 {
+            return Err(DeltaError::InvalidVolume { volume });
+        }
+        check_alpha(alpha)?;
+        // Route exactly like `FlowSet::route`: a shortest-path tree from the
+        // origin, so a from-scratch rebuild picks the identical path.
+        let tree = dijkstra::shortest_path_tree(&self.graph, origin);
+        let path = tree
+            .path_to(destination)
+            .map_err(|_| DeltaError::Unroutable {
+                origin,
+                destination,
+            })?;
+        let internal = self.flows.len() as u32;
+        let stable = self.next_stable;
+        // Per-shop `d''(shop → destination)`, straight from the cached trees.
+        let shop_to_dest: Vec<Distance> = self
+            .fwd_trees
+            .iter()
+            .map(|t| t.distance(destination).unwrap_or(Distance::MAX))
+            .collect();
+        // First-visit scan, mirroring `FlowSet::from_routed` (positions,
+        // prefixes) and `DetourTable::build` (detour arithmetic).
+        let nodes: Vec<NodeId> = path.nodes().to_vec();
+        let mut seen: HashMap<NodeId, ()> = HashMap::new();
+        let mut prefix = Distance::ZERO;
+        let mut overlay_locs = Vec::new();
+        for (pos, &node) in nodes.iter().enumerate() {
+            if pos > 0 {
+                let hop = self
+                    .graph
+                    .edge_length(nodes[pos - 1], node)
+                    .expect("routed path edges exist in graph");
+                prefix = prefix.saturating_add(hop);
+            }
+            if seen.insert(node, ()).is_some() {
+                continue;
+            }
+            let remaining = path.length().saturating_sub(prefix);
+            let mut via_shop = Distance::MAX;
+            for (s, rev) in self.rev_trees.iter().enumerate() {
+                let d1 = match rev.distance(node) {
+                    Some(d) => d,
+                    None => continue,
+                };
+                let d2 = shop_to_dest[s];
+                if d2 == Distance::MAX {
+                    continue;
+                }
+                via_shop = via_shop.min(d1.saturating_add(d2));
+            }
+            if via_shop == Distance::MAX {
+                continue; // no shop reachable from here for this flow
+            }
+            let detour = via_shop.saturating_sub(remaining);
+            let value = self.utility.probability(detour, alpha) * volume;
+            let row = &mut self.overlay[node.index()];
+            row.push(OverlayEntry {
+                flow: internal,
+                position: pos as u32,
+                detour,
+                value,
+            });
+            overlay_locs.push((node.index() as u32, (row.len() - 1) as u32));
+        }
+        let touched = overlay_locs.len();
+        self.overlay_entries += touched;
+        self.next_stable += 1;
+        self.by_stable.insert(stable, internal);
+        self.flows.push(FlowState {
+            stable,
+            origin,
+            destination,
+            volume,
+            alpha,
+            path,
+            live: true,
+            base_locs: Vec::new(),
+            overlay_locs,
+        });
+        Ok((stable, touched))
+    }
+
+    fn remove_flow(&mut self, stable: u64) -> Result<usize, DeltaError> {
+        let idx = self.live_internal(stable)? as usize;
+        self.flows[idx].live = false;
+        self.by_stable.remove(&stable);
+        // Zero the tombstoned values in place: a zero can never win a
+        // best-value comparison, so readers need no liveness branch.
+        for j in 0..self.flows[idx].base_locs.len() {
+            let loc = self.flows[idx].base_locs[j] as usize;
+            self.values[loc] = 0.0;
+        }
+        for j in 0..self.flows[idx].overlay_locs.len() {
+            let (node, k) = self.flows[idx].overlay_locs[j];
+            self.overlay[node as usize][k as usize].value = 0.0;
+        }
+        let touched = self.flows[idx].base_locs.len() + self.flows[idx].overlay_locs.len();
+        self.dead_entries += touched;
+        Ok(touched)
+    }
+
+    fn rescale_flow(&mut self, stable: u64, factor: f64) -> Result<usize, DeltaError> {
+        let idx = self.live_internal(stable)? as usize;
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(DeltaError::InvalidFactor { factor });
+        }
+        let volume = self.flows[idx].volume * factor;
+        if !volume.is_finite() || volume <= 0.0 {
+            return Err(DeltaError::InvalidVolume { volume });
+        }
+        self.flows[idx].volume = volume;
+        Ok(self.refresh_values(idx))
+    }
+
+    fn set_alpha(&mut self, stable: u64, alpha: f64) -> Result<usize, DeltaError> {
+        let idx = self.live_internal(stable)? as usize;
+        check_alpha(alpha)?;
+        self.flows[idx].alpha = alpha;
+        Ok(self.refresh_values(idx))
+    }
+
+    /// Recomputes one live flow's entry values from scratch — the same
+    /// `f(detour, α) · volume` expression a rebuild evaluates, never a scale
+    /// of the stored floats, to preserve bit-identity.
+    fn refresh_values(&mut self, idx: usize) -> usize {
+        let volume = self.flows[idx].volume;
+        let alpha = self.flows[idx].alpha;
+        for j in 0..self.flows[idx].base_locs.len() {
+            let loc = self.flows[idx].base_locs[j] as usize;
+            let detour = self.entries[loc].detour;
+            self.values[loc] = self.utility.probability(detour, alpha) * volume;
+        }
+        for j in 0..self.flows[idx].overlay_locs.len() {
+            let (node, k) = self.flows[idx].overlay_locs[j];
+            let detour = self.overlay[node as usize][k as usize].detour;
+            self.overlay[node as usize][k as usize].value =
+                self.utility.probability(detour, alpha) * volume;
+        }
+        self.flows[idx].base_locs.len() + self.flows[idx].overlay_locs.len()
+    }
+
+    fn live_internal(&self, stable: u64) -> Result<u32, DeltaError> {
+        self.by_stable
+            .get(&stable)
+            .copied()
+            .ok_or(DeltaError::UnknownFlow { flow: stable })
+    }
+
+    fn maybe_compact(&mut self) -> bool {
+        let total = self.total_entries();
+        if self.dead_entries == 0 || total == 0 {
+            return false;
+        }
+        if (self.dead_entries as f64) < self.compact_ratio * total as f64 {
+            return false;
+        }
+        self.compact();
+        true
+    }
+
+    /// Merges the overlay into a fresh base CSR, drops tombstoned entries,
+    /// and densely renumbers the surviving flows (order-preserving, so
+    /// per-node entries stay sorted by flow id). Advances the epoch.
+    pub fn compact(&mut self) {
+        let mut remap: Vec<Option<u32>> = Vec::with_capacity(self.flows.len());
+        let mut survivors: Vec<FlowState> = Vec::with_capacity(self.by_stable.len());
+        for mut st in self.flows.drain(..) {
+            if st.live {
+                remap.push(Some(survivors.len() as u32));
+                st.base_locs.clear();
+                st.overlay_locs.clear();
+                survivors.push(st);
+            } else {
+                remap.push(None);
+            }
+        }
+        let n = self.graph.node_count();
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut entries: Vec<FlowDetour> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        offsets.push(0);
+        for v in 0..n {
+            let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+            for i in range {
+                let e = self.entries[i];
+                if let Some(new_id) = remap[e.flow.index()] {
+                    survivors[new_id as usize]
+                        .base_locs
+                        .push(entries.len() as u32);
+                    entries.push(FlowDetour {
+                        flow: FlowId::new(new_id),
+                        position: e.position,
+                        detour: e.detour,
+                    });
+                    values.push(self.values[i]);
+                }
+            }
+            for oe in self.overlay[v].drain(..) {
+                if let Some(new_id) = remap[oe.flow as usize] {
+                    survivors[new_id as usize]
+                        .base_locs
+                        .push(entries.len() as u32);
+                    entries.push(FlowDetour {
+                        flow: FlowId::new(new_id),
+                        position: oe.position,
+                        detour: oe.detour,
+                    });
+                    values.push(oe.value);
+                }
+            }
+            assert!(
+                entries.len() <= u32::MAX as usize,
+                "detour table exceeds u32 CSR offset range"
+            );
+            offsets.push(entries.len() as u32);
+        }
+        self.flows = survivors;
+        self.offsets = offsets;
+        self.entries = entries;
+        self.values = values;
+        self.overlay_entries = 0;
+        self.dead_entries = 0;
+        self.by_stable = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.stable, i as u32))
+            .collect();
+        self.compactions += 1;
+        self.epoch += 1;
+        self.cache = None;
+    }
+
+    /// The current state as an immutable [`Scenario`], cheap when the epoch
+    /// has not advanced since the last call (the materialization is cached).
+    ///
+    /// The snapshot is bit-identical to `Scenario::new` over the live flows:
+    /// same paths, same CSR entry order, same entry values.
+    pub fn snapshot(&mut self) -> Arc<Scenario> {
+        if let Some((epoch, snap)) = &self.cache {
+            if *epoch == self.epoch {
+                return Arc::clone(snap);
+            }
+        }
+        let snap = Arc::new(self.materialize());
+        self.cache = Some((self.epoch, Arc::clone(&snap)));
+        snap
+    }
+
+    /// Builds the snapshot scenario from the maintained arrays — no Dijkstra
+    /// runs, one pass over entries plus the first-visit re-index.
+    fn materialize(&self) -> Scenario {
+        // Dense renumber of live flows, in internal-id (= insertion) order —
+        // the order `FlowSet::route` would assign from `live_specs()`.
+        let mut remap: Vec<u32> = vec![u32::MAX; self.flows.len()];
+        let mut routed: Vec<TrafficFlow> = Vec::with_capacity(self.by_stable.len());
+        for (old, st) in self.flows.iter().enumerate() {
+            if !st.live {
+                continue;
+            }
+            remap[old] = routed.len() as u32;
+            let spec = FlowSpec::new(st.origin, st.destination, st.volume)
+                .expect("volume validated at apply time")
+                .with_attractiveness(st.alpha)
+                .expect("alpha validated at apply time");
+            routed.push(TrafficFlow::new(
+                FlowId::new(remap[old]),
+                spec,
+                st.path.clone(),
+            ));
+        }
+        let flow_count = routed.len();
+        let flows = FlowSet::from_routed(&self.graph, routed);
+        let n = self.graph.node_count();
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut entries: Vec<FlowDetour> = Vec::new();
+        offsets.push(0);
+        for v in 0..n {
+            let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+            for e in &self.entries[range] {
+                let new_id = remap[e.flow.index()];
+                if new_id != u32::MAX {
+                    entries.push(FlowDetour {
+                        flow: FlowId::new(new_id),
+                        position: e.position,
+                        detour: e.detour,
+                    });
+                }
+            }
+            for oe in &self.overlay[v] {
+                let new_id = remap[oe.flow as usize];
+                if new_id != u32::MAX {
+                    entries.push(FlowDetour {
+                        flow: FlowId::new(new_id),
+                        position: oe.position,
+                        detour: oe.detour,
+                    });
+                }
+            }
+            offsets.push(entries.len() as u32);
+        }
+        let table = DetourTable::from_parts(offsets, entries, self.to_shop.clone(), flow_count);
+        Scenario::from_parts(
+            self.graph.clone(),
+            flows,
+            self.shops.clone(),
+            Arc::clone(&self.utility),
+            table,
+        )
+    }
+
+    /// The objective `w(placement)` against the *current* state, straight
+    /// off the maintained arrays — no snapshot materialization. Bit-identical
+    /// to `self.snapshot().evaluate(placement)`.
+    pub fn evaluate_current(&self, placement: &Placement) -> f64 {
+        let mut best = vec![0.0f64; self.flows.len()];
+        for &rap in placement {
+            let v = rap.index();
+            if v + 1 >= self.offsets.len() {
+                continue;
+            }
+            let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+            for (e, &value) in self.entries[range.clone()].iter().zip(&self.values[range]) {
+                let slot = &mut best[e.flow.index()];
+                if value > *slot {
+                    *slot = value;
+                }
+            }
+            for oe in &self.overlay[v] {
+                let slot = &mut best[oe.flow as usize];
+                if oe.value > *slot {
+                    *slot = oe.value;
+                }
+            }
+        }
+        // Tombstoned slots hold +0.0, which is exact under f64 summation, so
+        // the sum matches the snapshot's live-only fold bit for bit.
+        best.iter().sum()
+    }
+
+    /// The epoch (number of state versions since construction).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Compactions run so far (triggered or forced).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Number of live (non-tombstoned) flows.
+    pub fn live_flows(&self) -> usize {
+        self.by_stable.len()
+    }
+
+    /// All entry slots currently held (base + overlay, including
+    /// tombstones).
+    pub fn total_entries(&self) -> usize {
+        self.entries.len() + self.overlay_entries
+    }
+
+    /// Entry slots held by tombstoned flows.
+    pub fn dead_entries(&self) -> usize {
+        self.dead_entries
+    }
+
+    /// The stable id the next `AddFlow` will be assigned. Deterministic, so
+    /// delta producers can mirror the assignment without a back-channel.
+    pub fn next_stable_id(&self) -> u64 {
+        self.next_stable
+    }
+
+    /// Whether `stable` names a live flow.
+    pub fn contains_flow(&self, stable: u64) -> bool {
+        self.by_stable.contains_key(&stable)
+    }
+
+    /// Stable ids of the live flows, in internal (insertion) order.
+    pub fn live_stable_ids(&self) -> Vec<u64> {
+        self.flows
+            .iter()
+            .filter(|st| st.live)
+            .map(|st| st.stable)
+            .collect()
+    }
+
+    /// Specs of the live flows (current volume and `α`), in internal order —
+    /// routing these through [`FlowSet::route`] and [`Scenario::new`]
+    /// reproduces [`MutableScenario::snapshot`] exactly.
+    pub fn live_specs(&self) -> Vec<FlowSpec> {
+        self.flows
+            .iter()
+            .filter(|st| st.live)
+            .map(|st| {
+                FlowSpec::new(st.origin, st.destination, st.volume)
+                    .expect("volume validated at apply time")
+                    .with_attractiveness(st.alpha)
+                    .expect("alpha validated at apply time")
+            })
+            .collect()
+    }
+
+    /// The road graph.
+    pub fn graph(&self) -> &RoadGraph {
+        &self.graph
+    }
+
+    /// The shop intersections.
+    pub fn shops(&self) -> &[NodeId] {
+        &self.shops
+    }
+
+    /// Shared handle to the utility function.
+    pub fn utility_arc(&self) -> Arc<dyn UtilityFunction> {
+        Arc::clone(&self.utility)
+    }
+}
+
+fn check_alpha(alpha: f64) -> Result<(), DeltaError> {
+    if alpha.is_finite() && (0.0..=1.0).contains(&alpha) {
+        Ok(())
+    } else {
+        Err(DeltaError::InvalidAlpha { alpha })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::UtilityKind;
+    use rap_graph::GridGraph;
+
+    /// 4×4 grid, 100 ft blocks, shop at node 5, linear utility D = 600 ft.
+    fn substrate() -> (RoadGraph, Vec<NodeId>, Arc<dyn UtilityFunction>) {
+        let grid = GridGraph::new(4, 4, Distance::from_feet(100));
+        (
+            grid.graph().clone(),
+            vec![NodeId::new(5)],
+            UtilityKind::Linear.instantiate(Distance::from_feet(600)),
+        )
+    }
+
+    fn spec(o: u32, d: u32, vol: f64, alpha: f64) -> FlowSpec {
+        FlowSpec::new(NodeId::new(o), NodeId::new(d), vol)
+            .unwrap()
+            .with_attractiveness(alpha)
+            .unwrap()
+    }
+
+    fn mutable_with(specs: Vec<FlowSpec>) -> MutableScenario {
+        let (graph, shops, utility) = substrate();
+        let flows = FlowSet::route(&graph, specs).unwrap();
+        MutableScenario::new(graph, flows, shops, utility).unwrap()
+    }
+
+    /// Rebuilds from scratch over the live specs, as the equivalence oracle.
+    fn rebuild(m: &MutableScenario) -> Scenario {
+        let flows = FlowSet::route(m.graph(), m.live_specs()).unwrap();
+        Scenario::new(
+            m.graph().clone(),
+            flows,
+            m.shops().to_vec(),
+            m.utility_arc(),
+        )
+        .unwrap()
+    }
+
+    /// Bit-level equality of two scenarios' evaluation state.
+    fn assert_identical(a: &Scenario, b: &Scenario) {
+        assert_eq!(a.flows().len(), b.flows().len(), "flow counts differ");
+        assert_eq!(a.graph().node_count(), b.graph().node_count());
+        for v in 0..a.graph().node_count() {
+            let node = NodeId::new(v as u32);
+            assert_eq!(a.entries_at(node), b.entries_at(node), "entries at {node}");
+            let (af, av) = a.value_entries_at(node);
+            let (bf, bv) = b.value_entries_at(node);
+            assert_eq!(af, bf, "entry flows at {node}");
+            let a_bits: Vec<u64> = av.iter().map(|x| x.to_bits()).collect();
+            let b_bits: Vec<u64> = bv.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "entry values at {node}");
+        }
+    }
+
+    #[test]
+    fn fresh_wrapper_matches_plain_scenario() {
+        let mut m = mutable_with(vec![spec(0, 15, 800.0, 0.1), spec(12, 3, 400.0, 0.05)]);
+        assert_identical(&m.snapshot(), &rebuild(&m));
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.live_flows(), 2);
+    }
+
+    #[test]
+    fn deltas_track_the_rebuild_exactly() {
+        let mut m = mutable_with(vec![spec(0, 15, 800.0, 0.1), spec(12, 3, 400.0, 0.05)]);
+        let out = m
+            .apply(&FlowDelta::AddFlow {
+                origin: NodeId::new(2),
+                destination: NodeId::new(13),
+                volume: 650.0,
+                alpha: 0.2,
+            })
+            .unwrap();
+        assert_eq!(out.assigned, Some(2));
+        assert!(out.entries_touched > 0);
+        assert_identical(&m.snapshot(), &rebuild(&m));
+
+        m.apply(&FlowDelta::RescaleFlow {
+            flow: 0,
+            factor: 1.7,
+        })
+        .unwrap();
+        assert_identical(&m.snapshot(), &rebuild(&m));
+
+        m.apply(&FlowDelta::SetAlpha {
+            flow: 2,
+            alpha: 0.01,
+        })
+        .unwrap();
+        assert_identical(&m.snapshot(), &rebuild(&m));
+
+        m.apply(&FlowDelta::RemoveFlow { flow: 1 }).unwrap();
+        assert_identical(&m.snapshot(), &rebuild(&m));
+        assert_eq!(m.live_flows(), 2);
+        assert_eq!(m.live_stable_ids(), vec![0, 2]);
+    }
+
+    #[test]
+    fn compaction_preserves_the_snapshot() {
+        let mut m = mutable_with(vec![
+            spec(0, 15, 800.0, 0.1),
+            spec(12, 3, 400.0, 0.05),
+            spec(1, 14, 300.0, 0.2),
+        ])
+        .with_compact_ratio(1.0); // manual compaction only
+        m.apply(&FlowDelta::AddFlow {
+            origin: NodeId::new(4),
+            destination: NodeId::new(11),
+            volume: 120.0,
+            alpha: 0.3,
+        })
+        .unwrap();
+        m.apply(&FlowDelta::RemoveFlow { flow: 1 }).unwrap();
+        let before = m.snapshot();
+        assert!(m.dead_entries() > 0);
+        m.compact();
+        assert_eq!(m.dead_entries(), 0);
+        assert_eq!(m.compactions(), 1);
+        let after = m.snapshot();
+        assert_identical(&before, &after);
+        assert_identical(&after, &rebuild(&m));
+
+        // Mutations keep working against the compacted base.
+        m.apply(&FlowDelta::RescaleFlow {
+            flow: 3,
+            factor: 2.5,
+        })
+        .unwrap();
+        assert_identical(&m.snapshot(), &rebuild(&m));
+    }
+
+    #[test]
+    fn tombstone_ratio_triggers_auto_compaction() {
+        let mut m = mutable_with(vec![
+            spec(0, 15, 800.0, 0.1),
+            spec(12, 3, 400.0, 0.05),
+            spec(1, 14, 300.0, 0.2),
+            spec(2, 13, 200.0, 0.15),
+        ])
+        .with_compact_ratio(0.2);
+        let out = m.apply(&FlowDelta::RemoveFlow { flow: 0 }).unwrap();
+        assert!(out.compacted, "25% of flows tombstoned should compact");
+        assert_eq!(m.compactions(), 1);
+        assert_eq!(m.dead_entries(), 0);
+        assert_identical(&m.snapshot(), &rebuild(&m));
+    }
+
+    #[test]
+    fn evaluate_current_matches_snapshot_evaluation() {
+        let mut m = mutable_with(vec![spec(0, 15, 800.0, 0.1), spec(12, 3, 400.0, 0.05)]);
+        m.apply(&FlowDelta::AddFlow {
+            origin: NodeId::new(2),
+            destination: NodeId::new(13),
+            volume: 650.0,
+            alpha: 0.2,
+        })
+        .unwrap();
+        m.apply(&FlowDelta::RemoveFlow { flow: 1 }).unwrap();
+        let snap = m.snapshot();
+        for v in 0..m.graph().node_count() as u32 {
+            let p = Placement::new(vec![NodeId::new(v), NodeId::new((v + 5) % 16)]);
+            assert_eq!(
+                m.evaluate_current(&p).to_bits(),
+                snap.evaluate(&p).to_bits(),
+                "divergence at placement {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_are_cached_per_epoch() {
+        let mut m = mutable_with(vec![spec(0, 15, 800.0, 0.1)]);
+        let a = m.snapshot();
+        let b = m.snapshot();
+        assert!(Arc::ptr_eq(&a, &b), "same epoch must share the snapshot");
+        m.apply(&FlowDelta::RescaleFlow {
+            flow: 0,
+            factor: 1.1,
+        })
+        .unwrap();
+        let c = m.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c), "mutation must invalidate the cache");
+    }
+
+    #[test]
+    fn stable_ids_survive_compaction() {
+        let mut m = mutable_with(vec![spec(0, 15, 800.0, 0.1), spec(12, 3, 400.0, 0.05)])
+            .with_compact_ratio(0.01);
+        m.apply(&FlowDelta::RemoveFlow { flow: 0 }).unwrap();
+        assert!(m.compactions() >= 1);
+        // Flow 1 keeps its stable address across the renumbering.
+        assert!(m.contains_flow(1));
+        m.apply(&FlowDelta::RescaleFlow {
+            flow: 1,
+            factor: 3.0,
+        })
+        .unwrap();
+        assert_identical(&m.snapshot(), &rebuild(&m));
+        // The next add continues the monotone stable sequence.
+        assert_eq!(m.next_stable_id(), 2);
+    }
+
+    #[test]
+    fn invalid_deltas_are_rejected_and_harmless() {
+        let mut m = mutable_with(vec![spec(0, 15, 800.0, 0.1)]);
+        let before = m.snapshot();
+        let cases: Vec<(FlowDelta, DeltaError)> = vec![
+            (
+                FlowDelta::RemoveFlow { flow: 9 },
+                DeltaError::UnknownFlow { flow: 9 },
+            ),
+            (
+                FlowDelta::RescaleFlow {
+                    flow: 0,
+                    factor: -1.0,
+                },
+                DeltaError::InvalidFactor { factor: -1.0 },
+            ),
+            (
+                FlowDelta::SetAlpha {
+                    flow: 0,
+                    alpha: 2.0,
+                },
+                DeltaError::InvalidAlpha { alpha: 2.0 },
+            ),
+            (
+                FlowDelta::AddFlow {
+                    origin: NodeId::new(0),
+                    destination: NodeId::new(99),
+                    volume: 1.0,
+                    alpha: 0.1,
+                },
+                DeltaError::NodeOutOfBounds {
+                    node: NodeId::new(99),
+                },
+            ),
+            (
+                FlowDelta::AddFlow {
+                    origin: NodeId::new(3),
+                    destination: NodeId::new(3),
+                    volume: 1.0,
+                    alpha: 0.1,
+                },
+                DeltaError::DegenerateFlow {
+                    node: NodeId::new(3),
+                },
+            ),
+            (
+                FlowDelta::AddFlow {
+                    origin: NodeId::new(0),
+                    destination: NodeId::new(1),
+                    volume: -5.0,
+                    alpha: 0.1,
+                },
+                DeltaError::InvalidVolume { volume: -5.0 },
+            ),
+        ];
+        for (delta, want) in cases {
+            assert_eq!(m.apply(&delta).unwrap_err(), want);
+        }
+        assert_eq!(m.epoch(), 0, "rejected deltas must not advance the epoch");
+        assert_identical(&before, &m.snapshot());
+    }
+
+    #[test]
+    fn double_remove_is_unknown() {
+        let mut m = mutable_with(vec![spec(0, 15, 800.0, 0.1)]);
+        m.apply(&FlowDelta::RemoveFlow { flow: 0 }).unwrap();
+        assert_eq!(
+            m.apply(&FlowDelta::RemoveFlow { flow: 0 }).unwrap_err(),
+            DeltaError::UnknownFlow { flow: 0 },
+        );
+    }
+}

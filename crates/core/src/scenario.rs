@@ -84,6 +84,23 @@ impl Scenario {
         utility: Arc<dyn UtilityFunction>,
     ) -> Result<Self, PlacementError> {
         let detours = DetourTable::build(&graph, &flows, &shops)?;
+        Ok(Self::from_parts(graph, flows, shops, utility, detours))
+    }
+
+    /// Assembles a scenario around an already-built detour table.
+    ///
+    /// The per-entry contributions `α · f(detour) · T` are recomputed here
+    /// from the table's detours and the flows' current volumes/attractiveness
+    /// — the exact expression [`Scenario::new`] uses — so snapshots
+    /// materialized by [`crate::mutable::MutableScenario`] evaluate
+    /// bit-identically to a from-scratch rebuild.
+    pub(crate) fn from_parts(
+        graph: RoadGraph,
+        flows: FlowSet,
+        shops: Vec<NodeId>,
+        utility: Arc<dyn UtilityFunction>,
+        detours: DetourTable,
+    ) -> Self {
         // The utility is frozen for the scenario's lifetime: precompute every
         // entry's contribution `α · f(detour) · T` once, so the greedy hot
         // loops never re-evaluate the utility function.
@@ -94,7 +111,7 @@ impl Scenario {
             entry_flow.push(e.flow.index() as u32);
             entry_value.push(utility.probability(e.detour, flow.attractiveness()) * flow.volume());
         }
-        Ok(Scenario {
+        Scenario {
             graph,
             flows,
             shops,
@@ -102,7 +119,7 @@ impl Scenario {
             detours,
             entry_flow,
             entry_value,
-        })
+        }
     }
 
     /// Convenience constructor for the common single-shop case.

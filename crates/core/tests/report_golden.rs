@@ -1,0 +1,74 @@
+//! Golden expectations for `EngineReport`: a healthy pool — no `FaultPlan`
+//! active — must report *exactly* zero recovery activity, for both pooled
+//! engines, so any accidental respawn/retry/timeout in normal operation
+//! fails loudly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rap_core::fixtures;
+use rap_core::{
+    EngineReport, FaultPlan, LazyParallelGreedy, MarginalGreedy, ParallelGreedy,
+    PlacementAlgorithm, Scenario, UtilityKind,
+};
+
+fn scenario() -> Scenario {
+    fixtures::fig4_scenario(UtilityKind::Linear)
+}
+
+fn assert_clean(report: &EngineReport, engine: &str) {
+    assert_eq!(
+        report.workers_respawned, 0,
+        "{engine}: healthy pool respawned workers"
+    );
+    assert_eq!(
+        report.replies_retried, 0,
+        "{engine}: healthy pool retried replies"
+    );
+    assert_eq!(
+        report.receive_timeouts, 0,
+        "{engine}: healthy pool hit receive timeouts"
+    );
+    assert!(!report.degraded, "{engine}: healthy pool degraded");
+    assert!(report.gain_evals > 0, "{engine}: no gains evaluated");
+}
+
+/// `place_with_report` with no fault plan returns all-zero recovery
+/// counters and the sequential-greedy placement.
+#[test]
+fn healthy_pools_report_all_zero_recovery_counters() {
+    // The CI fault-injection matrix exports RAP_FAULT_SEED, which injects a
+    // plan into every pool — recovery counters are then *expected* to be
+    // nonzero, so this golden test only applies to the clean configuration.
+    if FaultPlan::from_env().is_some() {
+        return;
+    }
+    let s = scenario();
+    let expected = MarginalGreedy.place(&s, 2, &mut StdRng::seed_from_u64(0));
+
+    let (p, report) = ParallelGreedy::with_threads(3).place_with_report(&s, 2);
+    assert_eq!(p, expected, "parallel placement diverged");
+    assert_clean(&report, "parallel");
+
+    let (p, report) = LazyParallelGreedy::with_threads(3).place_with_report(&s, 2);
+    assert_eq!(p, expected, "lazy-parallel placement diverged");
+    assert_clean(&report, "lazy-parallel");
+}
+
+/// An explicitly empty plan behaves exactly like no plan at all.
+#[test]
+fn explicit_empty_plan_is_equivalent_to_none() {
+    if FaultPlan::from_env().is_some() {
+        return;
+    }
+    let s = scenario();
+    let plan = FaultPlan::none();
+    assert!(plan.is_empty());
+    let (_, report) = ParallelGreedy::with_threads(2)
+        .place_with_faults(&s, 2, &plan)
+        .expect("empty plan cannot fail the pool");
+    assert_clean(&report, "parallel/none-plan");
+    let (_, report) = LazyParallelGreedy::with_threads(2)
+        .place_with_faults(&s, 2, &plan)
+        .expect("empty plan cannot fail the pool");
+    assert_clean(&report, "lazy-parallel/none-plan");
+}

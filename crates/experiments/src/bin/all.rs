@@ -9,6 +9,7 @@ fn main() {
         rap_experiments::fig13(&settings),
         rap_experiments::ablation(&settings),
         rap_experiments::robustness(&settings),
+        rap_experiments::drift(&settings),
     ];
     for figure in &figures {
         print!("{figure}");

@@ -1,0 +1,11 @@
+//! Runs the drift-resilience experiment; see `rap_experiments::drift`.
+
+fn main() {
+    let settings = rap_experiments::Settings::default();
+    let figure = rap_experiments::drift(&settings);
+    print!("{figure}");
+    match rap_experiments::save_results(&figure) {
+        Ok(path) => println!("json written to {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -13,6 +13,7 @@
 //! | `ablation` | E7 — greedy-objective and two-stage structure ablations |
 //! | `sensitivity` | robustness sweeps: alpha, demand, gps noise, flexibility |
 //! | `robustness` | failure-model validation, correlated outages, engine self-healing |
+//! | `drift` | online maintenance vs oracle re-greedy under streamed traffic drift |
 //! | `all` | everything above, writing JSON into `results/` |
 //!
 //! Trials default to 200 per data point (the paper uses 1,000); set
@@ -21,6 +22,7 @@
 
 pub mod ablation;
 pub mod complexity;
+pub mod drift_run;
 pub mod figures;
 pub mod general;
 pub mod manhattan_run;
@@ -30,6 +32,7 @@ pub mod series;
 
 pub use ablation::ablation;
 pub use complexity::complexity;
+pub use drift_run::drift;
 pub use figures::{fig10, fig11, fig12, fig13, save_results, Settings};
 pub use general::{run_general, GeneralRun};
 pub use manhattan_run::{run_manhattan, ManhattanRun};

@@ -1,0 +1,245 @@
+//! The NDJSON delta wire format.
+//!
+//! One JSON object per line, discriminated by an `"op"` field:
+//!
+//! ```json
+//! {"op":"add","origin":6,"destination":8,"volume":500.0,"alpha":0.1}
+//! {"op":"remove","flow":3}
+//! {"op":"rescale","flow":0,"factor":1.25}
+//! {"op":"set_alpha","flow":2,"alpha":0.05}
+//! {"op":"compact"}
+//! ```
+//!
+//! The serde impls are written by hand: the flow ops mirror
+//! [`rap_core::FlowDelta`] (a data-carrying enum, which the derive
+//! stand-in does not cover), and a hand-rolled codec keeps the wire format
+//! an explicit, documented contract rather than an accident of field names.
+
+use rap_core::{DeltaError, FlowDelta};
+use rap_graph::NodeId;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::fmt;
+
+/// One line of the delta stream: a scenario mutation or a control op.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StreamDelta {
+    /// A scenario mutation, applied via `MutableScenario::apply`.
+    Flow(FlowDelta),
+    /// Force a compaction now (normally threshold-triggered).
+    Compact,
+}
+
+impl From<FlowDelta> for StreamDelta {
+    fn from(delta: FlowDelta) -> Self {
+        StreamDelta::Flow(delta)
+    }
+}
+
+impl Serialize for StreamDelta {
+    fn serialize_value(&self) -> Value {
+        let field = |k: &str, v: Value| (k.to_owned(), v);
+        let op = |name: &str| field("op", Value::Str(name.to_owned()));
+        Value::Map(match *self {
+            StreamDelta::Flow(FlowDelta::AddFlow {
+                origin,
+                destination,
+                volume,
+                alpha,
+            }) => vec![
+                op("add"),
+                field("origin", Value::U64(origin.raw() as u64)),
+                field("destination", Value::U64(destination.raw() as u64)),
+                field("volume", Value::F64(volume)),
+                field("alpha", Value::F64(alpha)),
+            ],
+            StreamDelta::Flow(FlowDelta::RemoveFlow { flow }) => {
+                vec![op("remove"), field("flow", Value::U64(flow))]
+            }
+            StreamDelta::Flow(FlowDelta::RescaleFlow { flow, factor }) => vec![
+                op("rescale"),
+                field("flow", Value::U64(flow)),
+                field("factor", Value::F64(factor)),
+            ],
+            StreamDelta::Flow(FlowDelta::SetAlpha { flow, alpha }) => vec![
+                op("set_alpha"),
+                field("flow", Value::U64(flow)),
+                field("alpha", Value::F64(alpha)),
+            ],
+            StreamDelta::Compact => vec![op("compact")],
+        })
+    }
+}
+
+fn req<'v>(value: &'v Value, key: &str, op: &str) -> Result<&'v Value, SerdeError> {
+    value
+        .get(key)
+        .ok_or_else(|| SerdeError::custom(format!("op \"{op}\" requires field \"{key}\"")))
+}
+
+fn node(value: &Value, key: &str, op: &str) -> Result<NodeId, SerdeError> {
+    Ok(NodeId::new(u32::deserialize_value(req(value, key, op)?)?))
+}
+
+fn num(value: &Value, key: &str, op: &str) -> Result<f64, SerdeError> {
+    f64::deserialize_value(req(value, key, op)?)
+}
+
+fn flow_id(value: &Value, op: &str) -> Result<u64, SerdeError> {
+    u64::deserialize_value(req(value, "flow", op)?)
+}
+
+impl<'de> Deserialize<'de> for StreamDelta {
+    fn deserialize_value(value: &Value) -> Result<Self, SerdeError> {
+        let op = value
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| SerdeError::custom("delta object requires a string \"op\" field"))?;
+        match op {
+            "add" => Ok(StreamDelta::Flow(FlowDelta::AddFlow {
+                origin: node(value, "origin", op)?,
+                destination: node(value, "destination", op)?,
+                volume: num(value, "volume", op)?,
+                alpha: num(value, "alpha", op)?,
+            })),
+            "remove" => Ok(StreamDelta::Flow(FlowDelta::RemoveFlow {
+                flow: flow_id(value, op)?,
+            })),
+            "rescale" => Ok(StreamDelta::Flow(FlowDelta::RescaleFlow {
+                flow: flow_id(value, op)?,
+                factor: num(value, "factor", op)?,
+            })),
+            "set_alpha" => Ok(StreamDelta::Flow(FlowDelta::SetAlpha {
+                flow: flow_id(value, op)?,
+                alpha: num(value, "alpha", op)?,
+            })),
+            "compact" => Ok(StreamDelta::Compact),
+            other => Err(SerdeError::custom(format!(
+                "unknown delta op \"{other}\" (expected add/remove/rescale/set_alpha/compact)"
+            ))),
+        }
+    }
+}
+
+/// Anything that can stop the stream pipeline.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Reading the source or writing the event sink failed.
+    Io(std::io::Error),
+    /// A source line was not a valid delta object.
+    Parse {
+        /// 1-based line number in the source.
+        line: usize,
+        /// What the codec rejected.
+        message: String,
+    },
+    /// A well-formed delta was rejected by the scenario (strict mode only —
+    /// lenient mode reports these as events and keeps going).
+    Delta(DeltaError),
+    /// Building the initial scenario failed.
+    Scenario(rap_core::PlacementError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "stream i/o error: {e}"),
+            StreamError::Parse { line, message } => {
+                write!(f, "bad delta at line {line}: {message}")
+            }
+            StreamError::Delta(e) => write!(f, "delta rejected: {e}"),
+            StreamError::Scenario(e) => write!(f, "scenario setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Delta(e) => Some(e),
+            StreamError::Scenario(e) => Some(e),
+            StreamError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<DeltaError> for StreamError {
+    fn from(e: DeltaError) -> Self {
+        StreamError::Delta(e)
+    }
+}
+
+impl From<rap_core::PlacementError> for StreamError {
+    fn from(e: rap_core::PlacementError) -> Self {
+        StreamError::Scenario(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(delta: StreamDelta) {
+        let line = serde_json::to_string(&delta).expect("serializes");
+        let back: StreamDelta = serde_json::from_str(&line).expect("parses back");
+        assert_eq!(back, delta, "roundtrip of {line}");
+    }
+
+    #[test]
+    fn every_op_roundtrips() {
+        roundtrip(StreamDelta::Flow(FlowDelta::AddFlow {
+            origin: NodeId::new(6),
+            destination: NodeId::new(8),
+            volume: 500.0,
+            alpha: 0.1,
+        }));
+        roundtrip(StreamDelta::Flow(FlowDelta::RemoveFlow { flow: 3 }));
+        roundtrip(StreamDelta::Flow(FlowDelta::RescaleFlow {
+            flow: 0,
+            factor: 1.25,
+        }));
+        roundtrip(StreamDelta::Flow(FlowDelta::SetAlpha {
+            flow: 2,
+            alpha: 0.05,
+        }));
+        roundtrip(StreamDelta::Compact);
+    }
+
+    #[test]
+    fn wire_format_is_the_documented_one() {
+        let line = serde_json::to_string(&StreamDelta::Flow(FlowDelta::RescaleFlow {
+            flow: 7,
+            factor: 2.0,
+        }))
+        .unwrap();
+        assert_eq!(line, r#"{"op":"rescale","flow":7,"factor":2.0}"#);
+        let add: StreamDelta = serde_json::from_str(
+            r#"{"op":"add","origin":1,"destination":2,"volume":10.0,"alpha":0.5}"#,
+        )
+        .unwrap();
+        assert!(matches!(add, StreamDelta::Flow(FlowDelta::AddFlow { .. })));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_reasons() {
+        for (line, needle) in [
+            (r#"{"origin":1}"#, "op"),
+            (r#"{"op":"warp"}"#, "unknown delta op"),
+            (r#"{"op":"remove"}"#, "flow"),
+            (r#"{"op":"add","origin":1}"#, "destination"),
+            (r#"{"op":"rescale","flow":1}"#, "factor"),
+        ] {
+            let err = serde_json::from_str::<StreamDelta>(line).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{line}: error {err} should mention {needle}"
+            );
+        }
+    }
+}

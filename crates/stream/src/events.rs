@@ -1,0 +1,83 @@
+//! NDJSON events emitted by the serving loop — one JSON object per line on
+//! the sink, discriminated by the `event` field (`"placement"`, `"metrics"`,
+//! `"reject"`), so downstream scripts and the `rap stream` CLI share one
+//! machine-readable format with `rap place --json`.
+
+use serde::Serialize;
+
+/// A placement adoption: the initial solve, a swap-repair, or a full
+/// re-greedy resolve.
+#[derive(Clone, Debug, Serialize)]
+pub struct PlacementEvent {
+    /// Always `"placement"`.
+    pub event: String,
+    /// Deltas applied before this adoption (0 = initial solve).
+    pub delta_index: u64,
+    /// Scenario epoch the adopted placement was computed against.
+    pub epoch: u64,
+    /// `"initial"`, `"repair"`, or `"resolve"`.
+    pub action: String,
+    /// Staleness measured at the triggering check (0 for the initial solve).
+    pub staleness: f64,
+    /// Objective value of the adopted placement.
+    pub objective: f64,
+    /// RAP intersection ids, in adoption order.
+    pub raps: Vec<u32>,
+    /// Wall-clock latency of the intervention, microseconds.
+    pub latency_us: u64,
+}
+
+/// Periodic state-of-the-world sample.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsEvent {
+    /// Always `"metrics"`.
+    pub event: String,
+    /// Deltas applied so far.
+    pub delta_index: u64,
+    /// Current scenario epoch.
+    pub epoch: u64,
+    /// Live (non-tombstoned) flows.
+    pub live_flows: u64,
+    /// Entry slots held (base + overlay, including tombstones).
+    pub total_entries: u64,
+    /// Entry slots held by tombstoned flows.
+    pub dead_entries: u64,
+    /// Compactions run so far.
+    pub compactions: u64,
+    /// Serving placement's objective at the last measurement.
+    pub objective: f64,
+    /// Staleness checks / repairs / resolves so far.
+    pub checks: u64,
+    /// Swap-repairs adopted so far.
+    pub repairs: u64,
+    /// Full re-greedy escalations so far.
+    pub resolves: u64,
+}
+
+/// A delta the scenario rejected (lenient mode keeps streaming).
+#[derive(Clone, Debug, Serialize)]
+pub struct RejectEvent {
+    /// Always `"reject"`.
+    pub event: String,
+    /// 1-based position of the rejected delta in the stream.
+    pub delta_index: u64,
+    /// Why the scenario refused it.
+    pub reason: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_their_discriminator_first() {
+        let e = RejectEvent {
+            event: "reject".into(),
+            delta_index: 7,
+            reason: "flow #9 is unknown or already removed".into(),
+        };
+        let line = serde_json::to_string(&e).unwrap();
+        assert!(line.starts_with(r#"{"event":"reject""#), "{line}");
+        assert!(line.contains("\"delta_index\":7"), "{line}");
+    }
+}

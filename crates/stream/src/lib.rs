@@ -1,0 +1,40 @@
+//! # rap-stream
+//!
+//! Streaming traffic subsystem: the long-running counterpart to the one-shot
+//! solver. The paper optimizes RAP placement against a static daily traffic
+//! matrix; this crate keeps a placement current while the traffic *drifts* —
+//! flows appearing, retiring, rescaling, and changing price sensitivity —
+//! without rebuilding the scenario or re-running the full greedy for every
+//! change.
+//!
+//! Three layers:
+//!
+//! 1. **Delta protocol** ([`delta`]) — a newline-delimited JSON wire format
+//!    for [`rap_core::FlowDelta`] plus a `compact` control op, shared by the
+//!    CLI daemon, the experiment harness, and the benches.
+//! 2. **Delta sources** ([`source`]) — an NDJSON reader for files/stdin, a
+//!    seeded synthetic drift generator, and a trace-replay source built on
+//!    [`rap_trace`] city models.
+//! 3. **Online maintenance** ([`maintain`]) + **serving loop** ([`service`])
+//!    — applies deltas to a [`rap_core::MutableScenario`], watches a
+//!    staleness metric (certified fraction of the cheap singleton upper
+//!    bound from `rap_core::bounds`), repairs the placement with swap local
+//!    search when it drifts past a threshold, and escalates to a full
+//!    re-greedy on the persistent worker pool when swaps stall. Events out
+//!    ([`events`]) are NDJSON too, so the daemon's output is scriptable.
+//!
+//! Everything is deterministic under a seed: the synthetic source, the
+//! maintainer's escalation engine, and the maintenance policy itself contain
+//! no wall-clock-dependent decisions (timing appears only in metrics).
+
+pub mod delta;
+pub mod events;
+pub mod maintain;
+pub mod service;
+pub mod source;
+
+pub use delta::{StreamDelta, StreamError};
+pub use events::{MetricsEvent, PlacementEvent, RejectEvent};
+pub use maintain::{MaintainAction, Maintainer, MaintainerConfig, MaintainerStats};
+pub use service::{run_stream, StreamConfig, StreamSummary};
+pub use source::{read_ndjson, SyntheticDrift, TraceReplay};

@@ -1,0 +1,266 @@
+//! Delta sources: NDJSON files/stdin, seeded synthetic drift, and trace
+//! replay over [`rap_trace`] city models.
+
+use crate::delta::{StreamDelta, StreamError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rap_core::FlowDelta;
+use rap_trace::CityModel;
+use std::collections::VecDeque;
+use std::io::BufRead;
+
+/// Parses an NDJSON delta stream line by line. Blank lines are skipped;
+/// parse failures carry their 1-based line number.
+pub fn read_ndjson<R: BufRead>(
+    reader: R,
+) -> impl Iterator<Item = Result<StreamDelta, StreamError>> {
+    reader
+        .lines()
+        .enumerate()
+        .filter_map(|(i, line)| match line {
+            Err(e) => Some(Err(StreamError::Io(e))),
+            Ok(text) => {
+                let trimmed = text.trim();
+                if trimmed.is_empty() {
+                    return None;
+                }
+                Some(
+                    serde_json::from_str::<StreamDelta>(trimmed).map_err(|e| StreamError::Parse {
+                        line: i + 1,
+                        message: e.to_string(),
+                    }),
+                )
+            }
+        })
+}
+
+/// A seeded generator of plausible drift: a mix of flow arrivals,
+/// retirements, volume rescales, and α retunes, always self-consistent (it
+/// mirrors the scenario's stable-id assignment, so every emitted id is live
+/// at emission time and every add is routable on a connected graph).
+///
+/// Deterministic: the same seed and starting state produce the same stream.
+#[derive(Debug)]
+pub struct SyntheticDrift {
+    rng: StdRng,
+    node_count: u32,
+    /// Stable ids the generator believes are live, kept in sync with the
+    /// scenario because stable ids are assigned by a deterministic counter.
+    live: Vec<u64>,
+    next_stable: u64,
+    remaining: usize,
+}
+
+impl SyntheticDrift {
+    /// A drift stream of `count` deltas over a scenario with `node_count`
+    /// intersections, currently-live stable ids `live`, and deterministic
+    /// next-id counter `next_stable` (see
+    /// `rap_core::MutableScenario::next_stable_id`).
+    pub fn new(node_count: u32, live: Vec<u64>, next_stable: u64, count: usize, seed: u64) -> Self {
+        SyntheticDrift {
+            rng: StdRng::seed_from_u64(seed),
+            node_count,
+            live,
+            next_stable,
+            remaining: count,
+        }
+    }
+
+    fn emit_add(&mut self) -> StreamDelta {
+        let origin = self.rng.random_range(0..self.node_count);
+        let mut destination = self.rng.random_range(0..self.node_count.saturating_sub(1));
+        if destination >= origin {
+            destination += 1; // distinct by construction
+        }
+        let volume = self.rng.random_range(50.0..1_000.0);
+        let alpha = self.rng.random_range(0.0..0.5);
+        self.live.push(self.next_stable);
+        self.next_stable += 1;
+        StreamDelta::Flow(FlowDelta::AddFlow {
+            origin: rap_graph::NodeId::new(origin),
+            destination: rap_graph::NodeId::new(destination),
+            volume,
+            alpha,
+        })
+    }
+}
+
+impl Iterator for SyntheticDrift {
+    type Item = StreamDelta;
+
+    fn next(&mut self) -> Option<StreamDelta> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let roll: f64 = self.rng.random_range(0.0..1.0);
+        // Op mix: arrivals slightly outpace retirements so the population
+        // grows over a long run, with volume churn the most common event.
+        let delta = if roll < 0.35 || self.live.len() < 2 {
+            self.emit_add()
+        } else if roll < 0.55 {
+            let idx = self.rng.random_range(0..self.live.len());
+            let flow = self.live.swap_remove(idx);
+            StreamDelta::Flow(FlowDelta::RemoveFlow { flow })
+        } else if roll < 0.85 {
+            let idx = self.rng.random_range(0..self.live.len());
+            StreamDelta::Flow(FlowDelta::RescaleFlow {
+                flow: self.live[idx],
+                factor: self.rng.random_range(0.5..1.5),
+            })
+        } else {
+            let idx = self.rng.random_range(0..self.live.len());
+            StreamDelta::Flow(FlowDelta::SetAlpha {
+                flow: self.live[idx],
+                alpha: self.rng.random_range(0.0..0.5),
+            })
+        };
+        Some(delta)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for SyntheticDrift {}
+
+/// Replays a city model's recovered flows as a sliding window: each flow
+/// arrives as an `add`, and once more than `window` flows are live the
+/// oldest retires — a day of bus journeys compressed into a drift stream.
+#[derive(Debug)]
+pub struct TraceReplay {
+    deltas: std::vec::IntoIter<StreamDelta>,
+}
+
+impl TraceReplay {
+    /// Builds the replay from `model`'s flows. `first_stable` is the
+    /// scenario's next stable id when the replay starts (0 when starting
+    /// from an empty scenario).
+    pub fn new(model: &CityModel, window: usize, first_stable: u64) -> Self {
+        let mut deltas = Vec::new();
+        let mut live: VecDeque<u64> = VecDeque::new();
+        for (index, flow) in model.flows().iter().enumerate() {
+            deltas.push(StreamDelta::Flow(FlowDelta::AddFlow {
+                origin: flow.origin(),
+                destination: flow.destination(),
+                volume: flow.volume(),
+                alpha: flow.attractiveness(),
+            }));
+            live.push_back(first_stable + index as u64);
+            if live.len() > window.max(1) {
+                let oldest = live.pop_front().expect("window nonempty");
+                deltas.push(StreamDelta::Flow(FlowDelta::RemoveFlow { flow: oldest }));
+            }
+        }
+        TraceReplay {
+            deltas: deltas.into_iter(),
+        }
+    }
+}
+
+impl Iterator for TraceReplay {
+    type Item = StreamDelta;
+
+    fn next(&mut self) -> Option<StreamDelta> {
+        self.deltas.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.deltas.size_hint()
+    }
+}
+
+impl ExactSizeIterator for TraceReplay {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn ndjson_reader_numbers_bad_lines() {
+        let text = "\n{\"op\":\"compact\"}\n   \n{\"op\":\"nope\"}\n";
+        let items: Vec<_> = read_ndjson(Cursor::new(text)).collect();
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[0], Ok(StreamDelta::Compact)));
+        match &items[1] {
+            Err(StreamError::Parse { line, .. }) => assert_eq!(*line, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthetic_drift_is_deterministic_and_self_consistent() {
+        let make = || SyntheticDrift::new(16, vec![0, 1, 2], 3, 500, 42).collect::<Vec<_>>();
+        let a = make();
+        assert_eq!(a, make(), "same seed, same stream");
+        assert_eq!(a.len(), 500);
+        // Mirror liveness: every targeted id must be live at emission time.
+        let mut live: Vec<u64> = vec![0, 1, 2];
+        let mut next = 3u64;
+        for d in &a {
+            match *d {
+                StreamDelta::Flow(FlowDelta::AddFlow {
+                    origin,
+                    destination,
+                    ..
+                }) => {
+                    assert_ne!(origin, destination);
+                    assert!(origin.raw() < 16 && destination.raw() < 16);
+                    live.push(next);
+                    next += 1;
+                }
+                StreamDelta::Flow(FlowDelta::RemoveFlow { flow }) => {
+                    let pos = live.iter().position(|&f| f == flow).expect("live target");
+                    live.swap_remove(pos);
+                }
+                StreamDelta::Flow(FlowDelta::RescaleFlow { flow, factor }) => {
+                    assert!(live.contains(&flow));
+                    assert!((0.5..1.5).contains(&factor));
+                }
+                StreamDelta::Flow(FlowDelta::SetAlpha { flow, alpha }) => {
+                    assert!(live.contains(&flow));
+                    assert!((0.0..0.5).contains(&alpha));
+                }
+                StreamDelta::Compact => panic!("synthetic source never forces compaction"),
+            }
+        }
+    }
+
+    #[test]
+    fn trace_replay_slides_a_window() {
+        let model = rap_trace::dublin(
+            rap_trace::CityParams {
+                journeys: 12,
+                ..rap_trace::CityParams::dublin()
+            },
+            7,
+        )
+        .expect("dublin builds");
+        let flows = model.flows().len();
+        let deltas: Vec<_> = TraceReplay::new(&model, 5, 0).collect();
+        let adds = deltas
+            .iter()
+            .filter(|d| matches!(d, StreamDelta::Flow(FlowDelta::AddFlow { .. })))
+            .count();
+        let removes = deltas
+            .iter()
+            .filter(|d| matches!(d, StreamDelta::Flow(FlowDelta::RemoveFlow { .. })))
+            .count();
+        assert_eq!(adds, flows);
+        assert_eq!(removes, flows.saturating_sub(5));
+        // Live population never exceeds the window after the ramp-up.
+        let mut live = 0usize;
+        let mut max_live = 0usize;
+        for d in &deltas {
+            match d {
+                StreamDelta::Flow(FlowDelta::AddFlow { .. }) => live += 1,
+                StreamDelta::Flow(FlowDelta::RemoveFlow { .. }) => live -= 1,
+                _ => {}
+            }
+            max_live = max_live.max(live);
+        }
+        assert!(max_live <= 6, "window 5 briefly holds 6 during the slide");
+    }
+}
