@@ -1,0 +1,386 @@
+//! `bench_build` — the scenario-construction benchmark behind
+//! `BENCH_build.json`.
+//!
+//! Times the two preprocessing phases — flow routing and detour-table
+//! construction — on a large grid instance and a recovered city-model
+//! instance, in two configurations:
+//!
+//! * **baseline** — the pre-workspace code path, replicated here verbatim:
+//!   one freshly allocated full binary-heap shortest-path tree per distinct
+//!   origin (routing) and per shop (detours), with per-node `Option`
+//!   probing;
+//! * **optimized** — the bucket-queue SSSP workspace engine the library now
+//!   routes everything through (`FlowSet::route_parallel`,
+//!   `DetourTable::build_threaded`): kernel auto-selection, epoch-stamped
+//!   workspace reuse, early-exit target runs, dense distance-row fills.
+//!
+//! Before reporting, the harness asserts the optimized artifacts are
+//! bit-identical to the baseline's — routed path node sequences, every CSR
+//! detour entry, the per-node shop distances, and the greedy placement — so
+//! a speedup can never come from computing something different.
+//!
+//! Usage: `cargo run --release -p rap-bench --bin bench_build [--smoke] [OUT.json]`
+//! (default output path `BENCH_build.json`; `--smoke` shrinks both instances
+//! for CI and drops the speedup floor).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rap_core::detour::DetourTable;
+use rap_core::{MarginalGreedy, PlacementAlgorithm, Scenario, UtilityKind};
+use rap_graph::{dijkstra, Distance, GridGraph, NodeId, Path, RoadGraph};
+use rap_traffic::demand::{uniform_demand, DemandParams};
+use rap_traffic::{parallel, FlowId, FlowSet, FlowSpec, TrafficFlow, Zone};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Big configuration: a city-scale grid comfortably above the 200×200-node /
+/// 50k-flow floor the optimization targets.
+const GRID_SIDE: u32 = 200;
+const GRID_FLOWS: usize = 50_000;
+/// City-model configuration: journeys replayed into the Seattle model.
+const CITY_JOURNEYS: usize = 900;
+/// Smoke configuration (CI): same code paths, minutes smaller.
+const SMOKE_GRID_SIDE: u32 = 30;
+const SMOKE_GRID_FLOWS: usize = 2_000;
+const SMOKE_CITY_JOURNEYS: usize = 40;
+const K: usize = 10;
+const SEED: u64 = 2015;
+
+#[derive(Serialize)]
+struct PhaseTimes {
+    routing_ms: f64,
+    detour_ms: f64,
+    total_ms: f64,
+}
+
+#[derive(Serialize)]
+struct InstanceReport {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    flows: usize,
+    shops: usize,
+    kernel: String,
+    route_threads: usize,
+    baseline: PhaseTimes,
+    optimized: PhaseTimes,
+    routing_speedup: f64,
+    detour_speedup: f64,
+    total_speedup: f64,
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    smoke: bool,
+    instances: Vec<InstanceReport>,
+}
+
+/// Pre-PR routing: a fresh, full binary-heap shortest-path tree per distinct
+/// origin, paths probed out of the tree (the shape `FlowSet::route` had
+/// before the workspace engine).
+fn baseline_route(graph: &RoadGraph, specs: &[FlowSpec]) -> FlowSet {
+    let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+    let mut slot: HashMap<NodeId, usize> = HashMap::new();
+    for (i, s) in specs.iter().enumerate() {
+        let g = *slot.entry(s.origin()).or_insert_with(|| {
+            groups.push((s.origin(), Vec::new()));
+            groups.len() - 1
+        });
+        groups[g].1.push(i);
+    }
+    let mut paths: Vec<Option<Path>> = vec![None; specs.len()];
+    for (origin, idxs) in &groups {
+        let tree = dijkstra::shortest_path_tree(graph, *origin);
+        for &i in idxs {
+            paths[i] = Some(
+                tree.path_to(specs[i].destination())
+                    .expect("benchmark instances route every flow"),
+            );
+        }
+    }
+    let flows: Vec<TrafficFlow> = paths
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| TrafficFlow::new(FlowId::new(i as u32), specs[i], p.expect("routed")))
+        .collect();
+    FlowSet::from_routed(graph, flows)
+}
+
+/// The detour entries plus per-node shop distances, computed exactly as the
+/// pre-PR `DetourTable::build` did: public per-shop tree API and per-node
+/// `Option` probing.
+struct BaselineDetours {
+    to_shop: Vec<Option<Distance>>,
+    /// `(flow id, visit position, detour)` in node-id order — the same order
+    /// the CSR `entries` array uses.
+    entries: Vec<(FlowId, u32, Distance)>,
+}
+
+fn baseline_detours(graph: &RoadGraph, flows: &FlowSet, shops: &[NodeId]) -> BaselineDetours {
+    let n = graph.node_count();
+    let rev_trees: Vec<_> = shops
+        .iter()
+        .map(|&s| dijkstra::reverse_shortest_path_tree(graph, s))
+        .collect();
+    let fwd_trees: Vec<_> = shops
+        .iter()
+        .map(|&s| dijkstra::shortest_path_tree(graph, s))
+        .collect();
+
+    let mut to_shop: Vec<Option<Distance>> = vec![None; n];
+    for (v, slot) in to_shop.iter_mut().enumerate() {
+        for tree in &rev_trees {
+            if let Some(d) = tree.distance(NodeId::new(v as u32)) {
+                *slot = Some(slot.map_or(d, |cur: Distance| cur.min(d)));
+            }
+        }
+    }
+
+    let shop_to_dest: Vec<Vec<Distance>> = flows
+        .iter()
+        .map(|f| {
+            fwd_trees
+                .iter()
+                .map(|t| t.distance(f.destination()).unwrap_or(Distance::MAX))
+                .collect()
+        })
+        .collect();
+
+    let mut entries = Vec::new();
+    for v in 0..n {
+        let node = NodeId::new(v as u32);
+        for visit in flows.visits_at(node) {
+            let flow = flows.flow(visit.flow);
+            let remaining = flow.path().length().saturating_sub(visit.prefix);
+            let mut via_shop = Distance::MAX;
+            for (s, rev) in rev_trees.iter().enumerate() {
+                let d1 = match rev.distance(node) {
+                    Some(d) => d,
+                    None => continue,
+                };
+                let d2 = shop_to_dest[visit.flow.index()][s];
+                if d2 == Distance::MAX {
+                    continue;
+                }
+                via_shop = via_shop.min(d1.saturating_add(d2));
+            }
+            if via_shop == Distance::MAX {
+                continue;
+            }
+            entries.push((
+                visit.flow,
+                visit.position,
+                via_shop.saturating_sub(remaining),
+            ));
+        }
+    }
+    BaselineDetours { to_shop, entries }
+}
+
+/// Asserts every artifact of the optimized build matches the baseline's bit
+/// for bit, then cross-checks the greedy placement between the sequential
+/// and threaded constructions.
+fn assert_identical(
+    graph: &RoadGraph,
+    base_flows: &FlowSet,
+    base_detours: &BaselineDetours,
+    opt_flows: &FlowSet,
+    table: &DetourTable,
+    shops: &[NodeId],
+    threads: usize,
+) {
+    assert_eq!(base_flows.len(), opt_flows.len(), "flow counts diverged");
+    for (a, b) in base_flows.iter().zip(opt_flows.iter()) {
+        assert_eq!(a.id(), b.id(), "flow ids diverged");
+        assert_eq!(
+            a.path().nodes(),
+            b.path().nodes(),
+            "routed path diverged for flow {:?}",
+            a.id()
+        );
+    }
+    let entries = table.entries();
+    assert_eq!(
+        base_detours.entries.len(),
+        entries.len(),
+        "detour entry counts diverged"
+    );
+    for ((flow, position, detour), e) in base_detours.entries.iter().zip(entries) {
+        assert_eq!((*flow, *position, *detour), (e.flow, e.position, e.detour));
+    }
+    for v in graph.nodes() {
+        assert_eq!(
+            base_detours.to_shop[v.index()],
+            table.shop_distance(v),
+            "shop distance diverged at {v}"
+        );
+    }
+    // Same placement out of the sequential and the threaded construction.
+    let utility = UtilityKind::Linear.instantiate(Distance::from_feet(2_500));
+    let seq = Scenario::new(
+        graph.clone(),
+        opt_flows.clone(),
+        shops.to_vec(),
+        utility.clone(),
+    )
+    .expect("scenario builds");
+    let par = Scenario::new_with_threads(
+        graph.clone(),
+        opt_flows.clone(),
+        shops.to_vec(),
+        utility,
+        threads,
+    )
+    .expect("scenario builds");
+    let k = K.min(graph.node_count());
+    let ps = MarginalGreedy.place(&seq, k, &mut StdRng::seed_from_u64(0));
+    let pp = MarginalGreedy.place(&par, k, &mut StdRng::seed_from_u64(0));
+    assert_eq!(ps, pp, "greedy placement diverged under threading");
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let out = f();
+    (t.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// Benchmarks one instance: baseline vs optimized routing + detour phases,
+/// identity assertions, one timed run each (construction is a one-shot cost;
+/// the phases are long enough to swamp timer noise at city scale).
+fn bench_instance(
+    name: &str,
+    graph: &RoadGraph,
+    specs: Vec<FlowSpec>,
+    shops: Vec<NodeId>,
+    threads: usize,
+) -> InstanceReport {
+    eprintln!(
+        "[{name}] {} nodes, {} edges, {} flows, {} shop(s), {threads} route thread(s)",
+        graph.node_count(),
+        graph.edge_count(),
+        specs.len(),
+        shops.len(),
+    );
+
+    let (base_route_ms, base_flows) = time(|| baseline_route(graph, &specs));
+    let (base_detour_ms, base_detours) = time(|| baseline_detours(graph, &base_flows, &shops));
+    eprintln!("[{name}] baseline:  routing {base_route_ms:.0} ms, detours {base_detour_ms:.0} ms");
+
+    let (opt_route_ms, opt_flows) = time(|| {
+        FlowSet::route_parallel(graph, specs.clone(), threads).expect("benchmark flows route")
+    });
+    let (opt_detour_ms, table) = time(|| {
+        DetourTable::build_threaded(graph, &opt_flows, &shops, threads).expect("table builds")
+    });
+    eprintln!("[{name}] optimized: routing {opt_route_ms:.0} ms, detours {opt_detour_ms:.0} ms");
+
+    assert_identical(
+        graph,
+        &base_flows,
+        &base_detours,
+        &opt_flows,
+        &table,
+        &shops,
+        threads,
+    );
+    eprintln!("[{name}] artifacts bit-identical");
+
+    let kernel = rap_graph::sssp::SsspWorkspace::for_graph(graph)
+        .kernel()
+        .name()
+        .to_string();
+    let base_total = base_route_ms + base_detour_ms;
+    let opt_total = opt_route_ms + opt_detour_ms;
+    InstanceReport {
+        name: name.to_string(),
+        nodes: graph.node_count(),
+        edges: graph.edge_count(),
+        flows: opt_flows.len(),
+        shops: shops.len(),
+        kernel,
+        route_threads: threads,
+        baseline: PhaseTimes {
+            routing_ms: base_route_ms,
+            detour_ms: base_detour_ms,
+            total_ms: base_total,
+        },
+        optimized: PhaseTimes {
+            routing_ms: opt_route_ms,
+            detour_ms: opt_detour_ms,
+            total_ms: opt_total,
+        },
+        routing_speedup: base_route_ms / opt_route_ms,
+        detour_speedup: base_detour_ms / opt_detour_ms,
+        total_speedup: base_total / opt_total,
+        bit_identical: true,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_build.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let threads = parallel::default_threads();
+    let (side, grid_flows, journeys) = if smoke {
+        (SMOKE_GRID_SIDE, SMOKE_GRID_FLOWS, SMOKE_CITY_JOURNEYS)
+    } else {
+        (GRID_SIDE, GRID_FLOWS, CITY_JOURNEYS)
+    };
+
+    let grid = GridGraph::new(side, side, Distance::from_feet(500));
+    let specs = uniform_demand(
+        grid.graph(),
+        DemandParams {
+            flows: grid_flows,
+            min_volume: 100.0,
+            max_volume: 1_000.0,
+            attractiveness: 0.001,
+        },
+        SEED,
+    )
+    .expect("demand parameters valid");
+    let grid_report = bench_instance("grid", grid.graph(), specs, vec![grid.center()], threads);
+
+    let params = rap_trace::CityParams {
+        journeys,
+        ..rap_trace::CityParams::seattle()
+    };
+    let model = rap_trace::seattle(params, SEED).expect("city model builds");
+    let city_specs: Vec<FlowSpec> = model.flows().iter().map(|f| *f.spec()).collect();
+    let city_shops: Vec<NodeId> = model
+        .shop_candidates(Zone::CityCenter)
+        .into_iter()
+        .take(3)
+        .collect();
+    let city_report = bench_instance("seattle", model.graph(), city_specs, city_shops, threads);
+
+    if !smoke {
+        assert!(
+            grid_report.total_speedup >= 2.0,
+            "grid scenario construction speedup {:.2}x fell below the 2x floor",
+            grid_report.total_speedup
+        );
+    }
+
+    let report = Report {
+        smoke,
+        instances: vec![grid_report, city_report],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write benchmark report");
+    for inst in &report.instances {
+        eprintln!(
+            "[{}] speedup: routing {:.2}x, detours {:.2}x, total {:.2}x",
+            inst.name, inst.routing_speedup, inst.detour_speedup, inst.total_speedup
+        );
+    }
+    eprintln!("wrote {out_path}");
+}

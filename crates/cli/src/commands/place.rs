@@ -21,10 +21,12 @@ rap place --graph FILE --flows FILE --shop NODE --k N
           [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
           [--algorithm alg1|alg2|marginal|lazy|parallel|lazypar|swaps|maxcard|maxveh|maxcust|random|optimal|all]
           [--fault-profile none|panic|stall|drop|poison|seed:N] [--lenient true]
-          [--json true]
+          [--json true] [--route-threads N]
 
 --graph  street network in the rap-graph text format (see `rap generate`)
 --flows  CSV with header origin,destination,volume,alpha
+--route-threads  worker threads for flow routing and detour-table
+                 preprocessing; 0 (the default) auto-detects
 --fault-profile  inject worker faults into the pooled engines (parallel,
                  lazypar) and report how they recovered; other algorithms
                  are unaffected
@@ -34,6 +36,19 @@ rap place --graph FILE --flows FILE --shop NODE --k N
                  objective, pool counters) instead of the text report —
                  the same format family the `rap stream` events use
 Prints the chosen placement(s) and quality reports.";
+
+/// Resolves `--route-threads` (shared with `rap simulate` and `rap stream`):
+/// 0 — the default — auto-detects via
+/// [`rap_traffic::parallel::default_threads`]; any explicit value is clamped
+/// to the available work downstream by the routing layer.
+pub(crate) fn route_threads(args: &Args) -> Result<usize, CliError> {
+    let requested: usize = args.get_or("route-threads", "integer", 0)?;
+    Ok(if requested == 0 {
+        rap_traffic::parallel::default_threads()
+    } else {
+        requested
+    })
+}
 
 /// Parses the flow summary CSV written by `rap generate` (shared with
 /// `rap stream`). In lenient mode malformed rows are counted instead of
@@ -211,14 +226,16 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         None => None,
     };
 
+    let threads = route_threads(args)?;
     let graph = rap_graph::io::read_text(std::fs::File::open(graph_path)?)?;
     let (specs, quarantined) = read_flows(flows_path, lenient)?;
-    let flows = FlowSet::route(&graph, specs)?;
-    let scenario = Scenario::single_shop(
+    let flows = FlowSet::route_parallel(&graph, specs, threads)?;
+    let scenario = Scenario::new_with_threads(
         graph,
         flows,
-        NodeId::new(shop),
+        vec![NodeId::new(shop)],
         utility.instantiate(Distance::from_feet(d)),
+        threads,
     )?;
 
     let names: Vec<&str> = if algorithm == "all" {

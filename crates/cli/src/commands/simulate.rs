@@ -21,6 +21,7 @@ pub const USAGE: &str = "\
 rap simulate [--side N] [--spacing FEET] [--d FEET] [--flows N] [--k N]
              [--utility threshold|linear|sqrt] [--seed N] [--samples N]
              [--fault-profile none|panic|stall|drop|poison|seed:N]
+             [--route-threads N]
 
 Builds a Manhattan-grid city, runs Algorithms 3/4 and the adaptive grid
 greedy, and reports per-class coverage plus the Monte-Carlo path-flexibility
@@ -118,8 +119,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     }
 
     if let (Some(plan), Some((graph, shop, specs))) = (&fault_plan, pool_check) {
+        let threads = super::place::route_threads(args)?;
         report.push_str(&self_healing_check(
-            graph, shop, specs, utility, d, k, plan,
+            graph, shop, specs, utility, d, k, plan, threads,
         )?);
     }
     Ok(report)
@@ -127,6 +129,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
 
 /// Runs the pooled greedy engines on the simulated city under `plan` and
 /// reports recovery plus bit-identity with the sequential greedy.
+#[allow(clippy::too_many_arguments)]
 fn self_healing_check(
     graph: rap_graph::RoadGraph,
     shop: rap_graph::NodeId,
@@ -135,13 +138,15 @@ fn self_healing_check(
     d: u64,
     k: usize,
     plan: &FaultPlan,
+    threads: usize,
 ) -> Result<String, CliError> {
-    let flows = rap_traffic::FlowSet::route(&graph, specs)?;
-    let s = Scenario::single_shop(
+    let flows = rap_traffic::FlowSet::route_parallel(&graph, specs, threads)?;
+    let s = Scenario::new_with_threads(
         graph,
         flows,
-        shop,
+        vec![shop],
         utility.instantiate(Distance::from_feet(d)),
+        threads,
     )?;
     let sequential = MarginalGreedy.place(&s, k, &mut StdRng::seed_from_u64(0));
     let mut report = format!("self-healing check under injected faults (k = {k}):\n");

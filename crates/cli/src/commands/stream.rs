@@ -33,6 +33,7 @@ rap stream --k N [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
            [--journeys N] [--window N]             [replay mode only]
            [--threshold F] [--check-interval N] [--threads N]
            [--metrics-interval N] [--strict true] [--out FILE]
+           [--route-threads N]
 
 --deltas           NDJSON delta log; `-` reads from stdin. One JSON object
                    per line: {\"op\":\"add\",\"origin\":N,\"destination\":N,
@@ -49,6 +50,8 @@ rap stream --k N [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
 --metrics-interval applied deltas between metrics events (default 1000)
 --strict           stop at the first rejected delta instead of skipping it
 --out              write NDJSON events here instead of inlining them
+--route-threads    worker threads for flow routing and detour-table
+                   preprocessing; 0 (the default) auto-detects
 Prints (or writes) the event stream and a closing summary.";
 
 /// The scenario plus its delta source, resolved from the arguments.
@@ -65,6 +68,7 @@ fn replay_session(
     seed: u64,
     utility: UtilityKind,
     d: u64,
+    route_threads: usize,
 ) -> Result<Session, CliError> {
     let journeys: usize = args.get_or("journeys", "integer", 200)?;
     let window: usize = args.get_or("window", "integer", 200)?;
@@ -98,11 +102,12 @@ fn replay_session(
     };
     let graph = model.graph().clone();
     let flows = FlowSet::route(&graph, Vec::new())?;
-    let scenario = MutableScenario::new(
+    let scenario = MutableScenario::new_with_threads(
         graph,
         flows,
         vec![shop],
         utility.instantiate(Distance::from_feet(d)),
+        route_threads,
     )?;
     let source = TraceReplay::new(&model, window, scenario.next_stable_id());
     Ok(Session {
@@ -113,7 +118,13 @@ fn replay_session(
 
 /// Builds an on-disk session (graph + flows files) with the file/stdin or
 /// synthetic delta source.
-fn file_session(args: &Args, seed: u64, utility: UtilityKind, d: u64) -> Result<Session, CliError> {
+fn file_session(
+    args: &Args,
+    seed: u64,
+    utility: UtilityKind,
+    d: u64,
+    route_threads: usize,
+) -> Result<Session, CliError> {
     let graph_path = args.required("graph").map_err(|_| {
         CliError::Usage(
             "need a scenario: either --graph/--flows/--shop or --replay dublin|seattle".into(),
@@ -123,13 +134,14 @@ fn file_session(args: &Args, seed: u64, utility: UtilityKind, d: u64) -> Result<
     let shop: u32 = args.required_parsed("shop", "node id")?;
     let graph = rap_graph::io::read_text(std::fs::File::open(graph_path)?)?;
     let (specs, _) = read_flows(flows_path, false)?;
-    let flows = FlowSet::route(&graph, specs)?;
+    let flows = FlowSet::route_parallel(&graph, specs, route_threads)?;
     let node_count = graph.node_count() as u32;
-    let scenario = MutableScenario::new(
+    let scenario = MutableScenario::new_with_threads(
         graph,
         flows,
         vec![NodeId::new(shop)],
         utility.instantiate(Distance::from_feet(d)),
+        route_threads,
     )?;
 
     let source: Box<dyn Iterator<Item = Result<StreamDelta, StreamError>>> = match (
@@ -214,12 +226,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         strict: args.get_or("strict", "true/false", false)?,
     };
 
+    let route_threads = super::place::route_threads(args)?;
     let session = match args.get("replay") {
         Some(city) => {
             let city = city.to_string();
-            replay_session(args, &city, seed, utility, d)?
+            replay_session(args, &city, seed, utility, d, route_threads)?
         }
-        None => file_session(args, seed, utility, d)?,
+        None => file_session(args, seed, utility, d, route_threads)?,
     };
     let Session {
         mut scenario,

@@ -20,8 +20,10 @@
 //! routed path's remaining length.
 
 use crate::error::PlacementError;
-use rap_graph::{dijkstra, Distance, NodeId, RoadGraph};
-use rap_traffic::{FlowId, FlowSet};
+use rap_graph::dijkstra::{Direction, ShortestPathTree};
+use rap_graph::sssp::SsspWorkspace;
+use rap_graph::{Distance, NodeId, RoadGraph};
+use rap_traffic::{parallel, FlowId, FlowSet};
 
 /// A flow passing an intersection, with its exact detour distance there.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -95,7 +97,25 @@ impl DetourTable {
         flows: &FlowSet,
         shops: &[NodeId],
     ) -> Result<Self, PlacementError> {
-        Ok(Self::build_with_trees(graph, flows, shops)?.0)
+        Ok(Self::build_with_trees(graph, flows, shops, 1)?.0)
+    }
+
+    /// [`DetourTable::build`] with the per-shop tree runs fanned across
+    /// `threads` scoped worker threads (one reusable `SsspWorkspace` per
+    /// worker). Bit-identical output; `threads` is clamped to the shop count
+    /// by the shared thread policy, so `build_threaded(_, _, _, 1)` *is* the
+    /// sequential build.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DetourTable::build`].
+    pub fn build_threaded(
+        graph: &RoadGraph,
+        flows: &FlowSet,
+        shops: &[NodeId],
+        threads: usize,
+    ) -> Result<Self, PlacementError> {
+        Ok(Self::build_with_trees(graph, flows, shops, threads)?.0)
     }
 
     /// [`DetourTable::build`], additionally returning the per-shop reverse
@@ -107,14 +127,8 @@ impl DetourTable {
         graph: &RoadGraph,
         flows: &FlowSet,
         shops: &[NodeId],
-    ) -> Result<
-        (
-            Self,
-            Vec<dijkstra::ShortestPathTree>,
-            Vec<dijkstra::ShortestPathTree>,
-        ),
-        PlacementError,
-    > {
+        threads: usize,
+    ) -> Result<(Self, Vec<ShortestPathTree>, Vec<ShortestPathTree>), PlacementError> {
         if shops.is_empty() {
             return Err(PlacementError::NoShops);
         }
@@ -126,31 +140,27 @@ impl DetourTable {
         let n = graph.node_count();
         // Per shop: distances to the shop (d' at every v) and from the shop
         // (d'' at every destination).
-        let rev_trees: Vec<_> = shops
-            .iter()
-            .map(|&s| dijkstra::reverse_shortest_path_tree(graph, s))
-            .collect();
-        let fwd_trees: Vec<_> = shops
-            .iter()
-            .map(|&s| dijkstra::shortest_path_tree(graph, s))
-            .collect();
+        let (rev_trees, fwd_trees) = shop_trees(graph, shops, threads);
 
+        // Dense row minimum over the reverse trees: each tree exposes its
+        // full distance row, so this is a straight columnwise min instead of
+        // per-node Option probing.
         let mut to_shop = vec![Distance::MAX; n];
-        for (v, slot) in to_shop.iter_mut().enumerate() {
-            for tree in &rev_trees {
-                if let Some(d) = tree.distance(NodeId::new(v as u32)) {
-                    *slot = (*slot).min(d);
-                }
+        for tree in &rev_trees {
+            for (slot, &d) in to_shop.iter_mut().zip(tree.distances()) {
+                *slot = (*slot).min(d);
             }
         }
 
-        // Per flow: min over shops of d''(shop, destination), precomputed once.
+        // Per flow: min over shops of d''(shop, destination), precomputed
+        // once. Destinations were validated during routing, so the dense rows
+        // can be indexed directly (unreachable slots hold `Distance::MAX`).
         let shop_to_dest: Vec<Vec<Distance>> = flows
             .iter()
             .map(|f| {
                 fwd_trees
                     .iter()
-                    .map(|t| t.distance(f.destination()).unwrap_or(Distance::MAX))
+                    .map(|t| t.distances()[f.destination().index()])
                     .collect()
             })
             .collect();
@@ -166,15 +176,13 @@ impl DetourTable {
                 let flow = flows.flow(visit.flow);
                 // d''' — remaining length along the routed path.
                 let remaining = flow.path().length().saturating_sub(visit.prefix);
-                // min over shops of d'(v) + d''(dest).
+                // min over shops of d'(v) + d''(dest), read from the dense
+                // distance rows (MAX = unreachable).
                 let mut via_shop = Distance::MAX;
                 for (s, rev) in rev_trees.iter().enumerate() {
-                    let d1 = match rev.distance(node) {
-                        Some(d) => d,
-                        None => continue,
-                    };
+                    let d1 = rev.distances()[v];
                     let d2 = shop_to_dest[visit.flow.index()][s];
-                    if d2 == Distance::MAX {
+                    if d1 == Distance::MAX || d2 == Distance::MAX {
                         continue;
                     }
                     via_shop = via_shop.min(d1.saturating_add(d2));
@@ -300,6 +308,51 @@ impl DetourTable {
             .find(|e| e.flow == flow)
             .map(|e| e.detour)
     }
+}
+
+/// Grows the reverse and forward shortest-path trees of every shop, fanning
+/// shops across `threads` workers (one reusable [`SsspWorkspace`] each) and
+/// merging in shop order. The trees are bit-identical to
+/// [`rap_graph::dijkstra::reverse_shortest_path_tree`] /
+/// [`rap_graph::dijkstra::shortest_path_tree`] runs, whichever worker
+/// computes them.
+fn shop_trees(
+    graph: &RoadGraph,
+    shops: &[NodeId],
+    threads: usize,
+) -> (Vec<ShortestPathTree>, Vec<ShortestPathTree>) {
+    let grow = |ws: &mut SsspWorkspace, shop: NodeId| {
+        ws.run(graph, shop, Direction::Reverse);
+        let rev = ws.to_tree();
+        ws.run(graph, shop, Direction::Forward);
+        let fwd = ws.to_tree();
+        (rev, fwd)
+    };
+    let workers = parallel::effective_threads(threads, shops.len());
+    if workers <= 1 {
+        let mut ws = SsspWorkspace::for_graph(graph);
+        return shops.iter().map(|&s| grow(&mut ws, s)).unzip();
+    }
+    let chunk = shops.len().div_ceil(workers);
+    let per_worker: Vec<Vec<(ShortestPathTree, ShortestPathTree)>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = shops
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let mut ws = SsspWorkspace::for_graph(graph);
+                        shard.iter().map(|&s| grow(&mut ws, s)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shop-tree worker panicked"))
+                .collect()
+        })
+        .expect("shop-tree scope never propagates worker panics");
+    // Contiguous chunks flattened in order reconstruct shop order exactly.
+    per_worker.into_iter().flatten().unzip()
 }
 
 #[cfg(test)]
@@ -438,6 +491,31 @@ mod tests {
         assert!(table.entries_at(c).is_empty());
         assert_eq!(table.shop_distance(a), None);
         assert!(table.candidate_nodes().is_empty());
+    }
+
+    #[test]
+    fn threaded_build_matches_sequential_exactly() {
+        let grid = grid();
+        let flows = FlowSet::route(
+            grid.graph(),
+            vec![
+                FlowSpec::new(NodeId::new(0), NodeId::new(8), 10.0).unwrap(),
+                FlowSpec::new(NodeId::new(6), NodeId::new(2), 4.0).unwrap(),
+                FlowSpec::new(NodeId::new(3), NodeId::new(5), 2.5).unwrap(),
+            ],
+        )
+        .unwrap();
+        let shops = [NodeId::new(4), NodeId::new(8), NodeId::new(0)];
+        let seq = DetourTable::build(grid.graph(), &flows, &shops).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = DetourTable::build_threaded(grid.graph(), &flows, &shops, threads).unwrap();
+            assert_eq!(par.entries(), seq.entries(), "threads={threads}");
+            for v in 0..seq.node_count() {
+                let node = NodeId::new(v as u32);
+                assert_eq!(par.entry_range(node), seq.entry_range(node));
+                assert_eq!(par.shop_distance(node), seq.shop_distance(node));
+            }
+        }
     }
 
     #[test]

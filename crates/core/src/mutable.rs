@@ -74,7 +74,9 @@ use crate::error::PlacementError;
 use crate::placement::Placement;
 use crate::scenario::Scenario;
 use crate::utility::UtilityFunction;
-use rap_graph::{dijkstra, Distance, NodeId, Path, RoadGraph};
+use rap_graph::dijkstra::{self, Direction};
+use rap_graph::sssp::SsspWorkspace;
+use rap_graph::{Distance, NodeId, Path, RoadGraph};
 use rap_traffic::{FlowId, FlowSet, FlowSpec, TrafficFlow};
 use std::collections::HashMap;
 use std::fmt;
@@ -255,6 +257,9 @@ pub struct MutableScenario {
     fwd_trees: Vec<dijkstra::ShortestPathTree>,
     /// `min_s dist(v → shop_s)` — immutable, shared by every snapshot.
     to_shop: Vec<Distance>,
+    /// Reusable routing scratch for `AddFlow` deltas: each addition runs one
+    /// early-exit tree to the new flow's destination without allocating.
+    route_ws: SsspWorkspace,
     flows: Vec<FlowState>,
     /// Stable id → dense internal id, live flows only.
     by_stable: HashMap<u64, u32>,
@@ -302,7 +307,26 @@ impl MutableScenario {
         shops: Vec<NodeId>,
         utility: Arc<dyn UtilityFunction>,
     ) -> Result<Self, PlacementError> {
-        let (table, rev_trees, fwd_trees) = DetourTable::build_with_trees(&graph, &flows, &shops)?;
+        Self::new_with_threads(graph, flows, shops, utility, 1)
+    }
+
+    /// [`MutableScenario::new`] with the per-shop tree preprocessing fanned
+    /// across `threads` worker threads (clamped to the shop count by the
+    /// shared thread policy). The resulting scenario state is bit-identical
+    /// to the sequential constructor's.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::new`].
+    pub fn new_with_threads(
+        graph: RoadGraph,
+        flows: FlowSet,
+        shops: Vec<NodeId>,
+        utility: Arc<dyn UtilityFunction>,
+        threads: usize,
+    ) -> Result<Self, PlacementError> {
+        let (table, rev_trees, fwd_trees) =
+            DetourTable::build_with_trees(&graph, &flows, &shops, threads)?;
         let (offsets, entries, to_shop) = table.into_raw_parts();
         let mut states: Vec<FlowState> = flows
             .iter()
@@ -331,6 +355,7 @@ impl MutableScenario {
             .collect();
         let n = graph.node_count();
         let next_stable = states.len() as u64;
+        let route_ws = SsspWorkspace::for_graph(&graph);
         Ok(MutableScenario {
             graph,
             shops,
@@ -338,6 +363,7 @@ impl MutableScenario {
             rev_trees,
             fwd_trees,
             to_shop,
+            route_ws,
             flows: states,
             by_stable,
             next_stable,
@@ -416,10 +442,13 @@ impl MutableScenario {
             return Err(DeltaError::InvalidVolume { volume });
         }
         check_alpha(alpha)?;
-        // Route exactly like `FlowSet::route`: a shortest-path tree from the
-        // origin, so a from-scratch rebuild picks the identical path.
-        let tree = dijkstra::shortest_path_tree(&self.graph, origin);
-        let path = tree
+        // Route exactly like `FlowSet::route`: one early-exit workspace run
+        // from the origin — settled distances are final, so a from-scratch
+        // rebuild picks the identical path.
+        self.route_ws
+            .run_to_targets(&self.graph, origin, Direction::Forward, &[destination]);
+        let path = self
+            .route_ws
             .path_to(destination)
             .map_err(|_| DeltaError::Unroutable {
                 origin,

@@ -11,9 +11,10 @@
 //!   program, kept as an independent reference implementation that the test
 //!   suite cross-checks the Dijkstra variants against.
 
-use crate::dijkstra;
+use crate::dijkstra::Direction;
 use crate::graph::RoadGraph;
 use crate::node::{Distance, NodeId};
+use crate::sssp::{SsspKernel, SsspWorkspace};
 
 /// A dense matrix of exact pairwise shortest distances.
 ///
@@ -43,23 +44,37 @@ pub struct DistanceMatrix {
 
 impl DistanceMatrix {
     /// Computes all pairs by running forward Dijkstra from every node.
+    ///
+    /// One reusable [`SsspWorkspace`] serves every run (kernel chosen
+    /// automatically from the edge-length spread), and each matrix row is
+    /// filled with a straight copy of the workspace's dense distance row
+    /// instead of per-node probing.
     pub fn dijkstra_all(graph: &RoadGraph) -> Self {
+        let mut ws = SsspWorkspace::for_graph(graph);
+        Self::dijkstra_all_in(graph, &mut ws)
+    }
+
+    /// [`DistanceMatrix::dijkstra_all`] with an explicitly chosen kernel;
+    /// the equivalence tests cross-check both kernels against
+    /// Floyd–Warshall.
+    pub fn dijkstra_all_with_kernel(graph: &RoadGraph, kernel: SsspKernel) -> Self {
+        let mut ws = SsspWorkspace::with_kernel_for_graph(graph, kernel);
+        Self::dijkstra_all_in(graph, &mut ws)
+    }
+
+    fn dijkstra_all_in(graph: &RoadGraph, ws: &mut SsspWorkspace) -> Self {
         let n = graph.node_count();
         let mut data = vec![Distance::MAX; n * n];
-        for u in graph.nodes() {
-            let tree = dijkstra::shortest_path_tree(graph, u);
-            let row = &mut data[u.index() * n..(u.index() + 1) * n];
-            for v in graph.nodes() {
-                if let Some(d) = tree.distance(v) {
-                    row[v.index()] = d;
-                }
-            }
+        for (u, row) in data.chunks_mut(n.max(1)).take(n).enumerate() {
+            ws.run(graph, NodeId::new(u as u32), Direction::Forward);
+            ws.copy_distances_into(row);
         }
         DistanceMatrix { n, data }
     }
 
     /// Computes all pairs with one Dijkstra per node, fanned out over
-    /// `threads` crossbeam scoped threads.
+    /// `threads` crossbeam scoped threads (one reusable [`SsspWorkspace`]
+    /// per worker).
     ///
     /// Produces exactly the same matrix as [`DistanceMatrix::dijkstra_all`].
     ///
@@ -81,14 +96,11 @@ impl DistanceMatrix {
             for (chunk_idx, chunk) in data.chunks_mut(rows_per_chunk * n).enumerate() {
                 let first_row = chunk_idx * rows_per_chunk;
                 scope.spawn(move |_| {
+                    let mut ws = SsspWorkspace::for_graph(graph);
                     for (i, row) in chunk.chunks_mut(n).enumerate() {
                         let u = NodeId::new((first_row + i) as u32);
-                        let tree = dijkstra::shortest_path_tree(graph, u);
-                        for (v, slot) in row.iter_mut().enumerate() {
-                            if let Some(d) = tree.distance(NodeId::new(v as u32)) {
-                                *slot = d;
-                            }
-                        }
+                        ws.run(graph, u, Direction::Forward);
+                        ws.copy_distances_into(row);
                     }
                 });
             }
@@ -213,6 +225,20 @@ mod tests {
             for u in g.nodes() {
                 for v in g.nodes() {
                     assert_eq!(seq.get(u, v), par.get(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_kernels_match_floyd_warshall() {
+        let g = sample();
+        let fw = DistanceMatrix::floyd_warshall(&g);
+        for kernel in [SsspKernel::BucketQueue, SsspKernel::BinaryHeap] {
+            let m = DistanceMatrix::dijkstra_all_with_kernel(&g, kernel);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(m.get(u, v), fw.get(u, v), "{kernel:?} pair ({u}, {v})");
                 }
             }
         }

@@ -81,6 +81,32 @@ impl ShortestPathTree {
         *self.pred.get(node.index())?
     }
 
+    /// Dense distance row indexed by raw node id; unreachable nodes hold
+    /// [`Distance::MAX`]. Lets batch consumers (distance matrices, detour
+    /// tables) fill rows with a straight copy instead of per-node
+    /// [`ShortestPathTree::distance`] probing.
+    pub fn distances(&self) -> &[Distance] {
+        &self.dist
+    }
+
+    /// Assembles a tree from raw parts; used by the workspace engine in
+    /// [`crate::sssp`] to materialize its runs. Callers must uphold the
+    /// invariants the kernel guarantees (unreachable ⇔ `Distance::MAX`,
+    /// predecessor chains terminate at `root`).
+    pub(crate) fn from_raw(
+        root: NodeId,
+        direction: Direction,
+        dist: Vec<Distance>,
+        pred: Vec<Option<NodeId>>,
+    ) -> Self {
+        ShortestPathTree {
+            root,
+            direction,
+            dist,
+            pred,
+        }
+    }
+
     /// Number of reachable nodes, including the root.
     pub fn reachable_count(&self) -> usize {
         self.dist.iter().filter(|&&d| d != Distance::MAX).count()

@@ -15,11 +15,12 @@
 //! periphery where the bounds are tight. The map-matcher and CLI use this
 //! for repeated point-to-point queries on one city.
 
-use crate::dijkstra;
+use crate::dijkstra::Direction;
 use crate::error::GraphError;
 use crate::graph::RoadGraph;
 use crate::node::{Distance, NodeId};
 use crate::path::Path;
+use crate::sssp::SsspWorkspace;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -41,54 +42,28 @@ impl Landmarks {
     ///
     /// Panics if the graph is empty or `count` is zero.
     pub fn select(graph: &RoadGraph, count: usize) -> Self {
+        Self::select_parallel(graph, count, 1)
+    }
+
+    /// [`Landmarks::select`] with the table phase (two tree runs per
+    /// landmark) fanned across `threads` worker threads, each with its own
+    /// reusable [`SsspWorkspace`]. The farthest-point *selection* phase is
+    /// inherently sequential (each pick depends on the previous tree), so it
+    /// always runs on the calling thread. Identical tables to the sequential
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or `count` is zero.
+    pub fn select_parallel(graph: &RoadGraph, count: usize, threads: usize) -> Self {
         assert!(count > 0, "at least one landmark required");
         assert!(
             !graph.is_empty(),
             "cannot select landmarks on an empty graph"
         );
-        let mut nodes: Vec<NodeId> = Vec::with_capacity(count);
-        let mut min_dist = vec![Distance::MAX; graph.node_count()];
-        let mut current = NodeId::new(0);
-        for _ in 0..count.min(graph.node_count()) {
-            nodes.push(current);
-            let tree = dijkstra::shortest_path_tree(graph, current);
-            let mut farthest = current;
-            let mut far_d = Distance::ZERO;
-            for v in graph.nodes() {
-                let d = tree.distance(v).unwrap_or(Distance::MAX);
-                min_dist[v.index()] = min_dist[v.index()].min(d);
-                // Among reachable nodes, pick the one farthest from all
-                // chosen landmarks so far.
-                if min_dist[v.index()] != Distance::MAX
-                    && min_dist[v.index()] >= far_d
-                    && !nodes.contains(&v)
-                {
-                    far_d = min_dist[v.index()];
-                    farthest = v;
-                }
-            }
-            current = farthest;
-        }
-        let from = nodes
-            .iter()
-            .map(|&l| {
-                let t = dijkstra::shortest_path_tree(graph, l);
-                graph
-                    .nodes()
-                    .map(|v| t.distance(v).unwrap_or(Distance::MAX))
-                    .collect()
-            })
-            .collect();
-        let to = nodes
-            .iter()
-            .map(|&l| {
-                let t = dijkstra::reverse_shortest_path_tree(graph, l);
-                graph
-                    .nodes()
-                    .map(|v| t.distance(v).unwrap_or(Distance::MAX))
-                    .collect()
-            })
-            .collect();
+        let mut ws = SsspWorkspace::for_graph(graph);
+        let nodes = choose_nodes(graph, count, &mut ws);
+        let (from, to) = tables(graph, &nodes, threads, ws);
         Landmarks { from, to, nodes }
     }
 
@@ -115,6 +90,84 @@ impl Landmarks {
         }
         best
     }
+}
+
+/// Farthest-point landmark selection: each pick maximizes the minimum
+/// distance to all landmarks chosen so far, pushing landmarks to the
+/// periphery. One full tree per pick, grown in the shared workspace and read
+/// through its dense distance row.
+fn choose_nodes(graph: &RoadGraph, count: usize, ws: &mut SsspWorkspace) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(count);
+    let mut min_dist = vec![Distance::MAX; n];
+    let mut row = vec![Distance::MAX; n];
+    let mut current = NodeId::new(0);
+    for _ in 0..count.min(n) {
+        nodes.push(current);
+        ws.run(graph, current, Direction::Forward);
+        ws.copy_distances_into(&mut row);
+        let mut farthest = current;
+        let mut far_d = Distance::ZERO;
+        for v in graph.nodes() {
+            min_dist[v.index()] = min_dist[v.index()].min(row[v.index()]);
+            // Among reachable nodes, pick the one farthest from all chosen
+            // landmarks so far.
+            if min_dist[v.index()] != Distance::MAX
+                && min_dist[v.index()] >= far_d
+                && !nodes.contains(&v)
+            {
+                far_d = min_dist[v.index()];
+                farthest = v;
+            }
+        }
+        current = farthest;
+    }
+    nodes
+}
+
+/// Fills both landmark distance tables — `from[l][v]` via a forward tree,
+/// `to[l][v]` via a reverse tree — fanning landmarks across workers. Takes
+/// ownership of the selection workspace so the sequential path reuses it.
+/// The clamp mirrors the workspace-wide thread policy: never more workers
+/// than landmarks, never fewer than one.
+fn tables(
+    graph: &RoadGraph,
+    nodes: &[NodeId],
+    threads: usize,
+    mut ws: SsspWorkspace,
+) -> (Vec<Vec<Distance>>, Vec<Vec<Distance>>) {
+    let n = graph.node_count();
+    let grow = |ws: &mut SsspWorkspace, l: NodeId| {
+        let mut from_row = vec![Distance::MAX; n];
+        ws.run(graph, l, Direction::Forward);
+        ws.copy_distances_into(&mut from_row);
+        let mut to_row = vec![Distance::MAX; n];
+        ws.run(graph, l, Direction::Reverse);
+        ws.copy_distances_into(&mut to_row);
+        (from_row, to_row)
+    };
+    let workers = threads.min(nodes.len()).max(1);
+    if workers <= 1 {
+        return nodes.iter().map(|&l| grow(&mut ws, l)).unzip();
+    }
+    let chunk = nodes.len().div_ceil(workers);
+    let per_worker: Vec<Vec<(Vec<Distance>, Vec<Distance>)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = nodes
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move |_| {
+                    let mut ws = SsspWorkspace::for_graph(graph);
+                    shard.iter().map(|&l| grow(&mut ws, l)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("landmark table worker panicked"))
+            .collect()
+    })
+    .expect("landmark scope never propagates worker panics");
+    per_worker.into_iter().flatten().unzip()
 }
 
 /// A* with the ALT heuristic: exact shortest paths, typically far fewer
@@ -179,8 +232,33 @@ pub fn alt_path(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dijkstra;
     use crate::generators::{perturbed_grid, PerturbedGridParams};
     use crate::grid::GridGraph;
+
+    #[test]
+    fn parallel_selection_matches_sequential() {
+        let g = perturbed_grid(
+            PerturbedGridParams {
+                rows: 6,
+                cols: 6,
+                spacing: Distance::from_feet(200),
+                delete_probability: 0.1,
+                diagonal_probability: 0.05,
+            },
+            7,
+        );
+        let seq = Landmarks::select(&g, 4);
+        for threads in [1, 2, 3, 8] {
+            let par = Landmarks::select_parallel(&g, 4, threads);
+            assert_eq!(par.nodes(), seq.nodes(), "threads={threads}");
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    assert_eq!(par.lower_bound(a, b), seq.lower_bound(a, b));
+                }
+            }
+        }
+    }
 
     #[test]
     fn bounds_never_exceed_true_distance() {

@@ -16,6 +16,10 @@
 //!   paths never suffer floating-point comparison hazards.
 //! * [`dijkstra`] — forward and reverse single-source shortest paths with
 //!   predecessor trees and path extraction.
+//! * [`sssp`] — the batched preprocessing kernel: Dial-style bucket-queue
+//!   Dijkstra with a reusable epoch-stamped [`SsspWorkspace`], automatic
+//!   bucket-vs-heap selection by edge-length spread, and early-exit runs for
+//!   routing workloads. Bit-identical results to [`dijkstra`].
 //! * [`apsp`] — all-pairs shortest paths, sequential or parallelized with
 //!   crossbeam scoped threads, plus a Floyd–Warshall reference used in tests.
 //! * [`grid`] — Manhattan-grid generator used by the grid scenario of the
@@ -56,6 +60,7 @@ pub mod k_shortest;
 pub mod landmarks;
 pub mod node;
 pub mod path;
+pub mod sssp;
 pub mod subgraph;
 pub mod validate;
 
@@ -65,3 +70,4 @@ pub use graph::{Edge, GraphBuilder, RoadGraph};
 pub use grid::{GridGraph, GridPos};
 pub use node::{Distance, EdgeId, NodeId};
 pub use path::Path;
+pub use sssp::{SsspKernel, SsspWorkspace};

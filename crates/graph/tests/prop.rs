@@ -2,6 +2,8 @@
 
 use proptest::prelude::*;
 use rap_graph::apsp::DistanceMatrix;
+use rap_graph::dijkstra::Direction;
+use rap_graph::sssp::{SsspKernel, SsspWorkspace, MAX_BUCKET_COUNT};
 use rap_graph::{dijkstra, BoundingBox, Distance, GraphBuilder, GridGraph, NodeId, Point};
 
 /// Strategy: a random connected-ish directed graph as (node count, edge
@@ -26,6 +28,43 @@ fn build(n: usize, edges: &[(u32, u32, u64)]) -> rap_graph::RoadGraph {
     b.build()
 }
 
+/// Asserts that both SSSP kernels match the reference binary-heap tree
+/// bit-for-bit: same settled distances and, for every reachable node, the
+/// same extracted path (i.e. identical predecessor arrays).
+fn assert_kernels_match_reference(
+    g: &rap_graph::RoadGraph,
+    root: NodeId,
+) -> Result<(), TestCaseError> {
+    for direction in [Direction::Forward, Direction::Reverse] {
+        let reference = match direction {
+            Direction::Forward => dijkstra::shortest_path_tree(g, root),
+            Direction::Reverse => dijkstra::reverse_shortest_path_tree(g, root),
+        };
+        let mut bucket = SsspWorkspace::with_kernel_for_graph(g, SsspKernel::BucketQueue);
+        let mut heap = SsspWorkspace::with_kernel_for_graph(g, SsspKernel::BinaryHeap);
+        bucket.run(g, root, direction);
+        heap.run(g, root, direction);
+        for v in g.nodes() {
+            prop_assert_eq!(bucket.distance(v), reference.distance(v));
+            prop_assert_eq!(heap.distance(v), reference.distance(v));
+            let (b, h, r) = (bucket.path_to(v), heap.path_to(v), reference.path_to(v));
+            match r {
+                Ok(path) => {
+                    let bp = b.expect("bucket routes reachable node");
+                    let hp = h.expect("heap routes reachable node");
+                    prop_assert_eq!(bp.nodes(), path.nodes());
+                    prop_assert_eq!(hp.nodes(), path.nodes());
+                }
+                Err(_) => {
+                    prop_assert!(b.is_err());
+                    prop_assert!(h.is_err());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     /// Dijkstra and Floyd–Warshall must agree on every pair.
     #[test]
@@ -38,6 +77,55 @@ proptest! {
                 prop_assert_eq!(a.get(u, v), b.get(u, v));
             }
         }
+    }
+
+    /// Both SSSP kernels, explicitly forced, fill the whole distance matrix
+    /// exactly as Floyd–Warshall does.
+    #[test]
+    fn kernel_apsp_matches_floyd_warshall((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let fw = DistanceMatrix::floyd_warshall(&g);
+        for kernel in [SsspKernel::BucketQueue, SsspKernel::BinaryHeap] {
+            let m = DistanceMatrix::dijkstra_all_with_kernel(&g, kernel);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    prop_assert_eq!(m.get(u, v), fw.get(u, v));
+                }
+            }
+        }
+    }
+
+    /// Bucket and heap kernels are bit-identical to the reference tree —
+    /// distances AND predecessors — in both directions, from any root.
+    ///
+    /// Zero-length edges are unconstructible (`GraphBuilder::add_edge`
+    /// rejects them with `GraphError::ZeroLengthEdge`), so lengths start at
+    /// 1 — exactly the invariant the kernels' settle-order argument relies
+    /// on.
+    #[test]
+    fn sssp_kernels_are_bit_identical((n, edges) in arb_graph(), root_raw in 0usize..64) {
+        let g = build(n, &edges);
+        let root = NodeId::new((root_raw % n) as u32);
+        assert_kernels_match_reference(&g, root)?;
+    }
+
+    /// Maximum edge-length spread: lengths right up to the bucket-array
+    /// limit (`MAX_BUCKET_COUNT - 1` feet) stay exact under the forced
+    /// bucket kernel.
+    #[test]
+    fn sssp_kernels_survive_max_spread_edges(
+        n in 2usize..8,
+        edges in proptest::collection::vec(
+            (0u32..8, 0u32..8, 1u64..(MAX_BUCKET_COUNT as u64)),
+            1..16,
+        ),
+    ) {
+        let edges: Vec<(u32, u32, u64)> = edges
+            .into_iter()
+            .map(|(s, d, l)| (s % n as u32, d % n as u32, l))
+            .collect();
+        let g = build(n, &edges);
+        assert_kernels_match_reference(&g, NodeId::new(0))?;
     }
 
     /// The distance matrix satisfies the triangle inequality.

@@ -22,9 +22,12 @@ use crate::gps::{BusId, GpsNoise, JourneyId, TraceRecord};
 use crate::map_match::{extract_flows, ExtractParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rap_graph::{dijkstra, generators, Distance, NodeId, Point, RoadGraph};
+use rap_graph::dijkstra::Direction;
+use rap_graph::sssp::SsspWorkspace;
+use rap_graph::{generators, Distance, NodeId, Path, Point, RoadGraph};
 use rap_traffic::zones::{ZoneMap, ZoneThresholds};
 use rap_traffic::{demand, FlowSet, Zone};
+use std::collections::HashMap;
 
 /// A fully generated city: street network, recovered flows, zone labels.
 #[derive(Clone, Debug)]
@@ -232,10 +235,36 @@ fn build_city(
     };
     let mut records: Vec<TraceRecord> = Vec::new();
     let mut next_bus = 0u32;
-    for (j, spec) in od.iter().enumerate() {
-        let path = match dijkstra::shortest_path(&graph, spec.origin(), spec.destination()) {
-            Ok(p) => p,
-            Err(_) => continue, // disconnected OD pair: skip like real noise
+    // Route every journey up front: specs sharing an origin extract all
+    // their destinations from one early-exit tree run (the same trick
+    // `FlowSet::route` uses) instead of a full Dijkstra per spec. The rng
+    // draws below keep their original per-journey order, so city models stay
+    // seed-deterministic.
+    let mut paths: Vec<Option<Path>> = vec![None; od.len()];
+    {
+        let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        let mut slot: HashMap<NodeId, usize> = HashMap::new();
+        for (j, spec) in od.iter().enumerate() {
+            let g = *slot.entry(spec.origin()).or_insert_with(|| {
+                groups.push((spec.origin(), Vec::new()));
+                groups.len() - 1
+            });
+            groups[g].1.push(j);
+        }
+        let mut ws = SsspWorkspace::for_graph(&graph);
+        for (origin, idxs) in &groups {
+            let targets: Vec<NodeId> = idxs.iter().map(|&j| od[j].destination()).collect();
+            ws.run_to_targets(&graph, *origin, Direction::Forward, &targets);
+            for &j in idxs {
+                // Disconnected OD pair: leave unrouted, skipped like real noise.
+                paths[j] = ws.path_to(od[j].destination()).ok();
+            }
+        }
+    }
+    for (j, path) in paths.iter().enumerate() {
+        let path = match path {
+            Some(p) => p,
+            None => continue,
         };
         let buses = if params.min_buses == params.max_buses {
             params.min_buses
@@ -246,7 +275,7 @@ fn build_city(
             let start = rng.random_range(0.0..86_400.0);
             records.extend(drive_path(
                 &graph,
-                &path,
+                path,
                 BusId(next_bus),
                 JourneyId(j as u32),
                 start,

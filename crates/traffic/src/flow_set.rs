@@ -9,7 +9,10 @@
 
 use crate::error::TrafficError;
 use crate::flow::{FlowId, FlowSpec, TrafficFlow};
-use rap_graph::{dijkstra, Distance, NodeId, RoadGraph};
+use crate::parallel;
+use rap_graph::dijkstra::Direction;
+use rap_graph::sssp::SsspWorkspace;
+use rap_graph::{Distance, NodeId, RoadGraph};
 use std::collections::HashMap;
 
 /// One flow's first visit to some intersection.
@@ -62,31 +65,110 @@ impl FlowSet {
     /// * [`TrafficError::UnroutableFlow`] if a destination is unreachable.
     /// * [`TrafficError::Graph`] if a spec references a missing node.
     pub fn route(graph: &RoadGraph, specs: Vec<FlowSpec>) -> Result<Self, TrafficError> {
-        let mut by_origin: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        for (i, s) in specs.iter().enumerate() {
-            graph.check_node(s.origin())?;
-            graph.check_node(s.destination())?;
-            by_origin.entry(s.origin()).or_default().push(i);
-        }
+        let groups = group_by_origin(graph, &specs)?;
         let mut flows: Vec<Option<TrafficFlow>> = vec![None; specs.len()];
-        for (origin, idxs) in by_origin {
-            let tree = dijkstra::shortest_path_tree(graph, origin);
-            for i in idxs {
-                let spec = specs[i];
-                let path =
-                    tree.path_to(spec.destination())
-                        .map_err(|_| TrafficError::UnroutableFlow {
-                            origin: spec.origin(),
-                            destination: spec.destination(),
-                        })?;
-                flows[i] = Some(TrafficFlow::new(FlowId::new(i as u32), spec, path));
+        let mut ws = SsspWorkspace::for_graph(graph);
+        for (origin, idxs) in &groups {
+            route_group(graph, &mut ws, &specs, *origin, idxs, &mut flows)?;
+        }
+        Ok(Self::from_routed(graph, collect_routed(flows)))
+    }
+
+    /// [`FlowSet::route`] with the origin groups fanned across `threads`
+    /// scoped worker threads (one [`SsspWorkspace`] per worker). The result
+    /// is **bit-identical** to the sequential path — same paths, same flow
+    /// ids, same first-visit index, and on failure the same error the
+    /// sequential routing would have reported first.
+    ///
+    /// `threads` is clamped by the same policy as the evaluation pools
+    /// ([`parallel::effective_threads`]): never more workers than distinct
+    /// origins, never fewer than one. When the clamp leaves a single worker
+    /// (one thread requested, or at most one origin group) the sequential
+    /// path runs directly and the reason is logged to stderr.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FlowSet::route`].
+    pub fn route_parallel(
+        graph: &RoadGraph,
+        specs: Vec<FlowSpec>,
+        threads: usize,
+    ) -> Result<Self, TrafficError> {
+        let groups = group_by_origin(graph, &specs)?;
+        let workers = parallel::effective_threads(threads, groups.len());
+        if workers <= 1 {
+            eprintln!(
+                "rap-traffic: route_parallel falling back to sequential routing \
+                 ({threads} thread(s) requested, {} distinct origin group(s) -> \
+                 1 effective worker)",
+                groups.len()
+            );
+            let mut flows: Vec<Option<TrafficFlow>> = vec![None; specs.len()];
+            let mut ws = SsspWorkspace::for_graph(graph);
+            for (origin, idxs) in &groups {
+                route_group(graph, &mut ws, &specs, *origin, idxs, &mut flows)?;
+            }
+            return Ok(Self::from_routed(graph, collect_routed(flows)));
+        }
+        let chunk = groups.len().div_ceil(workers);
+        let specs_ref = &specs;
+        let groups_ref = &groups;
+        // Each worker routes a contiguous range of origin groups into its own
+        // (spec index, flow) list, stopping at its first failure. Workers
+        // report failures tagged with the global group index, so the merge
+        // below surfaces exactly the error the sequential loop hits first.
+        type WorkerOutput = Result<Vec<(usize, TrafficFlow)>, (usize, TrafficError)>;
+        let outputs: Vec<WorkerOutput> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move |_| {
+                        let start = (w * chunk).min(groups_ref.len());
+                        let end = ((w + 1) * chunk).min(groups_ref.len());
+                        let mut ws = SsspWorkspace::for_graph(graph);
+                        let mut routed: Vec<(usize, TrafficFlow)> = Vec::new();
+                        let mut flows: Vec<Option<TrafficFlow>> = vec![None; specs_ref.len()];
+                        for (g, (origin, idxs)) in
+                            groups_ref.iter().enumerate().take(end).skip(start)
+                        {
+                            route_group(graph, &mut ws, specs_ref, *origin, idxs, &mut flows)
+                                .map_err(|e| (g, e))?;
+                            for &i in idxs {
+                                routed.push((i, flows[i].take().expect("group routed")));
+                            }
+                        }
+                        Ok(routed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("routing worker panicked"))
+                .collect()
+        })
+        .expect("routing scope never propagates worker panics");
+
+        // First failing group (by global index) wins — identical to the
+        // sequential loop, which stops at that exact group and spec.
+        let mut first_err: Option<(usize, TrafficError)> = None;
+        let mut flows: Vec<Option<TrafficFlow>> = vec![None; specs.len()];
+        for output in outputs {
+            match output {
+                Ok(routed) => {
+                    for (i, flow) in routed {
+                        flows[i] = Some(flow);
+                    }
+                }
+                Err((g, e)) => {
+                    if first_err.as_ref().is_none_or(|(fg, _)| g < *fg) {
+                        first_err = Some((g, e));
+                    }
+                }
             }
         }
-        let flows: Vec<TrafficFlow> = flows
-            .into_iter()
-            .map(|f| f.expect("every spec was routed"))
-            .collect();
-        Ok(Self::from_routed(graph, flows))
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        Ok(Self::from_routed(graph, collect_routed(flows)))
     }
 
     /// Builds a flow set from already-routed flows (e.g. paths chosen by the
@@ -194,6 +276,62 @@ impl FlowSet {
     pub fn node_count(&self) -> usize {
         self.node_index.len()
     }
+}
+
+/// Groups spec indices by origin in **first-appearance order** (ascending
+/// spec index within each group), validating every endpoint up front. The
+/// deterministic order makes the sequential and parallel routing paths agree
+/// on which unroutable spec errors first.
+fn group_by_origin(
+    graph: &RoadGraph,
+    specs: &[FlowSpec],
+) -> Result<Vec<(NodeId, Vec<usize>)>, TrafficError> {
+    let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+    let mut slot: HashMap<NodeId, usize> = HashMap::new();
+    for (i, s) in specs.iter().enumerate() {
+        graph.check_node(s.origin())?;
+        graph.check_node(s.destination())?;
+        let g = *slot.entry(s.origin()).or_insert_with(|| {
+            groups.push((s.origin(), Vec::new()));
+            groups.len() - 1
+        });
+        groups[g].1.push(i);
+    }
+    Ok(groups)
+}
+
+/// Routes one origin group through the workspace: a single early-exit tree
+/// run settles every destination in the group, then each spec extracts its
+/// path. Settled distances are final, so the paths are bit-identical to a
+/// full-tree run's.
+fn route_group(
+    graph: &RoadGraph,
+    ws: &mut SsspWorkspace,
+    specs: &[FlowSpec],
+    origin: NodeId,
+    idxs: &[usize],
+    flows: &mut [Option<TrafficFlow>],
+) -> Result<(), TrafficError> {
+    let targets: Vec<NodeId> = idxs.iter().map(|&i| specs[i].destination()).collect();
+    ws.run_to_targets(graph, origin, Direction::Forward, &targets);
+    for &i in idxs {
+        let spec = specs[i];
+        let path = ws
+            .path_to(spec.destination())
+            .map_err(|_| TrafficError::UnroutableFlow {
+                origin: spec.origin(),
+                destination: spec.destination(),
+            })?;
+        flows[i] = Some(TrafficFlow::new(FlowId::new(i as u32), spec, path));
+    }
+    Ok(())
+}
+
+fn collect_routed(flows: Vec<Option<TrafficFlow>>) -> Vec<TrafficFlow> {
+    flows
+        .into_iter()
+        .map(|f| f.expect("every spec was routed"))
+        .collect()
 }
 
 impl<'a> IntoIterator for &'a FlowSet {
@@ -328,6 +466,82 @@ mod tests {
         assert!(fs.visits_at(NodeId::new(999)).is_empty());
         assert_eq!(fs.volume_at(NodeId::new(999)), 0.0);
         assert_eq!(fs.get(FlowId::new(0)), None);
+    }
+
+    fn assert_flow_sets_identical(a: &FlowSet, b: &FlowSet) {
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.iter().zip(b.iter()) {
+            assert_eq!(fa.id(), fb.id());
+            assert_eq!(fa.spec(), fb.spec());
+            assert_eq!(fa.path().nodes(), fb.path().nodes());
+        }
+        assert_eq!(a.node_count(), b.node_count());
+        for v in 0..a.node_count() {
+            assert_eq!(
+                a.visits_at(NodeId::new(v as u32)),
+                b.visits_at(NodeId::new(v as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn route_parallel_is_bit_identical_to_route() {
+        let grid = GridGraph::new(5, 5, Distance::from_feet(10));
+        // Shared origins, repeated destinations, out-of-order indices.
+        let specs: Vec<FlowSpec> = [(0, 24), (12, 3), (0, 7), (24, 0), (12, 3), (7, 18)]
+            .iter()
+            .map(|&(o, d)| FlowSpec::new(NodeId::new(o), NodeId::new(d), 1.5).unwrap())
+            .collect();
+        let seq = FlowSet::route(grid.graph(), specs.clone()).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = FlowSet::route_parallel(grid.graph(), specs.clone(), threads).unwrap();
+            assert_flow_sets_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn route_parallel_reports_same_error_as_route() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 0.0));
+        let island = b.add_node(Point::new(9.0, 9.0));
+        b.add_two_way(a, c, Distance::from_feet(1)).unwrap();
+        let g = b.build();
+        // Two unroutable specs from different origins: both paths must
+        // report the one in the *earlier* origin group (spec index 1).
+        let specs = vec![
+            FlowSpec::new(a, c, 1.0).unwrap(),
+            FlowSpec::new(a, island, 1.0).unwrap(),
+            FlowSpec::new(c, island, 1.0).unwrap(),
+        ];
+        let seq = FlowSet::route(&g, specs.clone()).unwrap_err();
+        let par = FlowSet::route_parallel(&g, specs, 4).unwrap_err();
+        match (&seq, &par) {
+            (
+                TrafficError::UnroutableFlow {
+                    origin: so,
+                    destination: sd,
+                },
+                TrafficError::UnroutableFlow {
+                    origin: po,
+                    destination: pd,
+                },
+            ) => {
+                assert_eq!((so, sd), (po, pd));
+                assert_eq!(*so, a);
+            }
+            other => panic!("expected matching UnroutableFlow errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn route_parallel_single_thread_falls_back() {
+        // One thread requested: the logged sequential fallback still routes.
+        let grid = grid3();
+        let specs = vec![FlowSpec::new(NodeId::new(0), NodeId::new(8), 2.0).unwrap()];
+        let seq = FlowSet::route(grid.graph(), specs.clone()).unwrap();
+        let par = FlowSet::route_parallel(grid.graph(), specs, 1).unwrap();
+        assert_flow_sets_identical(&seq, &par);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod flow;
 pub mod flow_set;
 pub mod matrix;
 pub mod ops;
+pub mod parallel;
 pub mod stats;
 pub mod temporal;
 pub mod zones;

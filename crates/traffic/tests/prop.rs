@@ -97,6 +97,36 @@ proptest! {
         }
     }
 
+    /// `route_parallel` is bit-identical to sequential `route` for any
+    /// thread count: same flow ids, same specs, same path node sequences,
+    /// and the same first-visit index at every node.
+    #[test]
+    fn route_parallel_matches_route(d in arb_demand(), threads in 1usize..6) {
+        let grid = GridGraph::new(d.rows, d.cols, Distance::from_feet(100));
+        let specs: Vec<FlowSpec> = d
+            .flows
+            .iter()
+            .filter(|(o, dd, _)| o != dd)
+            .map(|&(o, dst, v)| {
+                FlowSpec::new(NodeId::new(o), NodeId::new(dst), v as f64).expect("valid")
+            })
+            .collect();
+        let seq = FlowSet::route(grid.graph(), specs.clone()).expect("grid routes everything");
+        let par = FlowSet::route_parallel(grid.graph(), specs, threads)
+            .expect("grid routes everything");
+        prop_assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            prop_assert_eq!(a.id(), b.id());
+            prop_assert_eq!(a.origin(), b.origin());
+            prop_assert_eq!(a.destination(), b.destination());
+            prop_assert!((a.volume() - b.volume()).abs() == 0.0);
+            prop_assert_eq!(a.path().nodes(), b.path().nodes());
+        }
+        for v in grid.graph().nodes() {
+            prop_assert_eq!(seq.visits_at(v), par.visits_at(v));
+        }
+    }
+
     /// Zone classification is a partition ordered by traffic volume:
     /// every center node carries at least as much volume as every city node,
     /// and city nodes at least as much as suburb nodes.
