@@ -1,29 +1,61 @@
 //! `bench_greedy` — the greedy-engine ablation harness behind
 //! `BENCH_greedy.json`.
 //!
-//! Runs the four marginal-greedy engines (sequential, CELF-lazy, pooled
-//! parallel scan, lazy-parallel hybrid) on one large grid instance, checks
-//! their placements are identical, and writes wall-clock times, speedups
-//! versus the sequential baseline, and gain-evaluation counts as JSON.
+//! Runs the marginal-greedy engines (sequential, CELF-lazy, pooled parallel
+//! scan, lazy-parallel hybrid, and the inverted delta-propagation pair) on
+//! one large grid instance, checks their placements are identical, and
+//! writes wall-clock times, speedups versus the sequential baseline, and
+//! gain-evaluation / delta-push counts as JSON. Pooled engines are timed at
+//! every thread configuration in `POOL_THREADS` so the report carries both a
+//! single-thread and a multi-thread row per pooled engine.
 //!
-//! Usage: `cargo run --release -p rap-bench --bin bench_greedy [OUT.json]`
-//! (default output path `BENCH_greedy.json` in the current directory).
+//! Usage: `cargo run --release -p rap-bench --bin bench_greedy [--smoke] [OUT.json]`
+//! (default output path `BENCH_greedy.json` in the current directory; with
+//! `--smoke`, a small instance and a single timed run suitable for CI).
 
 use rap_bench::grid_scenario;
 use rap_core::{
-    LazyGreedy, LazyParallelGreedy, MarginalGreedy, ParallelGreedy, Placement, Scenario,
-    UtilityKind,
+    InvertedGainEngine, InvertedIndex, InvertedPooledGreedy, LazyGreedy, LazyParallelGreedy,
+    MarginalGreedy, ParallelGreedy, Placement, Scenario, UtilityKind,
 };
 use serde::Serialize;
 use std::time::Instant;
 
-/// Benchmark scale: comfortably above the 50×50-grid / 2,000-flow / k = 20
-/// floor so the parallel engines have real work to amortize their pools.
-const GRID_SIDE: u32 = 60;
-const FLOWS: usize = 3_000;
-const K: usize = 20;
-/// Timed repetitions per engine (after one warmup); the median is reported.
-const RUNS: usize = 5;
+/// Thread configurations timed for the pooled engines.
+const POOL_THREADS: [usize; 2] = [1, 4];
+
+/// Instance scale and repetition count for one harness invocation.
+struct Config {
+    grid_side: u32,
+    flows: usize,
+    k: usize,
+    runs: usize,
+}
+
+impl Config {
+    /// Benchmark scale: comfortably above the 50×50-grid / 2,000-flow /
+    /// k = 20 floor so the parallel engines have real work to amortize their
+    /// pools.
+    fn full() -> Config {
+        Config {
+            grid_side: 60,
+            flows: 3_000,
+            k: 20,
+            runs: 5,
+        }
+    }
+
+    /// CI smoke scale: finishes in seconds while still exercising every
+    /// engine and the placement-identity assertions.
+    fn smoke() -> Config {
+        Config {
+            grid_side: 16,
+            flows: 200,
+            k: 8,
+            runs: 1,
+        }
+    }
+}
 
 #[derive(Serialize)]
 struct ScenarioMeta {
@@ -32,16 +64,19 @@ struct ScenarioMeta {
     flows: usize,
     k: usize,
     utility: String,
-    threads: usize,
+    pool_threads: Vec<usize>,
     timed_runs: usize,
+    inverted_index_build_ms: f64,
 }
 
 #[derive(Serialize)]
 struct EngineResult {
     name: String,
+    threads: usize,
     wall_clock_ms: f64,
     speedup_vs_marginal: f64,
     gain_evals: u64,
+    delta_pushes: u64,
     objective: f64,
 }
 
@@ -51,137 +86,210 @@ struct Report {
     engines: Vec<EngineResult>,
 }
 
-/// Median wall-clock seconds of `RUNS` timed repetitions (after one warmup),
-/// together with the last run's output.
-fn time_median<F: FnMut() -> (Placement, u64)>(mut run: F) -> (f64, Placement, u64) {
+/// One engine's timed outcome: median wall-clock plus the counters from the
+/// last repetition (the counters are deterministic across repetitions).
+struct Timed {
+    seconds: f64,
+    placement: Placement,
+    gain_evals: u64,
+    delta_pushes: u64,
+}
+
+/// Median wall-clock seconds of `runs` timed repetitions (after one warmup).
+fn time_median<F: FnMut() -> (Placement, u64, u64)>(runs: usize, mut run: F) -> Timed {
     let mut out = run(); // warmup
-    let mut times: Vec<f64> = Vec::with_capacity(RUNS);
-    for _ in 0..RUNS {
+    let mut times: Vec<f64> = Vec::with_capacity(runs);
+    for _ in 0..runs {
         let t = Instant::now();
         out = run();
         times.push(t.elapsed().as_secs_f64());
     }
     times.sort_by(f64::total_cmp);
-    (times[times.len() / 2], out.0, out.1)
-}
-
-fn engine_result(
-    scenario: &Scenario,
-    name: &str,
-    seconds: f64,
-    baseline_seconds: f64,
-    placement: &Placement,
-    gain_evals: u64,
-) -> EngineResult {
-    EngineResult {
-        name: name.to_string(),
-        wall_clock_ms: seconds * 1e3,
-        speedup_vs_marginal: baseline_seconds / seconds,
-        gain_evals,
-        objective: scenario.evaluate(placement),
+    Timed {
+        seconds: times[times.len() / 2],
+        placement: out.0,
+        gain_evals: out.1,
+        delta_pushes: out.2,
     }
 }
 
+/// Asserts the engine reproduced the sequential placement bit for bit, then
+/// records its row.
+fn record(
+    engines: &mut Vec<EngineResult>,
+    scenario: &Scenario,
+    name: &str,
+    threads: usize,
+    timed: &Timed,
+    baseline: &Timed,
+) {
+    assert_eq!(
+        timed.placement, baseline.placement,
+        "{name} (threads = {threads}) diverged from marginal greedy"
+    );
+    eprintln!(
+        "{name} [threads = {threads}]: {:.2} ms, {} gain evals, {} delta pushes",
+        timed.seconds * 1e3,
+        timed.gain_evals,
+        timed.delta_pushes
+    );
+    engines.push(EngineResult {
+        name: name.to_string(),
+        threads,
+        wall_clock_ms: timed.seconds * 1e3,
+        speedup_vs_marginal: baseline.seconds / timed.seconds,
+        gain_evals: timed.gain_evals,
+        delta_pushes: timed.delta_pushes,
+        objective: scenario.evaluate(&timed.placement),
+    });
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_greedy.json".to_string());
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let mut smoke = false;
+    let mut out_path = "BENCH_greedy.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let cfg = if smoke {
+        Config::smoke()
+    } else {
+        Config::full()
+    };
 
     eprintln!(
-        "building {GRID_SIDE}x{GRID_SIDE} grid, {FLOWS} flows, k = {K}, {threads} threads ..."
+        "building {0}x{0} grid, {1} flows, k = {2} ...",
+        cfg.grid_side, cfg.flows, cfg.k
     );
-    let scenario = grid_scenario(GRID_SIDE, FLOWS, UtilityKind::Linear);
+    let scenario = grid_scenario(cfg.grid_side, cfg.flows, UtilityKind::Linear);
+    let k = cfg.k;
 
-    let (seq_s, seq_p, seq_evals) = time_median(|| MarginalGreedy.place_with_stats(&scenario, K));
+    let mut engines: Vec<EngineResult> = Vec::new();
+
+    let seq = time_median(cfg.runs, || {
+        let (p, evals) = MarginalGreedy.place_with_stats(&scenario, k);
+        (p, evals, 0)
+    });
+    record(&mut engines, &scenario, "marginal greedy", 1, &seq, &seq);
+
+    let lazy = time_median(cfg.runs, || {
+        let (p, evals) = LazyGreedy.place_with_stats(&scenario, k);
+        (p, evals, 0)
+    });
+    record(
+        &mut engines,
+        &scenario,
+        "lazy greedy (CELF)",
+        1,
+        &lazy,
+        &seq,
+    );
+
+    // The inverted engine's flow→candidate index is built once and reused
+    // across solves in practice (streaming maintainer, repeated budgets);
+    // its one-off cost is reported separately in the scenario meta.
+    let t = Instant::now();
+    let index = InvertedIndex::build(&scenario);
+    let index_build_ms = t.elapsed().as_secs_f64() * 1e3;
     eprintln!(
-        "marginal greedy: {:.1} ms, {seq_evals} gain evals",
-        seq_s * 1e3
+        "inverted index: {} coalesced groups for {} flows, built in {index_build_ms:.2} ms",
+        index.groups(),
+        index.flow_count()
     );
 
-    let (lazy_s, lazy_p, lazy_evals) = time_median(|| LazyGreedy.place_with_stats(&scenario, K));
-    eprintln!(
-        "lazy (CELF): {:.1} ms, {lazy_evals} gain evals",
-        lazy_s * 1e3
+    let inv = time_median(cfg.runs, || {
+        let (p, rep) = InvertedGainEngine.place_with_index(&scenario, &index, k);
+        (p, rep.gain_evals, rep.delta_pushes)
+    });
+    record(
+        &mut engines,
+        &scenario,
+        "inverted delta-propagation greedy",
+        1,
+        &inv,
+        &seq,
     );
 
-    let parallel = ParallelGreedy::with_threads(threads);
-    let (par_s, par_p, par_evals) = time_median(|| parallel.place_with_stats(&scenario, K));
-    eprintln!(
-        "parallel scan: {:.1} ms, {par_evals} gain evals",
-        par_s * 1e3
+    // Cold row: index construction timed inside the solve, for the one-shot
+    // CLI use case.
+    let inv_cold = time_median(cfg.runs, || {
+        let (p, rep) = InvertedGainEngine.place_with_report(&scenario, k);
+        (p, rep.gain_evals, rep.delta_pushes)
+    });
+    record(
+        &mut engines,
+        &scenario,
+        "inverted delta-propagation greedy (cold index)",
+        1,
+        &inv_cold,
+        &seq,
     );
 
-    let hybrid = LazyParallelGreedy::with_threads(threads);
-    let (hyb_s, hyb_p, hyb_evals) = time_median(|| hybrid.place_with_stats(&scenario, K));
-    eprintln!(
-        "lazy-parallel: {:.1} ms, {hyb_evals} gain evals",
-        hyb_s * 1e3
-    );
+    for threads in POOL_THREADS {
+        let parallel = ParallelGreedy::with_threads(threads);
+        let par = time_median(cfg.runs, || {
+            let (p, evals) = parallel.place_with_stats(&scenario, k);
+            (p, evals, 0)
+        });
+        record(
+            &mut engines,
+            &scenario,
+            "parallel marginal greedy",
+            threads,
+            &par,
+            &seq,
+        );
 
-    // Every engine must produce the sequential placement, bit for bit.
-    assert_eq!(lazy_p, seq_p, "lazy greedy diverged from marginal greedy");
-    assert_eq!(
-        par_p, seq_p,
-        "parallel greedy diverged from marginal greedy"
-    );
-    assert_eq!(
-        hyb_p, seq_p,
-        "lazy-parallel greedy diverged from marginal greedy"
-    );
+        let hybrid = LazyParallelGreedy::with_threads(threads);
+        let hyb = time_median(cfg.runs, || {
+            let (p, evals) = hybrid.place_with_stats(&scenario, k);
+            (p, evals, 0)
+        });
+        record(
+            &mut engines,
+            &scenario,
+            "lazy-parallel greedy (CELF + pool)",
+            threads,
+            &hyb,
+            &seq,
+        );
+
+        let inv_pool = InvertedPooledGreedy::with_threads(threads);
+        let invp = time_median(cfg.runs, || {
+            let (p, rep) = inv_pool.place_with_index(&scenario, &index, k);
+            (p, rep.gain_evals, rep.delta_pushes)
+        });
+        record(
+            &mut engines,
+            &scenario,
+            "inverted delta-propagation greedy (pooled)",
+            threads,
+            &invp,
+            &seq,
+        );
+    }
 
     let report = Report {
         scenario: ScenarioMeta {
-            grid_side: GRID_SIDE,
+            grid_side: cfg.grid_side,
             nodes: scenario.graph().node_count(),
             flows: scenario.flows().len(),
-            k: K,
+            k,
             utility: "linear".to_string(),
-            threads,
-            timed_runs: RUNS,
+            pool_threads: POOL_THREADS.to_vec(),
+            timed_runs: cfg.runs,
+            inverted_index_build_ms: index_build_ms,
         },
-        engines: vec![
-            engine_result(
-                &scenario,
-                "marginal greedy",
-                seq_s,
-                seq_s,
-                &seq_p,
-                seq_evals,
-            ),
-            engine_result(
-                &scenario,
-                "lazy greedy (CELF)",
-                lazy_s,
-                seq_s,
-                &lazy_p,
-                lazy_evals,
-            ),
-            engine_result(
-                &scenario,
-                "parallel marginal greedy",
-                par_s,
-                seq_s,
-                &par_p,
-                par_evals,
-            ),
-            engine_result(
-                &scenario,
-                "lazy-parallel greedy (CELF + pool)",
-                hyb_s,
-                seq_s,
-                &hyb_p,
-                hyb_evals,
-            ),
-        ],
+        engines,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write benchmark report");
     eprintln!(
-        "wrote {out_path}; lazy-parallel speedup vs marginal: {:.2}x",
-        seq_s / hyb_s
+        "wrote {out_path}; inverted speedup vs marginal: {:.2}x",
+        seq.seconds / inv.seconds
     );
 }

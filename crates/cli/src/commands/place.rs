@@ -7,9 +7,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rap_core::EngineReport;
 use rap_core::{
-    CompositeGreedy, ExhaustiveOptimal, FaultPlan, GreedyCoverage, GreedyWithSwaps, LazyGreedy,
-    LazyParallelGreedy, MarginalGreedy, MaxCardinality, MaxCustomers, MaxVehicles, ParallelGreedy,
-    Placement, PlacementAlgorithm, PlacementReport, Random, Scenario, UtilityKind,
+    CompositeGreedy, ExhaustiveOptimal, FaultPlan, GreedyCoverage, GreedyWithSwaps,
+    InvertedGainEngine, InvertedPooledGreedy, LazyGreedy, LazyParallelGreedy, MarginalGreedy,
+    MaxCardinality, MaxCustomers, MaxVehicles, ParallelGreedy, Placement, PlacementAlgorithm,
+    PlacementReport, Random, Scenario, UtilityKind,
 };
 use rap_graph::{Distance, NodeId};
 use rap_traffic::{FlowSet, FlowSpec};
@@ -19,7 +20,7 @@ use serde::Serialize;
 pub const USAGE: &str = "\
 rap place --graph FILE --flows FILE --shop NODE --k N
           [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
-          [--algorithm alg1|alg2|marginal|lazy|parallel|lazypar|swaps|maxcard|maxveh|maxcust|random|optimal|all]
+          [--algorithm alg1|alg2|marginal|lazy|parallel|lazypar|inverted|invpool|swaps|maxcard|maxveh|maxcust|random|optimal|all]
           [--fault-profile none|panic|stall|drop|poison|seed:N] [--lenient true]
           [--json true] [--route-threads N]
 
@@ -28,8 +29,8 @@ rap place --graph FILE --flows FILE --shop NODE --k N
 --route-threads  worker threads for flow routing and detour-table
                  preprocessing; 0 (the default) auto-detects
 --fault-profile  inject worker faults into the pooled engines (parallel,
-                 lazypar) and report how they recovered; other algorithms
-                 are unaffected
+                 lazypar, invpool) and report how they recovered; other
+                 algorithms are unaffected
 --lenient        quarantine malformed flow rows (with a count in the
                  report) instead of aborting on the first one
 --json           emit one machine-readable JSON report (placement,
@@ -121,6 +122,20 @@ fn place_with_counters(
             };
             Ok((p, Some(rep)))
         }
+        "inverted" => {
+            // No pool to fault, but the report carries the engine's
+            // gain_evals / delta_pushes telemetry like the bench does.
+            let (p, rep) = InvertedGainEngine.place_with_report(scenario, k);
+            Ok((p, Some(rep)))
+        }
+        "invpool" => {
+            let engine = InvertedPooledGreedy::default();
+            let (p, rep) = match plan {
+                Some(plan) => engine.place_with_faults(scenario, k, plan)?,
+                None => engine.place_with_report(scenario, k),
+            };
+            Ok((p, Some(rep)))
+        }
         _ => Ok((alg.place(scenario, k, rng), None)),
     }
 }
@@ -148,6 +163,7 @@ struct JsonPool {
     receive_timeouts: u32,
     degraded: bool,
     gain_evals: u64,
+    delta_pushes: u64,
 }
 
 impl From<&EngineReport> for JsonPool {
@@ -158,6 +174,7 @@ impl From<&EngineReport> for JsonPool {
             receive_timeouts: r.receive_timeouts,
             degraded: r.degraded,
             gain_evals: r.gain_evals,
+            delta_pushes: r.delta_pushes,
         }
     }
 }
@@ -181,6 +198,8 @@ fn algorithm_by_name(name: &str) -> Option<Box<dyn PlacementAlgorithm>> {
         "lazy" => Box::new(LazyGreedy),
         "parallel" => Box::new(ParallelGreedy::default()),
         "lazypar" => Box::new(LazyParallelGreedy::default()),
+        "inverted" => Box::new(InvertedGainEngine),
+        "invpool" => Box::new(InvertedPooledGreedy::default()),
         "swaps" => Box::new(GreedyWithSwaps),
         "maxcard" => Box::new(MaxCardinality),
         "maxveh" => Box::new(MaxVehicles),
@@ -191,9 +210,9 @@ fn algorithm_by_name(name: &str) -> Option<Box<dyn PlacementAlgorithm>> {
     })
 }
 
-const ALL_ALGORITHMS: [&str; 11] = [
-    "alg1", "alg2", "marginal", "lazy", "parallel", "lazypar", "swaps", "maxcard", "maxveh",
-    "maxcust", "random",
+const ALL_ALGORITHMS: [&str; 13] = [
+    "alg1", "alg2", "marginal", "lazy", "parallel", "lazypar", "inverted", "invpool", "swaps",
+    "maxcard", "maxveh", "maxcust", "random",
 ];
 
 /// Runs the command; returns the human-readable report.
@@ -365,6 +384,8 @@ mod tests {
             "CELF",
             "parallel marginal greedy",
             "CELF + pool",
+            "inverted delta-propagation greedy",
+            "inverted delta-propagation greedy (pooled)",
         ] {
             assert!(report.contains(needle), "missing {needle}: {report}");
         }
@@ -406,6 +427,32 @@ mod tests {
         assert_eq!(alg["pool"]["workers_respawned"], 0u64);
         assert_eq!(alg["pool"]["degraded"], serde::Value::Bool(false));
         assert!(alg["pool"]["gain_evals"].as_f64().unwrap() > 0.0);
+
+        // The inverted engine reports its delta-push telemetry even though
+        // it runs without a worker pool.
+        let args = Args::parse([
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "4",
+            "--k",
+            "2",
+            "--d",
+            "400",
+            "--algorithm",
+            "inverted",
+            "--json",
+            "true",
+        ])
+        .unwrap();
+        let v: serde::Value = serde_json::from_str(&run(&args).unwrap()).unwrap();
+        let alg = &v["algorithms"][0];
+        assert_eq!(alg["algorithm"], "inverted");
+        assert_eq!(alg["name"], "inverted delta-propagation greedy");
+        assert!(alg["pool"]["gain_evals"].as_f64().unwrap() > 0.0);
+        assert!(alg["pool"]["delta_pushes"].as_f64().is_some());
 
         // Non-pooled engines carry no pool object.
         let args = Args::parse([

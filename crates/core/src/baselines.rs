@@ -26,8 +26,8 @@ where
 {
     let mut scored: Vec<(NodeId, f64)> = scenario
         .candidates()
-        .into_iter()
-        .map(|v| (v, score(v)))
+        .iter()
+        .map(|&v| (v, score(v)))
         .filter(|(_, s)| *s > 0.0)
         .collect();
     // total_cmp: a NaN score from a degenerate utility must not panic the
@@ -100,7 +100,7 @@ impl PlacementAlgorithm for Random {
         let square = BoundingBox::square(scenario.graph().point(shop), side);
         let mut pool: Vec<NodeId> = scenario.graph().nodes_in(&square);
         if pool.is_empty() {
-            pool = scenario.candidates();
+            pool = scenario.candidates().to_vec();
         }
         if pool.is_empty() {
             return Placement::empty();
@@ -146,8 +146,8 @@ mod tests {
             // Compare against brute force over all candidates.
             let best = s
                 .candidates()
-                .into_iter()
-                .map(|v| s.evaluate_nodes(&[v]))
+                .iter()
+                .map(|&v| s.evaluate_nodes(&[v]))
                 .fold(0.0f64, f64::max);
             assert!(
                 (s.evaluate(&p) - best).abs() < 1e-9,

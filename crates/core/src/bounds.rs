@@ -25,8 +25,8 @@ pub fn singleton_upper_bound(scenario: &Scenario, k: usize) -> f64 {
     let no_cover = vec![false; scenario.flows().len()];
     let mut singles: Vec<f64> = scenario
         .candidates()
-        .into_iter()
-        .map(|v| scenario.uncovered_gain(&no_cover, v))
+        .iter()
+        .map(|&v| scenario.uncovered_gain(&no_cover, v))
         .collect();
     singles.sort_by(|a, b| b.total_cmp(a));
     singles.into_iter().take(k).sum()

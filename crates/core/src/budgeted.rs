@@ -115,7 +115,7 @@ impl BudgetedGreedy {
         let mut spent = 0u64;
         loop {
             let mut chosen: Option<(NodeId, f64)> = None;
-            for &v in &candidates {
+            for &v in candidates {
                 if placement.contains(v) {
                     continue;
                 }

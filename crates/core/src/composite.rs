@@ -38,11 +38,11 @@ impl PlacementAlgorithm for CompositeGreedy {
 
         for _ in 0..k {
             // Candidate i: attract from uncovered flows.
-            let cand_i = argmax_node(&candidates, &placement, 0.0, |v| {
+            let cand_i = argmax_node(candidates, &placement, 0.0, |v| {
                 scenario.uncovered_gain(&covered, v)
             });
             // Candidate ii: improve covered flows with smaller detours.
-            let cand_ii = argmax_node(&candidates, &placement, 0.0, |v| {
+            let cand_ii = argmax_node(candidates, &placement, 0.0, |v| {
                 scenario.improvement_gain_value(&covered, &best_value, v)
             });
             // Pick the better; ties favor candidate i (the paper compares
@@ -94,7 +94,7 @@ impl MarginalGreedy {
         let mut placement = Placement::empty();
         let evals = std::cell::Cell::new(0u64);
         for _ in 0..k {
-            let Some((node, _gain)) = argmax_node(&candidates, &placement, 0.0, |v| {
+            let Some((node, _gain)) = argmax_node(candidates, &placement, 0.0, |v| {
                 evals.set(evals.get() + 1);
                 scenario.marginal_gain_value(&best_value, v)
             }) else {

@@ -50,7 +50,7 @@ impl PlacementAlgorithm for GreedyCoverage {
         let mut covered = vec![false; scenario.flows().len()];
         let mut placement = Placement::empty();
         for _ in 0..k {
-            let Some((node, _gain)) = argmax_node(&candidates, &placement, 0.0, |v| {
+            let Some((node, _gain)) = argmax_node(candidates, &placement, 0.0, |v| {
                 scenario.uncovered_gain(&covered, v)
             }) else {
                 break; // every remaining intersection attracts nobody new

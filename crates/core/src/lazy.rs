@@ -94,8 +94,8 @@ impl LazyGreedy {
         let candidates = scenario.candidates();
         let mut evals = candidates.len() as u64;
         let mut heap: BinaryHeap<HeapEntry> = candidates
-            .into_iter()
-            .map(|v| HeapEntry::new(scenario.marginal_gain_value(&best_value, v), v, 0))
+            .iter()
+            .map(|&v| HeapEntry::new(scenario.marginal_gain_value(&best_value, v), v, 0))
             .collect();
 
         while placement.len() < k {

@@ -129,7 +129,7 @@ impl LazyParallelGreedy {
         let mut placement = Placement::empty();
         let (mut report, failure) = with_eval_pool(
             scenario,
-            &candidates,
+            candidates,
             self.threads,
             self.config,
             faults,
@@ -137,7 +137,7 @@ impl LazyParallelGreedy {
                 let mut failure: Option<PoolFailure> = None;
                 'celf: {
                     // Initial gains for every candidate, computed on the pool.
-                    let all: Arc<[NodeId]> = candidates.clone().into();
+                    let all: Arc<[NodeId]> = scenario.candidates_arc();
                     let gains = match pool.batch_gains(&all) {
                         Ok(g) => g,
                         Err(e) => {
@@ -212,7 +212,7 @@ impl LazyParallelGreedy {
                     // The CELF prefix placed so far equals the sequential
                     // greedy prefix, so resuming with plain scans keeps the
                     // placement bit-identical.
-                    sequential_resume(scenario, &candidates, &mut placement, k, &mut report);
+                    sequential_resume(scenario, candidates, &mut placement, k, &mut report);
                 }
             }
         }

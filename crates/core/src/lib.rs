@@ -23,6 +23,8 @@
 //! | [`LazyGreedy`] | — (CELF extension) | identical output to `MarginalGreedy` |
 //! | [`ParallelGreedy`] | — (pooled scan) | identical output to `MarginalGreedy` |
 //! | [`LazyParallelGreedy`] | — (CELF + pool hybrid) | identical output to `MarginalGreedy` |
+//! | [`InvertedGainEngine`] | — (inverted-index delta propagation) | identical output to `MarginalGreedy` |
+//! | [`InvertedPooledGreedy`] | — (delta propagation + pool) | identical output to `MarginalGreedy` |
 //! | [`MaxCardinality`], [`MaxVehicles`], [`MaxCustomers`], [`Random`] | Sec. V-B baselines | none |
 //! | [`ExhaustiveOptimal`] | — | exact (small instances) |
 //!
@@ -67,6 +69,7 @@ pub mod exhaustive;
 pub mod faults;
 pub mod fixtures;
 pub mod greedy;
+pub mod inverted;
 pub mod lazy;
 pub mod lazy_parallel;
 pub mod local_search;
@@ -90,6 +93,7 @@ pub use error::PlacementError;
 pub use exhaustive::ExhaustiveOptimal;
 pub use faults::{FaultAction, FaultEvent, FaultPlan};
 pub use greedy::GreedyCoverage;
+pub use inverted::{InvertedGainEngine, InvertedIndex, InvertedPooledGreedy};
 pub use lazy::LazyGreedy;
 pub use lazy_parallel::LazyParallelGreedy;
 pub use local_search::{GreedyWithSwaps, SwapSearch};

@@ -47,7 +47,7 @@ impl SwapSearch {
         for _ in 0..self.max_rounds {
             let mut best_swap: Option<(usize, NodeId, f64)> = None;
             for (i, &out) in current.raps().iter().enumerate() {
-                for &inn in &candidates {
+                for &inn in candidates {
                     if current.contains(inn) {
                         continue;
                     }

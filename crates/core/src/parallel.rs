@@ -145,6 +145,10 @@ pub struct EngineReport {
     /// Gain evaluations dispatched (the ablation metric; counts each
     /// scoring round once, not its retries).
     pub gain_evals: u64,
+    /// Gain-delta pushes walked through the flow→candidate inverted CSR
+    /// (zero for engines that do not delta-propagate; see
+    /// [`crate::inverted`]).
+    pub delta_pushes: u64,
 }
 
 /// Terminal pool condition carried from the coordinator to the driver.
@@ -762,7 +766,7 @@ impl ParallelGreedy {
         let mut placement = Placement::empty();
         let (mut report, failure) = with_eval_pool(
             scenario,
-            &candidates,
+            candidates,
             self.threads,
             self.config,
             faults,
@@ -791,7 +795,7 @@ impl ParallelGreedy {
             match self.config.fallback {
                 FallbackMode::Error => return Err(fail.into_error()),
                 FallbackMode::Sequential => {
-                    sequential_resume(scenario, &candidates, &mut placement, k, &mut report);
+                    sequential_resume(scenario, candidates, &mut placement, k, &mut report);
                 }
             }
         }
@@ -868,8 +872,8 @@ mod tests {
     fn batch_gains_match_scan_state() {
         let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(200));
         let candidates = s.candidates();
-        let nodes: Arc<[NodeId]> = candidates.clone().into();
-        with_eval_pool(&s, &candidates, 3, PoolConfig::default(), None, |pool| {
+        let nodes: Arc<[NodeId]> = s.candidates_arc();
+        with_eval_pool(&s, candidates, 3, PoolConfig::default(), None, |pool| {
             let gains = pool.batch_gains(&nodes).expect("healthy pool");
             let best_value = vec![0.0f64; s.flows().len()];
             for (&v, &g) in nodes.iter().zip(&gains) {
@@ -990,7 +994,7 @@ mod tests {
         for k in 0..5 {
             let mut placement = Placement::empty();
             let mut report = EngineReport::default();
-            sequential_resume(&s, &candidates, &mut placement, k, &mut report);
+            sequential_resume(&s, candidates, &mut placement, k, &mut report);
             assert!(report.degraded);
             assert_eq!(placement, MarginalGreedy.place(&s, k, &mut rng()), "k={k}");
         }
@@ -1005,7 +1009,7 @@ mod tests {
         for prefix in 1..=3usize.min(full.len()) {
             let mut placement = Placement::new(full.iter().take(prefix).copied().collect());
             let mut report = EngineReport::default();
-            sequential_resume(&s, &candidates, &mut placement, k, &mut report);
+            sequential_resume(&s, candidates, &mut placement, k, &mut report);
             assert_eq!(placement, full, "prefix={prefix}");
         }
     }

@@ -56,7 +56,8 @@ impl PartialEnumeration {
         }
         let candidates: Vec<NodeId> = scenario
             .candidates()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&v| costs.cost(v) <= budget)
             .collect();
         let n = candidates.len() as u64;

@@ -247,7 +247,7 @@ impl PlacementAlgorithm for FailureAwareGreedy {
         let mut placement = Placement::empty();
 
         for _ in 0..k {
-            let chosen = argmax_node(&candidates, &placement, 0.0, |v| {
+            let chosen = argmax_node(candidates, &placement, 0.0, |v| {
                 let mut gain = 0.0;
                 for e in scenario.entries_at(v) {
                     let state = &per_flow[e.flow.index()];
@@ -521,7 +521,7 @@ impl PlacementAlgorithm for CorrelatedFailureGreedy {
         let mut per_flow: Vec<Vec<(Distance, usize)>> = vec![Vec::new(); scenario.flows().len()];
         let mut placement = Placement::empty();
         for _ in 0..k {
-            let chosen = argmax_node(&candidates, &placement, 0.0, |v| {
+            let chosen = argmax_node(candidates, &placement, 0.0, |v| {
                 let r = self.regions.region_of(v);
                 let mut gain = 0.0;
                 for e in scenario.entries_at(v) {
@@ -652,7 +652,7 @@ mod tests {
             value
         };
         for _ in 0..k {
-            let chosen = argmax_node(&candidates, &placement, 0.0, |v| {
+            let chosen = argmax_node(candidates, &placement, 0.0, |v| {
                 let mut gain = 0.0;
                 for e in scenario.entries_at(v) {
                     let old = &per_flow[e.flow.index()];

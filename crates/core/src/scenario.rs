@@ -66,6 +66,10 @@ pub struct Scenario {
     entry_flow: Vec<u32>,
     /// Precomputed `α · f(detour) · T` of each CSR detour entry.
     entry_value: Vec<f64>,
+    /// Intersections with at least one detour entry, ascending node id —
+    /// computed once here so the engine hot paths and the worker pools never
+    /// re-derive (or re-allocate) the candidate set.
+    candidates: Arc<[NodeId]>,
 }
 
 impl Scenario {
@@ -130,6 +134,7 @@ impl Scenario {
             entry_flow.push(e.flow.index() as u32);
             entry_value.push(utility.probability(e.detour, flow.attractiveness()) * flow.volume());
         }
+        let candidates: Arc<[NodeId]> = detours.candidate_nodes().into();
         Scenario {
             graph,
             flows,
@@ -138,6 +143,7 @@ impl Scenario {
             detours,
             entry_flow,
             entry_value,
+            candidates,
         }
     }
 
@@ -190,9 +196,17 @@ impl Scenario {
         self.detours.entries_at(node)
     }
 
-    /// Intersections where a RAP can reach at least one flow.
-    pub fn candidates(&self) -> Vec<NodeId> {
-        self.detours.candidate_nodes()
+    /// Intersections where a RAP can reach at least one flow, ascending node
+    /// id. Precomputed at construction — calling this in a hot loop costs
+    /// nothing.
+    pub fn candidates(&self) -> &[NodeId] {
+        &self.candidates
+    }
+
+    /// Shared handle to the candidate set (the pooled engines hand it to
+    /// worker threads without copying).
+    pub fn candidates_arc(&self) -> Arc<[NodeId]> {
+        Arc::clone(&self.candidates)
     }
 
     /// Expected daily customers contributed by `flow` when its (minimum)
@@ -488,7 +502,7 @@ mod tests {
         let s = simple();
         let base = Placement::new(vec![NodeId::new(0)]);
         let best = s.best_detours(&base);
-        for v in s.candidates() {
+        for &v in s.candidates() {
             let mut extended = base.clone();
             extended.push(v);
             let diff = s.evaluate(&extended) - s.evaluate(&base);
@@ -506,7 +520,7 @@ mod tests {
         let base = Placement::new(vec![NodeId::new(0)]);
         let best = s.best_detours(&base);
         let covered: Vec<bool> = best.iter().map(Option::is_some).collect();
-        for v in s.candidates() {
+        for &v in s.candidates() {
             let total = s.marginal_gain(&best, v);
             let split = s.uncovered_gain(&covered, v) + s.improvement_gain(&covered, &best, v);
             assert!((total - split).abs() < 1e-9, "gain split mismatch at {v}");
@@ -516,7 +530,7 @@ mod tests {
     #[test]
     fn value_entries_align_with_detour_entries() {
         let s = simple();
-        for v in s.candidates() {
+        for &v in s.candidates() {
             let entries = s.entries_at(v);
             let (flows, values) = s.value_entries_at(v);
             assert_eq!(entries.len(), flows.len());
@@ -540,7 +554,7 @@ mod tests {
         for &rap in &base {
             s.commit_best_values(&mut best_value, rap);
         }
-        for v in s.candidates() {
+        for &v in s.candidates() {
             assert_eq!(
                 s.marginal_gain(&best, v),
                 s.marginal_gain_value(&best_value, v),
@@ -560,9 +574,9 @@ mod tests {
         let candidates = s.candidates();
         let mut best_value = vec![0.0f64; s.flows().len()];
         s.commit_best_values(&mut best_value, NodeId::new(0));
-        let got = s.best_candidate_value(&best_value, &candidates);
+        let got = s.best_candidate_value(&best_value, candidates);
         let mut expect: Option<(f64, NodeId)> = None;
-        for &v in &candidates {
+        for &v in candidates {
             let gain = s.marginal_gain_value(&best_value, v);
             if gain <= 0.0 {
                 continue;
@@ -577,10 +591,10 @@ mod tests {
         }
         assert_eq!(got, expect);
         // Saturated state: nothing has positive gain.
-        for &v in &candidates {
+        for &v in candidates {
             s.commit_best_values(&mut best_value, v);
         }
-        assert_eq!(s.best_candidate_value(&best_value, &candidates), None);
+        assert_eq!(s.best_candidate_value(&best_value, candidates), None);
     }
 
     #[test]
@@ -612,7 +626,7 @@ mod tests {
         // actual shortest paths may route through middle; all candidates must
         // carry at least one entry.
         assert!(!c.is_empty());
-        for v in c {
+        for &v in c {
             assert!(!s.entries_at(v).is_empty());
         }
     }

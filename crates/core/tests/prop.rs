@@ -6,8 +6,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rap_core::{
-    CompositeGreedy, ExhaustiveOptimal, GreedyCoverage, LazyGreedy, LazyParallelGreedy,
-    MarginalGreedy, ParallelGreedy, Placement, PlacementAlgorithm, Scenario, UtilityKind,
+    CompositeGreedy, ExhaustiveOptimal, FlowDelta, GreedyCoverage, InvertedGainEngine,
+    InvertedIndex, InvertedPooledGreedy, LazyGreedy, LazyParallelGreedy, MarginalGreedy,
+    MutableScenario, ParallelGreedy, Placement, PlacementAlgorithm, Scenario, UtilityKind,
 };
 use rap_graph::{dijkstra, Distance, GridGraph, NodeId};
 use rap_traffic::{FlowId, FlowSet, FlowSpec};
@@ -82,6 +83,36 @@ fn rng() -> StdRng {
     StdRng::seed_from_u64(0)
 }
 
+/// The instance as a [`MutableScenario`] (same graph, flows, shop, utility
+/// as [`build`]), for the delta-stream equivalence properties.
+fn build_mutable(inst: &Instance) -> Option<MutableScenario> {
+    let grid = GridGraph::new(inst.rows, inst.cols, Distance::from_feet(100));
+    let mut specs = Vec::new();
+    for &(o, d, v) in &inst.flows {
+        if o == d {
+            continue;
+        }
+        specs.push(
+            FlowSpec::new(NodeId::new(o), NodeId::new(d), v as f64)
+                .expect("valid spec")
+                .with_attractiveness(0.5)
+                .expect("alpha valid"),
+        );
+    }
+    if specs.is_empty() {
+        return None;
+    }
+    let flows = FlowSet::route(grid.graph(), specs).expect("grid flows route");
+    MutableScenario::new(
+        grid.graph().clone(),
+        flows,
+        vec![NodeId::new(inst.shop)],
+        inst.utility
+            .instantiate(Distance::from_feet(inst.threshold)),
+    )
+    .ok()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -116,7 +147,7 @@ proptest! {
         let candidates = s.candidates();
         let mut placement = Placement::empty();
         let mut prev = 0.0;
-        for v in candidates {
+        for &v in candidates {
             placement.push(v);
             let w = s.evaluate(&placement);
             prop_assert!(w + 1e-9 >= prev, "objective dropped when adding {v}");
@@ -190,6 +221,13 @@ proptest! {
                 seq.clone(),
                 "lazy diverged ({kind}, k={k})"
             );
+            let inv = InvertedGainEngine.place(&s, k, &mut rng());
+            prop_assert_eq!(
+                s.evaluate(&inv).to_bits(),
+                s.evaluate(&seq).to_bits(),
+                "inverted objective diverged ({kind}, k={k})"
+            );
+            prop_assert_eq!(inv, seq.clone(), "inverted diverged ({kind}, k={k})");
             for threads in [1usize, 2, 3, 8] {
                 prop_assert_eq!(
                     ParallelGreedy::with_threads(threads).place(&s, k, &mut rng()),
@@ -201,7 +239,113 @@ proptest! {
                     seq.clone(),
                     "lazy-parallel diverged ({kind}, k={k}, threads={threads})"
                 );
+                prop_assert_eq!(
+                    InvertedPooledGreedy::with_threads(threads).place(&s, k, &mut rng()),
+                    seq.clone(),
+                    "inverted-pooled diverged ({kind}, k={k}, threads={threads})"
+                );
             }
+        }
+    }
+
+    /// The inverted delta-propagation engine stays bit-identical to the
+    /// marginal greedy and CELF on multi-shop scenarios (two shops, every
+    /// utility kind), for both placements and objectives.
+    #[test]
+    fn inverted_identical_multi_shop(inst in arb_instance(), k in 0usize..6, shop2 in 0u32..36) {
+        for kind in UtilityKind::ALL {
+            let mut inst = inst.clone();
+            inst.utility = kind;
+            let Some(single) = build(&inst) else { return Ok(()) };
+            let n = inst.rows * inst.cols;
+            let s = Scenario::new(
+                single.graph().clone(),
+                single.flows().clone(),
+                vec![NodeId::new(inst.shop), NodeId::new(shop2 % n)],
+                kind.instantiate(Distance::from_feet(inst.threshold)),
+            )
+            .expect("multi-shop scenario valid");
+            let seq = MarginalGreedy.place(&s, k, &mut rng());
+            let celf = LazyGreedy.place(&s, k, &mut rng());
+            let inv = InvertedGainEngine.place(&s, k, &mut rng());
+            prop_assert_eq!(
+                s.evaluate(&inv).to_bits(),
+                s.evaluate(&seq).to_bits(),
+                "objective diverged ({kind}, k={k})"
+            );
+            prop_assert_eq!(&celf, &seq, "celf diverged ({kind}, k={k})");
+            prop_assert_eq!(&inv, &seq, "inverted diverged ({kind}, k={k})");
+        }
+    }
+
+    /// After an arbitrary batch of `MutableScenario` flow deltas, the
+    /// inverted engine solved against the snapshot is still bit-identical
+    /// to the marginal greedy and CELF — placements and objectives alike.
+    #[test]
+    fn inverted_identical_after_flow_deltas(
+        inst in arb_instance(),
+        k in 0usize..6,
+        ops in proptest::collection::vec((0u8..4, 0u32..64, 0u32..64, 1u32..100), 1..8),
+    ) {
+        let Some(mut ms) = build_mutable(&inst) else { return Ok(()) };
+        let n = inst.rows * inst.cols;
+        for &(op, a, b, v) in &ops {
+            let live = ms.live_stable_ids();
+            let delta = match op {
+                0 => FlowDelta::AddFlow {
+                    origin: NodeId::new(a % n),
+                    destination: NodeId::new(b % n),
+                    volume: v as f64,
+                    alpha: 0.5,
+                },
+                1 if !live.is_empty() => FlowDelta::RemoveFlow {
+                    flow: live[a as usize % live.len()],
+                },
+                2 if !live.is_empty() => FlowDelta::RescaleFlow {
+                    flow: live[a as usize % live.len()],
+                    factor: 0.25 + v as f64 / 50.0,
+                },
+                3 if !live.is_empty() => FlowDelta::SetAlpha {
+                    flow: live[a as usize % live.len()],
+                    alpha: (v as f64 % 10.0) / 10.0,
+                },
+                _ => continue,
+            };
+            // Degenerate deltas (origin == destination, removing the last
+            // flow, ...) are rejected and leave the scenario unchanged —
+            // exactly what a live stream would see.
+            let _ = ms.apply(&delta);
+        }
+        let snap = ms.snapshot();
+        let seq = MarginalGreedy.place(&snap, k, &mut rng());
+        let celf = LazyGreedy.place(&snap, k, &mut rng());
+        let inv = InvertedGainEngine.place(&snap, k, &mut rng());
+        prop_assert_eq!(
+            snap.evaluate(&inv).to_bits(),
+            snap.evaluate(&seq).to_bits(),
+            "objective diverged after deltas (k={})", k
+        );
+        prop_assert_eq!(&celf, &seq, "celf diverged after deltas (k={})", k);
+        prop_assert_eq!(&inv, &seq, "inverted diverged after deltas (k={})", k);
+    }
+
+    /// Flow-group coalescing preserves the objective bit for bit: the
+    /// grouped evaluation equals `Scenario::evaluate` on every greedy
+    /// prefix and on the full candidate set.
+    #[test]
+    fn coalescing_preserves_objective(inst in arb_instance(), k in 0usize..5) {
+        let Some(s) = build(&inst) else { return Ok(()) };
+        let index = InvertedIndex::build(&s);
+        let mut probes: Vec<Placement> = (0..=k)
+            .map(|i| MarginalGreedy.place(&s, i, &mut rng()))
+            .collect();
+        probes.push(Placement::new(s.candidates().to_vec()));
+        for p in probes {
+            prop_assert_eq!(
+                index.evaluate_grouped(&p).to_bits(),
+                s.evaluate(&p).to_bits(),
+                "grouped evaluation diverged on {}", p
+            );
         }
     }
 
@@ -255,7 +399,7 @@ proptest! {
         for &rap in &base {
             s.commit_best_values(&mut best_value, rap);
         }
-        for &v in &candidates {
+        for &v in candidates {
             // Exact equality: both engines evaluate the same expression on
             // the same inputs.
             prop_assert_eq!(

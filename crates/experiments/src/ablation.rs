@@ -14,7 +14,8 @@ use crate::general::{run_general, GeneralRun};
 use crate::manhattan_run::{run_manhattan, ManhattanRun};
 use crate::series::Figure;
 use rap_core::{
-    CompositeGreedy, GreedyCoverage, LazyGreedy, LazyParallelGreedy, MarginalGreedy, UtilityKind,
+    CompositeGreedy, GreedyCoverage, InvertedGainEngine, LazyGreedy, LazyParallelGreedy,
+    MarginalGreedy, UtilityKind,
 };
 use rap_graph::Distance;
 use rap_manhattan::gen::BoundaryFlowParams;
@@ -40,7 +41,7 @@ pub fn ablation(settings: &Settings) -> Figure {
         &city,
         &cfg,
         "greedy objectives: composite vs uncovered-only vs marginal vs lazy \
-         vs lazy-parallel (Dublin, linear, D = 20,000 ft)"
+         vs lazy-parallel vs inverted (Dublin, linear, D = 20,000 ft)"
             .into(),
         &[
             &CompositeGreedy,
@@ -48,6 +49,7 @@ pub fn ablation(settings: &Settings) -> Figure {
             &MarginalGreedy,
             &LazyGreedy,
             &lazy_parallel,
+            &InvertedGainEngine,
         ],
     ));
 
@@ -67,6 +69,7 @@ pub fn ablation(settings: &Settings) -> Figure {
             &MarginalGreedy,
             &LazyGreedy,
             &lazy_parallel,
+            &InvertedGainEngine,
         ],
     ));
 
@@ -114,19 +117,29 @@ mod tests {
         };
         let f = ablation(&settings);
         assert_eq!(f.panels.len(), 4);
-        // CELF and the lazy-parallel hybrid must agree with the plain
-        // marginal greedy on every point.
+        // CELF, the lazy-parallel hybrid, and the inverted delta-propagation
+        // engine must agree with the plain marginal greedy on every point.
         for panel in &f.panels[..2] {
             let marginal = panel.series_named("marginal greedy").unwrap();
             let lazy = panel.series_named("lazy greedy (CELF)").unwrap();
             let hybrid = panel
                 .series_named("lazy-parallel greedy (CELF + pool)")
                 .unwrap();
+            let inverted = panel
+                .series_named("inverted delta-propagation greedy")
+                .unwrap();
             for (a, b) in marginal.points.iter().zip(lazy.points.iter()) {
                 assert!((a.customers - b.customers).abs() < 1e-9);
             }
             for (a, b) in marginal.points.iter().zip(hybrid.points.iter()) {
                 assert!((a.customers - b.customers).abs() < 1e-9);
+            }
+            for (a, b) in marginal.points.iter().zip(inverted.points.iter()) {
+                assert!(
+                    (a.customers - b.customers).abs() < 1e-9,
+                    "inverted diverged from marginal at k = {}",
+                    a.k
+                );
             }
         }
     }

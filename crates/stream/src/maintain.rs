@@ -17,8 +17,13 @@
 //! 1. **Repair** — swap local search (`rap_core::SwapSearch`) from the
 //!    current placement: cheap, usually recovers a few drifted RAPs.
 //! 2. **Resolve** — if the repaired placement is *still* stale, escalate to
-//!    a full re-greedy on the pooled CELF engine
-//!    (`rap_core::LazyParallelGreedy`) and adopt its placement.
+//!    a full re-greedy on the pooled inverted-index delta-propagation
+//!    engine (`rap_core::InvertedPooledGreedy`) and adopt its placement.
+//!    The flow→candidate inverted index is cached against the
+//!    [`MutableScenario`] epoch it was built from: deltas that produce a
+//!    new snapshot (including compactions) invalidate it and the next
+//!    escalation rebuilds it in one O(entries) pass, while repeated
+//!    escalations against an unchanged scenario reuse it outright.
 //!
 //! Initial solves and escalations reset the baseline to the fraction the
 //! greedy actually achieved (the attainable level); clean checks and repairs
@@ -33,11 +38,9 @@
 //! for decisions.
 
 use crate::delta::StreamError;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rap_core::{
-    singleton_upper_bound, LazyParallelGreedy, MutableScenario, Placement, PlacementAlgorithm,
-    SwapSearch,
+    singleton_upper_bound, InvertedIndex, InvertedPooledGreedy, MutableScenario, Placement,
+    Scenario, SwapSearch,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -57,7 +60,9 @@ pub struct MaintainerConfig {
     pub threads: usize,
     /// Swap-repair parameters.
     pub swap: SwapSearch,
-    /// Seed for the (seeded, deterministic) engine runs.
+    /// Seed reserved for randomized engine runs. The current repair and
+    /// escalation engines are fully deterministic, so the maintenance
+    /// trajectory depends only on the delta stream and these knobs.
     pub seed: u64,
 }
 
@@ -126,8 +131,10 @@ pub struct MaintainerStats {
 #[derive(Debug)]
 pub struct Maintainer {
     cfg: MaintainerConfig,
-    engine: LazyParallelGreedy,
-    rng: StdRng,
+    engine: InvertedPooledGreedy,
+    /// Inverted index cached with the [`MutableScenario::epoch`] it was
+    /// built at; stale epochs trigger a rebuild on the next solve.
+    index_cache: Option<(u64, InvertedIndex)>,
     placement: Placement,
     /// Objective at the last measurement (check or adoption).
     objective: f64,
@@ -145,16 +152,17 @@ impl Maintainer {
     /// Propagates scenario evaluation failures (none today — the signature
     /// leaves room for fallible pooled solves).
     pub fn new(cfg: MaintainerConfig, scenario: &mut MutableScenario) -> Result<Self, StreamError> {
-        let engine = LazyParallelGreedy::with_threads(cfg.threads.max(1));
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let engine = InvertedPooledGreedy::with_threads(cfg.threads.max(1));
+        let epoch = scenario.epoch();
         let snap = scenario.snapshot();
-        let placement = engine.place(&snap, cfg.k, &mut rng);
+        let index = InvertedIndex::build(&snap);
+        let (placement, _) = engine.place_with_index(&snap, &index, cfg.k);
         let objective = snap.evaluate(&placement);
         let baseline_certified = certified(objective, singleton_upper_bound(&snap, cfg.k));
         Ok(Maintainer {
             cfg,
             engine,
-            rng,
+            index_cache: Some((epoch, index)),
             placement,
             objective,
             baseline_certified,
@@ -178,6 +186,7 @@ impl Maintainer {
     /// by callers that want a final measurement at end of stream).
     pub fn check(&mut self, scenario: &mut MutableScenario) -> MaintainAction {
         self.stats.checks += 1;
+        let epoch = scenario.epoch();
         let snap = scenario.snapshot();
         let ub = singleton_upper_bound(&snap, self.cfg.k);
         self.objective = snap.evaluate(&self.placement);
@@ -209,8 +218,13 @@ impl Maintainer {
             };
         }
 
-        // Resolve: swaps stalled — full re-greedy on the worker pool.
-        let resolved = self.engine.place(&snap, self.cfg.k, &mut self.rng);
+        // Resolve: swaps stalled — full re-greedy on the pooled inverted
+        // engine, against the (possibly rebuilt) cached index.
+        let engine = self.engine;
+        let k = self.cfg.k;
+        let resolved = engine
+            .place_with_index(&snap, self.index_for(epoch, &snap), k)
+            .0;
         let resolved_value = snap.evaluate(&resolved);
         let latency_us = start.elapsed().as_micros() as u64;
         // Keep whichever is better; re-greedy can only tie-or-beat swaps in
@@ -228,6 +242,17 @@ impl Maintainer {
             objective: self.objective,
             latency_us,
         }
+    }
+
+    /// The inverted index for the scenario's current epoch, rebuilding it
+    /// only when deltas have advanced the epoch since it was last built
+    /// (e.g. after a tombstone compaction produced a new snapshot).
+    fn index_for(&mut self, epoch: u64, snap: &Scenario) -> &InvertedIndex {
+        let cached = matches!(&self.index_cache, Some((e, _)) if *e == epoch);
+        if !cached {
+            self.index_cache = Some((epoch, InvertedIndex::build(snap)));
+        }
+        &self.index_cache.as_ref().expect("cache just populated").1
     }
 
     /// Full adoption (initial solve, escalation): the greedy just measured
@@ -288,7 +313,9 @@ fn certified(value: f64, upper_bound: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rap_core::{FlowDelta, MarginalGreedy, UtilityKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rap_core::{FlowDelta, MarginalGreedy, PlacementAlgorithm, UtilityKind};
     use rap_graph::{Distance, GridGraph, NodeId};
     use rap_traffic::{FlowSet, FlowSpec};
 
