@@ -6,8 +6,19 @@
 //! one large grid instance, checks their placements are identical, and
 //! writes wall-clock times, speedups versus the sequential baseline, and
 //! gain-evaluation / delta-push counts as JSON. Pooled engines are timed at
-//! every thread configuration in `POOL_THREADS` so the report carries both a
-//! single-thread and a multi-thread row per pooled engine.
+//! every thread configuration in `POOL_THREADS`, the inverted-index build is
+//! timed at one and four threads, and the SoA gain kernel gets its own
+//! throughput row (scalar reference versus the laned kernel).
+//!
+//! Cold-index rows time the index build and the solve separately: the row's
+//! `wall_clock_ms` (and so `speedup_vs_marginal`) is solve-only, with the
+//! one-off build cost in `index_build_ms` next to it.
+//!
+//! Scaling gates: every pooled engine must be faster at four threads than at
+//! one (10% tolerance), and the cold four-thread index build plus solve must
+//! stay within 2x of the warm solve. Failing gates are re-measured up to
+//! three times and judged on medians; they hard-fail only on hosts with at
+//! least four cores (CI), and warn elsewhere.
 //!
 //! Usage: `cargo run --release -p rap-bench --bin bench_greedy [--smoke] [OUT.json]`
 //! (default output path `BENCH_greedy.json` in the current directory; with
@@ -15,14 +26,27 @@
 
 use rap_bench::grid_scenario;
 use rap_core::{
-    InvertedGainEngine, InvertedIndex, InvertedPooledGreedy, LazyGreedy, LazyParallelGreedy,
-    MarginalGreedy, ParallelGreedy, Placement, Scenario, UtilityKind,
+    kernel, InvertedGainEngine, InvertedIndex, InvertedPooledGreedy, LazyGreedy,
+    LazyParallelGreedy, MarginalGreedy, ParallelGreedy, Placement, Scenario, UtilityKind,
 };
 use serde::Serialize;
+use std::hint::black_box;
 use std::time::Instant;
 
-/// Thread configurations timed for the pooled engines.
+/// Thread configurations timed for the pooled engines and the index build.
 const POOL_THREADS: [usize; 2] = [1, 4];
+
+/// A failing timing gate is re-measured this many times before the verdict;
+/// the comparison always runs on medians.
+const GATE_RETRIES: usize = 3;
+
+/// Multiplicative slack on the pooled scaling gates: four threads must beat
+/// `1.10 x` the one-thread time.
+const GATE_TOLERANCE: f64 = 1.10;
+
+/// Flops charged per kernel entry in the throughput row: subtract, max,
+/// accumulate.
+const FLOPS_PER_ENTRY: f64 = 3.0;
 
 /// Instance scale and repetition count for one harness invocation.
 struct Config {
@@ -46,15 +70,34 @@ impl Config {
     }
 
     /// CI smoke scale: finishes in seconds while still exercising every
-    /// engine and the placement-identity assertions.
+    /// engine, the placement-identity assertions, and the scaling gates.
+    /// Large enough that a pool round carries real scan work — on a tiny
+    /// instance the per-round coordination would drown the parallel win and
+    /// make the scaling gates meaningless.
     fn smoke() -> Config {
         Config {
-            grid_side: 16,
-            flows: 200,
-            k: 8,
-            runs: 1,
+            grid_side: 40,
+            flows: 1_200,
+            k: 10,
+            runs: 2,
         }
     }
+}
+
+#[derive(Serialize)]
+struct IndexBuildTiming {
+    threads: usize,
+    ms: f64,
+}
+
+#[derive(Serialize)]
+struct KernelThroughput {
+    entries: usize,
+    reps: usize,
+    scalar_ms: f64,
+    laned_ms: f64,
+    scalar_gflops: f64,
+    laned_gflops: f64,
 }
 
 #[derive(Serialize)]
@@ -66,14 +109,23 @@ struct ScenarioMeta {
     utility: String,
     pool_threads: Vec<usize>,
     timed_runs: usize,
-    inverted_index_build_ms: f64,
+    host_threads: usize,
+    index_build: Vec<IndexBuildTiming>,
+    kernel: KernelThroughput,
 }
 
 #[derive(Serialize)]
 struct EngineResult {
     name: String,
     threads: usize,
+    /// Solve-only wall clock; index construction, where an engine performs
+    /// one, is split out into `index_build_ms`.
     wall_clock_ms: f64,
+    /// One-off flow→candidate index construction cost paid by this row
+    /// (0 for engines that take a prebuilt index or none at all).
+    index_build_ms: f64,
+    /// Threads used for the index build in this row (0 when no build).
+    index_build_threads: usize,
     speedup_vs_marginal: f64,
     gain_evals: u64,
     delta_pushes: u64,
@@ -95,6 +147,13 @@ struct Timed {
     delta_pushes: u64,
 }
 
+/// Median of a non-empty sample.
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted[sorted.len() / 2]
+}
+
 /// Median wall-clock seconds of `runs` timed repetitions (after one warmup).
 fn time_median<F: FnMut() -> (Placement, u64, u64)>(runs: usize, mut run: F) -> Timed {
     let mut out = run(); // warmup
@@ -104,17 +163,64 @@ fn time_median<F: FnMut() -> (Placement, u64, u64)>(runs: usize, mut run: F) -> 
         out = run();
         times.push(t.elapsed().as_secs_f64());
     }
-    times.sort_by(f64::total_cmp);
     Timed {
-        seconds: times[times.len() / 2],
+        seconds: median(&times),
         placement: out.0,
         gain_evals: out.1,
         delta_pushes: out.2,
     }
 }
 
+/// Cold-path timing: each repetition builds a fresh index and solves
+/// against it, with the two phases on separate clocks so the engine row's
+/// wall clock stays solve-only. Returns `(median build seconds, solve
+/// timing)`.
+fn time_cold<B, F>(runs: usize, mut build: B, mut solve: F) -> (f64, Timed)
+where
+    B: FnMut() -> InvertedIndex,
+    F: FnMut(&InvertedIndex) -> (Placement, u64, u64),
+{
+    let mut out = {
+        let idx = build();
+        solve(&idx) // warmup
+    };
+    let mut builds: Vec<f64> = Vec::with_capacity(runs);
+    let mut solves: Vec<f64> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        let idx = build();
+        builds.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        out = solve(&idx);
+        solves.push(t.elapsed().as_secs_f64());
+    }
+    (
+        median(&builds),
+        Timed {
+            seconds: median(&solves),
+            placement: out.0,
+            gain_evals: out.1,
+            delta_pushes: out.2,
+        },
+    )
+}
+
+/// Median wall-clock seconds of `runs` repetitions of an untyped closure
+/// (after one warmup).
+fn median_secs<F: FnMut()>(runs: usize, mut run: F) -> f64 {
+    run(); // warmup
+    let mut times: Vec<f64> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        run();
+        times.push(t.elapsed().as_secs_f64());
+    }
+    median(&times)
+}
+
 /// Asserts the engine reproduced the sequential placement bit for bit, then
 /// records its row.
+#[allow(clippy::too_many_arguments)]
 fn record(
     engines: &mut Vec<EngineResult>,
     scenario: &Scenario,
@@ -122,14 +228,21 @@ fn record(
     threads: usize,
     timed: &Timed,
     baseline: &Timed,
+    index_build_ms: f64,
+    index_build_threads: usize,
 ) {
     assert_eq!(
         timed.placement, baseline.placement,
         "{name} (threads = {threads}) diverged from marginal greedy"
     );
     eprintln!(
-        "{name} [threads = {threads}]: {:.2} ms, {} gain evals, {} delta pushes",
+        "{name} [threads = {threads}]: {:.2} ms solve{}, {} gain evals, {} delta pushes",
         timed.seconds * 1e3,
+        if index_build_threads > 0 {
+            format!(" + {index_build_ms:.2} ms index build @ {index_build_threads}t")
+        } else {
+            String::new()
+        },
         timed.gain_evals,
         timed.delta_pushes
     );
@@ -137,11 +250,111 @@ fn record(
         name: name.to_string(),
         threads,
         wall_clock_ms: timed.seconds * 1e3,
+        index_build_ms,
+        index_build_threads,
         speedup_vs_marginal: baseline.seconds / timed.seconds,
         gain_evals: timed.gain_evals,
         delta_pushes: timed.delta_pushes,
         objective: scenario.evaluate(&timed.placement),
     });
+}
+
+/// Times the scalar reference against the laned SoA gain kernel over every
+/// candidate's entry lanes with an all-zero best-value state (every entry
+/// contributes, so the row reflects peak per-entry work).
+fn kernel_throughput(scenario: &Scenario, runs: usize) -> KernelThroughput {
+    let best = vec![0.0f64; scenario.flows().len()];
+    let entries: usize = scenario
+        .candidates()
+        .iter()
+        .map(|&n| scenario.value_entries_at(n).0.len())
+        .sum();
+    // Enough repetitions to push each side into the tens of milliseconds.
+    let reps = (4_000_000 / entries.max(1)).clamp(1, 2_000);
+    let sweep = |laned: bool| {
+        let mut sum = 0.0f64;
+        for _ in 0..reps {
+            for &n in scenario.candidates() {
+                let (flows, values) = scenario.value_entries_at(n);
+                sum += if laned {
+                    kernel::gain(flows, values, &best)
+                } else {
+                    kernel::gain_reference(flows, values, &best)
+                };
+            }
+        }
+        black_box(sum);
+    };
+    let scalar_s = median_secs(runs, || sweep(false));
+    let laned_s = median_secs(runs, || sweep(true));
+    let work = entries as f64 * reps as f64 * FLOPS_PER_ENTRY;
+    let row = KernelThroughput {
+        entries,
+        reps,
+        scalar_ms: scalar_s * 1e3,
+        laned_ms: laned_s * 1e3,
+        scalar_gflops: work / scalar_s / 1e9,
+        laned_gflops: work / laned_s / 1e9,
+    };
+    eprintln!(
+        "gain kernel over {entries} entries x {reps} reps: scalar {:.2} ms ({:.2} GF/s), laned {:.2} ms ({:.2} GF/s)",
+        row.scalar_ms, row.scalar_gflops, row.laned_ms, row.laned_gflops
+    );
+    row
+}
+
+/// Verdict of one timing gate after up to [`GATE_RETRIES`] re-measurements.
+///
+/// `lhs`/`rhs` re-measure one sample each; the gate passes when
+/// `median(lhs samples) < median(rhs samples)`. Hard gates panic on failure,
+/// soft gates warn (hosts without enough cores cannot honestly enforce a
+/// scaling claim).
+fn timing_gate(
+    label: &str,
+    hard: bool,
+    initial: (f64, f64),
+    mut lhs: impl FnMut() -> f64,
+    mut rhs: impl FnMut() -> f64,
+) {
+    let mut l = vec![initial.0];
+    let mut r = vec![initial.1];
+    for retry in 0..GATE_RETRIES {
+        if median(&l) < median(&r) {
+            break;
+        }
+        eprintln!(
+            "gate '{label}' failing ({:.2} ms vs {:.2} ms budget), retry {}/{GATE_RETRIES}",
+            median(&l) * 1e3,
+            median(&r) * 1e3,
+            retry + 1
+        );
+        l.push(lhs());
+        r.push(rhs());
+    }
+    let (ml, mr) = (median(&l), median(&r));
+    if ml < mr {
+        eprintln!(
+            "gate '{label}': OK ({:.2} ms within {:.2} ms budget, median of {} sample(s))",
+            ml * 1e3,
+            mr * 1e3,
+            l.len()
+        );
+    } else if hard {
+        panic!(
+            "gate '{label}' FAILED: {:.2} ms exceeds the {:.2} ms budget \
+             (median of {} samples)",
+            ml * 1e3,
+            mr * 1e3,
+            l.len()
+        );
+    } else {
+        eprintln!(
+            "gate '{label}': WARN {:.2} ms exceeds the {:.2} ms budget \
+             (host has too few cores to enforce)",
+            ml * 1e3,
+            mr * 1e3
+        );
+    }
 }
 
 fn main() {
@@ -159,13 +372,36 @@ fn main() {
     } else {
         Config::full()
     };
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    // Scaling gates are honest claims only with enough cores under them; CI
+    // runners have four, this hard-enforces there and warns elsewhere.
+    let hard_gates = host_threads >= 4;
 
     eprintln!(
-        "building {0}x{0} grid, {1} flows, k = {2} ...",
-        cfg.grid_side, cfg.flows, cfg.k
+        "building {0}x{0} grid, {1} flows, k = {2} ({3} host threads) ...",
+        cfg.grid_side, cfg.flows, cfg.k, host_threads
     );
     let scenario = grid_scenario(cfg.grid_side, cfg.flows, UtilityKind::Linear);
     let k = cfg.k;
+
+    // Index build at one and four threads, timed on its own: the cold rows
+    // and the cold-vs-warm gate both read from this.
+    let mut index_build: Vec<IndexBuildTiming> = Vec::new();
+    for threads in POOL_THREADS {
+        let ms = median_secs(cfg.runs, || {
+            black_box(InvertedIndex::build_with_threads(&scenario, threads));
+        }) * 1e3;
+        eprintln!("inverted index build [threads = {threads}]: {ms:.2} ms");
+        index_build.push(IndexBuildTiming { threads, ms });
+    }
+    let index = InvertedIndex::build(&scenario);
+    eprintln!(
+        "inverted index: {} coalesced groups for {} flows",
+        index.groups(),
+        index.flow_count()
+    );
+
+    let kernel_row = kernel_throughput(&scenario, cfg.runs);
 
     let mut engines: Vec<EngineResult> = Vec::new();
 
@@ -173,7 +409,16 @@ fn main() {
         let (p, evals) = MarginalGreedy.place_with_stats(&scenario, k);
         (p, evals, 0)
     });
-    record(&mut engines, &scenario, "marginal greedy", 1, &seq, &seq);
+    record(
+        &mut engines,
+        &scenario,
+        "marginal greedy",
+        1,
+        &seq,
+        &seq,
+        0.0,
+        0,
+    );
 
     let lazy = time_median(cfg.runs, || {
         let (p, evals) = LazyGreedy.place_with_stats(&scenario, k);
@@ -186,20 +431,12 @@ fn main() {
         1,
         &lazy,
         &seq,
+        0.0,
+        0,
     );
 
-    // The inverted engine's flow→candidate index is built once and reused
-    // across solves in practice (streaming maintainer, repeated budgets);
-    // its one-off cost is reported separately in the scenario meta.
-    let t = Instant::now();
-    let index = InvertedIndex::build(&scenario);
-    let index_build_ms = t.elapsed().as_secs_f64() * 1e3;
-    eprintln!(
-        "inverted index: {} coalesced groups for {} flows, built in {index_build_ms:.2} ms",
-        index.groups(),
-        index.flow_count()
-    );
-
+    // Warm row: the flow→candidate index is built once and reused across
+    // solves in practice (streaming maintainer, repeated budgets).
     let inv = time_median(cfg.runs, || {
         let (p, rep) = InvertedGainEngine.place_with_index(&scenario, &index, k);
         (p, rep.gain_evals, rep.delta_pushes)
@@ -211,14 +448,21 @@ fn main() {
         1,
         &inv,
         &seq,
+        0.0,
+        0,
     );
 
-    // Cold row: index construction timed inside the solve, for the one-shot
-    // CLI use case.
-    let inv_cold = time_median(cfg.runs, || {
-        let (p, rep) = InvertedGainEngine.place_with_report(&scenario, k);
-        (p, rep.gain_evals, rep.delta_pushes)
-    });
+    // Cold row: the one-shot CLI use case pays the index build too. The
+    // build is timed inside the repetition but reported in its own column so
+    // the speedup stays a solve-vs-solve comparison.
+    let (cold_build_s, inv_cold) = time_cold(
+        cfg.runs,
+        || InvertedIndex::build(&scenario),
+        |fresh| {
+            let (p, rep) = InvertedGainEngine.place_with_index(&scenario, fresh, k);
+            (p, rep.gain_evals, rep.delta_pushes)
+        },
+    );
     record(
         &mut engines,
         &scenario,
@@ -226,8 +470,13 @@ fn main() {
         1,
         &inv_cold,
         &seq,
+        cold_build_s * 1e3,
+        1,
     );
 
+    // Pooled engines at every thread configuration; per-engine timings are
+    // kept so the scaling gates can compare one- and four-thread medians.
+    let mut pooled_secs: Vec<(String, usize, f64)> = Vec::new();
     for threads in POOL_THREADS {
         let parallel = ParallelGreedy::with_threads(threads);
         let par = time_median(cfg.runs, || {
@@ -241,7 +490,10 @@ fn main() {
             threads,
             &par,
             &seq,
+            0.0,
+            0,
         );
+        pooled_secs.push(("parallel marginal greedy".into(), threads, par.seconds));
 
         let hybrid = LazyParallelGreedy::with_threads(threads);
         let hyb = time_median(cfg.runs, || {
@@ -255,7 +507,14 @@ fn main() {
             threads,
             &hyb,
             &seq,
+            0.0,
+            0,
         );
+        pooled_secs.push((
+            "lazy-parallel greedy (CELF + pool)".into(),
+            threads,
+            hyb.seconds,
+        ));
 
         let inv_pool = InvertedPooledGreedy::with_threads(threads);
         let invp = time_median(cfg.runs, || {
@@ -269,6 +528,114 @@ fn main() {
             threads,
             &invp,
             &seq,
+            0.0,
+            0,
+        );
+        pooled_secs.push((
+            "inverted delta-propagation greedy (pooled)".into(),
+            threads,
+            invp.seconds,
+        ));
+    }
+
+    // Cold pooled row at the widest configuration: threaded index build plus
+    // pooled solve, the headline cold-start path.
+    let wide = *POOL_THREADS.last().expect("POOL_THREADS is non-empty");
+    let inv_pool_wide = InvertedPooledGreedy::with_threads(wide);
+    let (cold_build4_s, invp_cold) = time_cold(
+        cfg.runs,
+        || InvertedIndex::build_with_threads(&scenario, wide),
+        |fresh| {
+            let (p, rep) = inv_pool_wide.place_with_index(&scenario, fresh, k);
+            (p, rep.gain_evals, rep.delta_pushes)
+        },
+    );
+    record(
+        &mut engines,
+        &scenario,
+        "inverted delta-propagation greedy (pooled, cold index)",
+        wide,
+        &invp_cold,
+        &seq,
+        cold_build4_s * 1e3,
+        wide,
+    );
+
+    // --- Scaling gates -----------------------------------------------------
+
+    // Every pooled engine must beat 1.10x of its own one-thread time at four
+    // threads.
+    for name in [
+        "parallel marginal greedy",
+        "lazy-parallel greedy (CELF + pool)",
+        "inverted delta-propagation greedy (pooled)",
+    ] {
+        let at = |threads: usize| {
+            pooled_secs
+                .iter()
+                .find(|(n, t, _)| n == name && *t == threads)
+                .map(|&(_, _, s)| s)
+                .expect("pooled timing recorded")
+        };
+        let solve = |threads: usize| -> f64 {
+            median_secs(1, || match name {
+                "parallel marginal greedy" => {
+                    black_box(ParallelGreedy::with_threads(threads).place_with_stats(&scenario, k));
+                }
+                "lazy-parallel greedy (CELF + pool)" => {
+                    black_box(
+                        LazyParallelGreedy::with_threads(threads).place_with_stats(&scenario, k),
+                    );
+                }
+                _ => {
+                    black_box(
+                        InvertedPooledGreedy::with_threads(threads)
+                            .place_with_index(&scenario, &index, k),
+                    );
+                }
+            })
+        };
+        timing_gate(
+            &format!("{name}: {wide} threads beat 1 thread"),
+            hard_gates,
+            (at(wide), at(1) * GATE_TOLERANCE),
+            || solve(wide),
+            || solve(1) * GATE_TOLERANCE,
+        );
+    }
+
+    // Cold-start gate, full scale only: the threaded cold path (index build
+    // at `wide` threads plus pooled solve) must stay within 2x of the warm
+    // solve plus a sequential build — parallelizing the build must never
+    // regress a cold start past that envelope. Smoke instances sit near the
+    // parallel-build cutoff, so the claim is only meaningful at full scale.
+    if !smoke {
+        let warm_wide = pooled_secs
+            .iter()
+            .find(|(n, t, _)| n == "inverted delta-propagation greedy (pooled)" && *t == wide)
+            .map(|&(_, _, s)| s)
+            .expect("warm pooled timing recorded");
+        let build1 = index_build[0].ms / 1e3;
+        let cold_total = cold_build4_s + invp_cold.seconds;
+        timing_gate(
+            &format!("cold build + solve @ {wide} threads within 2x of warm solve + 1t build"),
+            hard_gates,
+            (cold_total, (warm_wide + build1) * 2.0),
+            || {
+                median_secs(1, || {
+                    let fresh = InvertedIndex::build_with_threads(&scenario, wide);
+                    black_box(inv_pool_wide.place_with_index(&scenario, &fresh, k));
+                })
+            },
+            || {
+                let solve = median_secs(1, || {
+                    black_box(inv_pool_wide.place_with_index(&scenario, &index, k));
+                });
+                let build = median_secs(1, || {
+                    black_box(InvertedIndex::build_with_threads(&scenario, 1));
+                });
+                (solve + build) * 2.0
+            },
         );
     }
 
@@ -281,7 +648,9 @@ fn main() {
             utility: "linear".to_string(),
             pool_threads: POOL_THREADS.to_vec(),
             timed_runs: cfg.runs,
-            inverted_index_build_ms: index_build_ms,
+            host_threads,
+            index_build,
+            kernel: kernel_row,
         },
         engines,
     };

@@ -8,9 +8,9 @@ use rand::SeedableRng;
 use rap_core::EngineReport;
 use rap_core::{
     CompositeGreedy, ExhaustiveOptimal, FaultPlan, GreedyCoverage, GreedyWithSwaps,
-    InvertedGainEngine, InvertedPooledGreedy, LazyGreedy, LazyParallelGreedy, MarginalGreedy,
-    MaxCardinality, MaxCustomers, MaxVehicles, ParallelGreedy, Placement, PlacementAlgorithm,
-    PlacementReport, Random, Scenario, UtilityKind,
+    InvertedGainEngine, InvertedIndex, InvertedPooledGreedy, LazyGreedy, LazyParallelGreedy,
+    MarginalGreedy, MaxCardinality, MaxCustomers, MaxVehicles, ParallelGreedy, Placement,
+    PlacementAlgorithm, PlacementReport, Random, Scenario, UtilityKind,
 };
 use rap_graph::{Distance, NodeId};
 use rap_traffic::{FlowSet, FlowSpec};
@@ -22,12 +22,18 @@ rap place --graph FILE --flows FILE --shop NODE --k N
           [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
           [--algorithm alg1|alg2|marginal|lazy|parallel|lazypar|inverted|invpool|swaps|maxcard|maxveh|maxcust|random|optimal|all]
           [--fault-profile none|panic|stall|drop|poison|seed:N] [--lenient true]
-          [--json true] [--route-threads N]
+          [--json true] [--threads N] [--route-threads N]
 
 --graph  street network in the rap-graph text format (see `rap generate`)
 --flows  CSV with header origin,destination,volume,alpha
+--threads        worker threads for the placement engines: sets the pool
+                 width of parallel/lazypar/invpool AND the inverted-index
+                 build, and is the --route-threads default, so one flag
+                 pins the whole run's parallelism; 0 (the default)
+                 auto-detects. Placements are bit-identical at any value.
 --route-threads  worker threads for flow routing and detour-table
-                 preprocessing; 0 (the default) auto-detects
+                 preprocessing; 0 (the default) falls back to --threads,
+                 then auto-detects
 --fault-profile  inject worker faults into the pooled engines (parallel,
                  lazypar, invpool) and report how they recovered; other
                  algorithms are unaffected
@@ -39,15 +45,20 @@ rap place --graph FILE --flows FILE --shop NODE --k N
 Prints the chosen placement(s) and quality reports.";
 
 /// Resolves `--route-threads` (shared with `rap simulate` and `rap stream`):
-/// 0 — the default — auto-detects via
+/// 0 — the default — falls back to `--threads` (the engine pool width, so a
+/// single flag pins the whole run's parallelism) and then auto-detects via
 /// [`rap_traffic::parallel::default_threads`]; any explicit value is clamped
 /// to the available work downstream by the routing layer.
 pub(crate) fn route_threads(args: &Args) -> Result<usize, CliError> {
     let requested: usize = args.get_or("route-threads", "integer", 0)?;
-    Ok(if requested == 0 {
-        rap_traffic::parallel::default_threads()
+    if requested != 0 {
+        return Ok(requested);
+    }
+    let engine: usize = args.get_or("threads", "integer", 0)?;
+    Ok(if engine != 0 {
+        engine
     } else {
-        requested
+        rap_traffic::parallel::default_threads()
     })
 }
 
@@ -96,18 +107,24 @@ fn parse_flow_row(line: &str, line_no: usize) -> Result<FlowSpec, CliError> {
 
 /// Runs the pooled engines with their health report (under an explicit
 /// fault plan when one was given); every other algorithm ignores the plan
-/// and yields no report.
+/// and yields no report. `threads` (0 = auto) sets the pool width and the
+/// inverted-index build width — placements are thread-count invariant.
 fn place_with_counters(
     name: &str,
     alg: &dyn PlacementAlgorithm,
     scenario: &Scenario,
     k: usize,
+    threads: usize,
     plan: Option<&FaultPlan>,
     rng: &mut StdRng,
 ) -> Result<(Placement, Option<EngineReport>), CliError> {
     match name {
         "parallel" => {
-            let engine = ParallelGreedy::default();
+            let engine = if threads == 0 {
+                ParallelGreedy::default()
+            } else {
+                ParallelGreedy::with_threads(threads)
+            };
             let (p, rep) = match plan {
                 Some(plan) => engine.place_with_faults(scenario, k, plan)?,
                 None => engine.place_with_report(scenario, k),
@@ -115,7 +132,11 @@ fn place_with_counters(
             Ok((p, Some(rep)))
         }
         "lazypar" => {
-            let engine = LazyParallelGreedy::default();
+            let engine = if threads == 0 {
+                LazyParallelGreedy::default()
+            } else {
+                LazyParallelGreedy::with_threads(threads)
+            };
             let (p, rep) = match plan {
                 Some(plan) => engine.place_with_faults(scenario, k, plan)?,
                 None => engine.place_with_report(scenario, k),
@@ -124,12 +145,22 @@ fn place_with_counters(
         }
         "inverted" => {
             // No pool to fault, but the report carries the engine's
-            // gain_evals / delta_pushes telemetry like the bench does.
-            let (p, rep) = InvertedGainEngine.place_with_report(scenario, k);
+            // gain_evals / delta_pushes telemetry like the bench does. An
+            // explicit thread count routes through the threaded index build.
+            let (p, rep) = if threads > 1 {
+                let index = InvertedIndex::build_with_threads(scenario, threads);
+                InvertedGainEngine.place_with_index(scenario, &index, k)
+            } else {
+                InvertedGainEngine.place_with_report(scenario, k)
+            };
             Ok((p, Some(rep)))
         }
         "invpool" => {
-            let engine = InvertedPooledGreedy::default();
+            let engine = if threads == 0 {
+                InvertedPooledGreedy::default()
+            } else {
+                InvertedPooledGreedy::with_threads(threads)
+            };
             let (p, rep) = match plan {
                 Some(plan) => engine.place_with_faults(scenario, k, plan)?,
                 None => engine.place_with_report(scenario, k),
@@ -244,6 +275,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some(spec) => Some(fault::parse_profile(spec)?),
         None => None,
     };
+    let engine_threads: usize = args.get_or("threads", "integer", 0)?;
 
     let threads = route_threads(args)?;
     let graph = rap_graph::io::read_text(std::fs::File::open(graph_path)?)?;
@@ -282,6 +314,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             alg.as_ref(),
             &scenario,
             k,
+            engine_threads,
             fault_plan.as_ref(),
             &mut rng,
         )?;
@@ -388,6 +421,32 @@ mod tests {
             "inverted delta-propagation greedy (pooled)",
         ] {
             assert!(report.contains(needle), "missing {needle}: {report}");
+        }
+    }
+
+    #[test]
+    fn threads_flag_keeps_placements_identical() {
+        let (gp, fp) = fixture();
+        let base = [
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "4",
+            "--k",
+            "2",
+            "--d",
+            "400",
+            "--algorithm",
+            "all",
+        ];
+        let default = run(&Args::parse(base).unwrap()).unwrap();
+        for threads in ["1", "3"] {
+            let mut widened: Vec<&str> = base.to_vec();
+            widened.extend(["--threads", threads]);
+            let report = run(&Args::parse(widened).unwrap()).unwrap();
+            assert_eq!(report, default, "--threads {threads} changed a placement");
         }
     }
 

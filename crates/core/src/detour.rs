@@ -102,9 +102,11 @@ impl DetourTable {
 
     /// [`DetourTable::build`] with the per-shop tree runs fanned across
     /// `threads` scoped worker threads (one reusable `SsspWorkspace` per
-    /// worker). Bit-identical output; `threads` is clamped to the shop count
-    /// by the shared thread policy, so `build_threaded(_, _, _, 1)` *is* the
-    /// sequential build.
+    /// worker) and the CSR entries fill sharded over visit-mass-balanced
+    /// node ranges. Bit-identical output; `threads` is clamped by the shared
+    /// thread policy (to the shop count for the tree phase, the node count
+    /// for the fill), so `build_threaded(_, _, _, 1)` *is* the sequential
+    /// build.
     ///
     /// # Errors
     ///
@@ -165,42 +167,86 @@ impl DetourTable {
             })
             .collect();
 
-        // Single pass in node-id order fills the flat entries array and the
-        // CSR offsets directly.
-        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
-        let mut entries: Vec<FlowDetour> = Vec::new();
-        offsets.push(0);
-        for v in 0..n {
-            let node = NodeId::new(v as u32);
-            for visit in flows.visits_at(node) {
-                let flow = flows.flow(visit.flow);
-                // d''' — remaining length along the routed path.
-                let remaining = flow.path().length().saturating_sub(visit.prefix);
-                // min over shops of d'(v) + d''(dest), read from the dense
-                // distance rows (MAX = unreachable).
-                let mut via_shop = Distance::MAX;
-                for (s, rev) in rev_trees.iter().enumerate() {
-                    let d1 = rev.distances()[v];
-                    let d2 = shop_to_dest[visit.flow.index()][s];
-                    if d1 == Distance::MAX || d2 == Distance::MAX {
-                        continue;
+        // Fill of one contiguous node range, in node-id order: the flat
+        // entries plus per-node entry counts (the CSR offsets in delta
+        // form). Runs of consecutive ranges concatenate back to exactly the
+        // sequential single-pass fill, so sharding node ranges across
+        // workers is bit-identical.
+        let fill = |lo: usize, hi: usize| -> (Vec<u32>, Vec<FlowDetour>) {
+            let mut counts: Vec<u32> = Vec::with_capacity(hi - lo);
+            let mut entries: Vec<FlowDetour> = Vec::new();
+            for v in lo..hi {
+                let node = NodeId::new(v as u32);
+                let before = entries.len();
+                for visit in flows.visits_at(node) {
+                    let flow = flows.flow(visit.flow);
+                    // d''' — remaining length along the routed path.
+                    let remaining = flow.path().length().saturating_sub(visit.prefix);
+                    // min over shops of d'(v) + d''(dest), read from the
+                    // dense distance rows (MAX = unreachable).
+                    let mut via_shop = Distance::MAX;
+                    for (s, rev) in rev_trees.iter().enumerate() {
+                        let d1 = rev.distances()[v];
+                        let d2 = shop_to_dest[visit.flow.index()][s];
+                        if d1 == Distance::MAX || d2 == Distance::MAX {
+                            continue;
+                        }
+                        via_shop = via_shop.min(d1.saturating_add(d2));
                     }
-                    via_shop = via_shop.min(d1.saturating_add(d2));
+                    if via_shop == Distance::MAX {
+                        continue; // no shop reachable from here for this flow
+                    }
+                    entries.push(FlowDetour {
+                        flow: visit.flow,
+                        position: visit.position,
+                        detour: via_shop.saturating_sub(remaining),
+                    });
                 }
-                if via_shop == Distance::MAX {
-                    continue; // no shop reachable from here for this flow
-                }
-                entries.push(FlowDetour {
-                    flow: visit.flow,
-                    position: visit.position,
-                    detour: via_shop.saturating_sub(remaining),
-                });
+                counts.push((entries.len() - before) as u32);
             }
-            assert!(
-                entries.len() <= u32::MAX as usize,
-                "detour table exceeds u32 CSR offset range"
+            (counts, entries)
+        };
+        let workers = parallel::effective_threads(threads, n);
+        let runs: Vec<(Vec<u32>, Vec<FlowDetour>)> = if workers <= 1 {
+            vec![fill(0, n)]
+        } else {
+            // Contiguous node ranges balanced by visit mass, each filled
+            // privately and merged in order.
+            let shards = crate::parallel::mass_chunks(
+                n,
+                |v| flows.visits_at(NodeId::new(v as u32)).len(),
+                workers,
             );
-            offsets.push(entries.len() as u32);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let fill = &fill;
+                        scope.spawn(move |_| fill(lo as usize, hi as usize))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("detour fill worker panicked"))
+                    .collect()
+            })
+            .expect("detour fill scope never propagates worker panics")
+        };
+        let total: usize = runs.iter().map(|(_, e)| e.len()).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "detour table exceeds u32 CSR offset range"
+        );
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut entries: Vec<FlowDetour> = Vec::with_capacity(total);
+        offsets.push(0);
+        let mut acc = 0u32;
+        for (counts, run) in &runs {
+            for &c in counts {
+                acc += c;
+                offsets.push(acc);
+            }
+            entries.extend_from_slice(run);
         }
 
         Ok((

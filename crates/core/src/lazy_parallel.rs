@@ -329,9 +329,14 @@ mod tests {
         let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(300));
         let k = 5;
         let seq = MarginalGreedy.place(&s, k, &mut rng());
+        // Force every batch through the pool so the injected dispatches
+        // actually fire (the coordinator folds tiny batches locally
+        // otherwise).
+        let mut alg = LazyParallelGreedy::with_threads(2);
+        alg.config.local_batch_mass = 0;
         for dispatch in 0..3u64 {
             let plan = FaultPlan::panic_once(0, dispatch);
-            let (p, report) = LazyParallelGreedy::with_threads(2)
+            let (p, report) = alg
                 .place_with_faults(&s, k, &plan)
                 .expect("panic is recoverable");
             assert_eq!(p, seq, "dispatch {dispatch}");
@@ -345,8 +350,13 @@ mod tests {
         let s = small_grid_scenario(UtilityKind::Sqrt, Distance::from_feet(250));
         let k = 4;
         let seq = MarginalGreedy.place(&s, k, &mut rng());
-        let plan = FaultPlan::drop_reply_once(1, 0);
-        let (p, report) = LazyParallelGreedy::with_threads(3)
+        // One worker so the dropped reply is guaranteed to leave chunks
+        // missing (under range-stealing an unlucky faulty worker can claim
+        // nothing, making the drop a silent no-op).
+        let plan = FaultPlan::drop_reply_once(0, 0);
+        let mut alg = LazyParallelGreedy::with_threads(1);
+        alg.config.local_batch_mass = 0;
+        let (p, report) = alg
             .place_with_faults(&s, k, &plan)
             .expect("dropped reply is recoverable");
         assert_eq!(p, seq);
@@ -360,7 +370,9 @@ mod tests {
         let k = 4;
         let seq = MarginalGreedy.place(&s, k, &mut rng());
         let plan = FaultPlan::poison_pool(3);
-        let (p, report) = LazyParallelGreedy::with_threads(3)
+        let mut alg = LazyParallelGreedy::with_threads(3);
+        alg.config.local_batch_mass = 0;
+        let (p, report) = alg
             .place_with_faults(&s, k, &plan)
             .expect("sequential fallback absorbs a poisoned pool");
         assert_eq!(p, seq, "degraded placement must stay bit-identical");
@@ -373,6 +385,7 @@ mod tests {
         let mut alg = LazyParallelGreedy::with_threads(2);
         alg.config.fallback = FallbackMode::Error;
         alg.config.max_respawns = 2;
+        alg.config.local_batch_mass = 0;
         let plan = FaultPlan::poison_pool(2);
         let err = alg
             .place_with_faults(&s, 3, &plan)

@@ -70,6 +70,7 @@ pub mod faults;
 pub mod fixtures;
 pub mod greedy;
 pub mod inverted;
+pub mod kernel;
 pub mod lazy;
 pub mod lazy_parallel;
 pub mod local_search;

@@ -2,37 +2,55 @@
 //! fault containment and graceful degradation.
 //!
 //! Each greedy step scans every candidate intersection; the scans are
-//! independent, so they shard across worker threads. Unlike a
-//! scope-per-round design, the pool here is spawned **once per [`place`]
-//! call** and fed commands for all `k` rounds, so thread spawn/join cost is
-//! paid once and every worker keeps a warm per-flow best-value replica
-//! between rounds.
+//! independent, so they parallelize. Unlike a scope-per-round design, the
+//! pool here is spawned **once per [`place`] call** and fed commands for all
+//! `k` rounds, so thread spawn/join cost is paid once and every worker keeps
+//! a warm per-flow best-value replica between rounds.
 //!
-//! The chosen node is *bit-for-bit identical* to the sequential marginal
-//! greedy: every worker folds the committed RAPs into its replica with
-//! [`Scenario::commit_best_values`] and scores candidates with
-//! [`Scenario::marginal_gain_value`] — the same expressions, against the
-//! same state, as the sequential code — and the coordinator reduces the
-//! per-shard argmax slots with the sequential tie-break (higher gain, then
-//! lower node id).
+//! ## Coarse work units and deterministic range-stealing
+//!
+//! Work is *not* sharded per worker: at spawn the candidate set is cut into
+//! contiguous **candidate ranges** sized by flows-covered mass (entry
+//! count), about [`RANGES_PER_WORKER`] per worker. Each scoring command
+//! carries a shared claim cursor ([`ScanWork`]); workers `fetch_add` their
+//! way through the range list, so a slow or stalled worker simply
+//! contributes fewer ranges while the others absorb its share. Every range's
+//! result — the argmax `(gain, node)` over that contiguous slice, computed
+//! against the same committed state by whichever worker claimed it — is
+//! **worker-independent**, so the coordinator merges results in ascending
+//! range order with the sequential tie-break (higher gain, then lower node
+//! id) and obtains exactly the sequential scan's argmax, no matter how the
+//! claims interleaved. Commits ride inside the next scoring command
+//! (folding a RAP is an idempotent `max`, so re-delivery on retries and
+//! respawn replays is harmless), halving the per-round wakeups.
+//!
+//! Workers score their claimed ranges through the quantized f32 screen
+//! ([`Scenario::best_candidate_in_range`]): candidates certified unable to
+//! beat the range incumbent skip the exact kernel entirely, and survivors
+//! are re-scored in exact f64 — placements stay bit-identical to
+//! [`MarginalGreedy`](crate::composite::MarginalGreedy).
+//!
+//! Batches below [`PoolConfig::local_batch_mass`] total entries are folded
+//! directly on the coordinator's own replica: a channel round-trip costs
+//! more than a few hundred entry reads, and the tiny stale-refold batches of
+//! the CELF-style engines would otherwise serialize on pool wakeups.
 //!
 //! ## Fault containment
 //!
-//! A scan pool wired with `expect("worker alive")` turns one panicking
-//! worker into an aborted `place()` call. Here every scoring command runs
-//! under `catch_unwind`; a panicking worker reports its own death
-//! ([`Reply::Dead`]) and the coordinator *respawns* the slot — same OS
-//! thread (scoped threads cannot be force-killed, and a genuinely hung
-//! thread would block teardown no matter what), fresh incarnation: the
-//! replica is rebuilt from the committed placement via a `Reset` replay and
-//! the pending command is re-sent. Stalled workers and dropped replies are
-//! caught by bounded-timeout receives; replies carry a per-round sequence
-//! number and the slot's incarnation, so late replies from a stalled
-//! incarnation are discarded instead of corrupting a later round.
+//! Every scoring command runs under `catch_unwind`; a panicking worker
+//! reports its own death ([`Reply::Dead`]) and the coordinator *respawns*
+//! the slot — same OS thread (scoped threads cannot be force-killed), fresh
+//! incarnation: the replica is rebuilt from the committed placement via a
+//! `Reset` replay and the round's command is re-sent. Ranges claimed by a
+//! worker that then died or dropped its reply surface as *missing results*;
+//! the coordinator's bounded-timeout receive re-issues just the missing
+//! ranges to every worker under the same round id. Results are accepted
+//! from any attempt of the current round (they are state-deterministic),
+//! while replies tagged with older rounds are discarded.
 //!
 //! The degradation ladder is: **respawn** (bounded by
-//! [`PoolConfig::max_respawns`], with linear backoff) → **retry** the round
-//! against the surviving workers (bounded by
+//! [`PoolConfig::max_respawns`], with linear backoff) → **retry** the
+//! missing ranges against the surviving workers (bounded by
 //! [`PoolConfig::max_round_retries`]) → **sequential fallback**
 //! ([`Scenario::best_candidate_value`] over the same state — bit-identical
 //! placements, just slower). Callers that prefer an error to silent
@@ -57,6 +75,7 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rap_graph::NodeId;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -83,11 +102,15 @@ pub(crate) fn default_threads() -> usize {
 }
 
 /// The single clamp point for requested thread counts: never more workers
-/// than candidates (extra workers would idle on empty shards), never fewer
-/// than one.
+/// than candidates (extra workers would idle with nothing to claim), never
+/// fewer than one.
 pub(crate) fn effective_threads(requested: usize, candidate_count: usize) -> usize {
     requested.min(candidate_count).max(1)
 }
+
+/// Claimable work units created per worker: enough slack for stealing to
+/// balance uneven ranges without making the units fine-grained again.
+const RANGES_PER_WORKER: usize = 4;
 
 /// What to do when the pool burns through its respawn/retry budgets.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -104,9 +127,9 @@ pub enum FallbackMode {
 #[derive(Clone, Copy, Debug)]
 pub struct PoolConfig {
     /// Per-reply receive deadline. A worker that neither replies nor reports
-    /// death within this window is treated as stalled and its round is
-    /// retried. Generous by default so legitimate long scans on huge cities
-    /// never trip it; fault plans carry a much shorter
+    /// death within this window is treated as stalled and the round's
+    /// missing ranges are re-issued. Generous by default so legitimate long
+    /// scans on huge cities never trip it; fault plans carry a much shorter
     /// [`hint`](FaultPlan::deadline_hint).
     pub deadline: Duration,
     /// Total worker respawns allowed per `place()` before the pool is
@@ -114,6 +137,12 @@ pub struct PoolConfig {
     pub max_respawns: u32,
     /// Timeout-driven retries allowed per scoring round.
     pub max_round_retries: u32,
+    /// Batches whose total entry mass (summed `value_entries_at` lengths)
+    /// does not exceed this are folded on the coordinator's own replica
+    /// instead of crossing the pool — a channel round-trip costs more than a
+    /// few hundred entry reads. Set to `0` to force every batch through the
+    /// pool (the fault-injection tests do, to pin dispatch indices).
+    pub local_batch_mass: usize,
     /// What to do when the budgets are exhausted.
     pub fallback: FallbackMode,
 }
@@ -124,6 +153,7 @@ impl Default for PoolConfig {
             deadline: Duration::from_secs(30),
             max_respawns: 8,
             max_round_retries: 3,
+            local_batch_mass: 2048,
             fallback: FallbackMode::Sequential,
         }
     }
@@ -135,7 +165,7 @@ impl Default for PoolConfig {
 pub struct EngineReport {
     /// Worker slots reincarnated after a panic.
     pub workers_respawned: u32,
-    /// Scoring commands re-sent after a receive deadline expired.
+    /// Work units re-issued after a receive deadline expired.
     pub replies_retried: u32,
     /// Receive deadlines that expired while collecting a round.
     pub receive_timeouts: u32,
@@ -167,36 +197,70 @@ impl PoolFailure {
     }
 }
 
-/// Commands the coordinator feeds to pool workers.
+/// One round attempt's claimable job list: a shared cursor over work-unit
+/// ids. Workers `fetch_add` to claim; the ids index the pool's candidate
+/// ranges (scans) or the command's node chunks (batches).
 #[derive(Debug)]
+struct ScanWork {
+    cursor: AtomicUsize,
+    jobs: Box<[u32]>,
+}
+
+impl ScanWork {
+    fn over(jobs: Vec<u32>) -> Arc<Self> {
+        Arc::new(ScanWork {
+            cursor: AtomicUsize::new(0),
+            jobs: jobs.into(),
+        })
+    }
+}
+
+/// A contiguous index range `[start, end)` — candidate indices for scan
+/// ranges, node-list indices for batch chunks.
+pub(crate) type IndexRange = (u32, u32);
+
+/// Commands the coordinator feeds to pool workers. Scoring commands carry
+/// the commits since the previous scoring round; folding is an idempotent
+/// `max`, so re-delivery (retry attempts, respawn replays) cannot skew a
+/// replica.
+#[derive(Clone, Debug)]
 enum Command {
-    /// Fold a placed RAP into the worker's best-value replica.
-    Commit(NodeId),
     /// Rebuild the replica from scratch (respawn path): adopt the given
     /// incarnation, zero the replica, and replay the committed placement.
     Reset {
         committed: Arc<[NodeId]>,
         incarnation: u32,
     },
-    /// Score the worker's candidate shard; reply with its argmax slot.
-    Scan { seq: u64 },
-    /// Score `nodes[i]` for every `i ≡ worker (mod threads)`; reply with the
-    /// `(index, gain)` pairs.
-    Batch { seq: u64, nodes: Arc<[NodeId]> },
+    /// Fold `commits`, then claim candidate ranges from `work` and reply
+    /// with each range's argmax slot.
+    Scan {
+        round: u64,
+        commits: Arc<[NodeId]>,
+        work: Arc<ScanWork>,
+    },
+    /// Fold `commits`, then claim chunks of `nodes` from `work` and reply
+    /// with each chunk's `(index, gain)` pairs.
+    Batch {
+        round: u64,
+        commits: Arc<[NodeId]>,
+        nodes: Arc<[NodeId]>,
+        chunks: Arc<[IndexRange]>,
+        work: Arc<ScanWork>,
+    },
 }
 
-/// Worker replies, tagged with the worker slot and the round sequence
-/// number so the coordinator can discard replies from abandoned rounds.
+/// Worker replies, tagged with the round id so the coordinator can discard
+/// replies from abandoned rounds. Results from *any attempt* of the current
+/// round are accepted: a range's result depends only on the committed state,
+/// which is fixed within a round.
 enum Reply {
     Scan {
-        slot: usize,
-        seq: u64,
-        best: Option<(f64, NodeId)>,
+        round: u64,
+        results: Vec<(u32, Option<(f64, NodeId)>)>,
     },
     Batch {
-        slot: usize,
-        seq: u64,
-        pairs: Vec<(usize, f64)>,
+        round: u64,
+        results: Vec<(u32, Vec<(u32, f64)>)>,
     },
     /// The incarnation `incarnation` of `slot` panicked and awaits a
     /// `Reset`.
@@ -209,16 +273,25 @@ enum Reply {
 /// closes every worker's channel and the workers drain out before the
 /// enclosing scope joins them.
 pub(crate) struct EvalPool<'a> {
+    scenario: &'a Scenario,
     command_txs: Vec<Sender<Command>>,
     reply_rx: Receiver<Reply>,
     threads: usize,
     candidates: &'a [NodeId],
+    /// Mass-balanced contiguous candidate ranges — the scan work units.
+    ranges: Arc<[IndexRange]>,
     /// Coordinator's view of each slot's live incarnation.
     incarnations: Vec<u32>,
-    /// Round sequence number; replies for other rounds are discarded.
-    seq: u64,
+    /// Scoring-round id; replies for other rounds are discarded.
+    round: u64,
     /// RAPs committed so far, replayed into respawned workers.
     committed: Vec<NodeId>,
+    /// Commits not yet carried by a scoring command; flushed into the next
+    /// one (workers fold them before scoring).
+    unflushed: Vec<NodeId>,
+    /// The coordinator's own replica, used to fold sub-threshold batches
+    /// without crossing the pool.
+    best_value: Vec<f64>,
     deadline: Duration,
     config: PoolConfig,
     report: EngineReport,
@@ -239,10 +312,18 @@ impl EvalPool<'_> {
             })
     }
 
+    fn broadcast(&self, command: &Command) -> Result<(), PoolFailure> {
+        for slot in 0..self.threads {
+            self.send_to(slot, command.clone())?;
+        }
+        Ok(())
+    }
+
     /// Handles a `Dead` report: bump the slot's incarnation (unless the
     /// report is stale), check the respawn budget, back off linearly, and
     /// send the `Reset` that rebuilds the replica. Returns whether the
-    /// report was fresh (i.e. the slot's pending command must be re-sent).
+    /// report was fresh (i.e. the round's command must be re-sent to the
+    /// reincarnated slot).
     fn handle_dead(&mut self, slot: usize, incarnation: u32) -> Result<bool, PoolFailure> {
         if incarnation != self.incarnations[slot] {
             return Ok(false); // stale death of an already-replaced incarnation
@@ -275,70 +356,92 @@ impl EvalPool<'_> {
 
     /// Bookkeeping for an expired receive deadline; errors out when the
     /// round's retry budget is spent.
-    fn handle_timeout(&mut self, retries: &mut u32, pending: usize) -> Result<(), PoolFailure> {
+    fn handle_timeout(&mut self, retries: &mut u32, missing: usize) -> Result<(), PoolFailure> {
         self.report.receive_timeouts += 1;
         *retries += 1;
         if *retries > self.config.max_round_retries {
             return Err(PoolFailure {
                 respawns: self.report.workers_respawned,
                 detail: format!(
-                    "{pending} worker(s) unresponsive after {} timed-out retries",
+                    "{missing} work unit(s) unresolved after {} timed-out retries",
                     *retries - 1
                 ),
             });
         }
-        self.report.replies_retried += pending as u32;
+        self.report.replies_retried += missing as u32;
         Ok(())
     }
 
-    /// Broadcasts a placed RAP so every worker replica folds it in.
+    /// Records a placed RAP. Nothing is sent: the commit rides inside the
+    /// next scoring command (and the `Reset` replay list), and the
+    /// coordinator's local replica folds it immediately.
     pub(crate) fn commit(&mut self, node: NodeId) -> Result<(), PoolFailure> {
         self.committed.push(node);
-        for slot in 0..self.threads {
-            self.send_to(slot, Command::Commit(node))?;
-        }
+        self.unflushed.push(node);
+        self.scenario.commit_best_values(&mut self.best_value, node);
         Ok(())
     }
 
-    /// One full candidate scan: the argmax `(gain, node)` over all shards,
+    /// Takes the commits accumulated since the last scoring command.
+    fn flush_commits(&mut self) -> Arc<[NodeId]> {
+        std::mem::take(&mut self.unflushed).into()
+    }
+
+    /// One full candidate scan: the argmax `(gain, node)` over all ranges,
     /// `None` when no candidate has positive gain. Survives worker panics,
     /// stalls, and dropped replies within the configured budgets.
     pub(crate) fn scan(&mut self) -> Result<Option<(f64, NodeId)>, PoolFailure> {
-        self.seq += 1;
-        let seq = self.seq;
-        for slot in 0..self.threads {
-            self.send_to(slot, Command::Scan { seq })?;
-        }
         self.report.gain_evals += self.candidates.len() as u64;
-
-        let mut slots: Vec<Option<(f64, NodeId)>> = vec![None; self.threads];
-        let mut pending: Vec<bool> = vec![true; self.threads];
-        let mut outstanding = self.threads;
+        if self.ranges.is_empty() {
+            return Ok(None);
+        }
+        self.round += 1;
+        let round = self.round;
+        let commits = self.flush_commits();
+        let mut results: Vec<Option<Option<(f64, NodeId)>>> = vec![None; self.ranges.len()];
+        let mut missing = self.ranges.len();
         let mut retries = 0u32;
-        while outstanding > 0 {
+        let mut cmd = Command::Scan {
+            round,
+            commits: Arc::clone(&commits),
+            work: ScanWork::over((0..self.ranges.len() as u32).collect()),
+        };
+        self.broadcast(&cmd)?;
+        while missing > 0 {
             match self.reply_rx.recv_timeout(self.deadline) {
                 Ok(Reply::Scan {
-                    slot,
-                    seq: reply_seq,
-                    best,
-                }) if reply_seq == seq && pending[slot] => {
-                    slots[slot] = best;
-                    pending[slot] = false;
-                    outstanding -= 1;
+                    round: reply_round,
+                    results: batch,
+                }) if reply_round == round => {
+                    for (rid, best) in batch {
+                        let slot = &mut results[rid as usize];
+                        if slot.is_none() {
+                            *slot = Some(best);
+                            missing -= 1;
+                        }
+                    }
                 }
-                // Duplicate for this round or leftover from an abandoned
-                // one: already accounted for, discard.
+                // Leftovers from an abandoned round: discard.
                 Ok(Reply::Scan { .. }) | Ok(Reply::Batch { .. }) => {}
                 Ok(Reply::Dead { slot, incarnation }) => {
-                    if self.handle_dead(slot, incarnation)? && pending[slot] {
-                        self.send_to(slot, Command::Scan { seq })?;
+                    if self.handle_dead(slot, incarnation)? {
+                        self.send_to(slot, cmd.clone())?;
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    self.handle_timeout(&mut retries, outstanding)?;
-                    for (slot, _) in pending.iter().enumerate().filter(|(_, p)| **p) {
-                        self.send_to(slot, Command::Scan { seq })?;
-                    }
+                    self.handle_timeout(&mut retries, missing)?;
+                    let open: Vec<u32> = results
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.is_none())
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    cmd = Command::Scan {
+                        round,
+                        commits: Arc::clone(&commits),
+                        work: ScanWork::over(open),
+                    };
+                    self.broadcast(&cmd)?;
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(PoolFailure {
@@ -348,10 +451,11 @@ impl EvalPool<'_> {
                 }
             }
         }
-        // Reduce the per-shard slots exactly like the sequential argmax:
-        // strictly greater gain wins, equal gain goes to the lower node id.
+        // Reduce in ascending range order, exactly like the sequential
+        // argmax: strictly greater gain wins, equal gain goes to the lower
+        // node id (which sits in the earlier range).
         let mut best: Option<(f64, NodeId)> = None;
-        for (gain, node) in slots.into_iter().flatten() {
+        for (gain, node) in results.into_iter().flatten().flatten() {
             let better = match best {
                 Some((bg, bn)) => gain > bg || (gain == bg && node < bn),
                 None => true,
@@ -363,63 +467,85 @@ impl EvalPool<'_> {
         Ok(best)
     }
 
-    /// Scores an explicit node list concurrently (strided across workers);
-    /// returns the gains aligned with `nodes`. Same recovery envelope as
-    /// [`EvalPool::scan`].
+    /// Scores an explicit node list; returns the gains aligned with
+    /// `nodes`. Sub-threshold batches fold on the coordinator's replica;
+    /// larger ones shard into mass-balanced chunks claimed by the pool
+    /// under the same recovery envelope as [`EvalPool::scan`].
     pub(crate) fn batch_gains(&mut self, nodes: &Arc<[NodeId]>) -> Result<Vec<f64>, PoolFailure> {
-        self.seq += 1;
-        let seq = self.seq;
-        for slot in 0..self.threads {
-            self.send_to(
-                slot,
-                Command::Batch {
-                    seq,
-                    nodes: Arc::clone(nodes),
-                },
-            )?;
-        }
         self.report.gain_evals += nodes.len() as u64;
-
+        if nodes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mass: usize = nodes
+            .iter()
+            .map(|&n| self.scenario.value_entries_at(n).0.len())
+            .sum();
+        if mass <= self.config.local_batch_mass {
+            return Ok(nodes
+                .iter()
+                .map(|&n| self.scenario.marginal_gain_value(&self.best_value, n))
+                .collect());
+        }
+        self.round += 1;
+        let round = self.round;
+        let commits = self.flush_commits();
+        let chunks: Arc<[IndexRange]> = mass_chunks(
+            nodes.len(),
+            |i| self.scenario.value_entries_at(nodes[i]).0.len(),
+            self.threads * RANGES_PER_WORKER,
+        )
+        .into();
         let mut gains = vec![0.0f64; nodes.len()];
-        let mut pending: Vec<bool> = vec![true; self.threads];
-        let mut outstanding = self.threads;
+        let mut done = vec![false; chunks.len()];
+        let mut missing = chunks.len();
         let mut retries = 0u32;
-        while outstanding > 0 {
+        let mut cmd = Command::Batch {
+            round,
+            commits: Arc::clone(&commits),
+            nodes: Arc::clone(nodes),
+            chunks: Arc::clone(&chunks),
+            work: ScanWork::over((0..chunks.len() as u32).collect()),
+        };
+        self.broadcast(&cmd)?;
+        while missing > 0 {
             match self.reply_rx.recv_timeout(self.deadline) {
                 Ok(Reply::Batch {
-                    slot,
-                    seq: reply_seq,
-                    pairs,
-                }) if reply_seq == seq && pending[slot] => {
-                    for (i, g) in pairs {
-                        gains[i] = g;
+                    round: reply_round,
+                    results,
+                }) if reply_round == round => {
+                    for (cid, pairs) in results {
+                        if done[cid as usize] {
+                            continue;
+                        }
+                        done[cid as usize] = true;
+                        missing -= 1;
+                        for (i, g) in pairs {
+                            gains[i as usize] = g;
+                        }
                     }
-                    pending[slot] = false;
-                    outstanding -= 1;
                 }
                 Ok(Reply::Batch { .. }) | Ok(Reply::Scan { .. }) => {}
                 Ok(Reply::Dead { slot, incarnation }) => {
-                    if self.handle_dead(slot, incarnation)? && pending[slot] {
-                        self.send_to(
-                            slot,
-                            Command::Batch {
-                                seq,
-                                nodes: Arc::clone(nodes),
-                            },
-                        )?;
+                    if self.handle_dead(slot, incarnation)? {
+                        self.send_to(slot, cmd.clone())?;
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    self.handle_timeout(&mut retries, outstanding)?;
-                    for (slot, _) in pending.iter().enumerate().filter(|(_, p)| **p) {
-                        self.send_to(
-                            slot,
-                            Command::Batch {
-                                seq,
-                                nodes: Arc::clone(nodes),
-                            },
-                        )?;
-                    }
+                    self.handle_timeout(&mut retries, missing)?;
+                    let open: Vec<u32> = done
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| !**d)
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    cmd = Command::Batch {
+                        round,
+                        commits: Arc::clone(&commits),
+                        nodes: Arc::clone(nodes),
+                        chunks: Arc::clone(&chunks),
+                        work: ScanWork::over(open),
+                    };
+                    self.broadcast(&cmd)?;
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(PoolFailure {
@@ -431,6 +557,34 @@ impl EvalPool<'_> {
         }
         Ok(gains)
     }
+}
+
+/// Cuts `0..len` into at most `target` contiguous chunks balanced by the
+/// per-item mass reported by `mass_of`. Every chunk is non-empty and the
+/// chunks cover the whole index space in order. Shared by the pool's range
+/// builder and the parallel index build ([`crate::inverted`]).
+pub(crate) fn mass_chunks(
+    len: usize,
+    mass_of: impl Fn(usize) -> usize,
+    target: usize,
+) -> Vec<IndexRange> {
+    let total: usize = (0..len).map(&mass_of).sum();
+    let quota = total.div_ceil(target.max(1)).max(1);
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for i in 0..len {
+        acc += mass_of(i);
+        if acc >= quota {
+            chunks.push((start as u32, i as u32 + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < len {
+        chunks.push((start as u32, len as u32));
+    }
+    chunks
 }
 
 /// Spawns a persistent evaluation pool for `scenario`, runs `f` against it,
@@ -456,32 +610,38 @@ where
         .and_then(FaultPlan::deadline_hint)
         .unwrap_or(config.deadline);
     let threads = effective_threads(requested_threads, candidates.len());
-    let chunk = candidates.len().div_ceil(threads).max(1);
+    let ranges: Arc<[IndexRange]> = mass_chunks(
+        candidates.len(),
+        |i| scenario.value_entries_at(candidates[i]).0.len(),
+        threads * RANGES_PER_WORKER,
+    )
+    .into();
     let (reply_tx, reply_rx) = crossbeam::channel::unbounded::<Reply>();
     let mut command_txs = Vec::with_capacity(threads);
     let mut worker_inputs = Vec::with_capacity(threads);
     for worker in 0..threads {
         let (tx, rx) = crossbeam::channel::unbounded::<Command>();
         command_txs.push(tx);
-        let start = (worker * chunk).min(candidates.len());
-        let end = ((worker + 1) * chunk).min(candidates.len());
-        worker_inputs.push((worker, rx, &candidates[start..end]));
+        worker_inputs.push((worker, rx));
     }
     crossbeam::thread::scope(|scope| {
-        for (worker, rx, shard) in worker_inputs {
+        for (worker, rx) in worker_inputs {
             let reply_tx = reply_tx.clone();
-            scope.spawn(move |_| {
-                worker_loop(scenario, worker, threads, shard, rx, reply_tx, faults)
-            });
+            let ranges = Arc::clone(&ranges);
+            scope.spawn(move |_| worker_loop(scenario, worker, ranges, rx, reply_tx, faults));
         }
         let mut pool = EvalPool {
+            scenario,
             command_txs,
             reply_rx,
             threads,
             candidates,
+            ranges,
             incarnations: vec![0; threads],
-            seq: 0,
+            round: 0,
             committed: Vec::new(),
+            unflushed: Vec::new(),
+            best_value: vec![0.0f64; scenario.flows().len()],
             deadline,
             config,
             report: EngineReport::default(),
@@ -502,7 +662,8 @@ enum Step {
     Exit,
 }
 
-/// One worker: a private best-value replica plus a supervised command loop.
+/// One worker: private f64/f32 best-value replicas plus a supervised
+/// command loop.
 ///
 /// Scoring commands run under `catch_unwind`; a panic marks the replica
 /// poisoned, reports the death, and the worker then discards everything
@@ -512,13 +673,13 @@ enum Step {
 fn worker_loop(
     scenario: &Scenario,
     slot: usize,
-    threads: usize,
-    shard: &[NodeId],
+    ranges: Arc<[IndexRange]>,
     rx: Receiver<Command>,
     tx: Sender<Reply>,
     faults: Option<&FaultPlan>,
 ) {
     let mut best_value = vec![0.0f64; scenario.flows().len()];
+    let mut best_value32 = vec![0.0f32; scenario.flows().len()];
     let mut incarnation: u32 = 0;
     let mut dispatch: u64 = 0;
     // Set after a panic: the replica is unreliable and every command is
@@ -533,8 +694,10 @@ fn worker_loop(
         } = &command
         {
             best_value.iter_mut().for_each(|v| *v = 0.0);
+            best_value32.iter_mut().for_each(|v| *v = 0.0);
             for &node in committed.iter() {
                 scenario.commit_best_values(&mut best_value, node);
+                scenario.commit_best_values32(&mut best_value32, node);
             }
             incarnation = *inc;
             dispatch = 0;
@@ -548,10 +711,10 @@ fn worker_loop(
             handle_command(
                 scenario,
                 slot,
-                threads,
-                shard,
+                &ranges,
                 &command,
                 &mut best_value,
+                &mut best_value32,
                 &mut dispatch,
                 incarnation,
                 faults,
@@ -576,10 +739,10 @@ fn worker_loop(
 fn handle_command(
     scenario: &Scenario,
     slot: usize,
-    threads: usize,
-    shard: &[NodeId],
+    ranges: &[IndexRange],
     command: &Command,
     best_value: &mut [f64],
+    best_value32: &mut [f32],
     dispatch: &mut u64,
     incarnation: u32,
     faults: Option<&FaultPlan>,
@@ -602,55 +765,85 @@ fn handle_command(
             None => false,
         }
     };
-    match command {
-        Command::Commit(node) => {
-            scenario.commit_best_values(best_value, *node);
-            Step::Continue
+    // Commits ride in the scoring command; folding is idempotent, so
+    // re-delivered commands (retries, respawn re-sends) are harmless.
+    let fold = |commits: &Arc<[NodeId]>, best_value: &mut [f64], best_value32: &mut [f32]| {
+        for &node in commits.iter() {
+            scenario.commit_best_values(best_value, node);
+            scenario.commit_best_values32(best_value32, node);
         }
+    };
+    match command {
         Command::Reset { .. } => unreachable!("Reset is handled by the supervisor loop"),
-        Command::Scan { seq } => {
+        Command::Scan {
+            round,
+            commits,
+            work,
+        } => {
+            fold(commits, best_value, best_value32);
             let drop_reply = inject(dispatch);
-            let mut local: Option<(f64, NodeId)> = None;
-            for &v in shard {
-                let gain = scenario.marginal_gain_value(best_value, v);
-                if gain <= 0.0 {
-                    continue;
+            let mut results = Vec::new();
+            loop {
+                let j = work.cursor.fetch_add(1, Ordering::Relaxed);
+                if j >= work.jobs.len() {
+                    break;
                 }
-                let better = match local {
-                    Some((bg, bn)) => gain > bg || (gain == bg && v < bn),
-                    None => true,
-                };
-                if better {
-                    local = Some((gain, v));
-                }
+                let rid = work.jobs[j];
+                let (lo, hi) = ranges[rid as usize];
+                results.push((
+                    rid,
+                    scenario.best_candidate_in_range(
+                        best_value,
+                        best_value32,
+                        lo as usize,
+                        hi as usize,
+                    ),
+                ));
             }
             if drop_reply {
                 return Step::Continue;
             }
             match tx.send(Reply::Scan {
-                slot,
-                seq: *seq,
-                best: local,
+                round: *round,
+                results,
             }) {
                 Ok(()) => Step::Continue,
                 Err(_) => Step::Exit, // coordinator gone; shut down
             }
         }
-        Command::Batch { seq, nodes } => {
+        Command::Batch {
+            round,
+            commits,
+            nodes,
+            chunks,
+            work,
+        } => {
+            fold(commits, best_value, best_value32);
             let drop_reply = inject(dispatch);
-            let mut pairs = Vec::new();
-            let mut i = slot;
-            while i < nodes.len() {
-                pairs.push((i, scenario.marginal_gain_value(best_value, nodes[i])));
-                i += threads;
+            let mut results = Vec::new();
+            loop {
+                let j = work.cursor.fetch_add(1, Ordering::Relaxed);
+                if j >= work.jobs.len() {
+                    break;
+                }
+                let cid = work.jobs[j];
+                let (lo, hi) = chunks[cid as usize];
+                let pairs: Vec<(u32, f64)> = (lo..hi)
+                    .map(|i| {
+                        (
+                            i,
+                            scenario.marginal_gain_value(best_value, nodes[i as usize]),
+                        )
+                    })
+                    .collect();
+                results.push((cid, pairs));
             }
             if drop_reply {
                 return Step::Continue;
             }
             match tx.send(Reply::Batch {
-                slot,
-                seq: *seq,
-                pairs,
+                round: *round,
+                results,
             }) {
                 Ok(()) => Step::Continue,
                 Err(_) => Step::Exit,
@@ -860,6 +1053,23 @@ mod tests {
     }
 
     #[test]
+    fn mass_chunks_cover_everything_in_order() {
+        let masses = [5usize, 1, 1, 1, 40, 2, 2, 2, 2, 10];
+        for target in [1usize, 2, 3, 4, 8, 16] {
+            let chunks = mass_chunks(masses.len(), |i| masses[i], target);
+            assert!(!chunks.is_empty(), "target={target}");
+            assert!(chunks.len() <= target.max(1) + 1, "target={target}");
+            assert_eq!(chunks[0].0, 0, "target={target}");
+            assert_eq!(chunks.last().unwrap().1 as usize, masses.len());
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous, target={target}");
+                assert!(w[0].0 < w[0].1, "non-empty, target={target}");
+            }
+        }
+        assert!(mass_chunks(0, |_| 1, 4).is_empty());
+    }
+
+    #[test]
     fn stats_count_one_scan_per_round() {
         let s = fig4_scenario(UtilityKind::Linear);
         let n = s.candidates().len() as u64;
@@ -873,13 +1083,20 @@ mod tests {
         let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(200));
         let candidates = s.candidates();
         let nodes: Arc<[NodeId]> = s.candidates_arc();
-        with_eval_pool(&s, candidates, 3, PoolConfig::default(), None, |pool| {
-            let gains = pool.batch_gains(&nodes).expect("healthy pool");
-            let best_value = vec![0.0f64; s.flows().len()];
-            for (&v, &g) in nodes.iter().zip(&gains) {
-                assert_eq!(g, s.marginal_gain_value(&best_value, v));
-            }
-        });
+        // Exercise both the coordinator-local fold and the pooled path.
+        for local_mass in [usize::MAX, 0] {
+            let config = PoolConfig {
+                local_batch_mass: local_mass,
+                ..PoolConfig::default()
+            };
+            with_eval_pool(&s, candidates, 3, config, None, |pool| {
+                let gains = pool.batch_gains(&nodes).expect("healthy pool");
+                let best_value = vec![0.0f64; s.flows().len()];
+                for (&v, &g) in nodes.iter().zip(&gains) {
+                    assert_eq!(g, s.marginal_gain_value(&best_value, v));
+                }
+            });
+        }
     }
 
     #[test]
@@ -909,11 +1126,28 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_in_round_one_still_matches_sequential() {
-        // The ISSUE regression case: a panic injected into round 1 (the
-        // second scan, dispatch 1) of a k = 5 run must be absorbed — the
-        // slot respawns, the round retries, and the placement is
-        // bit-identical to the sequential greedy.
+    fn worker_panic_forces_a_respawn_cycle() {
+        // With a single worker the round *cannot* complete without the full
+        // recovery cycle — Dead report, Reset replay, command re-send — so
+        // the respawn machinery is pinned deterministically.
+        let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(300));
+        let k = 5;
+        let seq = MarginalGreedy.place(&s, k, &mut rng());
+        let plan = FaultPlan::panic_once(0, 1);
+        let (p, report) = ParallelGreedy::with_threads(1)
+            .place_with_faults(&s, k, &plan)
+            .expect("panic is recoverable");
+        assert_eq!(p, seq);
+        assert_eq!(report.workers_respawned, 1);
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn worker_panic_in_any_slot_still_matches_sequential() {
+        // Multi-worker variant: the surviving workers steal the dead slot's
+        // ranges, so the panic may be absorbed without even a respawn (the
+        // Dead report is handled whenever a later round dequeues it). The
+        // invariant is the placement, not the recovery path taken.
         let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(300));
         let k = 5;
         let seq = MarginalGreedy.place(&s, k, &mut rng());
@@ -923,18 +1157,22 @@ mod tests {
                 .place_with_faults(&s, k, &plan)
                 .expect("panic is recoverable");
             assert_eq!(p, seq, "worker {worker}");
-            assert_eq!(report.workers_respawned, 1, "worker {worker}");
+            assert!(report.workers_respawned <= 1, "worker {worker}: {report:?}");
             assert!(!report.degraded, "worker {worker}");
         }
     }
 
     #[test]
     fn dropped_reply_recovers_via_timeout() {
+        // One worker, so the dropped reply is guaranteed to leave ranges
+        // missing (with stealing, an unlucky faulty worker can claim
+        // nothing, making the drop a no-op — fine in production, but this
+        // test pins the timeout path).
         let s = small_grid_scenario(UtilityKind::Sqrt, Distance::from_feet(250));
         let k = 4;
         let seq = MarginalGreedy.place(&s, k, &mut rng());
-        let plan = FaultPlan::drop_reply_once(1, 0);
-        let (p, report) = ParallelGreedy::with_threads(3)
+        let plan = FaultPlan::drop_reply_once(0, 0);
+        let (p, report) = ParallelGreedy::with_threads(1)
             .place_with_faults(&s, k, &plan)
             .expect("dropped reply is recoverable");
         assert_eq!(p, seq);
@@ -944,16 +1182,25 @@ mod tests {
     }
 
     #[test]
-    fn stalled_worker_recovers() {
+    fn stalled_worker_is_routed_around() {
+        // Range-stealing absorbs a stalled worker: the healthy worker claims
+        // the whole round while the stalled one sleeps, so the round
+        // finishes without waiting out the stall (and usually without even a
+        // timeout). The placement must stay bit-identical either way.
         let s = small_grid_scenario(UtilityKind::Threshold, Distance::from_feet(300));
         let k = 3;
         let seq = MarginalGreedy.place(&s, k, &mut rng());
         let plan = FaultPlan::stall_once(0, 0, 200);
+        let started = std::time::Instant::now();
         let (p, report) = ParallelGreedy::with_threads(2)
             .place_with_faults(&s, k, &plan)
             .expect("stall is recoverable");
+        // Teardown still joins the sleeping worker, so bound the *solve*
+        // loosely rather than asserting on wall clock; the real check is
+        // that no respawn/degradation was needed.
+        let _ = started.elapsed();
         assert_eq!(p, seq);
-        assert!(report.receive_timeouts >= 1, "{report:?}");
+        assert_eq!(report.workers_respawned, 0, "{report:?}");
         assert!(!report.degraded);
     }
 
@@ -1018,24 +1265,28 @@ mod tests {
     fn fault_matrix_keeps_bit_identical_placements() {
         // The acceptance matrix: panic, stall, dropped reply, poisoned pool
         // — every profile must leave the placement bit-identical to the
-        // sequential greedy and record its recovery in the report.
+        // sequential greedy. Panics and poison must additionally leave
+        // recovery evidence in the report; a stall or a lucky drop can be
+        // absorbed silently by range-stealing.
         let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(350));
         let k = 5;
         let seq = MarginalGreedy.place(&s, k, &mut rng());
-        let profiles: Vec<(&str, FaultPlan)> = vec![
-            ("panic", FaultPlan::panic_once(0, 0)),
-            ("stall", FaultPlan::stall_once(1, 1, 150)),
-            ("drop", FaultPlan::drop_reply_once(0, 2)),
-            ("poison", FaultPlan::poison_pool(3)),
+        let profiles: Vec<(&str, bool, FaultPlan)> = vec![
+            ("panic", true, FaultPlan::panic_once(0, 0)),
+            ("stall", false, FaultPlan::stall_once(1, 1, 150)),
+            ("drop", false, FaultPlan::drop_reply_once(0, 2)),
+            ("poison", true, FaultPlan::poison_pool(3)),
         ];
-        for (name, plan) in profiles {
+        for (name, requires_evidence, plan) in profiles {
             let (p, report) = ParallelGreedy::with_threads(3)
                 .place_with_faults(&s, k, &plan)
                 .expect("all profiles recoverable under Sequential fallback");
             assert_eq!(p, seq, "profile {name}");
-            let acted =
-                report.workers_respawned > 0 || report.receive_timeouts > 0 || report.degraded;
-            assert!(acted, "profile {name} recorded no recovery: {report:?}");
+            if requires_evidence {
+                let acted =
+                    report.workers_respawned > 0 || report.receive_timeouts > 0 || report.degraded;
+                assert!(acted, "profile {name} recorded no recovery: {report:?}");
+            }
         }
     }
 

@@ -24,6 +24,7 @@
 
 use crate::detour::{DetourTable, FlowDetour};
 use crate::error::PlacementError;
+use crate::kernel;
 use crate::placement::Placement;
 use crate::utility::UtilityFunction;
 use rap_graph::{Distance, NodeId, RoadGraph};
@@ -66,10 +67,21 @@ pub struct Scenario {
     entry_flow: Vec<u32>,
     /// Precomputed `α · f(detour) · T` of each CSR detour entry.
     entry_value: Vec<f64>,
+    /// f32 mirror of `entry_value` — the quantized screen lane (see
+    /// [`crate::kernel`]); never used for exact arithmetic.
+    entry_value32: Vec<f32>,
     /// Intersections with at least one detour entry, ascending node id —
     /// computed once here so the engine hot paths and the worker pools never
     /// re-derive (or re-allocate) the candidate set.
     candidates: Arc<[NodeId]>,
+    /// Per-candidate certified slack of the f32 screen, aligned with
+    /// `candidates`: `gain32(c) + screen_slack[c]` is an upper bound on the
+    /// exact f64 gain of candidate `c` under *any* best-value state
+    /// reachable by commits (see [`Scenario::best_candidate_in_range`]).
+    screen_slack: Vec<f64>,
+    /// False when the entry values are too large to mirror safely in f32;
+    /// the screen is then disabled and scans go straight to the f64 kernel.
+    screen: bool,
 }
 
 impl Scenario {
@@ -134,7 +146,41 @@ impl Scenario {
             entry_flow.push(e.flow.index() as u32);
             entry_value.push(utility.probability(e.detour, flow.attractiveness()) * flow.volume());
         }
+        let entry_value32: Vec<f32> = entry_value.iter().map(|&v| v as f32).collect();
         let candidates: Arc<[NodeId]> = detours.candidate_nodes().into();
+
+        // Quantized-screen support data. The screen bound must dominate the
+        // exact gain under any reachable best-value state; best_value[f] is
+        // always the max of committed entry values of flow f, so per-flow
+        // maxima bound the state from above.
+        let mut flow_max = vec![0.0f64; flows.len()];
+        for (&f, &v) in entry_flow.iter().zip(&entry_value) {
+            let slot = &mut flow_max[f as usize];
+            if v > *slot {
+                *slot = v;
+            }
+        }
+        let max_value = entry_value.iter().fold(0.0f64, |m, &v| m.max(v));
+        let screen = max_value.is_finite() && max_value < 1e30;
+        let eps = f64::from(f32::EPSILON);
+        let screen_slack: Vec<f64> = candidates
+            .iter()
+            .map(|&node| {
+                let range = detours.entry_range(node);
+                let n = range.len() as f64;
+                let (sum, sum_max) = entry_flow[range.clone()]
+                    .iter()
+                    .zip(&entry_value[range])
+                    .fold((0.0f64, 0.0f64), |(s, sm), (&f, &v)| {
+                        (s + v, sm + flow_max[f as usize])
+                    });
+                // Conservative bound on |gain32 − gain|: per-term f32
+                // quantization of the value and the state (≤ ε·(v + flow_max))
+                // plus f32 accumulation error (≤ n·ε·Σv), with generous
+                // constant factors.
+                eps * (4.0 * (sum + sum_max) + 2.0 * n * sum)
+            })
+            .collect();
         Scenario {
             graph,
             flows,
@@ -143,7 +189,10 @@ impl Scenario {
             detours,
             entry_flow,
             entry_value,
+            entry_value32,
             candidates,
+            screen_slack,
+            screen,
         }
     }
 
@@ -243,6 +292,18 @@ impl Scenario {
         (&self.entry_flow[range.clone()], &self.entry_value[range])
     }
 
+    /// The f32 screen mirror of [`Scenario::value_entries_at`].
+    pub fn value_entries32_at(&self, node: NodeId) -> (&[u32], &[f32]) {
+        let range = self.detours.entry_range(node);
+        (&self.entry_flow[range.clone()], &self.entry_value32[range])
+    }
+
+    /// Whether the quantized f32 screen is usable for this scenario's value
+    /// range (it is disabled when entry values overflow safe f32 territory).
+    pub fn screen_enabled(&self) -> bool {
+        self.screen
+    }
+
     /// Folds a RAP at `node` into a per-flow best-value state array:
     /// `best_value[f] = max(best_value[f], value of f at node)`.
     ///
@@ -259,23 +320,30 @@ impl Scenario {
         }
     }
 
+    /// f32 twin of [`Scenario::commit_best_values`], maintained alongside it
+    /// by the pool workers to feed the quantized screen. Because `fl32` is
+    /// monotone, the folded f32 state is exactly the f32 rounding of the f64
+    /// state — the property the screen slack is certified against.
+    pub fn commit_best_values32(&self, best_value32: &mut [f32], node: NodeId) {
+        let (flows, values) = self.value_entries32_at(node);
+        for (&f, &v) in flows.iter().zip(values) {
+            let slot = &mut best_value32[f as usize];
+            if v > *slot {
+                *slot = v;
+            }
+        }
+    }
+
     /// Marginal gain of adding a RAP at `node` against a best-value state
     /// array (see [`Scenario::commit_best_values`]):
     /// `Σ_f max(0, value_f(node) − best_value[f])` over flows passing `node`.
     ///
     /// Bit-for-bit identical to [`Scenario::marginal_gain`] with the
-    /// corresponding best-detour state, but a branch-light sum over
-    /// contiguous precomputed `f64`s.
+    /// corresponding best-detour state (both run the [`crate::kernel`] lane
+    /// schedule), but a branchless sum over contiguous precomputed `f64`s.
     pub fn marginal_gain_value(&self, best_value: &[f64], node: NodeId) -> f64 {
         let (flows, values) = self.value_entries_at(node);
-        let mut gain = 0.0;
-        for (&f, &v) in flows.iter().zip(values) {
-            let delta = v - best_value[f as usize];
-            if delta > 0.0 {
-                gain += delta;
-            }
-        }
-        gain
+        kernel::gain(flows, values, best_value)
     }
 
     /// Candidate-ii objective of Algorithm 2 against a best-value state
@@ -288,17 +356,7 @@ impl Scenario {
         node: NodeId,
     ) -> f64 {
         let (flows, values) = self.value_entries_at(node);
-        let mut gain = 0.0;
-        for (&f, &v) in flows.iter().zip(values) {
-            if !covered[f as usize] {
-                continue;
-            }
-            let delta = v - best_value[f as usize];
-            if delta > 0.0 {
-                gain += delta;
-            }
-        }
-        gain
+        kernel::gain_covered(flows, values, best_value, covered)
     }
 
     /// Sequential argmax over `candidates` against a best-value state array:
@@ -315,6 +373,52 @@ impl Scenario {
     ) -> Option<(f64, NodeId)> {
         let mut best: Option<(f64, NodeId)> = None;
         for &v in candidates {
+            let gain = self.marginal_gain_value(best_value, v);
+            if gain <= 0.0 {
+                continue;
+            }
+            let better = match best {
+                Some((bg, bn)) => gain > bg || (gain == bg && v < bn),
+                None => true,
+            };
+            if better {
+                best = Some((gain, v));
+            }
+        }
+        best
+    }
+
+    /// Argmax over the contiguous candidate-index range `lo..hi` (indices
+    /// into [`Scenario::candidates`]), with the quantized f32 screen applied
+    /// when available: a candidate whose certified upper bound
+    /// `gain32 + slack` cannot exceed the incumbent's exact gain is skipped
+    /// without touching the f64 lanes; survivors are re-scored exactly.
+    ///
+    /// `best_value32` must be the f32 fold of the same committed placement
+    /// as `best_value` (see [`Scenario::commit_best_values32`]). The result
+    /// is bit-identical to running [`Scenario::best_candidate_value`] over
+    /// `candidates[lo..hi]`: the bound is an upper bound, so a skip can
+    /// never hide a candidate that would have won — even a tie is safe,
+    /// because ties go to the lower id, which is scanned first.
+    pub fn best_candidate_in_range(
+        &self,
+        best_value: &[f64],
+        best_value32: &[f32],
+        lo: usize,
+        hi: usize,
+    ) -> Option<(f64, NodeId)> {
+        let mut best: Option<(f64, NodeId)> = None;
+        for ci in lo..hi {
+            let v = self.candidates[ci];
+            if self.screen {
+                let incumbent = best.map_or(0.0, |(bg, _)| bg);
+                let (flows, v32) = self.value_entries32_at(v);
+                let bound =
+                    f64::from(kernel::gain32(flows, v32, best_value32)) + self.screen_slack[ci];
+                if bound <= incumbent {
+                    continue; // certified: cannot beat (or tie down to) best
+                }
+            }
             let gain = self.marginal_gain_value(best_value, v);
             if gain <= 0.0 {
                 continue;
@@ -376,31 +480,27 @@ impl Scenario {
     /// (paper Section III-C discussion); Algorithm 2 instead splits it into
     /// the two candidate objectives below.
     pub fn marginal_gain(&self, best: &[Option<Distance>], node: NodeId) -> f64 {
-        let mut gain = 0.0;
-        for e in self.entries_at(node) {
+        // Replicates the kernel's lane schedule (entry i → lane i % LANES,
+        // fixed reduce tree) so this distance path stays bit-identical to
+        // `marginal_gain_value` against the corresponding best-value state.
+        let mut acc = [0.0f64; kernel::LANES];
+        for (i, e) in self.entries_at(node).iter().enumerate() {
             let flow = self.flows.flow(e.flow);
             let new = self.expected_customers(flow, e.detour);
             let cur = match best[e.flow.index()] {
                 Some(d) => self.expected_customers(flow, d),
                 None => 0.0,
             };
-            if new > cur {
-                gain += new - cur;
-            }
+            acc[i % kernel::LANES] += (new - cur).max(0.0);
         }
-        gain
+        kernel::reduce(acc)
     }
 
     /// Candidate-i objective of Algorithms 1–2: customers attracted from
     /// *uncovered* flows if a RAP is placed at `node`.
     pub fn uncovered_gain(&self, covered: &[bool], node: NodeId) -> f64 {
         let (flows, values) = self.value_entries_at(node);
-        flows
-            .iter()
-            .zip(values)
-            .filter(|(&f, _)| !covered[f as usize])
-            .map(|(_, &v)| v)
-            .sum()
+        kernel::uncovered_sum(flows, values, covered)
     }
 
     /// Candidate-ii objective of Algorithm 2: *additional* customers
@@ -412,22 +512,24 @@ impl Scenario {
         best: &[Option<Distance>],
         node: NodeId,
     ) -> f64 {
-        let mut gain = 0.0;
-        for e in self.entries_at(node) {
-            if !covered[e.flow.index()] {
-                continue;
-            }
-            let flow = self.flows.flow(e.flow);
-            let new = self.expected_customers(flow, e.detour);
-            let cur = match best[e.flow.index()] {
-                Some(d) => self.expected_customers(flow, d),
-                None => 0.0,
+        // Same lane schedule as `improvement_gain_value` (masked-out entries
+        // still occupy their lane slot with a +0.0 term).
+        let mut acc = [0.0f64; kernel::LANES];
+        for (i, e) in self.entries_at(node).iter().enumerate() {
+            let term = if covered[e.flow.index()] {
+                let flow = self.flows.flow(e.flow);
+                let new = self.expected_customers(flow, e.detour);
+                let cur = match best[e.flow.index()] {
+                    Some(d) => self.expected_customers(flow, d),
+                    None => 0.0,
+                };
+                (new - cur).max(0.0)
+            } else {
+                0.0
             };
-            if new > cur {
-                gain += new - cur;
-            }
+            acc[i % kernel::LANES] += term;
         }
-        gain
+        kernel::reduce(acc)
     }
 }
 
@@ -565,6 +667,33 @@ mod tests {
                 s.improvement_gain_value(&covered, &best_value, v),
                 "improvement gain diverged at {v}"
             );
+        }
+    }
+
+    #[test]
+    fn screened_range_scan_matches_exact_scan() {
+        let s = simple();
+        assert!(s.screen_enabled());
+        let n = s.candidates().len();
+        let mut best_value = vec![0.0f64; s.flows().len()];
+        let mut best_value32 = vec![0.0f32; s.flows().len()];
+        // Walk a full greedy trajectory; at every state, every sub-range of
+        // the candidate set must agree with the exact unscreened scan.
+        loop {
+            for lo in 0..n {
+                for hi in lo..=n {
+                    let screened = s.best_candidate_in_range(&best_value, &best_value32, lo, hi);
+                    let exact = s.best_candidate_value(&best_value, &s.candidates()[lo..hi]);
+                    assert_eq!(screened, exact, "range {lo}..{hi}");
+                }
+            }
+            match s.best_candidate_value(&best_value, s.candidates()) {
+                Some((_, node)) => {
+                    s.commit_best_values(&mut best_value, node);
+                    s.commit_best_values32(&mut best_value32, node);
+                }
+                None => break,
+            }
         }
     }
 

@@ -329,6 +329,111 @@ proptest! {
         prop_assert_eq!(&inv, &seq, "inverted diverged after deltas (k={})", k);
     }
 
+    /// The parallel counting-sort index build is bitwise identical to the
+    /// sequential `InvertedIndex::build` on random grids — single- and
+    /// multi-shop — at several worker counts (the test hook bypasses the
+    /// size cutoff so small instances still take the parallel path).
+    #[test]
+    fn threaded_index_build_identical(inst in arb_instance(), shop2 in 0u32..36) {
+        for kind in UtilityKind::ALL {
+            let mut inst = inst.clone();
+            inst.utility = kind;
+            let Some(single) = build(&inst) else { return Ok(()) };
+            let n = inst.rows * inst.cols;
+            let multi = Scenario::new(
+                single.graph().clone(),
+                single.flows().clone(),
+                vec![NodeId::new(inst.shop), NodeId::new(shop2 % n)],
+                kind.instantiate(Distance::from_feet(inst.threshold)),
+            )
+            .expect("multi-shop scenario valid");
+            for s in [&single, &multi] {
+                let seq = InvertedIndex::build(s);
+                for workers in [2usize, 3, 8] {
+                    let par = InvertedIndex::build_parallel_uncut(s, workers);
+                    prop_assert!(
+                        par == seq,
+                        "parallel build diverged ({kind}, workers={workers})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The parallel index build also stays bitwise identical on snapshots
+    /// taken after an arbitrary batch of `MutableScenario` flow deltas.
+    #[test]
+    fn threaded_index_build_identical_after_deltas(
+        inst in arb_instance(),
+        ops in proptest::collection::vec((0u8..4, 0u32..64, 0u32..64, 1u32..100), 1..8),
+    ) {
+        let Some(mut ms) = build_mutable(&inst) else { return Ok(()) };
+        let n = inst.rows * inst.cols;
+        for &(op, a, b, v) in &ops {
+            let live = ms.live_stable_ids();
+            let delta = match op {
+                0 => FlowDelta::AddFlow {
+                    origin: NodeId::new(a % n),
+                    destination: NodeId::new(b % n),
+                    volume: v as f64,
+                    alpha: 0.5,
+                },
+                1 if !live.is_empty() => FlowDelta::RemoveFlow {
+                    flow: live[a as usize % live.len()],
+                },
+                2 if !live.is_empty() => FlowDelta::RescaleFlow {
+                    flow: live[a as usize % live.len()],
+                    factor: 0.25 + v as f64 / 50.0,
+                },
+                3 if !live.is_empty() => FlowDelta::SetAlpha {
+                    flow: live[a as usize % live.len()],
+                    alpha: (v as f64 % 10.0) / 10.0,
+                },
+                _ => continue,
+            };
+            let _ = ms.apply(&delta);
+        }
+        let snap = ms.snapshot();
+        let seq = InvertedIndex::build(&snap);
+        for workers in [2usize, 5] {
+            let par = InvertedIndex::build_parallel_uncut(&snap, workers);
+            prop_assert!(par == seq, "parallel build diverged after deltas (workers={workers})");
+        }
+    }
+
+    /// The chunked branchless SoA gain kernel is bitwise identical to its
+    /// scalar lane-schedule reference on adversarial entry lanes — negative
+    /// deltas, exact zeros, repeated flows, ties, and lengths straddling the
+    /// chunk width.
+    #[test]
+    fn kernel_gain_matches_reference(
+        entries in proptest::collection::vec((0u32..24, -1e9f64..1e9), 0..40),
+        best in proptest::collection::vec(prop_oneof![
+            Just(0.0f64),
+            Just(-0.0f64),
+            -1e9f64..1e9,
+        ], 24),
+    ) {
+        use rap_core::kernel;
+        let flows: Vec<u32> = entries.iter().map(|&(f, _)| f).collect();
+        // Mix in exact-tie values (value == best[flow]) so the max(0, ·)
+        // boundary is exercised, not just sampled around.
+        let values: Vec<f64> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(f, v))| if i % 5 == 0 { best[f as usize] } else { v })
+            .collect();
+        let fast = kernel::gain(&flows, &values, &best);
+        let slow = kernel::gain_reference(&flows, &values, &best);
+        prop_assert_eq!(
+            fast.to_bits(),
+            slow.to_bits(),
+            "kernel diverged: fast {} vs reference {}",
+            fast,
+            slow
+        );
+    }
+
     /// Flow-group coalescing preserves the objective bit for bit: the
     /// grouped evaluation equals `Scenario::evaluate` on every greedy
     /// prefix and on the full candidate set.

@@ -155,7 +155,7 @@ impl Maintainer {
         let engine = InvertedPooledGreedy::with_threads(cfg.threads.max(1));
         let epoch = scenario.epoch();
         let snap = scenario.snapshot();
-        let index = InvertedIndex::build(&snap);
+        let index = InvertedIndex::build_with_threads(&snap, cfg.threads.max(1));
         let (placement, _) = engine.place_with_index(&snap, &index, cfg.k);
         let objective = snap.evaluate(&placement);
         let baseline_certified = certified(objective, singleton_upper_bound(&snap, cfg.k));
@@ -250,7 +250,8 @@ impl Maintainer {
     fn index_for(&mut self, epoch: u64, snap: &Scenario) -> &InvertedIndex {
         let cached = matches!(&self.index_cache, Some((e, _)) if *e == epoch);
         if !cached {
-            self.index_cache = Some((epoch, InvertedIndex::build(snap)));
+            let threads = self.cfg.threads.max(1);
+            self.index_cache = Some((epoch, InvertedIndex::build_with_threads(snap, threads)));
         }
         &self.index_cache.as_ref().expect("cache just populated").1
     }
