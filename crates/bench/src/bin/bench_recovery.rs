@@ -1,0 +1,278 @@
+//! `bench_recovery` — the crash-recovery harness behind
+//! `BENCH_recovery.json`.
+//!
+//! Measures the three costs that decide a deployment's recovery posture on
+//! a 60x60-grid / 3000-flow instance:
+//!
+//! * **snapshot save/load vs cold rebuild** — encoding + atomic write and
+//!   read + full decode of a checksummed snapshot, against routing all
+//!   flows and building the detour tables from the raw inputs (the price
+//!   of *not* having a snapshot);
+//! * **WAL replay rate** — deltas/sec pushed through the recovery
+//!   pipeline, the term that dominates when snapshots rotate rarely;
+//! * **recovery-time curve** — total `restore` latency (snapshot load +
+//!   replay) as a function of WAL length, so `--snapshot-every` can be
+//!   chosen against a recovery-time budget.
+//!
+//! Usage: `cargo run --release -p rap-bench --bin bench_recovery [OUT.json]`
+//! (default output path `BENCH_recovery.json` in the current directory).
+
+use rap_core::{
+    decode_snapshot_with_threads, encode_record, encode_snapshot, read_snapshot_file, replay,
+    restore_with_threads, write_snapshot_atomic, FaultPlan, FsyncPolicy, MutableScenario,
+    UtilityKind, WalOp, WalWriter,
+};
+use rap_graph::{Distance, GridGraph, RoadGraph};
+use rap_stream::{StreamDelta, SyntheticDrift};
+use rap_traffic::demand::{uniform_demand, DemandParams};
+use rap_traffic::{FlowSet, FlowSpec};
+use serde::Serialize;
+use std::time::Instant;
+
+const GRID_SIDE: u32 = 60;
+const FLOWS: usize = 3_000;
+const THREADS: usize = 4;
+const THRESHOLD_FEET: u64 = 2_500;
+const SEED: u64 = 2015;
+/// Longest WAL in the recovery curve (and the replay-rate sample size).
+const WAL_DELTAS: usize = 10_000;
+/// WAL lengths at which the recovery curve is sampled.
+const CURVE: [usize; 5] = [0, 1_000, 2_000, 5_000, 10_000];
+
+#[derive(Serialize)]
+struct ScenarioMeta {
+    grid_side: u32,
+    nodes: usize,
+    flows: usize,
+    threads: usize,
+    threshold_feet: u64,
+    seed: u64,
+}
+
+#[derive(Serialize)]
+struct SnapshotCosts {
+    snapshot_bytes: usize,
+    cold_build_ms: f64,
+    encode_ms: f64,
+    atomic_write_ms: f64,
+    read_ms: f64,
+    verify_ms: f64,
+    decode_ms: f64,
+    /// Cold rebuild time over snapshot load (read + decode) time: how much
+    /// faster restarting from a snapshot is than rebuilding from inputs.
+    speedup_cold_over_load: f64,
+}
+
+#[derive(Serialize)]
+struct WalCosts {
+    wal_deltas: usize,
+    wal_bytes: usize,
+    append_fsync_never_ms: f64,
+    replay_deltas_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct CurvePoint {
+    wal_len: usize,
+    restore_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scenario: ScenarioMeta,
+    snapshot: SnapshotCosts,
+    wal: WalCosts,
+    recovery_curve: Vec<CurvePoint>,
+}
+
+/// The demand model shared by the cold build and the benchmark's state.
+fn demand(graph: &RoadGraph) -> Vec<FlowSpec> {
+    uniform_demand(
+        graph,
+        DemandParams {
+            flows: FLOWS,
+            min_volume: 100.0,
+            max_volume: 1_000.0,
+            attractiveness: 0.001,
+        },
+        42,
+    )
+    .expect("demand parameters valid")
+}
+
+/// Routes the flows and builds the full scenario — everything a restart
+/// without a snapshot has to redo.
+fn cold_build(grid: &GridGraph) -> MutableScenario {
+    let specs = demand(grid.graph());
+    let flows = FlowSet::route_parallel(grid.graph(), specs, THREADS).expect("grid routes");
+    MutableScenario::new_with_threads(
+        grid.graph().clone(),
+        flows,
+        vec![grid.center()],
+        UtilityKind::Linear.instantiate(Distance::from_feet(THRESHOLD_FEET)),
+        THREADS,
+    )
+    .expect("scenario valid")
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+    let grid = GridGraph::new(GRID_SIDE, GRID_SIDE, Distance::from_feet(500));
+
+    eprintln!(
+        "cold build: routing {FLOWS} flows on {GRID_SIDE}x{GRID_SIDE} ({THREADS} threads) ..."
+    );
+    let start = Instant::now();
+    let mut scenario = cold_build(&grid);
+    let cold_build_ms = start.elapsed().as_secs_f64() * 1e3;
+    eprintln!("cold build: {cold_build_ms:.1} ms");
+
+    // Snapshot encode + atomic write.
+    let start = Instant::now();
+    let bytes = encode_snapshot(&scenario, None, 0, &[]).expect("encodable");
+    let encode_ms = start.elapsed().as_secs_f64() * 1e3;
+    let snap_path =
+        std::env::temp_dir().join(format!("bench_recovery_{}.snap", std::process::id()));
+    let start = Instant::now();
+    write_snapshot_atomic(&snap_path, &bytes, &FaultPlan::none()).expect("writable");
+    let atomic_write_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Snapshot read + decode (the warm-restart path).
+    let start = Instant::now();
+    let read_back = read_snapshot_file(&snap_path, &FaultPlan::none()).expect("readable");
+    let read_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    rap_core::verify_snapshot(&read_back).expect("verifiable");
+    let verify_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let decoded = decode_snapshot_with_threads(&read_back, THREADS).expect("decodable");
+    let decode_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(decoded.scenario.live_flows(), scenario.live_flows());
+    let speedup = cold_build_ms / (read_ms + decode_ms);
+    eprintln!(
+        "snapshot: {} bytes, encode {encode_ms:.1} ms, write {atomic_write_ms:.1} ms, \
+         read {read_ms:.1} ms, verify {verify_ms:.1} ms, decode {decode_ms:.1} ms ({speedup:.1}x faster than cold build)",
+        bytes.len()
+    );
+
+    // Build a WAL of drift deltas over the snapshot state, tracking the
+    // byte boundary at each curve length so prefixes can be replayed.
+    let drift = SyntheticDrift::new(
+        scenario.graph().node_count() as u32,
+        scenario.live_stable_ids(),
+        scenario.next_stable_id(),
+        WAL_DELTAS,
+        SEED,
+    );
+    let mut wal = Vec::new();
+    let mut boundaries = vec![0usize; 0];
+    let mut records = Vec::with_capacity(WAL_DELTAS);
+    for (i, delta) in drift.enumerate() {
+        boundaries.push(wal.len());
+        let op = match delta {
+            StreamDelta::Flow(d) => WalOp::Delta(d),
+            StreamDelta::Compact => WalOp::Compact,
+        };
+        wal.extend_from_slice(&encode_record(scenario.epoch(), i as u64, &op));
+        records.push(op);
+        match op {
+            WalOp::Compact => scenario.compact(),
+            WalOp::Delta(d) => {
+                scenario
+                    .apply(&d)
+                    .expect("synthetic drift is self-consistent");
+            }
+        }
+    }
+    boundaries.push(wal.len());
+
+    // Raw append cost (fsync=never; the fsync policies' *throughput* cost
+    // is measured in bench_stream where the full pipeline runs).
+    let wal_path = std::env::temp_dir().join(format!("bench_recovery_{}.wal", std::process::id()));
+    std::fs::remove_file(&wal_path).ok();
+    let mut writer = WalWriter::create(&wal_path, FsyncPolicy::Never).expect("WAL creatable");
+    let start = Instant::now();
+    for (i, op) in records.iter().enumerate() {
+        writer.append(i as u64, i as u64, op).expect("appendable");
+    }
+    writer.sync().expect("syncable");
+    let append_ms = start.elapsed().as_secs_f64() * 1e3;
+    drop(writer);
+    std::fs::remove_file(&wal_path).ok();
+
+    // Replay rate: decode a fresh scenario from the snapshot and push the
+    // full WAL through the recovery pipeline.
+    let mut fresh = decode_snapshot_with_threads(&read_back, THREADS)
+        .expect("decodable")
+        .scenario;
+    let scan = rap_core::read_wal(&wal);
+    assert!(scan.stop.is_none(), "generated WAL must be clean");
+    let start = Instant::now();
+    let report = replay(&mut fresh, &scan.records, 0);
+    let replay_s = start.elapsed().as_secs_f64();
+    let replayed = report.applied + report.rejected + report.forced_compactions;
+    assert_eq!(replayed as usize, WAL_DELTAS);
+    assert_eq!(
+        fresh.epoch(),
+        scenario.epoch(),
+        "replay must land on the live state"
+    );
+    let replay_rate = WAL_DELTAS as f64 / replay_s;
+    eprintln!(
+        "replay: {replay_rate:.0} deltas/sec ({WAL_DELTAS} deltas in {:.1} ms)",
+        replay_s * 1e3
+    );
+
+    // Recovery curve: total restore latency vs WAL length.
+    let mut curve = Vec::with_capacity(CURVE.len());
+    for len in CURVE {
+        let prefix = &wal[..boundaries[len]];
+        let start = Instant::now();
+        let restored = restore_with_threads(&read_back, prefix, THREADS).expect("restorable");
+        let restore_ms = start.elapsed().as_secs_f64() * 1e3;
+        let replayed =
+            restored.replay.applied + restored.replay.rejected + restored.replay.forced_compactions;
+        assert_eq!(replayed as usize, len);
+        eprintln!("restore with {len:>6}-delta WAL: {restore_ms:.1} ms");
+        curve.push(CurvePoint {
+            wal_len: len,
+            restore_ms,
+        });
+    }
+    std::fs::remove_file(&snap_path).ok();
+
+    let report = Report {
+        scenario: ScenarioMeta {
+            grid_side: GRID_SIDE,
+            nodes: grid.graph().node_count(),
+            flows: FLOWS,
+            threads: THREADS,
+            threshold_feet: THRESHOLD_FEET,
+            seed: SEED,
+        },
+        snapshot: SnapshotCosts {
+            snapshot_bytes: bytes.len(),
+            cold_build_ms,
+            encode_ms,
+            atomic_write_ms,
+            read_ms,
+            verify_ms,
+            decode_ms,
+            speedup_cold_over_load: speedup,
+        },
+        wal: WalCosts {
+            wal_deltas: WAL_DELTAS,
+            wal_bytes: wal.len(),
+            append_fsync_never_ms: append_ms,
+            replay_deltas_per_sec: replay_rate,
+        },
+        recovery_curve: curve,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write benchmark report");
+    eprintln!(
+        "wrote {out_path}; snapshot load {speedup:.1}x faster than cold build, replay {replay_rate:.0} deltas/sec"
+    );
+}

@@ -18,9 +18,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rap_core::{LazyGreedy, MutableScenario, PlacementAlgorithm, UtilityKind};
+use rap_core::{FsyncPolicy, LazyGreedy, MutableScenario, PlacementAlgorithm, UtilityKind};
 use rap_graph::{Distance, GridGraph};
-use rap_stream::{Maintainer, MaintainerConfig, StreamDelta, SyntheticDrift};
+use rap_stream::{
+    Durability, DurabilityConfig, Journal, Maintainer, MaintainerConfig, StreamDelta,
+    StreamProgress, SyntheticDrift,
+};
 use rap_traffic::demand::{uniform_demand, DemandParams};
 use rap_traffic::FlowSet;
 use serde::Serialize;
@@ -78,10 +81,22 @@ struct TrajectoryPoint {
 }
 
 #[derive(Serialize)]
+struct WalOverhead {
+    deltas: usize,
+    fsync_every_n: u64,
+    baseline_deltas_per_sec: f64,
+    wal_never_deltas_per_sec: f64,
+    wal_every_n_deltas_per_sec: f64,
+    overhead_never_pct: f64,
+    overhead_every_n_pct: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     scenario: ScenarioMeta,
     throughput: Throughput,
     maintenance: Maintenance,
+    wal_overhead: WalOverhead,
     trajectory: Vec<TrajectoryPoint>,
 }
 
@@ -107,6 +122,70 @@ fn substrate() -> MutableScenario {
         UtilityKind::Linear.instantiate(threshold),
     )
     .expect("scenario valid")
+}
+
+/// Length of the WAL-overhead measurement passes (shorter than the main
+/// run: three passes, and the ratio stabilizes quickly).
+const WAL_DELTAS: usize = 4_000;
+
+/// Streams `WAL_DELTAS` drift deltas through the full apply + maintain
+/// loop, journaling each to a WAL under `policy` (or not at all), and
+/// returns the observed deltas/sec.
+fn wal_throughput(policy: Option<FsyncPolicy>, threads: usize) -> f64 {
+    let mut scenario = substrate();
+    let cfg = MaintainerConfig {
+        k: K,
+        threads,
+        seed: SEED,
+        ..MaintainerConfig::default()
+    };
+    let mut maintainer = Maintainer::new(cfg, &mut scenario).expect("initial solve");
+    let path = std::env::temp_dir().join(format!(
+        "bench_stream_wal_{}_{}.wal",
+        std::process::id(),
+        policy.map_or(0u8, |p| match p {
+            FsyncPolicy::Always => 1,
+            FsyncPolicy::EveryN(_) => 2,
+            FsyncPolicy::Never => 3,
+        })
+    ));
+    std::fs::remove_file(&path).ok();
+    let mut journal = policy.map(|p| {
+        let mut dcfg = DurabilityConfig::wal_only(path.clone());
+        dcfg.fsync = p;
+        Durability::start(dcfg).expect("WAL creatable in temp dir")
+    });
+    let drift = SyntheticDrift::new(
+        scenario.graph().node_count() as u32,
+        scenario.live_stable_ids(),
+        scenario.next_stable_id(),
+        WAL_DELTAS,
+        SEED,
+    );
+
+    let mut progress = StreamProgress::default();
+    let start = Instant::now();
+    for delta in drift {
+        if let Some(j) = journal.as_mut() {
+            j.record(&scenario, &delta).expect("WAL append");
+        }
+        let StreamDelta::Flow(flow_delta) = delta else {
+            continue;
+        };
+        scenario
+            .apply(&flow_delta)
+            .expect("synthetic drift is self-consistent");
+        progress.applied += 1;
+        maintainer.note_delta(&mut scenario);
+        if let Some(j) = journal.as_mut() {
+            j.committed(&scenario, &maintainer, &progress)
+                .expect("WAL commit");
+        }
+    }
+    let elapsed = start.elapsed();
+    drop(journal);
+    std::fs::remove_file(&path).ok();
+    WAL_DELTAS as f64 / elapsed.as_secs_f64()
 }
 
 fn main() {
@@ -186,6 +265,18 @@ fn main() {
     streamed += segment_start.elapsed();
     assert_eq!(applied, DELTAS, "drift source must emit every delta");
 
+    const FSYNC_N: u64 = 64;
+    eprintln!("measuring WAL overhead ({WAL_DELTAS} deltas per pass) ...");
+    let baseline = wal_throughput(None, threads);
+    let wal_never = wal_throughput(Some(FsyncPolicy::Never), threads);
+    let wal_every_n = wal_throughput(Some(FsyncPolicy::EveryN(FSYNC_N)), threads);
+    let overhead = |with_wal: f64| (1.0 - with_wal / baseline) * 100.0;
+    eprintln!(
+        "WAL overhead: baseline {baseline:.0}/s, fsync=never {wal_never:.0}/s ({:+.1}%), fsync=every-{FSYNC_N} {wal_every_n:.0}/s ({:+.1}%)",
+        overhead(wal_never),
+        overhead(wal_every_n)
+    );
+
     let stats = maintainer.stats();
     let report = Report {
         scenario: ScenarioMeta {
@@ -213,6 +304,15 @@ fn main() {
             compactions: scenario.compactions(),
             final_epoch: scenario.epoch(),
             final_live_flows: scenario.live_flows(),
+        },
+        wal_overhead: WalOverhead {
+            deltas: WAL_DELTAS,
+            fsync_every_n: FSYNC_N,
+            baseline_deltas_per_sec: baseline,
+            wal_never_deltas_per_sec: wal_never,
+            wal_every_n_deltas_per_sec: wal_every_n,
+            overhead_never_pct: overhead(wal_never),
+            overhead_every_n_pct: overhead(wal_every_n),
         },
         trajectory,
     };

@@ -5,4 +5,5 @@ pub mod figures;
 pub mod generate;
 pub mod place;
 pub mod simulate;
+pub mod snapshot;
 pub mod stream;

@@ -16,14 +16,16 @@
 use super::place::read_flows;
 use crate::args::Args;
 use crate::CliError;
-use rap_core::{MutableScenario, UtilityKind};
+use rap_core::{FsyncPolicy, MutableScenario, UtilityKind};
 use rap_graph::{Distance, NodeId};
 use rap_stream::{
-    read_ndjson, run_stream, MaintainerConfig, StreamConfig, StreamDelta, StreamError,
-    StreamSummary, SyntheticDrift, TraceReplay,
+    prepare_resume, read_ndjson, run_stream_with, Durability, DurabilityConfig, Journal,
+    Maintainer, MaintainerConfig, ResumePoint, StreamConfig, StreamDelta, StreamError,
+    StreamProgress, StreamSummary, SyntheticDrift, TraceReplay,
 };
 use rap_traffic::{FlowSet, Zone};
-use std::io::BufReader;
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
 
 /// Options accepted by `rap stream`.
 pub const USAGE: &str = "\
@@ -34,6 +36,9 @@ rap stream --k N [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
            [--threshold F] [--check-interval N] [--threads N]
            [--metrics-interval N] [--strict true] [--out FILE]
            [--route-threads N]
+           [--wal FILE] [--snapshot FILE] [--snapshot-every N]
+           [--fsync always|never|every-n] [--fsync-n N]
+           [--resume true] [--record-deltas FILE] [--crash-after N]
 
 --deltas           NDJSON delta log; `-` reads from stdin. One JSON object
                    per line: {\"op\":\"add\",\"origin\":N,\"destination\":N,
@@ -52,6 +57,16 @@ rap stream --k N [--utility threshold|linear|sqrt] [--d FEET] [--seed N]
 --out              write NDJSON events here instead of inlining them
 --route-threads    worker threads for flow routing and detour-table
                    preprocessing; 0 (the default) auto-detects
+--wal              write-ahead-log every source item here (crash safety)
+--snapshot         rotate checksummed scenario snapshots here (needs --wal)
+--snapshot-every   journaled items between snapshot rotations (default 1024)
+--fsync            WAL fsync policy (default every-n; see --fsync-n)
+--fsync-n          sync the WAL every N appends under every-n (default 64)
+--resume           true: continue from --snapshot/--wal after a crash; the
+                   original scenario and source flags must be passed again
+                   (a stdin delta source cannot be resumed)
+--record-deltas    tee every consumed source delta to this NDJSON file
+--crash-after      abort the process after N journaled items (testing)
 Prints (or writes) the event stream and a closing summary.";
 
 /// The scenario plus its delta source, resolved from the arguments.
@@ -60,16 +75,13 @@ struct Session {
     source: Box<dyn Iterator<Item = Result<StreamDelta, StreamError>>>,
 }
 
-/// Builds a city-model session: empty initial traffic, journeys replayed
-/// through a sliding window.
-fn replay_session(
+/// Rebuilds the deterministic city model for `--replay` mode (both fresh
+/// sessions and resumed ones regenerate the identical journey stream).
+fn city_model(
     args: &Args,
     city: &str,
     seed: u64,
-    utility: UtilityKind,
-    d: u64,
-    route_threads: usize,
-) -> Result<Session, CliError> {
+) -> Result<(rap_trace::CityModel, usize), CliError> {
     let journeys: usize = args.get_or("journeys", "integer", 200)?;
     let window: usize = args.get_or("window", "integer", 200)?;
     let params = match city {
@@ -91,6 +103,20 @@ fn replay_session(
         "dublin" => rap_trace::dublin(params, seed)?,
         _ => rap_trace::seattle(params, seed)?,
     };
+    Ok((model, window))
+}
+
+/// Builds a city-model session: empty initial traffic, journeys replayed
+/// through a sliding window.
+fn replay_session(
+    args: &Args,
+    city: &str,
+    seed: u64,
+    utility: UtilityKind,
+    d: u64,
+    route_threads: usize,
+) -> Result<Session, CliError> {
+    let (model, window) = city_model(args, city, seed)?;
     let shop = match args.get_parsed::<u32>("shop", "node id")? {
         Some(raw) => NodeId::new(raw),
         None => *model
@@ -174,6 +200,199 @@ fn file_session(
     Ok(Session { scenario, source })
 }
 
+/// The boxed delta source type every session path produces.
+type DeltaSource = Box<dyn Iterator<Item = Result<StreamDelta, StreamError>>>;
+
+/// Builds the scenario + source for this invocation from scratch (fresh
+/// runs and WAL-only resumes, which must rebuild and re-route everything).
+fn build_session(
+    args: &Args,
+    seed: u64,
+    utility: UtilityKind,
+    d: u64,
+    route_threads: usize,
+) -> Result<Session, CliError> {
+    match args.get("replay") {
+        Some(city) => {
+            let city = city.to_string();
+            replay_session(args, &city, seed, utility, d, route_threads)
+        }
+        None => file_session(args, seed, utility, d, route_threads),
+    }
+}
+
+/// Rebuilds just the delta source for a snapshot resume, already advanced
+/// past the `consumed` items the snapshot + WAL cover — without routing a
+/// single flow. The synthetic generator's stream depends only on the
+/// graph's node count and the flow-spec count (live ids `0..n`, next id
+/// `n`), both cheap to re-read; file and replay sources are deterministic
+/// by construction. A stdin source is gone after the crash and cannot be
+/// resumed.
+fn resume_source(args: &Args, seed: u64, consumed: u64) -> Result<DeltaSource, CliError> {
+    let consumed = usize::try_from(consumed)
+        .map_err(|_| CliError::Usage("resume position overflows this platform".into()))?;
+    if let Some(city) = args.get("replay") {
+        let city = city.to_string();
+        let (model, window) = city_model(args, &city, seed)?;
+        let replay = TraceReplay::new(&model, window, 0);
+        return Ok(Box::new(replay.map(Ok).skip(consumed)));
+    }
+    match (
+        args.get("deltas"),
+        args.get_parsed::<usize>("synthetic", "integer")?,
+    ) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--deltas and --synthetic are mutually exclusive".into(),
+        )),
+        (None, None) => Err(CliError::Usage(
+            "need a delta source: --deltas FILE or --synthetic COUNT".into(),
+        )),
+        (Some("-"), None) => Err(CliError::Usage(
+            "--resume cannot re-read a stdin delta source; use --deltas FILE".into(),
+        )),
+        (Some(path), None) => {
+            let reader = BufReader::new(std::fs::File::open(path)?);
+            Ok(Box::new(read_ndjson(reader).skip(consumed)))
+        }
+        (None, Some(count)) => {
+            let graph_path = args.required("graph")?;
+            let flows_path = args.required("flows")?;
+            let graph = rap_graph::io::read_text(std::fs::File::open(graph_path)?)?;
+            let (specs, _) = read_flows(flows_path, false)?;
+            let node_count = graph.node_count() as u32;
+            let next_stable = specs.len() as u64;
+            let live: Vec<u64> = (0..next_stable).collect();
+            let drift = SyntheticDrift::new(node_count, live, next_stable, count, seed);
+            Ok(Box::new(drift.map(Ok).skip(consumed)))
+        }
+    }
+}
+
+/// Parses the durability flags into a [`DurabilityConfig`] (plus the
+/// resume request), rejecting dependent flags given without `--wal`.
+fn durability_config(args: &Args) -> Result<(Option<DurabilityConfig>, bool), CliError> {
+    let resume: bool = args.get_or("resume", "true/false", false)?;
+    let crash_after = args.get_parsed::<u64>("crash-after", "integer")?;
+    let Some(wal) = args.get("wal") else {
+        for (flag, present) in [
+            ("--snapshot", args.get("snapshot").is_some()),
+            ("--snapshot-every", args.get("snapshot-every").is_some()),
+            ("--fsync", args.get("fsync").is_some()),
+            ("--fsync-n", args.get("fsync-n").is_some()),
+            ("--resume", resume),
+            ("--crash-after", crash_after.is_some()),
+        ] {
+            if present {
+                return Err(CliError::Usage(format!("{flag} requires --wal")));
+            }
+        }
+        return Ok((None, false));
+    };
+    let fsync = match args.get("fsync").unwrap_or("every-n") {
+        "always" => FsyncPolicy::Always,
+        "never" => FsyncPolicy::Never,
+        "every-n" => FsyncPolicy::EveryN(args.get_or("fsync-n", "integer", 64)?),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown fsync policy `{other}` (expected always, never, or every-n)"
+            )))
+        }
+    };
+    let mut cfg = DurabilityConfig::wal_only(PathBuf::from(wal));
+    match args.get("snapshot") {
+        Some(snap) => {
+            let every: u64 = args.get_or("snapshot-every", "integer", 1_024)?;
+            cfg = cfg.with_snapshot(PathBuf::from(snap), every);
+        }
+        None => {
+            if args.get("snapshot-every").is_some() {
+                return Err(CliError::Usage(
+                    "--snapshot-every requires --snapshot".into(),
+                ));
+            }
+        }
+    }
+    cfg.fsync = fsync;
+    cfg.crash_after = crash_after;
+    Ok((Some(cfg), resume))
+}
+
+/// The journal for this invocation: a no-op without `--wal`, the full
+/// WAL + snapshot pipeline with it. An enum rather than a trait object
+/// because [`run_stream_with`] takes its journal as a generic parameter.
+enum CliJournal {
+    Off,
+    On(Box<Durability>),
+}
+
+impl Journal for CliJournal {
+    fn record(
+        &mut self,
+        scenario: &MutableScenario,
+        delta: &StreamDelta,
+    ) -> Result<(), StreamError> {
+        match self {
+            CliJournal::Off => Ok(()),
+            CliJournal::On(d) => d.record(scenario, delta),
+        }
+    }
+
+    fn committed(
+        &mut self,
+        scenario: &MutableScenario,
+        maintainer: &Maintainer,
+        progress: &StreamProgress,
+    ) -> Result<(), StreamError> {
+        match self {
+            CliJournal::Off => Ok(()),
+            CliJournal::On(d) => d.committed(scenario, maintainer, progress),
+        }
+    }
+
+    fn finish(
+        &mut self,
+        scenario: &MutableScenario,
+        maintainer: &Maintainer,
+        progress: &StreamProgress,
+    ) -> Result<(), StreamError> {
+        match self {
+            CliJournal::Off => Ok(()),
+            CliJournal::On(d) => d.finish(scenario, maintainer, progress),
+        }
+    }
+}
+
+/// Tees every delta the pipeline consumes to an NDJSON file
+/// (`--record-deltas`), turning an unrepeatable source (stdin, a synthetic
+/// generator whose parameters are lost) into a replayable log.
+struct RecordTee<I> {
+    inner: I,
+    out: std::io::LineWriter<std::fs::File>,
+}
+
+impl<I: Iterator<Item = Result<StreamDelta, StreamError>>> Iterator for RecordTee<I> {
+    type Item = Result<StreamDelta, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        if let Ok(delta) = &item {
+            let line = match serde_json::to_string(delta) {
+                Ok(line) => line,
+                Err(e) => {
+                    return Some(Err(StreamError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("--record-deltas serialization failed: {e}"),
+                    ))))
+                }
+            };
+            if let Err(e) = writeln!(self.out, "{line}") {
+                return Some(Err(StreamError::Io(e)));
+            }
+        }
+        Some(item)
+    }
+}
+
 /// Formats the closing human summary line.
 fn describe(summary: &StreamSummary) -> String {
     format!(
@@ -227,25 +446,99 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     };
 
     let route_threads = super::place::route_threads(args)?;
-    let session = match args.get("replay") {
-        Some(city) => {
-            let city = city.to_string();
-            replay_session(args, &city, seed, utility, d, route_threads)?
+    let (dur_cfg, resume) = durability_config(args)?;
+
+    // Resolve the scenario, the delta source (with any WAL replay
+    // prepended and already-consumed items skipped), the resume state, and
+    // the journal — three shapes depending on what survives on disk.
+    let (mut scenario, source, resume_state, mut journal) = if resume {
+        let dcfg = dur_cfg
+            .clone()
+            .expect("durability_config ties --resume to --wal");
+        match prepare_resume(dcfg, route_threads.max(1))? {
+            ResumePoint::Snapshot(setup) => {
+                // Warm resume: the snapshot is the scenario; only the
+                // source is rebuilt, and it skips everything the snapshot
+                // and WAL already cover.
+                let setup = *setup;
+                let rest = resume_source(args, seed, setup.consumed)?;
+                let source: DeltaSource = Box::new(setup.replay.into_iter().map(Ok).chain(rest));
+                (
+                    setup.scenario,
+                    source,
+                    Some(setup.resume),
+                    CliJournal::On(Box::new(setup.durability)),
+                )
+            }
+            ResumePoint::WalOnly(setup) => {
+                // Crash before the first rotation: rebuild from the
+                // original inputs, then replay the whole WAL through the
+                // normal pipeline.
+                let session = build_session(args, seed, utility, d, route_threads)?;
+                let consumed = usize::try_from(setup.consumed).map_err(|_| {
+                    CliError::Usage("resume position overflows this platform".into())
+                })?;
+                let rest = session.source.skip(consumed);
+                let source: DeltaSource = Box::new(setup.replay.into_iter().map(Ok).chain(rest));
+                (
+                    session.scenario,
+                    source,
+                    None,
+                    CliJournal::On(Box::new(setup.durability)),
+                )
+            }
+            ResumePoint::Fresh => {
+                let session = build_session(args, seed, utility, d, route_threads)?;
+                let dcfg = dur_cfg.expect("durability_config ties --resume to --wal");
+                let durability = Durability::start(dcfg).map_err(CliError::Stream)?;
+                (
+                    session.scenario,
+                    session.source,
+                    None,
+                    CliJournal::On(Box::new(durability)),
+                )
+            }
         }
-        None => file_session(args, seed, utility, d, route_threads)?,
+    } else {
+        let session = build_session(args, seed, utility, d, route_threads)?;
+        let journal = match dur_cfg {
+            Some(dcfg) => {
+                CliJournal::On(Box::new(Durability::start(dcfg).map_err(CliError::Stream)?))
+            }
+            None => CliJournal::Off,
+        };
+        (session.scenario, session.source, None, journal)
     };
-    let Session {
-        mut scenario,
-        source,
-    } = session;
+
+    let source: DeltaSource = match args.get("record-deltas") {
+        Some(path) => Box::new(RecordTee {
+            inner: source,
+            out: std::io::LineWriter::new(std::fs::File::create(path)?),
+        }),
+        None => source,
+    };
 
     let mut inline_events = Vec::new();
     let summary = match args.get("out") {
         Some(path) => {
             let mut sink = std::io::BufWriter::new(std::fs::File::create(path)?);
-            run_stream(&mut scenario, &cfg, source, &mut sink)?
+            run_stream_with(
+                &mut scenario,
+                &cfg,
+                source,
+                &mut sink,
+                &mut journal,
+                resume_state,
+            )?
         }
-        None => run_stream(&mut scenario, &cfg, source, &mut inline_events)?,
+        None => run_stream_with(
+            &mut scenario,
+            &cfg,
+            source,
+            &mut inline_events,
+            &mut journal,
+            resume_state,
+        )?,
     };
 
     let mut report = String::from_utf8(inline_events)
@@ -385,6 +678,139 @@ mod tests {
             run(&Args::parse(argv).unwrap()),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn durability_flags_require_a_wal() {
+        let (gp, fp) = fixture();
+        for extra in [
+            ["--snapshot", "s.snap"],
+            ["--resume", "true"],
+            ["--crash-after", "5"],
+            ["--fsync", "always"],
+        ] {
+            let mut argv = base_args(&gp, &fp);
+            argv.extend(["--synthetic".to_string(), "5".to_string()]);
+            argv.extend(extra.iter().map(ToString::to_string));
+            match run(&Args::parse(argv).unwrap()) {
+                Err(CliError::Usage(msg)) => assert!(msg.contains("--wal"), "{msg}"),
+                other => panic!("expected a usage error, got {other:?}"),
+            }
+        }
+        // Bogus fsync policy.
+        let mut argv = base_args(&gp, &fp);
+        argv.extend(
+            ["--synthetic", "5", "--wal", "w.wal", "--fsync", "sometimes"]
+                .iter()
+                .map(ToString::to_string),
+        );
+        assert!(matches!(
+            run(&Args::parse(argv).unwrap()),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn wal_run_resumes_to_the_identical_summary() {
+        let (gp, fp) = fixture();
+        let dir = std::env::temp_dir();
+        let wal = dir.join(format!("rap_cli_stream_{}.wal", std::process::id()));
+        let snap = dir.join(format!("rap_cli_stream_{}.snap", std::process::id()));
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(&snap).ok();
+
+        let durable_args = |gp: &std::path::Path, fp: &std::path::Path| {
+            let mut argv = base_args(gp, fp);
+            argv.extend(
+                [
+                    "--synthetic",
+                    "60",
+                    "--wal",
+                    wal.to_str().unwrap(),
+                    "--snapshot",
+                    snap.to_str().unwrap(),
+                    "--snapshot-every",
+                    "25",
+                    "--fsync",
+                    "never",
+                ]
+                .iter()
+                .map(ToString::to_string),
+            );
+            argv
+        };
+
+        let clean = run(&Args::parse(durable_args(&gp, &fp)).unwrap()).unwrap();
+        assert!(clean.contains("\"deltas_applied\": 60"), "{clean}");
+        // A clean finish rotates a final snapshot and truncates the WAL.
+        assert!(snap.exists());
+        assert_eq!(std::fs::metadata(&wal).unwrap().len(), 0);
+        let final_epoch = clean
+            .lines()
+            .find(|l| l.contains("\"final_epoch\""))
+            .unwrap()
+            .to_string();
+        let final_objective = clean
+            .lines()
+            .find(|l| l.contains("\"final_objective\""))
+            .unwrap()
+            .to_string();
+
+        // Resuming with the same arguments consumes no further deltas and
+        // reproduces the crashed-run bookkeeping bit-for-bit.
+        let mut argv = durable_args(&gp, &fp);
+        argv.extend(["--resume".to_string(), "true".to_string()]);
+        let resumed = run(&Args::parse(argv).unwrap()).unwrap();
+        assert!(resumed.contains("\"action\":\"resume\""), "{resumed}");
+        assert!(resumed.contains("\"deltas_applied\": 60"), "{resumed}");
+        assert!(
+            resumed.contains(&final_epoch),
+            "{resumed}\nvs {final_epoch}"
+        );
+        assert!(
+            resumed.contains(&final_objective),
+            "{resumed}\nvs {final_objective}"
+        );
+
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(&snap).ok();
+    }
+
+    #[test]
+    fn record_deltas_tees_a_replayable_log() {
+        let (gp, fp) = fixture();
+        let dir = std::env::temp_dir();
+        let rec = dir.join(format!("rap_cli_stream_{}.rec.ndjson", std::process::id()));
+        let mut argv = base_args(&gp, &fp);
+        argv.extend(
+            [
+                "--synthetic",
+                "30",
+                "--record-deltas",
+                rec.to_str().unwrap(),
+            ]
+            .iter()
+            .map(ToString::to_string),
+        );
+        let report = run(&Args::parse(argv).unwrap()).unwrap();
+        assert!(report.contains("stream done:"), "{report}");
+
+        let log = std::fs::read_to_string(&rec).unwrap();
+        assert_eq!(log.lines().count(), 30);
+
+        // The tee is itself a valid source: replaying it applies the same
+        // number of deltas.
+        let mut argv = base_args(&gp, &fp);
+        argv.extend(["--deltas".to_string(), rec.to_str().unwrap().to_string()]);
+        let replayed = run(&Args::parse(argv).unwrap()).unwrap();
+        let applied = |r: &str| {
+            r.lines()
+                .find(|l| l.contains("\"deltas_applied\""))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(applied(&report), applied(&replayed));
+        std::fs::remove_file(rec).ok();
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub enum CliError {
     /// Streaming pipeline failures (delta parsing, rejected deltas in
     /// strict mode, event-sink I/O).
     Stream(rap_stream::StreamError),
+    /// Snapshot encode/decode/verify failures (corruption, truncation,
+    /// version mismatch).
+    Snapshot(rap_core::SnapshotError),
     /// Filesystem failures.
     Io(std::io::Error),
 }
@@ -51,6 +54,7 @@ impl fmt::Display for CliError {
             CliError::Traffic(e) => write!(f, "{e}"),
             CliError::Placement(e) => write!(f, "{e}"),
             CliError::Stream(e) => write!(f, "{e}"),
+            CliError::Snapshot(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -100,6 +104,12 @@ impl From<rap_stream::StreamError> for CliError {
     }
 }
 
+impl From<rap_core::SnapshotError> for CliError {
+    fn from(e: rap_core::SnapshotError) -> Self {
+        CliError::Snapshot(e)
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 rap — roadside advertisement dissemination toolkit (ICDCS 2015 reproduction)
@@ -110,6 +120,7 @@ commands:
   figures    regenerate the paper's evaluation figures
   simulate   Manhattan-grid scenario with driver microsimulation
   stream     serve a placement over a stream of traffic deltas
+  snapshot   save, load, and verify checksummed scenario snapshots
 
 run `rap <command> --help` for command options.";
 
@@ -137,6 +148,7 @@ where
             "figures" => commands::figures::USAGE.to_string(),
             "simulate" => commands::simulate::USAGE.to_string(),
             "stream" => commands::stream::USAGE.to_string(),
+            "snapshot" => commands::snapshot::USAGE.to_string(),
             _ => USAGE.to_string(),
         });
     }
@@ -147,6 +159,7 @@ where
         "figures" => commands::figures::run(&parsed),
         "simulate" => commands::simulate::run(&parsed),
         "stream" => commands::stream::run(&parsed),
+        "snapshot" => commands::snapshot::run(&parsed),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),

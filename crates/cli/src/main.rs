@@ -1,9 +1,23 @@
 //! The `rap` binary: thin dispatch over `rap_cli::dispatch`.
 
+use std::io::Write;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match rap_cli::dispatch(args) {
-        Ok(output) => print!("{output}"),
+        Ok(output) => {
+            // Write without panicking when stdout is a pipe whose reader went
+            // away (e.g. `rap ... | head`): report on stderr and exit nonzero.
+            let mut stdout = std::io::stdout().lock();
+            if stdout
+                .write_all(output.as_bytes())
+                .and_then(|()| stdout.flush())
+                .is_err()
+            {
+                eprintln!("error: stdout closed before the report was written");
+                std::process::exit(1);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);

@@ -362,7 +362,7 @@ impl DetourTable {
 /// [`rap_graph::dijkstra::reverse_shortest_path_tree`] /
 /// [`rap_graph::dijkstra::shortest_path_tree`] runs, whichever worker
 /// computes them.
-fn shop_trees(
+pub(crate) fn shop_trees(
     graph: &RoadGraph,
     shops: &[NodeId],
     threads: usize,

@@ -82,7 +82,9 @@ pub mod placement;
 pub mod robustness;
 pub mod scenario;
 pub mod scheduling;
+pub mod snapshot;
 pub mod utility;
+pub mod wal;
 
 pub use algorithms::PlacementAlgorithm;
 pub use baselines::{MaxCardinality, MaxCustomers, MaxVehicles, Random};
@@ -92,7 +94,7 @@ pub use composite::{CompositeGreedy, MarginalGreedy};
 pub use detour::{DetourTable, FlowDetour};
 pub use error::PlacementError;
 pub use exhaustive::ExhaustiveOptimal;
-pub use faults::{FaultAction, FaultEvent, FaultPlan};
+pub use faults::{DiskFault, DiskFaultEvent, FaultAction, FaultEvent, FaultPlan};
 pub use greedy::GreedyCoverage;
 pub use inverted::{InvertedGainEngine, InvertedIndex, InvertedPooledGreedy};
 pub use lazy::LazyGreedy;
@@ -110,4 +112,13 @@ pub use robustness::{
 };
 pub use scenario::Scenario;
 pub use scheduling::{AdCampaign, Schedule, ScheduleGreedy};
+pub use snapshot::{
+    decode_snapshot, decode_snapshot_with_threads, encode_snapshot, read_snapshot_file, restore,
+    restore_with_threads, verify_snapshot, write_snapshot_atomic, Restored, SnapshotContents,
+    SnapshotError, SnapshotInfo,
+};
 pub use utility::{LinearUtility, SqrtUtility, ThresholdUtility, UtilityFunction, UtilityKind};
+pub use wal::{
+    encode_record, read_wal, replay, FsyncPolicy, ReplayReport, WalOp, WalRecord, WalScan, WalStop,
+    WalStopReason, WalWriter, MAX_RECORD_LEN,
+};

@@ -858,6 +858,291 @@ impl MutableScenario {
     pub fn utility_arc(&self) -> Arc<dyn UtilityFunction> {
         Arc::clone(&self.utility)
     }
+
+    /// Rebuilds a scenario from a snapshot plus the valid prefix of a
+    /// write-ahead log, replaying deltas recorded after the snapshot was
+    /// taken. See [`crate::snapshot::restore`] for the full contract.
+    ///
+    /// # Errors
+    ///
+    /// Any [`crate::snapshot::SnapshotError`] the snapshot decode raises; a
+    /// torn or corrupt WAL *suffix* is not an error (replay stops cleanly at
+    /// the first bad record).
+    pub fn restore(
+        snapshot: &[u8],
+        wal: &[u8],
+    ) -> Result<crate::snapshot::Restored, crate::snapshot::SnapshotError> {
+        crate::snapshot::restore(snapshot, wal)
+    }
+
+    /// The exact mutable state the snapshot codec serializes: every flow
+    /// (tombstones included, so epochs and compaction trigger points survive
+    /// a round trip), the base CSR, and the overlay rows flattened to CSR
+    /// form. Derived state — entry values, flow→location indexes, shop
+    /// trees, the routing workspace — is *not* part of it; `from_persisted`
+    /// recomputes all of it deterministically.
+    pub(crate) fn persisted_state(&self) -> PersistedState {
+        let flows = self
+            .flows
+            .iter()
+            .map(|st| PersistedFlow {
+                stable: st.stable,
+                origin: st.origin,
+                destination: st.destination,
+                volume: st.volume,
+                alpha: st.alpha,
+                live: st.live,
+                path_nodes: st.path.nodes().to_vec(),
+                path_length: st.path.length(),
+            })
+            .collect();
+        let mut overlay_offsets: Vec<u32> = Vec::with_capacity(self.overlay.len() + 1);
+        let mut overlay_entries: Vec<PersistedOverlayEntry> =
+            Vec::with_capacity(self.overlay_entries);
+        overlay_offsets.push(0);
+        for row in &self.overlay {
+            for oe in row {
+                overlay_entries.push(PersistedOverlayEntry {
+                    flow: oe.flow,
+                    position: oe.position,
+                    detour: oe.detour,
+                });
+            }
+            overlay_offsets.push(overlay_entries.len() as u32);
+        }
+        PersistedState {
+            epoch: self.epoch,
+            next_stable: self.next_stable,
+            compactions: self.compactions,
+            compact_ratio: self.compact_ratio,
+            flows,
+            offsets: self.offsets.clone(),
+            entries: self.entries.clone(),
+            overlay_offsets,
+            overlay_entries,
+        }
+    }
+
+    /// Reassembles a scenario from persisted state, validating every CSR and
+    /// flow invariant (the bytes came from disk) and recomputing all derived
+    /// state: entry values via the same `f(detour, α) · volume` expression
+    /// the incremental maintenance evaluates (so values are bit-identical to
+    /// the never-crashed scenario's), per-shop trees via the same Dijkstra
+    /// runs the constructor makes, and the flow→location indexes by scanning
+    /// the CSR arrays in their canonical order.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub(crate) fn from_persisted(
+        graph: RoadGraph,
+        shops: Vec<NodeId>,
+        utility: Arc<dyn UtilityFunction>,
+        threads: usize,
+        st: PersistedState,
+    ) -> Result<Self, String> {
+        let n = graph.node_count();
+        if shops.is_empty() {
+            return Err("shop list is empty".into());
+        }
+        for &s in &shops {
+            if !graph.contains_node(s) {
+                return Err(format!("shop {s} is outside the graph"));
+            }
+        }
+        check_csr(&st.offsets, n, st.entries.len(), "base")?;
+        check_csr(&st.overlay_offsets, n, st.overlay_entries.len(), "overlay")?;
+        if !(0.0..=1.0).contains(&st.compact_ratio) {
+            return Err(format!("compact ratio {} outside [0, 1]", st.compact_ratio));
+        }
+
+        // Flow table: tombstones keep their parameters (values are zeroed,
+        // never read), but every path must still be in-bounds.
+        let mut flows: Vec<FlowState> = Vec::with_capacity(st.flows.len());
+        let mut by_stable: HashMap<u64, u32> = HashMap::new();
+        for (i, pf) in st.flows.into_iter().enumerate() {
+            if pf.stable >= st.next_stable {
+                return Err(format!(
+                    "flow #{} stable id {} is not below next_stable {}",
+                    i, pf.stable, st.next_stable
+                ));
+            }
+            if pf.path_nodes.is_empty() {
+                return Err(format!("flow #{i} has an empty path"));
+            }
+            for &node in &pf.path_nodes {
+                if !graph.contains_node(node) {
+                    return Err(format!("flow #{i} path visits {node} outside the graph"));
+                }
+            }
+            if pf.path_nodes.first() != Some(&pf.origin)
+                || pf.path_nodes.last() != Some(&pf.destination)
+            {
+                return Err(format!("flow #{i} path does not span origin → destination"));
+            }
+            if pf.live {
+                if !pf.volume.is_finite() || pf.volume <= 0.0 {
+                    return Err(format!("flow #{} volume {} is invalid", i, pf.volume));
+                }
+                if !pf.alpha.is_finite() || !(0.0..=1.0).contains(&pf.alpha) {
+                    return Err(format!("flow #{} alpha {} is invalid", i, pf.alpha));
+                }
+                if by_stable.insert(pf.stable, i as u32).is_some() {
+                    return Err(format!("duplicate live stable id {}", pf.stable));
+                }
+            }
+            flows.push(FlowState {
+                stable: pf.stable,
+                origin: pf.origin,
+                destination: pf.destination,
+                volume: pf.volume,
+                alpha: pf.alpha,
+                path: Path::from_parts_unchecked(pf.path_nodes, pf.path_length),
+                live: pf.live,
+                base_locs: Vec::new(),
+                overlay_locs: Vec::new(),
+            });
+        }
+
+        // Base CSR: recompute values and flow→location indexes in flat
+        // order — exactly the order the constructor and `compact` assign.
+        let mut values: Vec<f64> = Vec::with_capacity(st.entries.len());
+        let mut dead_entries = 0usize;
+        for (i, e) in st.entries.iter().enumerate() {
+            let fs = flows
+                .get_mut(e.flow.index())
+                .ok_or_else(|| format!("base entry {} names unknown flow {}", i, e.flow))?;
+            fs.base_locs.push(i as u32);
+            if fs.live {
+                values.push(utility.probability(e.detour, fs.alpha) * fs.volume);
+            } else {
+                values.push(0.0);
+                dead_entries += 1;
+            }
+        }
+
+        // Overlay rows, rehydrated from CSR form with the same recomputation.
+        let mut overlay: Vec<Vec<OverlayEntry>> = vec![Vec::new(); n];
+        let mut overlay_count = 0usize;
+        for (v, row) in overlay.iter_mut().enumerate() {
+            let range = st.overlay_offsets[v] as usize..st.overlay_offsets[v + 1] as usize;
+            for oe in &st.overlay_entries[range] {
+                let fs = flows
+                    .get_mut(oe.flow as usize)
+                    .ok_or_else(|| format!("overlay entry names unknown flow {}", oe.flow))?;
+                fs.overlay_locs.push((v as u32, row.len() as u32));
+                let value = if fs.live {
+                    utility.probability(oe.detour, fs.alpha) * fs.volume
+                } else {
+                    dead_entries += 1;
+                    0.0
+                };
+                row.push(OverlayEntry {
+                    flow: oe.flow,
+                    position: oe.position,
+                    detour: oe.detour,
+                    value,
+                });
+                overlay_count += 1;
+            }
+        }
+
+        // Derived shop state: the same per-shop Dijkstra trees and
+        // columnwise to-shop minimum the constructor computes (exact integer
+        // distances, so bit-identical regardless of thread count).
+        let (rev_trees, fwd_trees) = crate::detour::shop_trees(&graph, &shops, threads);
+        let mut to_shop = vec![Distance::MAX; n];
+        for tree in &rev_trees {
+            for (slot, &d) in to_shop.iter_mut().zip(tree.distances()) {
+                *slot = (*slot).min(d);
+            }
+        }
+        let route_ws = SsspWorkspace::for_graph(&graph);
+        Ok(MutableScenario {
+            graph,
+            shops,
+            utility,
+            rev_trees,
+            fwd_trees,
+            to_shop,
+            route_ws,
+            flows,
+            by_stable,
+            next_stable: st.next_stable,
+            offsets: st.offsets,
+            entries: st.entries,
+            values,
+            overlay,
+            overlay_entries: overlay_count,
+            dead_entries,
+            compact_ratio: st.compact_ratio,
+            epoch: st.epoch,
+            compactions: st.compactions,
+            cache: None,
+        })
+    }
+}
+
+/// CSR shape validation shared by the base and overlay tables.
+fn check_csr(offsets: &[u32], n: usize, entries: usize, what: &str) -> Result<(), String> {
+    if offsets.len() != n + 1 {
+        return Err(format!(
+            "{} CSR has {} offsets for {} nodes",
+            what,
+            offsets.len(),
+            n
+        ));
+    }
+    if offsets[0] != 0 {
+        return Err(format!("{what} CSR does not start at 0"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(format!("{what} CSR offsets decrease"));
+    }
+    if offsets[n] as usize != entries {
+        return Err(format!(
+            "{} CSR ends at {} but holds {} entries",
+            what, offsets[n], entries
+        ));
+    }
+    Ok(())
+}
+
+/// One flow's persisted fields, as `crate::snapshot` serializes them.
+#[derive(Clone, Debug)]
+pub(crate) struct PersistedFlow {
+    pub stable: u64,
+    pub origin: NodeId,
+    pub destination: NodeId,
+    pub volume: f64,
+    pub alpha: f64,
+    pub live: bool,
+    pub path_nodes: Vec<NodeId>,
+    pub path_length: Distance,
+}
+
+/// One overlay entry in persisted (value-free) form.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PersistedOverlayEntry {
+    pub flow: u32,
+    pub position: u32,
+    pub detour: Distance,
+}
+
+/// The complete mutable state a snapshot round-trips; see
+/// [`MutableScenario::persisted_state`].
+#[derive(Clone, Debug)]
+pub(crate) struct PersistedState {
+    pub epoch: u64,
+    pub next_stable: u64,
+    pub compactions: u64,
+    pub compact_ratio: f64,
+    pub flows: Vec<PersistedFlow>,
+    pub offsets: Vec<u32>,
+    pub entries: Vec<FlowDetour>,
+    /// Overlay rows in CSR form: `overlay_offsets.len() == node_count + 1`.
+    pub overlay_offsets: Vec<u32>,
+    pub overlay_entries: Vec<PersistedOverlayEntry>,
 }
 
 fn check_alpha(alpha: f64) -> Result<(), DeltaError> {

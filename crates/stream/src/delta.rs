@@ -137,6 +137,17 @@ pub enum StreamError {
     Delta(DeltaError),
     /// Building the initial scenario failed.
     Scenario(rap_core::PlacementError),
+    /// Persisting durability state (write-ahead log or snapshot) failed.
+    Persist(rap_core::SnapshotError),
+    /// The event sink broke mid-stream (e.g. a closed pipe). Carries the
+    /// accounting at the moment of failure so the caller can still report a
+    /// closing summary before exiting nonzero.
+    Sink {
+        /// The sink failure.
+        error: std::io::Error,
+        /// Stream accounting up to the failed write.
+        summary: crate::service::StreamSummary,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -148,6 +159,15 @@ impl fmt::Display for StreamError {
             }
             StreamError::Delta(e) => write!(f, "delta rejected: {e}"),
             StreamError::Scenario(e) => write!(f, "scenario setup failed: {e}"),
+            StreamError::Persist(e) => write!(f, "durability failure: {e}"),
+            StreamError::Sink { error, summary } => write!(
+                f,
+                "event sink failed: {error} (shut down cleanly at {} applied, {} rejected, epoch {}, objective {:.1})",
+                summary.deltas_applied,
+                summary.deltas_rejected,
+                summary.final_epoch,
+                summary.final_objective,
+            ),
         }
     }
 }
@@ -158,8 +178,16 @@ impl std::error::Error for StreamError {
             StreamError::Io(e) => Some(e),
             StreamError::Delta(e) => Some(e),
             StreamError::Scenario(e) => Some(e),
+            StreamError::Persist(e) => Some(e),
+            StreamError::Sink { error, .. } => Some(error),
             StreamError::Parse { .. } => None,
         }
+    }
+}
+
+impl From<rap_core::SnapshotError> for StreamError {
+    fn from(e: rap_core::SnapshotError) -> Self {
+        StreamError::Persist(e)
     }
 }
 

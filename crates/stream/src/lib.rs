@@ -22,6 +22,12 @@
 //!    search when it drifts past a threshold, and escalates to a full
 //!    re-greedy on the persistent worker pool when swaps stall. Events out
 //!    ([`events`]) are NDJSON too, so the daemon's output is scriptable.
+//! 4. **Durability** ([`persist`]) — a write-ahead log for every source
+//!    item plus periodic checksummed snapshots (`rap_core::snapshot`),
+//!    rotated atomically; after a crash, [`prepare_resume`] restores the
+//!    scenario, maintainer, and counters and replays the WAL suffix
+//!    through the full pipeline, reproducing the uninterrupted trajectory
+//!    bit-identically.
 //!
 //! Everything is deterministic under a seed: the synthetic source, the
 //! maintainer's escalation engine, and the maintenance policy itself contain
@@ -30,11 +36,21 @@
 pub mod delta;
 pub mod events;
 pub mod maintain;
+pub mod persist;
 pub mod service;
 pub mod source;
 
 pub use delta::{StreamDelta, StreamError};
 pub use events::{MetricsEvent, PlacementEvent, RejectEvent};
-pub use maintain::{MaintainAction, Maintainer, MaintainerConfig, MaintainerStats};
-pub use service::{run_stream, StreamConfig, StreamSummary};
+pub use maintain::{
+    MaintainAction, Maintainer, MaintainerConfig, MaintainerState, MaintainerStats,
+};
+pub use persist::{
+    decode_resume_extra, encode_resume_extra, prepare_resume, Durability, DurabilityConfig,
+    ResumePoint, ResumeSetup, WalReplaySetup,
+};
+pub use service::{
+    run_stream, run_stream_with, Journal, NoJournal, ResumeState, StreamConfig, StreamProgress,
+    StreamSummary,
+};
 pub use source::{read_ndjson, SyntheticDrift, TraceReplay};

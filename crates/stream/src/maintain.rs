@@ -127,6 +127,25 @@ pub struct MaintainerStats {
     pub max_intervention_us: u64,
 }
 
+/// The maintainer's scalar state, extracted for persistence and restored
+/// on resume. Together with the serving [`Placement`] (persisted in the
+/// snapshot proper) this is everything a crashed stream needs to continue
+/// the exact maintenance trajectory: the inverted-index cache is *not*
+/// part of it, because index builds are deterministic — a resumed
+/// maintainer lazily rebuilds the index on its next escalation and gets a
+/// bit-identical structure.
+#[derive(Clone, Copy, Debug)]
+pub struct MaintainerState {
+    /// Objective at the last measurement.
+    pub objective: f64,
+    /// Certified fraction recorded at the last adoption.
+    pub baseline_certified: f64,
+    /// Applied deltas since the last staleness check.
+    pub deltas_since_check: u64,
+    /// Lifetime counters.
+    pub stats: MaintainerStats,
+}
+
 /// Keeps a placement serving while the scenario drifts underneath it.
 #[derive(Debug)]
 pub struct Maintainer {
@@ -169,6 +188,34 @@ impl Maintainer {
             deltas_since_check: 0,
             stats: MaintainerStats::default(),
         })
+    }
+
+    /// Reconstructs a maintainer mid-trajectory from a persisted placement
+    /// and [`MaintainerState`] — no initial solve runs. The index cache
+    /// starts empty and is rebuilt deterministically on the next
+    /// escalation.
+    pub fn resume(cfg: MaintainerConfig, placement: Placement, state: MaintainerState) -> Self {
+        let engine = InvertedPooledGreedy::with_threads(cfg.threads.max(1));
+        Maintainer {
+            cfg,
+            engine,
+            index_cache: None,
+            placement,
+            objective: state.objective,
+            baseline_certified: state.baseline_certified,
+            deltas_since_check: state.deltas_since_check,
+            stats: state.stats,
+        }
+    }
+
+    /// The scalar state to persist alongside the serving placement.
+    pub fn state(&self) -> MaintainerState {
+        MaintainerState {
+            objective: self.objective,
+            baseline_certified: self.baseline_certified,
+            deltas_since_check: self.deltas_since_check,
+            stats: self.stats,
+        }
     }
 
     /// Call after every applied delta; runs a staleness check every
