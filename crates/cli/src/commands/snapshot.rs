@@ -17,8 +17,9 @@ use super::place::{read_flows, route_threads};
 use crate::args::Args;
 use crate::CliError;
 use rap_core::{
-    decode_snapshot_with_threads, encode_snapshot, read_snapshot_file, verify_snapshot,
-    write_snapshot_atomic, FaultPlan, MutableScenario, UtilityKind,
+    decode_snapshot_with_threads, encode_snapshot, read_snapshot_file, section_directory,
+    snapshot_crc32, verify_snapshot, write_snapshot_atomic, FaultPlan, MutableScenario,
+    UtilityKind,
 };
 use rap_graph::{Distance, NodeId};
 use rap_traffic::FlowSet;
@@ -32,6 +33,7 @@ rap snapshot save   --file PATH --graph FILE --flows FILE --shop NODE
                     [--route-threads N]
 rap snapshot load   --file PATH [--route-threads N]
 rap snapshot verify --file PATH
+rap snapshot info   --file PATH
 
 save     build the scenario from its inputs and write a checksummed binary
          snapshot (atomically: temp file + fsync + rename)
@@ -39,6 +41,8 @@ load     decode the snapshot back into a live scenario, validating every
          checksum and structural invariant, and report its state
 verify   validate checksums and structure only (no scenario rebuild) and
          print the header facts
+info     print the RAPSNAP1 header, the per-section directory
+         (offset/length/CRC32), and counts
 All subcommands exit nonzero on corruption with a typed reason.";
 
 fn save(args: &Args, file: &Path) -> Result<String, CliError> {
@@ -136,6 +140,45 @@ fn verify(file: &Path) -> Result<String, CliError> {
     ))
 }
 
+fn info(file: &Path) -> Result<String, CliError> {
+    let bytes = read_snapshot_file(file, &FaultPlan::none())?;
+    let sections = section_directory(&bytes)?;
+    let header = verify_snapshot(&bytes)?;
+    let mut out = format!(
+        "snapshot: {} (magic RAPSNAP1, version {}, {} bytes, file crc32 0x{:08X})\n",
+        file.display(),
+        header.version,
+        header.file_len,
+        snapshot_crc32(&bytes),
+    );
+    let _ = writeln!(
+        out,
+        "  epoch {}  compactions {}  next stable id {}  source position {}",
+        header.epoch, header.compactions, header.next_stable, header.source_position,
+    );
+    let _ = writeln!(
+        out,
+        "  counts: {} nodes, {} edges, {} shop(s), {} flows, {} entries (+{} overlay), {} placement RAP(s), {} extra bytes",
+        header.node_count,
+        header.edge_count,
+        header.shop_count,
+        header.flow_count,
+        header.entry_count,
+        header.overlay_count,
+        header.placement_len,
+        header.extra_len,
+    );
+    out.push_str("  sections (id, name, offset, length, crc32):\n");
+    for s in &sections {
+        let _ = writeln!(
+            out,
+            "    {:>2}  {:<15} {:>10}  {:>10}  0x{:08X}",
+            s.id, s.name, s.offset, s.len, s.crc32
+        );
+    }
+    Ok(out)
+}
+
 /// Runs the command.
 ///
 /// # Errors
@@ -153,8 +196,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "save" => save(args, &file),
         "load" => load(args, &file),
         "verify" => verify(&file),
+        "info" => info(&file),
         other => Err(CliError::Usage(format!(
-            "unknown snapshot subcommand `{other}` (expected save, load, or verify)\n\n{USAGE}"
+            "unknown snapshot subcommand `{other}` (expected save, load, verify, or info)\n\n{USAGE}"
         ))),
     }
 }
@@ -220,6 +264,57 @@ mod tests {
         ));
         assert!(matches!(
             run(&Args::parse(load_argv).unwrap()),
+            Err(CliError::Snapshot(_))
+        ));
+
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(gp).ok();
+        std::fs::remove_file(fp).ok();
+    }
+
+    #[test]
+    fn info_prints_header_and_section_directory() {
+        let (gp, fp) = fixture();
+        let snap = std::env::temp_dir().join("rap_cli_snapshot_info_test.snap");
+        let argv = [
+            "save",
+            "--file",
+            snap.to_str().unwrap(),
+            "--graph",
+            gp.to_str().unwrap(),
+            "--flows",
+            fp.to_str().unwrap(),
+            "--shop",
+            "12",
+        ];
+        run(&Args::parse(argv).unwrap()).unwrap();
+
+        let info_argv = ["info", "--file", snap.to_str().unwrap()];
+        let report = run(&Args::parse(info_argv).unwrap()).unwrap();
+        assert!(report.contains("magic RAPSNAP1, version 1"), "{report}");
+        assert!(report.contains("25 nodes"), "{report}");
+        for section in [
+            "meta",
+            "points",
+            "edges",
+            "shops",
+            "flows",
+            "paths",
+            "entries",
+            "overlay",
+            "placement",
+            "extra",
+        ] {
+            assert!(report.contains(section), "missing `{section}` in {report}");
+        }
+
+        // A flipped byte surfaces as a typed snapshot error, not a report.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&snap, &bytes).unwrap();
+        assert!(matches!(
+            run(&Args::parse(info_argv).unwrap()),
             Err(CliError::Snapshot(_))
         ));
 

@@ -40,6 +40,8 @@ pub enum CliError {
     /// Snapshot encode/decode/verify failures (corruption, truncation,
     /// version mismatch).
     Snapshot(rap_core::SnapshotError),
+    /// Serving-layer failures (snapshot load/reload, bind).
+    Serve(rap_serve::ServeError),
     /// Filesystem failures.
     Io(std::io::Error),
 }
@@ -55,6 +57,7 @@ impl fmt::Display for CliError {
             CliError::Placement(e) => write!(f, "{e}"),
             CliError::Stream(e) => write!(f, "{e}"),
             CliError::Snapshot(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -110,6 +113,12 @@ impl From<rap_core::SnapshotError> for CliError {
     }
 }
 
+impl From<rap_serve::ServeError> for CliError {
+    fn from(e: rap_serve::ServeError) -> Self {
+        CliError::Serve(e)
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 rap — roadside advertisement dissemination toolkit (ICDCS 2015 reproduction)
@@ -120,7 +129,8 @@ commands:
   figures    regenerate the paper's evaluation figures
   simulate   Manhattan-grid scenario with driver microsimulation
   stream     serve a placement over a stream of traffic deltas
-  snapshot   save, load, and verify checksummed scenario snapshots
+  snapshot   save, load, verify, and inspect checksummed scenario snapshots
+  serve      serve a scenario snapshot over HTTP (healthz/evaluate/topk/reload)
 
 run `rap <command> --help` for command options.";
 
@@ -149,6 +159,7 @@ where
             "simulate" => commands::simulate::USAGE.to_string(),
             "stream" => commands::stream::USAGE.to_string(),
             "snapshot" => commands::snapshot::USAGE.to_string(),
+            "serve" => commands::serve::USAGE.to_string(),
             _ => USAGE.to_string(),
         });
     }
@@ -160,6 +171,7 @@ where
         "simulate" => commands::simulate::run(&parsed),
         "stream" => commands::stream::run(&parsed),
         "snapshot" => commands::snapshot::run(&parsed),
+        "serve" => commands::serve::run(&parsed),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),

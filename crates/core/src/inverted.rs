@@ -1234,9 +1234,27 @@ mod tests {
                 .place_with_faults(&s, k, &plan)
                 .expect("panic is recoverable");
             assert_eq!(p, seq, "dispatch {dispatch}");
-            assert_eq!(report.workers_respawned, 1, "dispatch {dispatch}");
+            // With a surviving worker the panic may be absorbed without an
+            // observed respawn: the other worker steals every range and the
+            // coordinator can finish the round before the Dead reply lands
+            // (scheduling-dependent — routine on a single-core host). The
+            // invariant is the placement, not the recovery path taken; the
+            // single-worker variant below pins the respawn deterministically.
+            assert!(report.workers_respawned <= 1, "dispatch {dispatch}");
             assert!(!report.degraded, "dispatch {dispatch}");
         }
+
+        // With one worker the round cannot complete without the full
+        // recovery cycle — Dead report, Reset replay, command re-send.
+        let mut alg = InvertedPooledGreedy::with_threads(1);
+        alg.config.local_batch_mass = 0;
+        let plan = FaultPlan::panic_once(0, 1);
+        let (p, report) = alg
+            .place_with_faults(&s, k, &plan)
+            .expect("panic is recoverable");
+        assert_eq!(p, seq);
+        assert_eq!(report.workers_respawned, 1);
+        assert!(!report.degraded);
     }
 
     #[test]

@@ -100,7 +100,7 @@ pub use inverted::{InvertedGainEngine, InvertedIndex, InvertedPooledGreedy};
 pub use lazy::LazyGreedy;
 pub use lazy_parallel::LazyParallelGreedy;
 pub use local_search::{GreedyWithSwaps, SwapSearch};
-pub use metrics::PlacementReport;
+pub use metrics::{LatencyHistogram, PlacementReport};
 pub use mutable::{DeltaError, DeltaOutcome, FlowDelta, MutableScenario};
 pub use parallel::{EngineReport, FallbackMode, ParallelGreedy, PoolConfig};
 pub use partial_enum::PartialEnumeration;
@@ -114,8 +114,8 @@ pub use scenario::Scenario;
 pub use scheduling::{AdCampaign, Schedule, ScheduleGreedy};
 pub use snapshot::{
     decode_snapshot, decode_snapshot_with_threads, encode_snapshot, read_snapshot_file, restore,
-    restore_with_threads, verify_snapshot, write_snapshot_atomic, Restored, SnapshotContents,
-    SnapshotError, SnapshotInfo,
+    restore_with_threads, section_directory, snapshot_crc32, verify_snapshot,
+    write_snapshot_atomic, Restored, SectionInfo, SnapshotContents, SnapshotError, SnapshotInfo,
 };
 pub use utility::{LinearUtility, SqrtUtility, ThresholdUtility, UtilityFunction, UtilityKind};
 pub use wal::{

@@ -1265,14 +1265,17 @@ mod tests {
     fn fault_matrix_keeps_bit_identical_placements() {
         // The acceptance matrix: panic, stall, dropped reply, poisoned pool
         // — every profile must leave the placement bit-identical to the
-        // sequential greedy. Panics and poison must additionally leave
-        // recovery evidence in the report; a stall or a lucky drop can be
-        // absorbed silently by range-stealing.
+        // sequential greedy. Poison must additionally leave recovery
+        // evidence in the report; a panic, a stall, or a lucky drop can be
+        // absorbed silently by range-stealing (the survivors finish the
+        // round before the Dead reply is read — scheduling-dependent,
+        // routine on a single-core host), so the panic evidence is pinned
+        // by a single-worker run where absorption is impossible.
         let s = small_grid_scenario(UtilityKind::Linear, Distance::from_feet(350));
         let k = 5;
         let seq = MarginalGreedy.place(&s, k, &mut rng());
         let profiles: Vec<(&str, bool, FaultPlan)> = vec![
-            ("panic", true, FaultPlan::panic_once(0, 0)),
+            ("panic", false, FaultPlan::panic_once(0, 0)),
             ("stall", false, FaultPlan::stall_once(1, 1, 150)),
             ("drop", false, FaultPlan::drop_reply_once(0, 2)),
             ("poison", true, FaultPlan::poison_pool(3)),
@@ -1288,6 +1291,15 @@ mod tests {
                 assert!(acted, "profile {name} recorded no recovery: {report:?}");
             }
         }
+
+        let (p, report) = ParallelGreedy::with_threads(1)
+            .place_with_faults(&s, k, &FaultPlan::panic_once(0, 0))
+            .expect("panic recoverable with one worker");
+        assert_eq!(p, seq, "single-worker panic");
+        assert!(
+            report.workers_respawned > 0,
+            "single-worker panic recorded no recovery: {report:?}"
+        );
     }
 
     #[test]

@@ -662,6 +662,59 @@ fn parse_sections(bytes: &[u8]) -> Result<Vec<(u32, std::ops::Range<usize>)>, Sn
     Ok(sections)
 }
 
+/// One row of a snapshot's section directory, as validated and returned by
+/// [`section_directory`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section id as stored in the directory.
+    pub id: u32,
+    /// Human-readable section name.
+    pub name: &'static str,
+    /// Byte offset of the section payload within the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC32 of the payload, as pinned by the directory.
+    pub crc32: u32,
+}
+
+/// Validates the header and every section checksum, then returns the full
+/// section directory (backs `rap snapshot info`). Performs exactly the
+/// structural half of [`verify_snapshot`] — no section decoding.
+///
+/// # Errors
+///
+/// Any header or checksum corruption, as the corresponding
+/// [`SnapshotError`] variant.
+pub fn section_directory(bytes: &[u8]) -> Result<Vec<SectionInfo>, SnapshotError> {
+    let sections = parse_sections(bytes)?;
+    Ok(sections
+        .iter()
+        .enumerate()
+        .map(|(i, (id, range))| {
+            // parse_sections validated the directory; re-read the pinned CRC
+            // from the entry it checked.
+            let at = 16 + 24 * i;
+            let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+            SectionInfo {
+                id: *id,
+                name: section_name(*id),
+                offset: range.start as u64,
+                len: range.len() as u64,
+                crc32: crc,
+            }
+        })
+        .collect())
+}
+
+/// CRC32 of an entire snapshot file: a cheap identity tag for "which bytes
+/// am I serving" (reported by the serving layer's `/metrics`). Not stored
+/// in the file itself — the per-section CRCs in the directory cover it.
+#[must_use]
+pub fn snapshot_crc32(bytes: &[u8]) -> u32 {
+    crc32(bytes)
+}
+
 struct Meta {
     epoch: u64,
     next_stable: u64,
@@ -1238,6 +1291,36 @@ mod tests {
         let loaded = decode_snapshot(&bytes).unwrap();
         let again = encode_snapshot(&loaded.scenario, loaded.placement.as_ref(), 7, b"x").unwrap();
         assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn section_directory_reports_every_section() {
+        let m = dirty_scenario();
+        let bytes = encode_snapshot(&m, None, 0, b"tail").unwrap();
+        let dir = section_directory(&bytes).unwrap();
+        assert_eq!(dir.len(), SECTION_IDS.len());
+        assert_eq!(dir[0].name, "meta");
+        assert_eq!(dir.last().unwrap().name, "extra");
+        assert_eq!(dir.last().unwrap().len, 4);
+        // Sections tile the file exactly: sequential, ending at EOF.
+        let header_len = 16 + 24 * SECTION_IDS.len() + 4;
+        let mut expected = header_len as u64;
+        for s in &dir {
+            assert_eq!(s.offset, expected, "section `{}`", s.name);
+            let range = s.offset as usize..(s.offset + s.len) as usize;
+            assert_eq!(s.crc32, crc32(&bytes[range]), "section `{}`", s.name);
+            expected += s.len;
+        }
+        assert_eq!(expected, bytes.len() as u64);
+        // Corruption in any section is caught before a directory is returned.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x80;
+        assert!(matches!(
+            section_directory(&bad),
+            Err(SnapshotError::SectionChecksum { section: "extra" })
+        ));
+        assert_ne!(snapshot_crc32(&bad), snapshot_crc32(&bytes));
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! CI smoke probe: hits a running `rap serve` instance and asserts the
+//! JSON contract of every endpoint, exiting nonzero on the first failure.
+//!
+//! ```text
+//! serve_probe ADDR [--min-epoch N] [--skip-reload]
+//! ```
+//!
+//! `--min-epoch` additionally asserts that `/healthz` reports at least
+//! that epoch (used to check a trigger-file reload happened);
+//! `--skip-reload` leaves `/reload` untested (for read-only checks).
+
+use rap_serve::Client;
+use serde::Value;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn fail(message: &str) -> ! {
+    eprintln!("serve_probe: FAIL: {message}");
+    std::process::exit(1);
+}
+
+fn check(condition: bool, message: &str) {
+    if !condition {
+        fail(message);
+    }
+}
+
+fn num(value: &Value, key: &str) -> f64 {
+    value[key]
+        .as_f64()
+        .unwrap_or_else(|| fail(&format!("missing numeric field `{key}` in {value:?}")))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        eprintln!("usage: serve_probe ADDR [--min-epoch N] [--skip-reload]");
+        std::process::exit(2);
+    };
+    let mut min_epoch = 0u64;
+    let mut skip_reload = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--min-epoch" => {
+                min_epoch = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--min-epoch needs an integer"));
+            }
+            "--skip-reload" => skip_reload = true,
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let addr: SocketAddr = addr
+        .parse()
+        .unwrap_or_else(|_| fail("ADDR must be ip:port"));
+
+    // The server may still be binding, and a just-touched trigger file may
+    // not have been consumed yet; retry until healthy AND at the required
+    // epoch, within one shared deadline.
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(15));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (health, epoch) = loop {
+        match client.get("/healthz") {
+            Ok(response) => {
+                let epoch = num(&response.body, "epoch") as u64;
+                if epoch >= min_epoch {
+                    break (response, epoch);
+                }
+                if Instant::now() >= deadline {
+                    fail(&format!("/healthz epoch {epoch} < required {min_epoch}"));
+                }
+                eprintln!("serve_probe: epoch {epoch} < {min_epoch}, waiting for reload");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("serve_probe: waiting for server ({e})");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) => fail(&format!("server never came up: {e}")),
+        }
+    };
+    check(health.status == 200, "/healthz status");
+    check(health.body["status"] == "ok", "/healthz body.status");
+    check(epoch >= 1, "/healthz epoch >= 1");
+
+    let metrics = client.get("/metrics").expect("/metrics");
+    check(metrics.status == 200, "/metrics status");
+    for key in ["epoch", "snapshot_crc", "requests", "live_flows"] {
+        let _ = num(&metrics.body, key);
+    }
+    check(
+        metrics.body["evaluate"].get("p99_us").is_some(),
+        "/metrics evaluate.p99_us",
+    );
+
+    let placement = client.get("/placement").expect("/placement");
+    check(placement.status == 200, "/placement status");
+
+    let topk = client.post("/topk", r#"{"k": 3}"#).expect("/topk");
+    check(topk.status == 200, "/topk status");
+    let raps = match &topk.body["raps"] {
+        Value::Seq(items) => items.clone(),
+        other => fail(&format!("/topk raps not an array: {other:?}")),
+    };
+    check(!raps.is_empty() && raps.len() <= 3, "/topk raps length");
+    let topk_objective = num(&topk.body, "objective");
+    check(topk_objective > 0.0, "/topk objective > 0");
+
+    // Evaluating the exact topk placement must reproduce its objective bit
+    // for bit (same scenario epoch, same arithmetic).
+    let rap_list: Vec<String> = raps
+        .iter()
+        .map(|r| format!("{:.0}", r.as_f64().expect("rap id")))
+        .collect();
+    let body = format!(r#"{{"raps": [{}]}}"#, rap_list.join(", "));
+    let evaluated = client.post("/evaluate", &body).expect("/evaluate");
+    check(evaluated.status == 200, "/evaluate status");
+    check(
+        num(&evaluated.body, "objective").to_bits() == topk_objective.to_bits(),
+        "/evaluate objective bit-identical to /topk",
+    );
+
+    // Malformed input must be 4xx, never a dropped connection.
+    let bad = client.post("/topk", "not json").expect("malformed /topk");
+    check(bad.status == 400, "malformed /topk is 400");
+    let missing = client.get("/no-such-route").expect("unknown route");
+    check(missing.status == 404, "unknown route is 404");
+    let wrong = client.get("/topk").expect("GET /topk");
+    check(wrong.status == 405, "GET /topk is 405");
+
+    if !skip_reload {
+        let reload = client.post("/reload", "").expect("/reload");
+        check(reload.status == 200, "/reload status");
+        check(reload.body["status"] == "reloaded", "/reload body.status");
+        let new_epoch = num(&reload.body, "epoch") as u64;
+        check(new_epoch == epoch + 1, "/reload bumps epoch by one");
+        let health = client.get("/healthz").expect("/healthz after reload");
+        check(
+            num(&health.body, "epoch") as u64 == new_epoch,
+            "/healthz reflects reloaded epoch",
+        );
+    }
+
+    println!("serve_probe: OK (epoch {epoch}, {} raps)", raps.len());
+}

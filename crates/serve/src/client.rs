@@ -1,0 +1,215 @@
+//! A minimal blocking HTTP/1.1 client for tests, benches, and the CI
+//! smoke probe. Keep-alive by default; when the server announces
+//! `Connection: close` (it does every [`max_keepalive_requests`] requests
+//! to rotate workers), the client transparently reconnects on the next
+//! call.
+//!
+//! [`max_keepalive_requests`]: crate::ServerConfig::max_keepalive_requests
+
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response: status code plus parsed JSON body.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Parsed body (`Value::Null` when empty).
+    pub body: Value,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/read/write failure.
+    Io(std::io::Error),
+    /// The server's response could not be parsed.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::BadResponse(m) => write!(f, "bad response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking keep-alive connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// Creates a client for `addr` (connects lazily on first request).
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            timeout: Duration::from_secs(10),
+            conn: None,
+        }
+    }
+
+    /// Overrides the per-read timeout (default 10s).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends a GET request.
+    ///
+    /// # Errors
+    ///
+    /// Connection or response-parse failures as [`ClientError`].
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, ClientError> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends a POST request with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Connection or response-parse failures as [`ClientError`].
+    pub fn post(&mut self, path: &str, body: &str) -> Result<ClientResponse, ClientError> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn connect(&mut self) -> Result<&mut BufReader<TcpStream>, ClientError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<ClientResponse, ClientError> {
+        // One retry on a fresh connection: a reused keep-alive socket may
+        // have been closed by the server's per-connection request cap
+        // after our previous response was read, which surfaces as an
+        // immediate write failure or EOF before any status byte.
+        let reused = self.conn.is_some();
+        match self.request_once(method, path, body) {
+            Err(ClientError::Io(_)) if reused => {
+                self.conn = None;
+                self.request_once(method, path, body)
+            }
+            other => other,
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<ClientResponse, ClientError> {
+        let reader = self.connect()?;
+        let payload = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: rap-serve\r\nContent-Length: {}\r\nContent-Type: application/json\r\n\r\n{payload}",
+            payload.len()
+        );
+        let outcome = (|| {
+            {
+                let mut stream = reader.get_ref();
+                stream.write_all(request.as_bytes())?;
+                stream.flush()?;
+            }
+            read_response(reader)
+        })();
+        match outcome {
+            Ok((response, keep_alive)) => {
+                if !keep_alive {
+                    self.conn = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ClientError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        )));
+    }
+    while line.ends_with(['\r', '\n']) {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(ClientResponse, bool), ClientError> {
+    let status_line = read_line(reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::BadResponse(format!("bad status line `{status_line}`")))?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        // Interim responses (100 Continue) carry no headers we care about.
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| ClientError::BadResponse(format!("bad content-length `{value}`")))?;
+        } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+            keep_alive = false;
+        }
+    }
+    if status == 100 {
+        // Skip the interim response and read the real one.
+        return read_response(reader);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = if body.is_empty() {
+        Value::Null
+    } else {
+        let text = std::str::from_utf8(&body)
+            .map_err(|_| ClientError::BadResponse("body is not UTF-8".into()))?;
+        serde_json::from_str(text)
+            .map_err(|e| ClientError::BadResponse(format!("body is not JSON: {e}")))?
+    };
+    Ok((ClientResponse { status, body }, keep_alive))
+}

@@ -1,0 +1,81 @@
+//! Process signal flags without an external crate: SIGTERM/SIGINT request
+//! shutdown, SIGHUP requests a snapshot reload. Handlers only store to
+//! atomics (async-signal-safe); the serve loop polls the flags.
+//!
+//! On non-Unix targets [`install`] is a no-op returning `false` — the
+//! serve loop then relies on Ctrl-C terminating the process directly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by SIGTERM/SIGINT.
+pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Set by SIGHUP.
+pub static RELOAD: AtomicBool = AtomicBool::new(false);
+
+/// True once a shutdown signal has arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Consumes a pending reload request, if any.
+pub fn take_reload_request() -> bool {
+    RELOAD.swap(false, Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{RELOAD, SHUTDOWN};
+    use std::sync::atomic::Ordering;
+
+    const SIGHUP: i32 = 1;
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // Every Rust binary on Unix links libc; declare the one entry point we
+    // need instead of pulling in a crate for it.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_shutdown(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_reload(_signum: i32) {
+        RELOAD.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() -> bool {
+        unsafe {
+            signal(SIGTERM, on_shutdown as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_shutdown as extern "C" fn(i32) as usize);
+            signal(SIGHUP, on_reload as extern "C" fn(i32) as usize);
+        }
+        true
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Installs the handlers; returns whether the platform supports them.
+pub fn install() -> bool {
+    imp::install()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_start_clear_and_reload_is_consumed() {
+        assert!(install());
+        RELOAD.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert!(take_reload_request());
+        assert!(!take_reload_request());
+    }
+}

@@ -1,0 +1,347 @@
+//! End-to-end serving tests: endpoint contracts, `/topk` bit-identity
+//! with the offline inverted-index greedy, and epoch-swap semantics under
+//! snapshot rotation (including corrupt replacements and concurrent
+//! in-flight readers).
+
+use rap_core::{
+    decode_snapshot, encode_snapshot, write_snapshot_atomic, FaultPlan, InvertedGainEngine,
+    InvertedIndex, MutableScenario, Placement, UtilityKind,
+};
+use rap_graph::{Distance, GridGraph, NodeId};
+use rap_serve::{serve, Client, ServeError, ServeState, ServerConfig};
+use rap_traffic::{FlowSet, FlowSpec};
+use serde::Value;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic 6x6 scenario; `volume_scale` distinguishes snapshot
+/// "generations" so tests can observe which epoch served a request.
+fn scenario(volume_scale: f64) -> MutableScenario {
+    let grid = GridGraph::new(6, 6, Distance::from_feet(400));
+    let specs: Vec<FlowSpec> = [
+        (0u32, 35u32, 900.0),
+        (5, 30, 700.0),
+        (2, 33, 500.0),
+        (30, 5, 300.0),
+    ]
+    .iter()
+    .map(|&(origin, destination, volume)| {
+        FlowSpec::new(
+            NodeId::new(origin),
+            NodeId::new(destination),
+            volume * volume_scale,
+        )
+        .unwrap()
+    })
+    .collect();
+    let flows = FlowSet::route(grid.graph(), specs).unwrap();
+    MutableScenario::new_with_threads(
+        grid.graph().clone(),
+        flows,
+        vec![grid.center()],
+        UtilityKind::Linear.instantiate(Distance::from_feet(2_500)),
+        1,
+    )
+    .unwrap()
+}
+
+fn snapshot_bytes(volume_scale: f64, placement: Option<&Placement>) -> Vec<u8> {
+    encode_snapshot(&scenario(volume_scale), placement, 0, &[]).unwrap()
+}
+
+fn temp_snapshot(name: &str, bytes: &[u8]) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("rap_serve_test_{name}_{}.snap", std::process::id()));
+    write_snapshot_atomic(&path, bytes, &FaultPlan::none()).unwrap();
+    path
+}
+
+fn start(path: &std::path::Path, workers: usize) -> (rap_serve::ServerHandle, Client) {
+    let state = Arc::new(ServeState::from_snapshot_file(path, 1).unwrap());
+    let handle = serve(
+        state,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let client = Client::new(handle.addr()).with_timeout(Duration::from_secs(20));
+    (handle, client)
+}
+
+fn as_u64(value: &Value) -> u64 {
+    value.as_f64().expect("numeric field") as u64
+}
+
+#[test]
+fn endpoint_contracts_end_to_end() {
+    let placement = Placement::new(vec![NodeId::new(14), NodeId::new(21)]);
+    let bytes = snapshot_bytes(1.0, Some(&placement));
+    let path = temp_snapshot("contracts", &bytes);
+    let (handle, mut client) = start(&path, 2);
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body["status"], "ok");
+    assert_eq!(as_u64(&health.body["epoch"]), 1);
+    assert_eq!(as_u64(&health.body["live_flows"]), 4);
+
+    let recorded = client.get("/placement").unwrap();
+    assert_eq!(recorded.status, 200);
+    let raps: Vec<u64> = match &recorded.body["raps"] {
+        Value::Seq(items) => items.iter().map(as_u64).collect(),
+        other => panic!("raps not an array: {other:?}"),
+    };
+    assert_eq!(raps, vec![14, 21]);
+    assert!(recorded.body["objective"].as_f64().unwrap() > 0.0);
+
+    let evaluated = client
+        .post("/evaluate", r#"{"raps": [14, 21, 14]}"#)
+        .unwrap();
+    assert_eq!(evaluated.status, 200);
+    // Duplicates collapse (Placement dedups); objective matches /placement.
+    assert_eq!(
+        evaluated.body["objective"].as_f64().unwrap().to_bits(),
+        recorded.body["objective"].as_f64().unwrap().to_bits()
+    );
+    assert_eq!(as_u64(&evaluated.body["total_flows"]), 4);
+
+    // Validation: out-of-range node is a 400 with a reason, not a panic.
+    let rejected = client.post("/evaluate", r#"{"raps": [9999]}"#).unwrap();
+    assert_eq!(rejected.status, 400);
+    assert!(rejected.body["error"]
+        .as_str()
+        .unwrap()
+        .contains("out of range"));
+
+    let rejected = client.post("/topk", r#"{"k": 10000}"#).unwrap();
+    assert_eq!(rejected.status, 400);
+
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.get("/evaluate").unwrap().status, 405);
+    assert_eq!(client.post("/healthz", "{}").unwrap().status, 405);
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(as_u64(&metrics.body["requests"]) >= 8);
+    // Two 400s, one 404, two 405s so far.
+    assert_eq!(as_u64(&metrics.body["errors_4xx"]), 5);
+    assert_eq!(as_u64(&metrics.body["worker_respawns"]), 0);
+    assert!(as_u64(&metrics.body["snapshot_crc"]) != 0);
+    assert!(as_u64(&metrics.body["evaluate"]["count"]) >= 2);
+
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn topk_is_bit_identical_to_offline_engine() {
+    let bytes = snapshot_bytes(1.0, None);
+    let path = temp_snapshot("topk", &bytes);
+
+    // Offline reference: same snapshot, same index, same engine.
+    let mut offline = decode_snapshot(&bytes).unwrap().scenario;
+    let frozen = offline.snapshot();
+    let index = InvertedIndex::build(&frozen);
+    let (expected, _report) = InvertedGainEngine.place_with_index(&frozen, &index, 4);
+    let expected_ids: Vec<u64> = expected.raps().iter().map(|r| u64::from(r.raw())).collect();
+    let expected_objective = frozen.evaluate(&expected);
+
+    let (handle, mut client) = start(&path, 2);
+    let response = client.post("/topk", r#"{"k": 4}"#).unwrap();
+    assert_eq!(response.status, 200);
+    let served: Vec<u64> = match &response.body["raps"] {
+        Value::Seq(items) => items.iter().map(as_u64).collect(),
+        other => panic!("raps not an array: {other:?}"),
+    };
+    assert_eq!(
+        served, expected_ids,
+        "placement must match offline greedy exactly"
+    );
+    assert_eq!(
+        response.body["objective"].as_f64().unwrap().to_bits(),
+        expected_objective.to_bits(),
+        "objective must be bit-identical to the offline engine"
+    );
+    assert!(as_u64(&response.body["gain_evals"]) > 0);
+
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn old_epoch_readers_survive_rotation_and_reload() {
+    let bytes_v1 = snapshot_bytes(1.0, None);
+    let path = temp_snapshot("rotate", &bytes_v1);
+    let state = ServeState::from_snapshot_file(&path, 1).unwrap();
+
+    let probe = Placement::new(vec![NodeId::new(14), NodeId::new(22)]);
+    let old_epoch = state.current();
+    let old_objective = old_epoch.scenario.evaluate(&probe);
+    assert_eq!(old_epoch.epoch, 1);
+
+    // Rotate the file on disk (atomic temp+fsync+rename) and reload.
+    let bytes_v2 = snapshot_bytes(3.0, None);
+    write_snapshot_atomic(&path, &bytes_v2, &FaultPlan::none()).unwrap();
+    assert_eq!(state.reload().unwrap(), (1, 2));
+
+    let new_epoch = state.current();
+    assert_eq!(new_epoch.epoch, 2);
+    let new_objective = new_epoch.scenario.evaluate(&probe);
+    assert!(
+        (new_objective - 3.0 * old_objective).abs() < 1e-6,
+        "tripled volumes must triple the objective ({new_objective} vs {old_objective})"
+    );
+
+    // The reader that pinned epoch 1 before the rotation still sees its
+    // original scenario, bit for bit.
+    assert_eq!(old_epoch.epoch, 1);
+    assert_eq!(
+        old_epoch.scenario.evaluate(&probe).to_bits(),
+        old_objective.to_bits()
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_replacement_is_rejected_and_old_epoch_keeps_serving() {
+    let bytes = snapshot_bytes(1.0, None);
+    let path = temp_snapshot("corrupt", &bytes);
+    let (handle, mut client) = start(&path, 2);
+
+    let before = client.get("/healthz").unwrap();
+    assert_eq!(as_u64(&before.body["epoch"]), 1);
+
+    // A good reload works and bumps the epoch.
+    let reloaded = client.post("/reload", "").unwrap();
+    assert_eq!(reloaded.status, 200);
+    assert_eq!(as_u64(&reloaded.body["epoch"]), 2);
+
+    // Torn write: truncate the file mid-section. The reload must be
+    // rejected by the checksums and epoch 2 keeps serving.
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    let rejected = client.post("/reload", "").unwrap();
+    assert_eq!(rejected.status, 500);
+    assert!(rejected.body["error"]
+        .as_str()
+        .unwrap()
+        .contains("epoch 2 retained"));
+
+    // Bit flip inside a section: same rejection path.
+    let mut flipped = bytes.clone();
+    let at = flipped.len() - 10;
+    flipped[at] ^= 0xFF;
+    std::fs::write(&path, &flipped).unwrap();
+    assert_eq!(client.post("/reload", "").unwrap().status, 500);
+
+    let after = client.get("/healthz").unwrap();
+    assert_eq!(after.status, 200);
+    assert_eq!(as_u64(&after.body["epoch"]), 2);
+    assert!(client.post("/topk", r#"{"k": 2}"#).unwrap().status == 200);
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(as_u64(&metrics.body["reloads_ok"]), 1);
+    assert_eq!(as_u64(&metrics.body["reloads_failed"]), 2);
+
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn reload_under_concurrent_load_drops_nothing() {
+    let bytes_v1 = snapshot_bytes(1.0, None);
+    let bytes_v2 = snapshot_bytes(3.0, None);
+    let path = temp_snapshot("concurrent", &bytes_v1);
+    let (handle, mut reload_client) = start(&path, 3);
+    let addr = handle.addr();
+
+    // Both generations' expected objectives for the probe placement.
+    let probe = r#"{"raps": [14, 22]}"#;
+    let objective_of = |bytes: &[u8]| {
+        let mut m = decode_snapshot(bytes).unwrap().scenario;
+        let frozen = m.snapshot();
+        frozen.evaluate(&Placement::new(vec![NodeId::new(14), NodeId::new(22)]))
+    };
+    let expected = [
+        objective_of(&bytes_v1).to_bits(),
+        objective_of(&bytes_v2).to_bits(),
+    ];
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammers: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr).with_timeout(Duration::from_secs(20));
+                let mut served = 0u64;
+                let mut last_epoch = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let response = client.post("/evaluate", probe).expect("in-flight request");
+                    assert_eq!(response.status, 200, "no request may fail during reloads");
+                    let bits = response.body["objective"].as_f64().unwrap().to_bits();
+                    assert!(
+                        expected.contains(&bits),
+                        "objective must belong to exactly one epoch"
+                    );
+                    let epoch = response.body["epoch"].as_f64().unwrap() as u64;
+                    assert!(epoch >= last_epoch, "epochs must be monotonic per client");
+                    last_epoch = epoch;
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Rotate between the two generations under load.
+    let mut reloads = 0u64;
+    for round in 0..8 {
+        let bytes = if round % 2 == 0 { &bytes_v2 } else { &bytes_v1 };
+        write_snapshot_atomic(&path, bytes, &FaultPlan::none()).unwrap();
+        let response = reload_client.post("/reload", "").unwrap();
+        assert_eq!(response.status, 200);
+        reloads += 1;
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let served: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(served > 0, "hammer threads must have exercised the swap");
+    assert_eq!(reloads, 8);
+
+    let health = reload_client.get("/healthz").unwrap();
+    assert_eq!(as_u64(&health.body["epoch"]), 1 + reloads);
+
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn live_attached_state_serves_but_rejects_reload() {
+    let state = Arc::new(ServeState::from_scenario(scenario(1.0), None));
+    assert!(matches!(state.reload(), Err(ServeError::NoSnapshotPath)));
+
+    let handle = serve(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::new(handle.addr()).with_timeout(Duration::from_secs(20));
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    let response = client.post("/reload", "").unwrap();
+    assert_eq!(response.status, 409);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_joins() {
+    let bytes = snapshot_bytes(1.0, None);
+    let path = temp_snapshot("shutdown", &bytes);
+    let (handle, mut client) = start(&path, 2);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    handle.shutdown(); // joins every worker; must not hang or panic
+    assert!(
+        client.get("/healthz").is_err(),
+        "server must stop accepting"
+    );
+    std::fs::remove_file(&path).ok();
+}
