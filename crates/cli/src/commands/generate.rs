@@ -8,9 +8,9 @@ use rap_trace::{
 
 /// Options accepted by `rap generate`.
 pub const USAGE: &str = "\
-rap generate --city <dublin|seattle> [--seed N] [--journeys N]
+rap generate --city <dublin|seattle|metro> [--seed N] [--journeys N]
              [--out-graph FILE] [--out-flows FILE]
-             [--in-trace FILE] [--lenient true]
+             [--in-trace FILE] [--lenient true] [--scale smoke|full]
 
 Generates a synthetic city (street network + simulated bus trace +
 recovered flows) and writes:
@@ -21,6 +21,10 @@ recovered flows) and writes:
                 network, and report the recovered flows
   --lenient     quarantine malformed trace rows (reported with line
                 numbers) instead of aborting on the first one
+The metro city is the 1M-intersection routing-scale instance; it skips
+the trace pipeline and emits demand specs directly. --scale smoke
+(default) generates the CI-sized variant, --scale full the 1M-node /
+500k-flow instance. --flows N overrides the spec count.
 Prints a model summary either way.";
 
 /// Runs the command; returns the human-readable report.
@@ -33,6 +37,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let seed: u64 = args.get_or("seed", "integer", 2015)?;
     let journeys: usize = args.get_or("journeys", "integer", 0)?;
 
+    if city_name == "metro" {
+        return run_metro(args, seed);
+    }
     let mut params = match city_name {
         "dublin" => city::CityParams::dublin(),
         "seattle" => city::CityParams::seattle(),
@@ -127,6 +134,54 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// The `--city metro` arm: direct demand generation, no trace pipeline.
+fn run_metro(args: &Args, seed: u64) -> Result<String, CliError> {
+    let scale = args.get("scale").unwrap_or("smoke");
+    let mut params = match scale {
+        "smoke" => rap_trace::MetroParams::smoke(),
+        "full" => rap_trace::MetroParams::metro(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown metro scale `{other}` (expected smoke or full)"
+            )))
+        }
+    };
+    let flows: usize = args.get_or("flows", "integer", 0)?;
+    if flows > 0 {
+        params.flows = flows;
+    }
+    let model = rap_trace::metro(params, seed);
+    let mut report = format!(
+        "metro ({scale}): {} intersections, {} streets, {} demand specs, \
+         {} shops, {} ft tile cell\n",
+        model.graph().node_count(),
+        model.graph().edge_count(),
+        model.specs().len(),
+        model.shops().len(),
+        model.tile_cell(),
+    );
+    if let Some(path) = args.get("out-graph") {
+        let mut file = std::fs::File::create(path)?;
+        rap_graph::io::write_text(model.graph(), &mut file)?;
+        report.push_str(&format!("graph written to {path}\n"));
+    }
+    if let Some(path) = args.get("out-flows") {
+        let mut out = String::from("origin,destination,volume,alpha\n");
+        for s in model.specs() {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                s.origin().raw(),
+                s.destination().raw(),
+                s.volume(),
+                s.attractiveness()
+            ));
+        }
+        std::fs::write(path, out)?;
+        report.push_str(&format!("flows written to {path}\n"));
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +254,34 @@ mod tests {
             "{report}"
         );
         std::fs::remove_file(tp).ok();
+    }
+
+    #[test]
+    fn generates_metro_summary_and_flows() {
+        let dir = std::env::temp_dir();
+        let f = dir.join("rap_cli_metro_flows.csv");
+        let args = Args::parse([
+            "--city",
+            "metro",
+            "--flows",
+            "50",
+            "--out-flows",
+            f.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("metro (smoke)"), "{report}");
+        assert!(report.contains("50 demand specs"), "{report}");
+        let flows = std::fs::read_to_string(&f).unwrap();
+        assert!(flows.starts_with("origin,destination,volume,alpha"));
+        assert_eq!(flows.lines().count(), 51);
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn metro_rejects_unknown_scale() {
+        let args = Args::parse(["--city", "metro", "--scale", "galactic"]).unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use crate::error::PlacementError;
 use rap_graph::dijkstra::{Direction, ShortestPathTree};
 use rap_graph::sssp::SsspWorkspace;
+use rap_graph::tiles::TileGrid;
 use rap_graph::{Distance, NodeId, RoadGraph};
 use rap_traffic::{parallel, FlowId, FlowSet};
 
@@ -97,7 +98,7 @@ impl DetourTable {
         flows: &FlowSet,
         shops: &[NodeId],
     ) -> Result<Self, PlacementError> {
-        Ok(Self::build_with_trees(graph, flows, shops, 1)?.0)
+        Ok(Self::build_with_trees(graph, flows, shops, 1, None)?.0)
     }
 
     /// [`DetourTable::build`] with the per-shop tree runs fanned across
@@ -117,7 +118,41 @@ impl DetourTable {
         shops: &[NodeId],
         threads: usize,
     ) -> Result<Self, PlacementError> {
-        Ok(Self::build_with_trees(graph, flows, shops, threads)?.0)
+        Ok(Self::build_with_trees(graph, flows, shops, threads, None)?.0)
+    }
+
+    /// [`DetourTable::build_threaded`] with the CSR fill walking
+    /// **tile-aligned** node ranges instead of arbitrary mass-balanced ones:
+    /// each worker fills whole spatial cells, so its resident working set is
+    /// one tile's flows and adjacency rather than a random slice of the
+    /// city. Falls back to the untiled shard computation when the grid's
+    /// node ids are not tile-clustered ([`TileGrid::id_contiguous`]).
+    ///
+    /// Output is bit-identical to [`DetourTable::build`]: shards are
+    /// contiguous id ranges merged in order either way.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DetourTable::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` was built for a graph with a different node count.
+    pub fn build_tiled(
+        graph: &RoadGraph,
+        flows: &FlowSet,
+        shops: &[NodeId],
+        threads: usize,
+        tiles: &TileGrid,
+    ) -> Result<Self, PlacementError> {
+        assert_eq!(
+            tiles.node_count(),
+            graph.node_count(),
+            "tile grid built for a {}-node graph used with a {}-node graph",
+            tiles.node_count(),
+            graph.node_count()
+        );
+        Ok(Self::build_with_trees(graph, flows, shops, threads, Some(tiles))?.0)
     }
 
     /// [`DetourTable::build`], additionally returning the per-shop reverse
@@ -130,6 +165,7 @@ impl DetourTable {
         flows: &FlowSet,
         shops: &[NodeId],
         threads: usize,
+        tiles: Option<&TileGrid>,
     ) -> Result<(Self, Vec<ShortestPathTree>, Vec<ShortestPathTree>), PlacementError> {
         if shops.is_empty() {
             return Err(PlacementError::NoShops);
@@ -211,12 +247,13 @@ impl DetourTable {
             vec![fill(0, n)]
         } else {
             // Contiguous node ranges balanced by visit mass, each filled
-            // privately and merged in order.
-            let shards = crate::parallel::mass_chunks(
-                n,
-                |v| flows.visits_at(NodeId::new(v as u32)).len(),
-                workers,
-            );
+            // privately and merged in order. With a tile grid over
+            // tile-clustered ids the ranges additionally align to tile
+            // boundaries, so each worker walks whole spatial cells.
+            let mass = |v: usize| flows.visits_at(NodeId::new(v as u32)).len();
+            let shards = tiles
+                .and_then(|t| t.shard_ranges(workers, mass))
+                .unwrap_or_else(|| crate::parallel::mass_chunks(n, mass, workers));
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .iter()
@@ -562,6 +599,52 @@ mod tests {
                 assert_eq!(par.shop_distance(node), seq.shop_distance(node));
             }
         }
+    }
+
+    #[test]
+    fn tiled_build_matches_sequential_exactly() {
+        // 6x6 grid: square tiles on a row-major grid are not id-contiguous,
+        // so this also exercises the documented fallback; a single-tile grid
+        // exercises the aligned path.
+        let grid = GridGraph::new(6, 6, Distance::from_feet(10));
+        let g = grid.graph();
+        let flows = FlowSet::route(
+            g,
+            vec![
+                FlowSpec::new(NodeId::new(0), NodeId::new(35), 10.0).unwrap(),
+                FlowSpec::new(NodeId::new(30), NodeId::new(5), 4.0).unwrap(),
+                FlowSpec::new(NodeId::new(14), NodeId::new(21), 2.5).unwrap(),
+            ],
+        )
+        .unwrap();
+        let shops = [NodeId::new(14), NodeId::new(0)];
+        let seq = DetourTable::build(g, &flows, &shops).unwrap();
+        for target in [9, 1_000] {
+            let tiles = rap_graph::tiles::TileGrid::build(g, target);
+            for threads in [1, 2, 4] {
+                let tiled = DetourTable::build_tiled(g, &flows, &shops, threads, &tiles).unwrap();
+                assert_eq!(
+                    tiled.entries(),
+                    seq.entries(),
+                    "target={target} threads={threads}"
+                );
+                for v in 0..seq.node_count() {
+                    let node = NodeId::new(v as u32);
+                    assert_eq!(tiled.entry_range(node), seq.entry_range(node));
+                    assert_eq!(tiled.shop_distance(node), seq.shop_distance(node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile grid built for")]
+    fn tiled_build_rejects_mismatched_grid() {
+        let small = GridGraph::new(3, 3, Distance::from_feet(10));
+        let big = GridGraph::new(5, 5, Distance::from_feet(10));
+        let tiles = rap_graph::tiles::TileGrid::build(small.graph(), 4);
+        let flows = FlowSet::route(big.graph(), vec![]).unwrap();
+        let _ = DetourTable::build_tiled(big.graph(), &flows, &[NodeId::new(0)], 2, &tiles);
     }
 
     #[test]

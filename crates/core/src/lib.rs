@@ -63,6 +63,7 @@ pub mod baselines;
 pub mod bounds;
 pub mod budgeted;
 pub mod composite;
+pub mod construction;
 pub mod detour;
 pub mod error;
 pub mod exhaustive;
@@ -91,6 +92,7 @@ pub use baselines::{MaxCardinality, MaxCustomers, MaxVehicles, Random};
 pub use bounds::{certified_fraction, greedy_upper_bound, singleton_upper_bound, upper_bound};
 pub use budgeted::{BudgetedGreedy, SiteCosts};
 pub use composite::{CompositeGreedy, MarginalGreedy};
+pub use construction::{build_scenario, BuildMode, BuildOptions, BuildReport};
 pub use detour::{DetourTable, FlowDetour};
 pub use error::PlacementError;
 pub use exhaustive::ExhaustiveOptimal;

@@ -326,7 +326,7 @@ impl MutableScenario {
         threads: usize,
     ) -> Result<Self, PlacementError> {
         let (table, rev_trees, fwd_trees) =
-            DetourTable::build_with_trees(&graph, &flows, &shops, threads)?;
+            DetourTable::build_with_trees(&graph, &flows, &shops, threads, None)?;
         let (offsets, entries, to_shop) = table.into_raw_parts();
         let mut states: Vec<FlowState> = flows
             .iter()

@@ -291,6 +291,39 @@ impl GraphBuilder {
         Ok(id)
     }
 
+    /// Adds an edge skipping only the zero-length check, so property tests
+    /// can probe the shortest-path kernels with the zero-length edges the
+    /// public API refuses to construct. Bounds and self-loop checks still
+    /// apply. Test-only; not part of the supported API.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if either endpoint has not been added.
+    /// * [`GraphError::SelfLoop`] if `src == dst`.
+    #[doc(hidden)]
+    pub fn add_edge_allow_zero(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        length: Distance,
+    ) -> Result<EdgeId, GraphError> {
+        let n = self.points.len();
+        for node in [src, dst] {
+            if node.index() >= n {
+                return Err(GraphError::NodeOutOfBounds {
+                    node,
+                    node_count: n,
+                });
+            }
+        }
+        if src == dst {
+            return Err(GraphError::SelfLoop { node: src });
+        }
+        let id = EdgeId::new(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, length });
+        Ok(id)
+    }
+
     /// Adds a two-way street as a pair of opposite directed edges and returns
     /// both ids (`src→dst` first).
     ///

@@ -13,7 +13,18 @@
 //!
 //! Landmarks are chosen by farthest-point selection, which puts them on the
 //! periphery where the bounds are tight. The map-matcher and CLI use this
-//! for repeated point-to-point queries on one city.
+//! for repeated point-to-point queries on one city, and the batched routing
+//! engine ([`crate::sssp::SsspWorkspace::run_to_targets_pruned`]) uses the
+//! same tables to prune one-to-many target searches.
+//!
+//! The triangle inequality also yields *upper* bounds — routing through a
+//! landmark is a real (if indirect) path:
+//!
+//! ```text
+//! d(v, t) ≤ min_l  d(v, l) + d(l, t)
+//! ```
+//!
+//! ([`Landmarks::upper_bound`]); the pruned search combines both bounds.
 
 use crate::dijkstra::Direction;
 use crate::error::GraphError;
@@ -25,12 +36,19 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Precomputed landmark distance tables for one graph.
+///
+/// Storage is *node-major*: each node owns one contiguous row of `2·L`
+/// distances (`to` all landmarks, then `from` all landmarks), so bound
+/// evaluations in the shortest-path hot loops touch a single cache line per
+/// node instead of striding across `L` separate tables.
 #[derive(Clone, Debug)]
 pub struct Landmarks {
-    /// `from[l][v]` = d(landmark_l → v); `Distance::MAX` if unreachable.
-    from: Vec<Vec<Distance>>,
-    /// `to[l][v]` = d(v → landmark_l).
-    to: Vec<Vec<Distance>>,
+    /// Number of landmarks `L`.
+    count: usize,
+    /// Row `v` is `table[v·2L .. (v+1)·2L]`: entries `0..L` hold
+    /// `d(v → landmark_l)`, entries `L..2L` hold `d(landmark_l → v)`;
+    /// `Distance::MAX` where unreachable.
+    table: Vec<Distance>,
     nodes: Vec<NodeId>,
 }
 
@@ -64,7 +82,21 @@ impl Landmarks {
         let mut ws = SsspWorkspace::for_graph(graph);
         let nodes = choose_nodes(graph, count, &mut ws);
         let (from, to) = tables(graph, &nodes, threads, ws);
-        Landmarks { from, to, nodes }
+        // Interleave the per-landmark rows into the node-major layout.
+        let n = graph.node_count();
+        let l = nodes.len();
+        let mut table = vec![Distance::MAX; n * 2 * l];
+        for (li, (from_row, to_row)) in from.iter().zip(&to).enumerate() {
+            for v in 0..n {
+                table[v * 2 * l + li] = to_row[v];
+                table[v * 2 * l + l + li] = from_row[v];
+            }
+        }
+        Landmarks {
+            count: l,
+            table,
+            nodes,
+        }
     }
 
     /// The selected landmark nodes.
@@ -72,24 +104,72 @@ impl Landmarks {
         &self.nodes
     }
 
+    /// Number of landmarks `L`.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of nodes in the graph the tables were built for.
+    pub fn node_count(&self) -> usize {
+        if self.count == 0 {
+            0
+        } else {
+            self.table.len() / (2 * self.count)
+        }
+    }
+
+    /// Node `v`'s bound row: `2·L` distances, `d(v → landmark_l)` at `l`,
+    /// `d(landmark_l → v)` at `L + l` (`Distance::MAX` where unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the graph the tables were built for.
+    pub fn bounds_row(&self, v: NodeId) -> &[Distance] {
+        let l2 = 2 * self.count;
+        &self.table[v.index() * l2..(v.index() + 1) * l2]
+    }
+
     /// A lower bound on `d(v → t)` by the landmark triangle inequality
     /// (zero when no landmark gives information).
     pub fn lower_bound(&self, v: NodeId, t: NodeId) -> Distance {
-        let mut best = Distance::ZERO;
-        for l in 0..self.nodes.len() {
-            // d(v→t) ≥ d(v→l) − d(t→l)
-            let (vl, tl) = (self.to[l][v.index()], self.to[l][t.index()]);
-            if vl != Distance::MAX && tl != Distance::MAX && vl > tl {
-                best = best.max(vl - tl);
-            }
-            // d(v→t) ≥ d(l→t) − d(l→v)
-            let (lt, lv) = (self.from[l][t.index()], self.from[l][v.index()]);
-            if lt != Distance::MAX && lv != Distance::MAX && lt > lv {
-                best = best.max(lt - lv);
+        lower_bound_rows(self.bounds_row(v), self.bounds_row(t), self.count)
+    }
+
+    /// An upper bound on `d(v → t)`: the cheapest route through some
+    /// landmark, `min_l d(v → l) + d(l → t)`; `Distance::MAX` when no
+    /// landmark connects the pair.
+    pub fn upper_bound(&self, v: NodeId, t: NodeId) -> Distance {
+        let (rv, rt) = (self.bounds_row(v), self.bounds_row(t));
+        let l = self.count;
+        let mut best = Distance::MAX;
+        for k in 0..l {
+            let (vl, lt) = (rv[k], rt[l + k]);
+            if vl != Distance::MAX && lt != Distance::MAX {
+                best = best.min(vl.saturating_add(lt));
             }
         }
         best
     }
+}
+
+/// [`Landmarks::lower_bound`] on raw bound rows: `max_l max(to_v − to_t,
+/// from_t − from_v)`. Shared with the pruned target search, which snapshots
+/// target rows once per run.
+pub(crate) fn lower_bound_rows(row_v: &[Distance], row_t: &[Distance], l: usize) -> Distance {
+    let mut best = Distance::ZERO;
+    for k in 0..l {
+        // d(v→t) ≥ d(v→l) − d(t→l)
+        let (vl, tl) = (row_v[k], row_t[k]);
+        if vl != Distance::MAX && tl != Distance::MAX && vl > tl {
+            best = best.max(vl - tl);
+        }
+        // d(v→t) ≥ d(l→t) − d(l→v)
+        let (lt, lv) = (row_t[l + k], row_v[l + k]);
+        if lt != Distance::MAX && lv != Distance::MAX && lt > lv {
+            best = best.max(lt - lv);
+        }
+    }
+    best
 }
 
 /// Farthest-point landmark selection: each pick maximizes the minimum
@@ -348,6 +428,60 @@ mod tests {
                 assert!(
                     grid.street_distance(a, b) >= Distance::from_feet(800),
                     "landmarks {a} and {b} too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_never_below_true_distance() {
+        let g = perturbed_grid(
+            PerturbedGridParams {
+                rows: 7,
+                cols: 7,
+                spacing: Distance::from_feet(250),
+                delete_probability: 0.1,
+                diagonal_probability: 0.05,
+            },
+            9,
+        );
+        let lm = Landmarks::select(&g, 4);
+        for a in (0..g.node_count() as u32).step_by(5) {
+            let tree = dijkstra::shortest_path_tree(&g, NodeId::new(a));
+            for b in (0..g.node_count() as u32).step_by(7) {
+                let ub = lm.upper_bound(NodeId::new(a), NodeId::new(b));
+                match tree.distance(NodeId::new(b)) {
+                    Some(true_d) => assert!(
+                        ub >= true_d,
+                        "upper bound {ub} below true distance {true_d} ({a} -> {b})"
+                    ),
+                    // Either truly disconnected or merely unseen by every
+                    // landmark; the bound must stay saturated only if no
+                    // landmark connects the pair, which disconnection implies
+                    // on this connected generator.
+                    None => assert_eq!(ub, Distance::MAX),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_row_layout_matches_reference_trees() {
+        let grid = GridGraph::new(5, 4, Distance::from_feet(100));
+        let g = grid.graph();
+        let lm = Landmarks::select(g, 3);
+        assert_eq!(lm.count(), 3);
+        assert_eq!(lm.node_count(), g.node_count());
+        for (li, &l) in lm.nodes().iter().enumerate() {
+            let fwd = dijkstra::shortest_path_tree(g, l);
+            let rev = dijkstra::reverse_shortest_path_tree(g, l);
+            for v in g.nodes() {
+                let row = lm.bounds_row(v);
+                assert_eq!(row.len(), 2 * lm.count());
+                assert_eq!(row[li], rev.distance(v).unwrap_or(Distance::MAX));
+                assert_eq!(
+                    row[lm.count() + li],
+                    fwd.distance(v).unwrap_or(Distance::MAX)
                 );
             }
         }

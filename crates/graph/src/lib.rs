@@ -62,6 +62,7 @@ pub mod node;
 pub mod path;
 pub mod sssp;
 pub mod subgraph;
+pub mod tiles;
 pub mod validate;
 
 pub use error::GraphError;

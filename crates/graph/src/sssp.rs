@@ -22,7 +22,13 @@
 //! * **early exit** for routing workloads: [`SsspWorkspace::run_to_targets`]
 //!   stops as soon as every requested destination is settled, which on
 //!   uniformly random origin–destination demand roughly halves the settled
-//!   region per tree.
+//!   region per tree;
+//! * **ALT-pruned early exit**
+//!   ([`SsspWorkspace::run_to_targets_pruned`]): with precomputed
+//!   [`crate::landmarks::Landmarks`] tables the search additionally skips
+//!   expanding any settled node that *provably* cannot lie on a shortest
+//!   path to any still-unsettled target, shrinking the settled disc toward
+//!   an ellipse around the root–target corridor.
 //!
 //! Both kernels settle nodes in exactly the same order — ascending
 //! `(distance, node id)` — so distances, predecessor links, and extracted
@@ -30,6 +36,24 @@
 //! `tests/prop.rs`). Downstream consumers (flow routing, detour tables,
 //! greedy placements) therefore cannot observe which kernel ran, only how
 //! fast it was.
+//!
+//! ## Why pruning preserves bit-identity
+//!
+//! A node `u` is pruned at its settle time only if, for **every** remaining
+//! target `t`, `d(u) + lb(u, t) > U(t)`, where `lb` is the landmark lower
+//! bound on the remaining distance and `U(t)` is a proven upper bound on the
+//! root–`t` distance (the cheapest landmark route, tightened by `t`'s
+//! tentative distance once the frontier has touched it). Pruning skips the
+//! node's edge expansion but never reorders the queue, so the surviving
+//! settle order is a subsequence of the reference order. Every node on a
+//! reference predecessor chain of a target `t` satisfies
+//! `d(u) + lb(u, t) ≤ d(u) + d(u → t) = d(root, t) ≤ U(t)` — and settles
+//! strictly before `t` does (predecessors are assigned at the relaxer's
+//! settle), so `t` is still an unsettled target when `u` is tested and the
+//! strict inequality fails. Chain nodes are therefore never pruned, their
+//! relaxations happen exactly as in the reference run, and the distances,
+//! predecessors, and extracted paths of all reached targets are unchanged
+//! bit for bit.
 //!
 //! ```
 //! use rap_graph::{GridGraph, Distance, NodeId};
@@ -48,6 +72,7 @@
 use crate::dijkstra::{Direction, ShortestPathTree};
 use crate::error::GraphError;
 use crate::graph::RoadGraph;
+use crate::landmarks::{self, Landmarks};
 use crate::node::{Distance, NodeId};
 use crate::path::Path;
 use std::cmp::Reverse;
@@ -88,6 +113,14 @@ pub const MAX_BUCKET_COUNT: usize = 1 << 16;
 /// scan advances one foot per step, so a graph whose edges are long relative
 /// to its size would spend more time skipping empty buckets than settling
 /// nodes; the binary heap is the better kernel there.
+///
+/// The same factor also gates the *diameter* estimate: the bucket scan walks
+/// every foot of the maximum settled distance, so a small graph spread over
+/// a large area (the 121-node Seattle model spans ~20,000 ft) pays thousands
+/// of empty-bucket steps per tree even though each edge individually fits.
+/// [`SsspWorkspace::for_graph`] estimates the diameter from the bounding
+/// box's Manhattan extent and falls back to the heap when it exceeds
+/// `SPREAD_FACTOR × (|V| + |E|)`.
 const SPREAD_FACTOR: u64 = 8;
 
 /// `pred` sentinel: no predecessor (the root, or an untouched node).
@@ -131,19 +164,132 @@ pub struct SsspWorkspace {
     direction: Direction,
     /// True when the last run settled every reachable node (no early exit).
     complete: bool,
+    /// Nodes settled by the last run (instrumentation for benches/tests).
+    last_settled: u64,
+    /// Settled nodes whose expansion the last run pruned via landmarks.
+    last_pruned: u64,
+}
+
+/// Per-run ALT pruning state: one bound-row snapshot and one upper bound per
+/// still-unsettled target. Lives on the kernel's stack, not in the
+/// workspace, so unpruned runs pay nothing.
+struct Pruner<'a> {
+    lm: &'a Landmarks,
+    /// `2·L` (row stride in the snapshots below).
+    stride: usize,
+    /// True for [`Direction::Reverse`] runs, where the remaining search
+    /// distance from settled `u` to target `t` is the forward `d(t → u)`.
+    reverse: bool,
+    /// Raw id and static landmark upper bound of each unsettled target.
+    active: Vec<(u32, Distance)>,
+    /// Bound-row snapshots, `stride` entries per active target, kept in sync
+    /// with `active` under swap-removal.
+    rows: Vec<Distance>,
+}
+
+impl<'a> Pruner<'a> {
+    fn new(lm: &'a Landmarks, reverse: bool) -> Self {
+        Pruner {
+            lm,
+            stride: 2 * lm.count(),
+            reverse,
+            active: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Registers a (distinct, in-bounds) target of the current run.
+    fn add_target(&mut self, root: NodeId, t: NodeId) {
+        // Upper bound on the search distance root..t: route via the best
+        // landmark. Forward searches need d(root → t), reverse searches
+        // d(t → root).
+        let upper = if self.reverse {
+            self.lm.upper_bound(t, root)
+        } else {
+            self.lm.upper_bound(root, t)
+        };
+        self.active.push((t.raw(), upper));
+        self.rows.extend_from_slice(self.lm.bounds_row(t));
+    }
+
+    /// Drops a just-settled target from the active set.
+    fn target_settled(&mut self, raw: u32) {
+        if let Some(i) = self.active.iter().position(|&(r, _)| r == raw) {
+            self.active.swap_remove(i);
+            let last = self.rows.len() - self.stride;
+            if i * self.stride < last {
+                let (head, tail) = self.rows.split_at_mut(last);
+                head[i * self.stride..(i + 1) * self.stride].copy_from_slice(tail);
+            }
+            self.rows.truncate(last);
+        }
+    }
+
+    /// True when settled node `u` at distance `d` provably cannot improve
+    /// (or lie on a shortest path to) any remaining target: for **every**
+    /// active `t`, `d + lb(u, t)` strictly exceeds the best proven upper
+    /// bound on `t`'s final distance — the static landmark route, tightened
+    /// by `t`'s tentative distance once stamped (a tentative distance only
+    /// ever shrinks toward the final one, so it is always a valid upper
+    /// bound).
+    fn should_prune(
+        &self,
+        u: usize,
+        d: Distance,
+        dist: &[Distance],
+        stamp: &[u32],
+        epoch: u32,
+    ) -> bool {
+        let row_u = self.lm.bounds_row(NodeId::new(u as u32));
+        let l = self.lm.count();
+        for (i, &(raw, static_upper)) in self.active.iter().enumerate() {
+            let t = raw as usize;
+            let mut upper = static_upper;
+            if stamp[t] == epoch {
+                upper = upper.min(dist[t]);
+            }
+            if upper == Distance::MAX {
+                return false; // no bound on this target yet
+            }
+            let row_t = &self.rows[i * self.stride..(i + 1) * self.stride];
+            let lb = if self.reverse {
+                landmarks::lower_bound_rows(row_t, row_u, l)
+            } else {
+                landmarks::lower_bound_rows(row_u, row_t, l)
+            };
+            if d.saturating_add(lb) <= upper {
+                return false; // u may still matter for this target
+            }
+        }
+        true
+    }
 }
 
 impl SsspWorkspace {
     /// Builds a workspace sized for `graph`, selecting the kernel from the
     /// graph's edge-length spread: the bucket queue when the longest edge
     /// fits both the bucket cap ([`MAX_BUCKET_COUNT`]) and the spread rule
-    /// (`max_edge ≤ 8 · (|V| + |E|)`), the binary heap otherwise.
+    /// (`max_edge ≤ 8 · (|V| + |E|)`), **and** the estimated graph diameter
+    /// (the bounding box's Manhattan extent) also fits
+    /// `8 · (|V| + |E|)` feet; the binary heap otherwise. The diameter gate
+    /// keeps small, geographically spread instances (few nodes, long trips)
+    /// off the foot-by-foot bucket scan — see [`SPREAD_FACTOR`].
     pub fn for_graph(graph: &RoadGraph) -> Self {
         let max_edge = graph.edges().map(|e| e.length.feet()).max().unwrap_or(0);
         let size = (graph.node_count() + graph.edge_count()) as u64;
+        // Manhattan extent of the bounding box, as a cheap diameter proxy
+        // (coordinates and edge lengths are both in feet; a degenerate or
+        // weight-decoupled geometry only mis-tunes performance, never
+        // correctness).
+        let extent = graph
+            .bounding_box()
+            .map(|bb| ((bb.max.x - bb.min.x).abs() + (bb.max.y - bb.min.y).abs()) as u64)
+            .unwrap_or(0);
+        let budget = SPREAD_FACTOR.saturating_mul(size);
         let kernel = if max_edge > 0
             && max_edge < MAX_BUCKET_COUNT as u64
-            && max_edge <= SPREAD_FACTOR.saturating_mul(size)
+            && max_edge <= budget
+            && extent <= budget
         {
             SsspKernel::BucketQueue
         } else {
@@ -190,6 +336,8 @@ impl SsspWorkspace {
             root: NodeId::new(0),
             direction: Direction::Forward,
             complete: false,
+            last_settled: 0,
+            last_pruned: 0,
         }
     }
 
@@ -206,7 +354,7 @@ impl SsspWorkspace {
     /// Panics if `root` is out of bounds or the graph does not match the one
     /// the workspace was built for.
     pub fn run(&mut self, graph: &RoadGraph, root: NodeId, direction: Direction) {
-        self.run_inner(graph, root, direction, None);
+        self.run_inner(graph, root, direction, None, None);
     }
 
     /// Like [`SsspWorkspace::run`], but stops as soon as every node in
@@ -224,7 +372,37 @@ impl SsspWorkspace {
         direction: Direction,
         targets: &[NodeId],
     ) {
-        self.run_inner(graph, root, direction, Some(targets));
+        self.run_inner(graph, root, direction, Some(targets), None);
+    }
+
+    /// [`SsspWorkspace::run_to_targets`] with ALT pruning: beyond the early
+    /// exit, every settled node is tested against the landmark bounds and
+    /// its edge expansion skipped when it provably cannot improve any
+    /// remaining target (see the module docs for the bit-identity argument).
+    /// Settled targets carry exactly the distance, predecessor chain, and
+    /// extracted path the unpruned run would give them; unreachable targets
+    /// disable pruning for the run (no upper bound ever forms) and behave as
+    /// in [`SsspWorkspace::run_to_targets`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `landmarks` was built for a graph with a different node
+    /// count, or under the same conditions as [`SsspWorkspace::run`].
+    pub fn run_to_targets_pruned(
+        &mut self,
+        graph: &RoadGraph,
+        root: NodeId,
+        direction: Direction,
+        targets: &[NodeId],
+        landmarks: &Landmarks,
+    ) {
+        assert!(
+            landmarks.node_count() == graph.node_count(),
+            "landmarks built for a {}-node graph used with a {}-node graph",
+            landmarks.node_count(),
+            graph.node_count()
+        );
+        self.run_inner(graph, root, direction, Some(targets), Some(landmarks));
     }
 
     fn run_inner(
@@ -233,6 +411,7 @@ impl SsspWorkspace {
         root: NodeId,
         direction: Direction,
         targets: Option<&[NodeId]>,
+        landmarks: Option<&Landmarks>,
     ) {
         assert!(
             graph.node_count() == self.node_count && graph.edge_count() == self.edge_count,
@@ -251,12 +430,19 @@ impl SsspWorkspace {
         self.root = root;
         self.direction = direction;
         self.complete = targets.is_none();
+        self.last_settled = 0;
+        self.last_pruned = 0;
         let mut remaining = 0usize;
+        let mut pruner =
+            landmarks.map(|lm| Pruner::new(lm, matches!(direction, Direction::Reverse)));
         if let Some(ts) = targets {
             for &t in ts {
                 if t.index() < self.node_count && self.target_stamp[t.index()] != self.epoch {
                     self.target_stamp[t.index()] = self.epoch;
                     remaining += 1;
+                    if let Some(p) = pruner.as_mut() {
+                        p.add_target(root, t);
+                    }
                 }
             }
             if remaining == 0 {
@@ -268,8 +454,12 @@ impl SsspWorkspace {
         self.dist[root.index()] = Distance::ZERO;
         self.pred[root.index()] = NO_PRED;
         match self.kernel {
-            SsspKernel::BucketQueue => self.run_bucket(graph, root, direction, early, remaining),
-            SsspKernel::BinaryHeap => self.run_heap(graph, root, direction, early, remaining),
+            SsspKernel::BucketQueue => {
+                self.run_bucket(graph, root, direction, early, remaining, pruner)
+            }
+            SsspKernel::BinaryHeap => {
+                self.run_heap(graph, root, direction, early, remaining, pruner)
+            }
         }
     }
 
@@ -284,6 +474,7 @@ impl SsspWorkspace {
         direction: Direction,
         early: bool,
         mut remaining: usize,
+        mut pruner: Option<Pruner<'_>>,
     ) {
         // An edgeless graph gets a single bucket (`max_edge + 1 == 1`): the
         // root settles out of bucket 0 and there is nothing to relax, so the
@@ -312,8 +503,12 @@ impl SsspWorkspace {
                     }
                     debug_assert_ne!(self.settled[u], self.epoch, "node settled twice");
                     self.settled[u] = self.epoch;
+                    self.last_settled += 1;
                     if early && self.target_stamp[u] == self.epoch {
                         remaining -= 1;
+                        if let Some(p) = pruner.as_mut() {
+                            p.target_settled(raw);
+                        }
                         if remaining == 0 {
                             // Remaining queue entries are abandoned; clear
                             // every bucket so the next run starts clean.
@@ -321,6 +516,18 @@ impl SsspWorkspace {
                                 bucket.clear();
                             }
                             break 'scan;
+                        }
+                    }
+                    if let Some(p) = pruner.as_ref() {
+                        if p.should_prune(
+                            u,
+                            Distance::from_feet(d),
+                            &self.dist,
+                            &self.stamp,
+                            self.epoch,
+                        ) {
+                            self.last_pruned += 1;
+                            continue; // settled, but provably never expanded
                         }
                     }
                     let node = NodeId::new(raw);
@@ -367,6 +574,7 @@ impl SsspWorkspace {
         direction: Direction,
         early: bool,
         mut remaining: usize,
+        mut pruner: Option<Pruner<'_>>,
     ) {
         self.heap.clear();
         self.heap.push(Reverse((Distance::ZERO, root.raw())));
@@ -376,11 +584,21 @@ impl SsspWorkspace {
                 continue; // stale heap entry
             }
             self.settled[u] = self.epoch;
+            self.last_settled += 1;
             if early && self.target_stamp[u] == self.epoch {
                 remaining -= 1;
+                if let Some(p) = pruner.as_mut() {
+                    p.target_settled(raw);
+                }
                 if remaining == 0 {
                     self.heap.clear();
                     break;
+                }
+            }
+            if let Some(p) = pruner.as_ref() {
+                if p.should_prune(u, dd, &self.dist, &self.stamp, self.epoch) {
+                    self.last_pruned += 1;
+                    continue; // settled, but provably never expanded
                 }
             }
             let node = NodeId::new(raw);
@@ -422,6 +640,18 @@ impl SsspWorkspace {
     /// The direction of the last run.
     pub fn direction(&self) -> Direction {
         self.direction
+    }
+
+    /// Number of nodes the last run settled (instrumentation; benches use
+    /// the reduction under pruning as the headline metric).
+    pub fn last_run_settled(&self) -> u64 {
+        self.last_settled
+    }
+
+    /// Of the last run's settled nodes, how many had their expansion pruned
+    /// by the landmark bounds. Zero for unpruned runs.
+    pub fn last_run_pruned(&self) -> u64 {
+        self.last_pruned
     }
 
     /// Exact shortest distance between the last run's root and `node`, or
@@ -551,9 +781,20 @@ mod tests {
 
     #[test]
     fn bucket_kernel_selected_for_short_edges() {
-        let grid = GridGraph::new(4, 4, Distance::from_feet(100));
+        // Compact geometry: extent 100 ft ≤ 8 · (36 + 120).
+        let grid = GridGraph::new(6, 6, Distance::from_feet(10));
         let ws = SsspWorkspace::for_graph(grid.graph());
         assert_eq!(ws.kernel(), SsspKernel::BucketQueue);
+    }
+
+    #[test]
+    fn heap_kernel_selected_for_small_wide_instance() {
+        // Seattle-shaped: 121 nodes spread over ~20,000 ft. Every edge fits
+        // the bucket cap, but the diameter gate must reject the bucket scan
+        // (it would walk ~20k empty buckets per tree).
+        let grid = GridGraph::new(11, 11, Distance::from_feet(1_000));
+        let ws = SsspWorkspace::for_graph(grid.graph());
+        assert_eq!(ws.kernel(), SsspKernel::BinaryHeap);
     }
 
     #[test]
@@ -713,6 +954,110 @@ mod tests {
         let other = GridGraph::new(3, 3, Distance::from_feet(10));
         let mut ws = SsspWorkspace::for_graph(&g);
         ws.run(other.graph(), NodeId::new(0), Direction::Forward);
+    }
+
+    /// 100-node two-way line, 10 ft per hop: farthest-point selection puts
+    /// landmarks at both ends, where the ALT bounds are exact.
+    fn line100() -> RoadGraph {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..100)
+            .map(|i| b.add_node(Point::new(i as f64 * 10.0, 0.0)))
+            .collect();
+        for w in v.windows(2) {
+            b.add_two_way(w[0], w[1], Distance::from_feet(10)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn pruned_targets_match_reference_and_actually_prune() {
+        let g = line100();
+        let lm = crate::landmarks::Landmarks::select(&g, 2);
+        let root = NodeId::new(50);
+        let targets = [NodeId::new(52), NodeId::new(95)];
+        let reference = dijkstra::shortest_path_tree(&g, root);
+        for kernel in [SsspKernel::BucketQueue, SsspKernel::BinaryHeap] {
+            let mut plain = SsspWorkspace::with_kernel_for_graph(&g, kernel);
+            plain.run_to_targets(&g, root, Direction::Forward, &targets);
+            let unpruned_settled = plain.last_run_settled();
+            assert_eq!(plain.last_run_pruned(), 0);
+
+            let mut ws = SsspWorkspace::with_kernel_for_graph(&g, kernel);
+            ws.run_to_targets_pruned(&g, root, Direction::Forward, &targets, &lm);
+            for t in targets {
+                assert_eq!(ws.distance(t), reference.distance(t), "{kernel:?} {t}");
+                assert_eq!(
+                    ws.path_to(t).unwrap().nodes(),
+                    reference.path_to(t).unwrap().nodes(),
+                    "{kernel:?} {t}"
+                );
+            }
+            // The far target forces the frontier right; everything left of
+            // the root past the bound is provably useless and pruned.
+            assert!(ws.last_run_pruned() > 0, "{kernel:?} pruned nothing");
+            assert!(
+                ws.last_run_settled() < unpruned_settled,
+                "{kernel:?} settled {} ≥ unpruned {}",
+                ws.last_run_settled(),
+                unpruned_settled
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_reverse_run_matches_reference() {
+        let g = line100();
+        let lm = crate::landmarks::Landmarks::select(&g, 2);
+        let root = NodeId::new(60);
+        let targets = [NodeId::new(58), NodeId::new(3)];
+        let reference = dijkstra::reverse_shortest_path_tree(&g, root);
+        let mut ws = SsspWorkspace::for_graph(&g);
+        ws.run_to_targets_pruned(&g, root, Direction::Reverse, &targets, &lm);
+        for t in targets {
+            assert_eq!(ws.distance(t), reference.distance(t), "{t}");
+            assert_eq!(
+                ws.path_to(t).unwrap().nodes(),
+                reference.path_to(t).unwrap().nodes(),
+                "{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_run_with_unreachable_target_degrades_gracefully() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(10.0, 0.0));
+        let island = b.add_node(Point::new(90.0, 90.0));
+        b.add_two_way(a, c, Distance::from_feet(3)).unwrap();
+        let g = b.build();
+        let lm = crate::landmarks::Landmarks::select(&g, 2);
+        let mut ws = SsspWorkspace::for_graph(&g);
+        // The island never gets an upper bound, so pruning stays disabled
+        // and the run exhausts the reachable component.
+        ws.run_to_targets_pruned(&g, a, Direction::Forward, &[island, c], &lm);
+        assert_eq!(ws.distance(c), Some(Distance::from_feet(3)));
+        assert!(matches!(
+            ws.path_to(island),
+            Err(GraphError::Unreachable { .. })
+        ));
+        assert_eq!(ws.last_run_pruned(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "landmarks built for")]
+    fn pruned_run_rejects_mismatched_landmarks() {
+        let g = line100();
+        let other = GridGraph::new(3, 3, Distance::from_feet(10));
+        let lm = crate::landmarks::Landmarks::select(other.graph(), 2);
+        let mut ws = SsspWorkspace::for_graph(&g);
+        ws.run_to_targets_pruned(
+            &g,
+            NodeId::new(0),
+            Direction::Forward,
+            &[NodeId::new(5)],
+            &lm,
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 use rap_graph::apsp::DistanceMatrix;
 use rap_graph::dijkstra::Direction;
+use rap_graph::landmarks::Landmarks;
 use rap_graph::sssp::{SsspKernel, SsspWorkspace, MAX_BUCKET_COUNT};
 use rap_graph::{dijkstra, BoundingBox, Distance, GraphBuilder, GridGraph, NodeId, Point};
 
@@ -59,6 +60,41 @@ fn assert_kernels_match_reference(
                     prop_assert!(b.is_err());
                     prop_assert!(h.is_err());
                 }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Asserts the ALT-pruned target run is bit-identical to the unpruned
+/// reference on every target, in both directions: same settled distances,
+/// same extracted path node sequences (i.e. identical predecessors on the
+/// target chains), and agreement on unreachability. Distances are
+/// additionally cross-checked against the full reference tree.
+fn assert_pruned_matches_unpruned(
+    g: &rap_graph::RoadGraph,
+    root: NodeId,
+    targets: &[NodeId],
+    landmarks: &Landmarks,
+) -> Result<(), TestCaseError> {
+    for direction in [Direction::Forward, Direction::Reverse] {
+        let reference = match direction {
+            Direction::Forward => dijkstra::shortest_path_tree(g, root),
+            Direction::Reverse => dijkstra::reverse_shortest_path_tree(g, root),
+        };
+        let mut plain = SsspWorkspace::for_graph(g);
+        let mut pruned = SsspWorkspace::for_graph(g);
+        plain.run_to_targets(g, root, direction, targets);
+        pruned.run_to_targets_pruned(g, root, direction, targets, landmarks);
+        for &t in targets {
+            prop_assert_eq!(plain.distance(t), pruned.distance(t));
+            prop_assert_eq!(pruned.distance(t), reference.distance(t));
+            match plain.path_to(t) {
+                Ok(path) => {
+                    let pp = pruned.path_to(t).expect("pruned run reaches target");
+                    prop_assert_eq!(pp.nodes(), path.nodes());
+                }
+                Err(_) => prop_assert!(pruned.path_to(t).is_err()),
             }
         }
     }
@@ -210,5 +246,104 @@ proptest! {
         let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(1_000.0, 1_000.0));
         let g = rap_graph::generators::random_geometric(n, bb, 200.0, seed);
         prop_assert!(DistanceMatrix::dijkstra_all(&g).strongly_connected());
+    }
+
+    /// ALT-pruned target runs on adversarial random graphs — sparse, dense,
+    /// unreachable targets, duplicate targets, any landmark count — are
+    /// bit-identical to the unpruned reference.
+    #[test]
+    fn alt_pruned_target_runs_are_bit_identical(
+        (n, edges) in arb_graph(),
+        root_raw in 0usize..64,
+        target_raw in proptest::collection::vec(0usize..64, 1..6),
+        lm_count in 1usize..5,
+    ) {
+        let g = build(n, &edges);
+        let root = NodeId::new((root_raw % n) as u32);
+        let targets: Vec<NodeId> = target_raw
+            .iter()
+            .map(|&t| NodeId::new((t % n) as u32))
+            .collect();
+        let lm = Landmarks::select(&g, lm_count);
+        assert_pruned_matches_unpruned(&g, root, &targets, &lm)?;
+    }
+
+    /// The same identity over uniform grids, where many equal-length paths
+    /// tie and the landmark lower bounds are frequently exact — the
+    /// worst case for an off-by-one in the strict pruning inequality.
+    #[test]
+    fn alt_pruned_grid_runs_are_bit_identical(
+        rows in 2u32..7,
+        cols in 2u32..7,
+        spacing in 1u64..400,
+        root_raw in 0u32..64,
+        target_raw in proptest::collection::vec(0u32..64, 1..5),
+    ) {
+        let grid = GridGraph::new(rows, cols, Distance::from_feet(spacing));
+        let n = grid.graph().node_count() as u32;
+        let root = NodeId::new(root_raw % n);
+        let targets: Vec<NodeId> =
+            target_raw.iter().map(|&t| NodeId::new(t % n)).collect();
+        let lm = Landmarks::select(grid.graph(), 3);
+        assert_pruned_matches_unpruned(grid.graph(), root, &targets, &lm)?;
+    }
+
+    /// Zero-length edges (unconstructible through the public API, injected
+    /// via the test-only builder hook) must not break the pruning identity:
+    /// a zero lower bound makes the strict inequality maximally permissive,
+    /// never wrong.
+    #[test]
+    fn alt_pruning_survives_zero_length_edges(
+        n in 2usize..10,
+        edges in proptest::collection::vec((0u32..10, 0u32..10, 0u64..60), 1..30),
+        root_raw in 0usize..64,
+        target_raw in proptest::collection::vec(0usize..64, 1..5),
+    ) {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_node(Point::new(i as f64, 0.0));
+        }
+        for &(s, d, l) in &edges {
+            let (s, d) = (s % n as u32, d % n as u32);
+            if s != d {
+                let _ = b.add_edge_allow_zero(
+                    NodeId::new(s),
+                    NodeId::new(d),
+                    Distance::from_feet(l),
+                );
+            }
+        }
+        let g = b.build();
+        let root = NodeId::new((root_raw % n) as u32);
+        let targets: Vec<NodeId> = target_raw
+            .iter()
+            .map(|&t| NodeId::new((t % n) as u32))
+            .collect();
+        let lm = Landmarks::select(&g, 2);
+        // Settle order within a distance tie can differ between the kernel
+        // and the plain binary-heap reference once zero-length edges exist,
+        // so only the pruned-vs-unpruned halves of the identity apply here
+        // (same workspace, same order); distances stay uniquely determined.
+        for direction in [Direction::Forward, Direction::Reverse] {
+            let reference = match direction {
+                Direction::Forward => dijkstra::shortest_path_tree(&g, root),
+                Direction::Reverse => dijkstra::reverse_shortest_path_tree(&g, root),
+            };
+            let mut plain = SsspWorkspace::for_graph(&g);
+            let mut pruned = SsspWorkspace::for_graph(&g);
+            plain.run_to_targets(&g, root, direction, &targets);
+            pruned.run_to_targets_pruned(&g, root, direction, &targets, &lm);
+            for &t in &targets {
+                prop_assert_eq!(plain.distance(t), pruned.distance(t));
+                prop_assert_eq!(pruned.distance(t), reference.distance(t));
+                match plain.path_to(t) {
+                    Ok(path) => {
+                        let pp = pruned.path_to(t).expect("pruned run reaches target");
+                        prop_assert_eq!(pp.nodes(), path.nodes());
+                    }
+                    Err(_) => prop_assert!(pruned.path_to(t).is_err()),
+                }
+            }
+        }
     }
 }

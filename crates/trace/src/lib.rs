@@ -45,6 +45,7 @@ pub mod csv;
 pub mod error;
 pub mod gps;
 pub mod map_match;
+pub mod metro;
 pub mod quality;
 
 pub use binary::{decode, encode};
@@ -56,4 +57,5 @@ pub use csv::{
 pub use error::TraceError;
 pub use gps::{BusId, GpsNoise, GpsPoint, JourneyId, TraceRecord};
 pub use map_match::{extract_flows, match_fixes, match_journeys, ExtractParams, MatchedJourney};
+pub use metro::{metro, MetroModel, MetroParams};
 pub use quality::{compare, GroundTruth, QualityReport};

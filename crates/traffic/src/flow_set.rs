@@ -11,9 +11,37 @@ use crate::error::TrafficError;
 use crate::flow::{FlowId, FlowSpec, TrafficFlow};
 use crate::parallel;
 use rap_graph::dijkstra::Direction;
+use rap_graph::landmarks::Landmarks;
 use rap_graph::sssp::SsspWorkspace;
+use rap_graph::tiles::TileGrid;
 use rap_graph::{Distance, NodeId, RoadGraph};
 use std::collections::HashMap;
+
+/// Acceleration inputs for [`FlowSet::route_with`].
+///
+/// The default routes exactly like [`FlowSet::route`]: sequential, plain
+/// early-exit Dijkstra, original spec order. Each field independently
+/// switches on one acceleration; all combinations produce **bit-identical**
+/// flow sets (see the field docs for why).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouteOptions<'a> {
+    /// Worker threads for origin-group fan-out. `None` routes sequentially;
+    /// `Some(n)` requests `n` workers clamped by
+    /// [`parallel::effective_threads`] (with a logged sequential fallback
+    /// when the clamp leaves one worker, as [`FlowSet::route_parallel`]
+    /// documents).
+    pub threads: Option<usize>,
+    /// Landmark tables enabling ALT-pruned target searches
+    /// ([`SsspWorkspace::run_to_targets_pruned`]). Pruning only skips node
+    /// expansions that provably cannot improve any remaining target, so
+    /// settled distances and predecessors on destinations are unchanged.
+    pub landmarks: Option<&'a Landmarks>,
+    /// Spatial tiling: origin groups are *processed* in tile order so
+    /// consecutive shortest-path trees start in the same cache-local shard.
+    /// Each origin's tree is independent, and flows keep their original spec
+    /// indices, so processing order never shows up in the result.
+    pub tiles: Option<&'a TileGrid>,
+}
 
 /// One flow's first visit to some intersection.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,13 +93,7 @@ impl FlowSet {
     /// * [`TrafficError::UnroutableFlow`] if a destination is unreachable.
     /// * [`TrafficError::Graph`] if a spec references a missing node.
     pub fn route(graph: &RoadGraph, specs: Vec<FlowSpec>) -> Result<Self, TrafficError> {
-        let groups = group_by_origin(graph, &specs)?;
-        let mut flows: Vec<Option<TrafficFlow>> = vec![None; specs.len()];
-        let mut ws = SsspWorkspace::for_graph(graph);
-        for (origin, idxs) in &groups {
-            route_group(graph, &mut ws, &specs, *origin, idxs, &mut flows)?;
-        }
-        Ok(Self::from_routed(graph, collect_routed(flows)))
+        Self::route_with(graph, specs, RouteOptions::default())
     }
 
     /// [`FlowSet::route`] with the origin groups fanned across `threads`
@@ -94,49 +116,139 @@ impl FlowSet {
         specs: Vec<FlowSpec>,
         threads: usize,
     ) -> Result<Self, TrafficError> {
+        Self::route_with(
+            graph,
+            specs,
+            RouteOptions {
+                threads: Some(threads),
+                ..RouteOptions::default()
+            },
+        )
+    }
+
+    /// [`FlowSet::route`] with opt-in accelerations ([`RouteOptions`]):
+    /// worker threads, ALT-pruned target searches, and tile-batched
+    /// processing order. Every combination is **bit-identical** to plain
+    /// sequential routing — same paths, same flow ids, same first-visit
+    /// index, and on failure the same error.
+    ///
+    /// The error contract needs care under reordering: the sequential
+    /// reference stops at the first failing origin group *in original spec
+    /// order*, but tiling processes groups in tile order and threads split
+    /// them across workers. Both paths therefore tag failures with the
+    /// original group index, keep routing only groups that could still fail
+    /// *earlier* than the best candidate, and report the minimum — exactly
+    /// the error the reference loop hits first.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FlowSet::route`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.landmarks` or `opts.tiles` were built for a graph
+    /// with a different node count than `graph`.
+    pub fn route_with(
+        graph: &RoadGraph,
+        specs: Vec<FlowSpec>,
+        opts: RouteOptions<'_>,
+    ) -> Result<Self, TrafficError> {
         let groups = group_by_origin(graph, &specs)?;
-        let workers = parallel::effective_threads(threads, groups.len());
-        if workers <= 1 {
-            eprintln!(
-                "rap-traffic: route_parallel falling back to sequential routing \
-                 ({threads} thread(s) requested, {} distinct origin group(s) -> \
-                 1 effective worker)",
-                groups.len()
+        // Processing order: original group order, or tile order when a grid
+        // is supplied (stable sort keeps original order within each tile).
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        if let Some(tiles) = opts.tiles {
+            assert_eq!(
+                tiles.node_count(),
+                graph.node_count(),
+                "tile grid built for a {}-node graph used with a {}-node graph",
+                tiles.node_count(),
+                graph.node_count()
             );
-            let mut flows: Vec<Option<TrafficFlow>> = vec![None; specs.len()];
+            order.sort_by_key(|&g| tiles.tile_of(groups[g].0));
+        }
+        let requested = opts.threads.unwrap_or(1).max(1);
+        let workers = parallel::effective_threads(requested, groups.len());
+        if workers <= 1 {
+            if opts.threads.is_some() {
+                eprintln!(
+                    "rap-traffic: parallel routing falling back to sequential \
+                     ({requested} thread(s) requested, {} distinct origin group(s) -> \
+                     1 effective worker)",
+                    groups.len()
+                );
+            }
             let mut ws = SsspWorkspace::for_graph(graph);
-            for (origin, idxs) in &groups {
-                route_group(graph, &mut ws, &specs, *origin, idxs, &mut flows)?;
+            let mut flows: Vec<Option<TrafficFlow>> = vec![None; specs.len()];
+            let mut first_err: Option<(usize, TrafficError)> = None;
+            for &g in &order {
+                if let Some((fg, _)) = &first_err {
+                    if g >= *fg {
+                        continue;
+                    }
+                }
+                let (origin, idxs) = &groups[g];
+                if let Err(e) = route_group(
+                    graph,
+                    &mut ws,
+                    &specs,
+                    *origin,
+                    idxs,
+                    &mut flows,
+                    opts.landmarks,
+                ) {
+                    first_err = Some((g, e));
+                }
+            }
+            if let Some((_, e)) = first_err {
+                return Err(e);
             }
             return Ok(Self::from_routed(graph, collect_routed(flows)));
         }
-        let chunk = groups.len().div_ceil(workers);
+        let chunk = order.len().div_ceil(workers);
         let specs_ref = &specs;
         let groups_ref = &groups;
-        // Each worker routes a contiguous range of origin groups into its own
-        // (spec index, flow) list, stopping at its first failure. Workers
-        // report failures tagged with the global group index, so the merge
+        let order_ref = &order;
+        // Each worker routes a contiguous slice of the processing order into
+        // its own (spec index, flow) list. Failures are tagged with the
+        // original group index; a worker that has already seen a failure
+        // keeps routing only groups with a smaller original index, so its
+        // report is the minimal failing index of its slice and the merge
         // below surfaces exactly the error the sequential loop hits first.
         type WorkerOutput = Result<Vec<(usize, TrafficFlow)>, (usize, TrafficError)>;
         let outputs: Vec<WorkerOutput> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
+                    let landmarks = opts.landmarks;
                     scope.spawn(move |_| {
-                        let start = (w * chunk).min(groups_ref.len());
-                        let end = ((w + 1) * chunk).min(groups_ref.len());
+                        let start = (w * chunk).min(order_ref.len());
+                        let end = ((w + 1) * chunk).min(order_ref.len());
                         let mut ws = SsspWorkspace::for_graph(graph);
                         let mut routed: Vec<(usize, TrafficFlow)> = Vec::new();
                         let mut flows: Vec<Option<TrafficFlow>> = vec![None; specs_ref.len()];
-                        for (g, (origin, idxs)) in
-                            groups_ref.iter().enumerate().take(end).skip(start)
-                        {
-                            route_group(graph, &mut ws, specs_ref, *origin, idxs, &mut flows)
-                                .map_err(|e| (g, e))?;
-                            for &i in idxs {
-                                routed.push((i, flows[i].take().expect("group routed")));
+                        let mut first_err: Option<(usize, TrafficError)> = None;
+                        for &g in &order_ref[start..end] {
+                            if let Some((fg, _)) = &first_err {
+                                if g >= *fg {
+                                    continue;
+                                }
+                            }
+                            let (origin, idxs) = &groups_ref[g];
+                            match route_group(
+                                graph, &mut ws, specs_ref, *origin, idxs, &mut flows, landmarks,
+                            ) {
+                                Ok(()) => {
+                                    for &i in idxs {
+                                        routed.push((i, flows[i].take().expect("group routed")));
+                                    }
+                                }
+                                Err(e) => first_err = Some((g, e)),
                             }
                         }
-                        Ok(routed)
+                        match first_err {
+                            Some(err) => Err(err),
+                            None => Ok(routed),
+                        }
                     })
                 })
                 .collect();
@@ -147,8 +259,8 @@ impl FlowSet {
         })
         .expect("routing scope never propagates worker panics");
 
-        // First failing group (by global index) wins — identical to the
-        // sequential loop, which stops at that exact group and spec.
+        // First failing group (by original index) wins — identical to the
+        // sequential reference, which stops at that exact group and spec.
         let mut first_err: Option<(usize, TrafficError)> = None;
         let mut flows: Vec<Option<TrafficFlow>> = vec![None; specs.len()];
         for output in outputs {
@@ -303,7 +415,9 @@ fn group_by_origin(
 /// Routes one origin group through the workspace: a single early-exit tree
 /// run settles every destination in the group, then each spec extracts its
 /// path. Settled distances are final, so the paths are bit-identical to a
-/// full-tree run's.
+/// full-tree run's. With landmark tables the run additionally prunes node
+/// expansions that provably cannot improve any remaining destination, which
+/// changes nothing about settled targets (see `rap_graph::sssp`).
 fn route_group(
     graph: &RoadGraph,
     ws: &mut SsspWorkspace,
@@ -311,9 +425,13 @@ fn route_group(
     origin: NodeId,
     idxs: &[usize],
     flows: &mut [Option<TrafficFlow>],
+    landmarks: Option<&Landmarks>,
 ) -> Result<(), TrafficError> {
     let targets: Vec<NodeId> = idxs.iter().map(|&i| specs[i].destination()).collect();
-    ws.run_to_targets(graph, origin, Direction::Forward, &targets);
+    match landmarks {
+        Some(lm) => ws.run_to_targets_pruned(graph, origin, Direction::Forward, &targets, lm),
+        None => ws.run_to_targets(graph, origin, Direction::Forward, &targets),
+    }
     for &i in idxs {
         let spec = specs[i];
         let path = ws
@@ -542,6 +660,114 @@ mod tests {
         let seq = FlowSet::route(grid.graph(), specs.clone()).unwrap();
         let par = FlowSet::route_parallel(grid.graph(), specs, 1).unwrap();
         assert_flow_sets_identical(&seq, &par);
+    }
+
+    #[test]
+    fn route_with_accelerations_is_bit_identical_to_route() {
+        let grid = GridGraph::new(10, 10, Distance::from_feet(10));
+        let g = grid.graph();
+        let mut rng_state = 11u64;
+        let mut next = || {
+            // xorshift keeps the fixture dependency-free and deterministic.
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state % 100) as u32
+        };
+        let specs: Vec<FlowSpec> = (0..60)
+            .map(|_| FlowSpec::new(NodeId::new(next()), NodeId::new(next()), 1.0).unwrap())
+            .collect();
+        let reference = FlowSet::route(g, specs.clone()).unwrap();
+        let lm = rap_graph::landmarks::Landmarks::select(g, 4);
+        let tiles = TileGrid::build(g, 16);
+        assert!(tiles.tile_count() > 1, "fixture must actually reorder");
+        for threads in [None, Some(1), Some(3)] {
+            for landmarks in [None, Some(&lm)] {
+                for tile_grid in [None, Some(&tiles)] {
+                    let accel = FlowSet::route_with(
+                        g,
+                        specs.clone(),
+                        RouteOptions {
+                            threads,
+                            landmarks,
+                            tiles: tile_grid,
+                        },
+                    )
+                    .unwrap();
+                    assert_flow_sets_identical(&reference, &accel);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_with_tiles_reports_minimal_original_error() {
+        // Two disconnected clusters far apart on the x axis, so the tile
+        // grid separates them and tile order differs from spec order.
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(Point::new(0.0, 0.0));
+        let a1 = b.add_node(Point::new(100.0, 0.0));
+        let b0 = b.add_node(Point::new(10_000.0, 0.0));
+        let b1 = b.add_node(Point::new(10_100.0, 0.0));
+        b.add_two_way(a0, a1, Distance::from_feet(100)).unwrap();
+        b.add_two_way(b0, b1, Distance::from_feet(100)).unwrap();
+        let g = b.build();
+        let tiles = TileGrid::build(&g, 2);
+        assert!(tiles.tile_count() > 1);
+        // Group 0 (origin b0) fails; group 1 (origin a0) also fails but has
+        // the later original index. Tile order routes a0's group first, yet
+        // the reported error must still be group 0's — same as sequential.
+        let specs = vec![
+            FlowSpec::new(b0, a0, 1.0).unwrap(),
+            FlowSpec::new(a0, b0, 1.0).unwrap(),
+            FlowSpec::new(a0, a1, 1.0).unwrap(),
+        ];
+        let reference = FlowSet::route(&g, specs.clone()).unwrap_err();
+        for threads in [None, Some(4)] {
+            let tiled = FlowSet::route_with(
+                &g,
+                specs.clone(),
+                RouteOptions {
+                    threads,
+                    tiles: Some(&tiles),
+                    ..RouteOptions::default()
+                },
+            )
+            .unwrap_err();
+            match (&reference, &tiled) {
+                (
+                    TrafficError::UnroutableFlow {
+                        origin: ro,
+                        destination: rd,
+                    },
+                    TrafficError::UnroutableFlow {
+                        origin: to,
+                        destination: td,
+                    },
+                ) => {
+                    assert_eq!((ro, rd), (to, td));
+                    assert_eq!(*ro, b0);
+                }
+                other => panic!("expected matching UnroutableFlow errors, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile grid built for")]
+    fn route_with_rejects_mismatched_tiles() {
+        let small = GridGraph::new(3, 3, Distance::from_feet(10));
+        let big = GridGraph::new(5, 5, Distance::from_feet(10));
+        let tiles = TileGrid::build(small.graph(), 4);
+        let specs = vec![FlowSpec::new(NodeId::new(0), NodeId::new(1), 1.0).unwrap()];
+        let _ = FlowSet::route_with(
+            big.graph(),
+            specs,
+            RouteOptions {
+                tiles: Some(&tiles),
+                ..RouteOptions::default()
+            },
+        );
     }
 
     #[test]

@@ -40,13 +40,15 @@ pub mod flow_set;
 pub mod matrix;
 pub mod ops;
 pub mod parallel;
+pub mod plan;
 pub mod stats;
 pub mod temporal;
 pub mod zones;
 
 pub use error::TrafficError;
 pub use flow::{FlowId, FlowSpec, TrafficFlow};
-pub use flow_set::{FlowSet, FlowVisit};
+pub use flow_set::{FlowSet, FlowVisit, RouteOptions};
 pub use matrix::OdMatrix;
+pub use plan::RoutePlan;
 pub use temporal::TimeProfile;
 pub use zones::{Zone, ZoneMap};

@@ -1,9 +1,11 @@
 //! Property-based tests for the traffic substrate.
 
 use proptest::prelude::*;
+use rap_graph::landmarks::Landmarks;
+use rap_graph::tiles::TileGrid;
 use rap_graph::{dijkstra, Distance, GridGraph, NodeId};
 use rap_traffic::zones::{ZoneMap, ZoneThresholds};
-use rap_traffic::{FlowSet, FlowSpec, Zone};
+use rap_traffic::{FlowSet, FlowSpec, RouteOptions, Zone};
 
 #[derive(Debug, Clone)]
 struct Demand {
@@ -124,6 +126,56 @@ proptest! {
         }
         for v in grid.graph().nodes() {
             prop_assert_eq!(seq.visits_at(v), par.visits_at(v));
+        }
+    }
+
+    /// Tile-batched routing — any tile granularity, any worker count, with
+    /// and without ALT pruning — is bit-identical to plain sequential
+    /// `route`: same flow ids, same path node sequences, and the same
+    /// first-visit index at every node. The tile order only permutes
+    /// independent origin groups; pruning only skips provably useless
+    /// expansions.
+    #[test]
+    fn tiled_routing_matches_untiled(
+        d in arb_demand(),
+        threads in 1usize..5,
+        target_tiles in 1usize..10,
+        alt_flag in 0u8..2,
+    ) {
+        let grid = GridGraph::new(d.rows, d.cols, Distance::from_feet(100));
+        let specs: Vec<FlowSpec> = d
+            .flows
+            .iter()
+            .filter(|(o, dd, _)| o != dd)
+            .map(|&(o, dst, v)| {
+                FlowSpec::new(NodeId::new(o), NodeId::new(dst), v as f64).expect("valid")
+            })
+            .collect();
+        let untiled =
+            FlowSet::route(grid.graph(), specs.clone()).expect("grid routes everything");
+        let nodes_per_tile =
+            (grid.graph().node_count() / target_tiles).max(1);
+        let tiles = TileGrid::build(grid.graph(), nodes_per_tile);
+        let landmarks = (alt_flag == 1).then(|| Landmarks::select(grid.graph(), 3));
+        let tiled = FlowSet::route_with(
+            grid.graph(),
+            specs,
+            RouteOptions {
+                threads: Some(threads),
+                landmarks: landmarks.as_ref(),
+                tiles: Some(&tiles),
+            },
+        )
+        .expect("grid routes everything");
+        prop_assert_eq!(untiled.len(), tiled.len());
+        for (a, b) in untiled.iter().zip(tiled.iter()) {
+            prop_assert_eq!(a.id(), b.id());
+            prop_assert_eq!(a.origin(), b.origin());
+            prop_assert_eq!(a.destination(), b.destination());
+            prop_assert_eq!(a.path().nodes(), b.path().nodes());
+        }
+        for v in grid.graph().nodes() {
+            prop_assert_eq!(untiled.visits_at(v), tiled.visits_at(v));
         }
     }
 
